@@ -1,0 +1,71 @@
+//! FIG4–9 / TAB4–6 regeneration cost: the three-way CPU comparison at one
+//! sweep point per method (DES vs Markov closed form vs Petri net).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::CpuSimParams;
+use markov::supplementary::{CpuMarkovParams, CpuPowerRates};
+use wsn::CpuModelParams;
+
+fn bench_des_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu/des_point");
+    for pud in [0.001, 0.3, 10.0] {
+        let params = CpuSimParams::paper_defaults(0.3, pud);
+        g.bench_with_input(BenchmarkId::from_parameter(pud), &params, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                des::simulate_cpu(p, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_markov_point(c: &mut Criterion) {
+    let rates = CpuPowerRates::PXA271;
+    let params = CpuMarkovParams {
+        lambda: 1.0,
+        mu: 10.0,
+        power_down_threshold: 0.3,
+        power_up_delay: 0.3,
+    };
+    c.bench_function("cpu/markov_closed_form", |b| {
+        b.iter(|| params.energy_for_duration(&rates, 1000.0))
+    });
+}
+
+fn bench_petri_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu/petri_point");
+    for pud in [0.001, 0.3, 10.0] {
+        let params = CpuModelParams::paper_defaults(0.3, pud);
+        g.bench_with_input(BenchmarkId::from_parameter(pud), &params, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                wsn::simulate_cpu_model(p, 1000.0, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_net_build(c: &mut Criterion) {
+    let params = CpuModelParams::paper_defaults(0.3, 0.3);
+    c.bench_function("cpu/net_build", |b| {
+        b.iter(|| wsn::build_cpu_model(&params))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these benches document magnitudes, not micro-regressions.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20);
+    targets = bench_des_point,
+    bench_markov_point,
+    bench_petri_point,
+    bench_net_build
+}
+criterion_main!(benches);

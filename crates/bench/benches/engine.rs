@@ -1,0 +1,96 @@
+//! Engine micro-benchmarks: event throughput of the petri-core simulator.
+//!
+//! Not a paper artifact, but the quantity that bounds every experiment's
+//! wall-clock (the paper laments TimeNET taking "an hour to stabilize";
+//! these benches document how far from that we are).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use petri_core::prelude::*;
+
+/// M/M/1: the minimal open stochastic net.
+fn mm1_net() -> Net {
+    let mut b = NetBuilder::new("mm1");
+    let q = b.place("q").build();
+    b.transition("arrive", Timing::exponential(1.0))
+        .output(q, 1)
+        .build();
+    b.transition("serve", Timing::exponential(2.0))
+        .input(q, 1)
+        .build();
+    b.build().unwrap()
+}
+
+/// A tandem of `n` exponential stages (tests the incremental enabling
+/// index as net size grows).
+fn tandem_net(n: usize) -> Net {
+    let mut b = NetBuilder::new("tandem");
+    let places: Vec<_> = (0..n).map(|i| b.place(format!("p{i}")).build()).collect();
+    b.transition("source", Timing::exponential(1.0))
+        .output(places[0], 1)
+        .build();
+    for i in 0..n - 1 {
+        b.transition(format!("t{i}"), Timing::exponential(2.0))
+            .input(places[i], 1)
+            .output(places[i + 1], 1)
+            .build();
+    }
+    b.transition("sink", Timing::exponential(2.0))
+        .input(places[n - 1], 1)
+        .build();
+    b.build().unwrap()
+}
+
+fn bench_mm1(c: &mut Criterion) {
+    let net = mm1_net();
+    let sim = Simulator::new(&net, SimConfig::for_horizon(10_000.0));
+    // ~30k firings per run at these rates.
+    let mut g = c.benchmark_group("engine/mm1");
+    g.throughput(Throughput::Elements(30_000));
+    g.bench_function("10k_seconds", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sim.run(seed).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_tandem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/tandem");
+    for n in [4usize, 16, 64] {
+        let net = tandem_net(n);
+        let sim = Simulator::new(&net, SimConfig::for_horizon(1000.0));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sim.run(seed).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cpu_net_events(c: &mut Criterion) {
+    let model = wsn::build_cpu_model(&wsn::CpuModelParams::paper_defaults(0.1, 0.3));
+    let sim = Simulator::new(&model.net, SimConfig::for_horizon(1000.0));
+    c.bench_function("engine/fig3_cpu_1000s", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sim.run(seed).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these benches document magnitudes, not micro-regressions.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20);
+    targets = bench_mm1, bench_tandem, bench_cpu_net_events
+}
+criterion_main!(benches);

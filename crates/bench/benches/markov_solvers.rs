@@ -1,0 +1,70 @@
+//! Markov-solver benchmarks: GTH vs uniformized power iteration, and the
+//! ABL-ERLANG phase-type chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use markov::ctmc::Ctmc;
+use markov::phase::{solve_phase_cpu, PhaseCpuConfig};
+use markov::supplementary::CpuMarkovParams;
+
+/// Random-ish irreducible chain of `n` states (ring + shortcuts).
+fn chain(n: usize) -> Ctmc {
+    let mut c = Ctmc::new(n);
+    for i in 0..n {
+        c.add_rate(i, (i + 1) % n, 1.0 + (i % 7) as f64).unwrap();
+        c.add_rate(i, (i + 3) % n, 0.25).unwrap();
+    }
+    c
+}
+
+fn bench_gth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("markov/gth");
+    for n in [16usize, 64, 256] {
+        let chain = chain(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, ch| {
+            b.iter(|| ch.steady_state_gth())
+        });
+    }
+    g.finish();
+}
+
+fn bench_power_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("markov/power");
+    for n in [64usize, 256, 1024] {
+        let chain = chain(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, ch| {
+            b.iter(|| ch.steady_state_power(1_000_000, 1e-10).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_phase_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("markov/phase_cpu");
+    for k in [1u32, 8, 32] {
+        let cfg = PhaseCpuConfig {
+            params: CpuMarkovParams {
+                lambda: 1.0,
+                mu: 10.0,
+                power_down_threshold: 0.3,
+                power_up_delay: 0.3,
+            },
+            stages: k,
+            max_queue: 30,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
+            b.iter(|| solve_phase_cpu(cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these benches document magnitudes, not micro-regressions.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20);
+    targets = bench_gth, bench_power_iteration, bench_phase_cpu
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! FIG14/FIG15 regeneration cost: one node-model evaluation per workload
+//! (Petri net and DES oracle), plus a reduced full sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::{NodeSimParams, Workload};
+use wsn::experiments::node_energy::{run_node_sweep, NodeSweepConfig};
+
+fn bench_node_point_petri(c: &mut Criterion) {
+    let mut g = c.benchmark_group("node/petri_point_900s");
+    for (name, workload) in [
+        ("closed", Workload::Closed { interval: 1.0 }),
+        ("open", Workload::Open { rate: 1.0 }),
+    ] {
+        let params = NodeSimParams::paper_defaults(workload, 0.01);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                wsn::simulate_node_model(p, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_node_point_des(c: &mut Criterion) {
+    let mut g = c.benchmark_group("node/des_point_900s");
+    for (name, workload) in [
+        ("closed", Workload::Closed { interval: 1.0 }),
+        ("open", Workload::Open { rate: 1.0 }),
+    ] {
+        let params = NodeSimParams::paper_defaults(workload, 0.01);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                des::simulate_node(p, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduced_sweep(c: &mut Criterion) {
+    let grid = [1e-9, 0.00177, 0.01, 1.0, 100.0];
+    let cfg = NodeSweepConfig {
+        horizon: 300.0,
+        replications: 1,
+        ..Default::default()
+    };
+    c.bench_function("node/fig14_sweep_5pts_300s", |b| {
+        b.iter(|| run_node_sweep(Workload::Closed { interval: 1.0 }, &grid, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these benches document magnitudes, not micro-regressions.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20);
+    targets = bench_node_point_petri,
+    bench_node_point_des,
+    bench_reduced_sweep
+}
+criterion_main!(benches);

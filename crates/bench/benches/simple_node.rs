@@ -1,0 +1,49 @@
+//! TAB8–10 regeneration cost: the simple sensor system (Fig. 10) and the
+//! emulated IMote2 rig.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsn::imote2::{run_rig, Imote2RigConfig};
+use wsn::{analytic_probabilities, simulate_simple_node, SimpleNodeParams};
+
+fn bench_simple_node_sim(c: &mut Criterion) {
+    let params = SimpleNodeParams::default();
+    c.bench_function("simple/petri_1000s", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            simulate_simple_node(&params, 1000.0, seed)
+        })
+    });
+}
+
+fn bench_simple_node_analytic(c: &mut Criterion) {
+    let params = SimpleNodeParams::default();
+    c.bench_function("simple/analytic", |b| {
+        b.iter(|| analytic_probabilities(&params))
+    });
+}
+
+fn bench_imote2_rig(c: &mut Criterion) {
+    let node = SimpleNodeParams::default();
+    let rig = Imote2RigConfig::default();
+    c.bench_function("simple/imote2_rig_100ev", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_rig(&node, &rig, &energy::IMOTE2_MEASURED, seed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these benches document magnitudes, not micro-regressions.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20);
+    targets = bench_simple_node_sim,
+    bench_simple_node_analytic,
+    bench_imote2_rig
+}
+criterion_main!(benches);

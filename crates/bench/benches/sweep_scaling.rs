@@ -1,0 +1,57 @@
+//! ABL-SWEEP-PAR: parallel-sweep scaling — wall time of the same workload
+//! at 1, 2, 4, … worker threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::Workload;
+use wsn::experiments::node_energy::{run_node_sweep, NodeSweepConfig};
+use wsn::sweep::parallel_map;
+
+fn bench_parallel_map_scaling(c: &mut Criterion) {
+    let inputs: Vec<f64> = (0..16).map(|i| 0.001 + i as f64 * 0.01).collect();
+    let mut g = c.benchmark_group("scaling/parallel_map_cpu_des");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    parallel_map(&inputs, threads, |&pdt| {
+                        let p = des::CpuSimParams::paper_defaults(pdt, 0.3);
+                        des::simulate_cpu(&p, 1).times.total()
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_node_sweep_scaling(c: &mut Criterion) {
+    let grid = [1e-9, 0.00177, 0.01, 0.1, 1.0, 10.0, 100.0, 0.005];
+    let mut g = c.benchmark_group("scaling/node_sweep");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let cfg = NodeSweepConfig {
+            horizon: 300.0,
+            replications: 1,
+            threads,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &cfg, |b, cfg| {
+            b.iter(|| run_node_sweep(Workload::Closed { interval: 1.0 }, &grid, cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these benches document magnitudes, not micro-regressions.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20);
+    targets = bench_parallel_map_scaling, bench_node_sweep_scaling
+}
+criterion_main!(benches);

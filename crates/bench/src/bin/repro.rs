@@ -1,0 +1,396 @@
+//! `repro` — regenerate every table and figure of Shareef & Zhu (2010).
+//!
+//! ```text
+//! repro all                 # everything below, in order
+//! repro fig4|fig5|fig6      # CPU state percentages vs PDT (3 PUDs)
+//! repro fig7|fig8|fig9      # CPU energy vs PDT (3 methods)
+//! repro table4|table5|table6# Δ-energy statistics
+//! repro table8|table9       # simple system parameters & probabilities
+//! repro table10             # emulated IMote2 vs Petri prediction
+//! repro fig14               # closed-node energy breakdown sweep
+//! repro fig15               # open-node energy breakdown sweep
+//! repro params              # echo the power/timing tables as built
+//! repro erlang              # ABL-ERLANG: Markovization error vs stages
+//! repro memory              # ABL-MEMORY: PDT under 3 memory policies
+//! repro seeds               # ABL-SEED: CI width vs replications
+//! repro trigger             # ABL-TRIGGER: Poisson vs periodic arrivals
+//! repro dot                 # Graphviz exports of the three paper nets
+//! repro validate            # Petri-vs-DES cross-check CSV
+//! ```
+//!
+//! Figures are emitted as CSV under `results/` (plus a textual summary on
+//! stdout); tables are printed in the paper's layout. Use `--quick` for a
+//! fast smoke run (shorter horizons).
+
+use bench::write_artifact;
+use des::Workload;
+use wsn::experiments::ablations::{
+    erlang_ablation, memory_ablation, seed_ablation, trigger_ablation,
+};
+use wsn::experiments::cpu_comparison::{run_cpu_comparison, CpuComparisonConfig};
+use wsn::experiments::node_energy::{run_node_sweep, NodeSweepConfig};
+use wsn::experiments::simple_system::{run_simple_system, run_table_x};
+use wsn::report::{
+    render_delta_table, render_energy_csv, render_node_sweep_csv, render_simple_system,
+    render_state_csv, render_table_x,
+};
+use wsn::sweep::{fig4_9_pdt_grid, FIG14_15_PDT_GRID};
+use wsn::CpuModelParams;
+
+struct Opts {
+    quick: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let opts = Opts { quick };
+
+    if targets.is_empty() {
+        eprintln!("usage: repro [--quick] <target>...   (try: repro all)");
+        std::process::exit(2);
+    }
+
+    for t in &targets {
+        match *t {
+            "all" => run_all(&opts),
+            "fig4" => cpu_figs(&opts, 0.001, true),
+            "fig5" => cpu_figs(&opts, 0.3, true),
+            "fig6" => cpu_figs(&opts, 10.0, true),
+            "fig7" => cpu_figs(&opts, 0.001, false),
+            "fig8" => cpu_figs(&opts, 0.3, false),
+            "fig9" => cpu_figs(&opts, 10.0, false),
+            "table4" => delta_table(&opts, 0.001, "Table IV (Power_Up_Delay = 0.001 s)"),
+            "table5" => delta_table(&opts, 0.3, "Table V (Power_Up_Delay = 0.3 s)"),
+            "table6" => delta_table(&opts, 10.0, "Table VI (Power_Up_Delay = 10 s)"),
+            "table8" | "table9" => simple_tables(&opts),
+            "table10" => table10(),
+            "fig14" => node_fig(&opts, Workload::Closed { interval: 1.0 }, "fig14"),
+            "fig15" => node_fig(&opts, Workload::Open { rate: 1.0 }, "fig15"),
+            "params" => params(),
+            "erlang" => erlang(&opts),
+            "memory" => memory(&opts),
+            "seeds" => seeds(&opts),
+            "trigger" => trigger(&opts),
+            "dot" => dot(),
+            "validate" => validate(&opts),
+            other => {
+                eprintln!("unknown target: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn run_all(opts: &Opts) {
+    params();
+    for pud in [0.001, 0.3, 10.0] {
+        cpu_figs(opts, pud, true);
+        cpu_figs(opts, pud, false);
+    }
+    delta_table(opts, 0.001, "Table IV (Power_Up_Delay = 0.001 s)");
+    delta_table(opts, 0.3, "Table V (Power_Up_Delay = 0.3 s)");
+    delta_table(opts, 10.0, "Table VI (Power_Up_Delay = 10 s)");
+    simple_tables(opts);
+    table10();
+    node_fig(opts, Workload::Closed { interval: 1.0 }, "fig14");
+    node_fig(opts, Workload::Open { rate: 1.0 }, "fig15");
+    erlang(opts);
+    memory(opts);
+    seeds(opts);
+    trigger(opts);
+    dot();
+    validate(opts);
+}
+
+fn cpu_cfg(opts: &Opts) -> CpuComparisonConfig {
+    CpuComparisonConfig {
+        horizon: if opts.quick { 300.0 } else { 5000.0 },
+        ..Default::default()
+    }
+}
+
+fn cpu_figs(opts: &Opts, pud: f64, states: bool) {
+    let c = run_cpu_comparison(pud, &fig4_9_pdt_grid(), &cpu_cfg(opts));
+    let (kind, csv) = if states {
+        ("states", render_state_csv(&c))
+    } else {
+        ("energy", render_energy_csv(&c))
+    };
+    let fig = match (pud, states) {
+        (d, true) if d < 0.01 => "fig4",
+        (d, true) if d < 1.0 => "fig5",
+        (_, true) => "fig6",
+        (d, false) if d < 0.01 => "fig7",
+        (d, false) if d < 1.0 => "fig8",
+        (_, false) => "fig9",
+    };
+    match write_artifact(&format!("{fig}_{kind}.csv"), &csv) {
+        Ok(path) => println!("[{fig}] PUD={pud}s {kind} -> {path}"),
+        Err(e) => eprintln!("[{fig}] failed to write artifact: {e}"),
+    }
+    if !states {
+        // Quick textual read of the curve shape.
+        let rows = c.energy_rows();
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        println!(
+            "  sim energy: {:.2} J @ PDT={} -> {:.2} J @ PDT={} ({} with threshold)",
+            first.1,
+            first.0,
+            last.1,
+            last.0,
+            if last.1 > first.1 { "rises" } else { "falls" }
+        );
+    }
+}
+
+fn delta_table(opts: &Opts, pud: f64, title: &str) {
+    let c = run_cpu_comparison(pud, &fig4_9_pdt_grid(), &cpu_cfg(opts));
+    print!("{}", render_delta_table(title, &c.delta_table()));
+    println!();
+}
+
+fn simple_tables(opts: &Opts) {
+    let horizon = if opts.quick { 2000.0 } else { 50_000.0 };
+    let r = run_simple_system(horizon, 0xABCD);
+    print!("{}", render_simple_system(&r));
+    println!();
+}
+
+fn table10() {
+    print!("{}", render_table_x(&run_table_x(0xBEEF)));
+    println!();
+}
+
+fn node_fig(opts: &Opts, workload: Workload, fig: &str) {
+    let cfg = NodeSweepConfig {
+        horizon: if opts.quick { 200.0 } else { 900.0 },
+        replications: if matches!(workload, Workload::Open { .. }) {
+            if opts.quick {
+                2
+            } else {
+                8
+            }
+        } else {
+            1
+        },
+        ..Default::default()
+    };
+    let sweep = run_node_sweep(workload, &FIG14_15_PDT_GRID, &cfg);
+    let csv = render_node_sweep_csv(&sweep);
+    match write_artifact(&format!("{fig}_breakdown.csv"), &csv) {
+        Ok(path) => println!("[{fig}] {workload:?} -> {path}"),
+        Err(e) => eprintln!("[{fig}] failed to write artifact: {e}"),
+    }
+    let a = sweep.optimum_analysis();
+    println!(
+        "  optimum PDT = {} s: {:.2} J  ({:.0}% less than immediate power-down {:.2} J, {:.0}% less than never {:.2} J)",
+        a.optimal_pdt,
+        a.optimal_energy_j,
+        a.savings_vs_immediate_pct,
+        a.immediate_energy_j,
+        a.savings_vs_never_pct,
+        a.never_energy_j,
+    );
+}
+
+fn params() {
+    println!("Table II  — simulation parameters: horizon 1000 s, λ = 1/s, mean service 0.1 s");
+    println!("Table III — power rates (mW):");
+    let cpu = energy::PXA271_CPU;
+    let radio = energy::CC2420_RADIO;
+    println!(
+        "  CPU   standby {:>10} idle {:>8} powerup {:>10} active {:>8}",
+        cpu.sleep.milliwatts(),
+        cpu.idle.milliwatts(),
+        cpu.wakeup.milliwatts(),
+        cpu.active.milliwatts()
+    );
+    println!(
+        "  Radio standby {:>10} idle {:>8} powerup {:>10} active {:>8}",
+        radio.sleep.milliwatts(),
+        radio.idle.milliwatts(),
+        radio.wakeup.milliwatts(),
+        radio.active.milliwatts()
+    );
+    let m = energy::IMOTE2_MEASURED;
+    println!(
+        "Table VII — measured IMote2 (mW): idle {} rx {} comp {} tx {}",
+        m.wait.milliwatts(),
+        m.receiving.milliwatts(),
+        m.computation.milliwatts(),
+        m.transmitting.milliwatts()
+    );
+    let p = des::NodeSimParams::paper_defaults(Workload::Closed { interval: 1.0 }, 0.0);
+    println!(
+        "Table XI  — node timings (s): radio startup {}, listen {}, tx/rx {}, CPU PUD {}, DVS delay {}, DVS levels {:?}, task/job {}",
+        p.radio_startup,
+        p.channel_listen,
+        p.tx_rx_time,
+        p.cpu_power_up_delay,
+        p.dvs_overhead,
+        p.dvs_levels,
+        p.task_delay_per_job
+    );
+    println!(
+        "  intra-cycle CPU gap = {} s (the Fig. 14 optimum)",
+        p.intra_cycle_gap()
+    );
+    println!();
+}
+
+fn erlang(opts: &Opts) {
+    let stages: &[u32] = if opts.quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
+    println!("ABL-ERLANG — phase-type Markovization error (T=0.3 s, D=0.3 s)");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "stages", "standby", "powerup", "idle", "active", "max |err|"
+    );
+    for row in erlang_ablation(0.3, 0.3, stages, 42) {
+        println!(
+            "{:>7} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>12.4}",
+            row.stages, row.probs[0], row.probs[1], row.probs[2], row.probs[3], row.max_abs_error
+        );
+    }
+    println!();
+}
+
+fn memory(opts: &Opts) {
+    let horizon = if opts.quick { 2000.0 } else { 20_000.0 };
+    println!("ABL-MEMORY — Power_Down_Threshold under the three memory policies");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "standby", "powerup", "idle", "active", "wakeups"
+    );
+    let params = CpuModelParams::paper_defaults(0.5, 0.3);
+    for row in memory_ablation(&params, horizon, 7) {
+        println!(
+            "{:>12} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.0}",
+            format!("{:?}", row.policy),
+            row.probs[0],
+            row.probs[1],
+            row.probs[2],
+            row.probs[3],
+            row.wakeups
+        );
+    }
+    println!();
+}
+
+fn validate(opts: &Opts) {
+    use wsn::experiments::validation::{render_validation_csv, run_validation};
+    let horizon = if opts.quick { 200.0 } else { 900.0 };
+    for (name, workload) in [
+        ("closed", Workload::Closed { interval: 1.0 }),
+        ("open", Workload::Open { rate: 1.0 }),
+    ] {
+        let rows = run_validation(
+            workload,
+            &FIG14_15_PDT_GRID,
+            horizon,
+            0xDE5,
+            wsn::sweep::default_threads(),
+        );
+        let worst = rows.iter().map(|r| r.rel_diff).fold(0.0f64, f64::max);
+        match write_artifact(
+            &format!("validate_{name}.csv"),
+            &render_validation_csv(&rows),
+        ) {
+            Ok(path) => println!(
+                "[validate] {name}: worst petri-vs-des relative energy gap {worst:.4} -> {path}"
+            ),
+            Err(e) => eprintln!("[validate] {name}: {e}"),
+        }
+    }
+    println!();
+}
+
+fn trigger(opts: &Opts) {
+    let horizon = if opts.quick { 2000.0 } else { 20_000.0 };
+    println!("ABL-TRIGGER — Poisson (trigger-driven) vs periodic (schedule-driven) arrivals");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "mode", "standby", "powerup", "idle", "active", "wakeups", "energy (J)"
+    );
+    let params = CpuModelParams::paper_defaults(0.3, 0.3);
+    for row in trigger_ablation(&params, horizon, 17) {
+        println!(
+            "{:>10} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.0} {:>12.2}",
+            if row.trigger_driven {
+                "trigger"
+            } else {
+                "schedule"
+            },
+            row.probs[0],
+            row.probs[1],
+            row.probs[2],
+            row.probs[3],
+            row.wakeups,
+            row.energy_j
+        );
+    }
+    println!();
+}
+
+fn dot() {
+    let cpu = wsn::build_cpu_model(&CpuModelParams::paper_defaults(0.3, 0.3));
+    let simple = wsn::build_simple_node(&wsn::SimpleNodeParams::default());
+    let closed = wsn::build_node_model(&des::NodeSimParams::paper_defaults(
+        Workload::Closed { interval: 1.0 },
+        0.00177,
+    ));
+    let open = wsn::build_node_model(&des::NodeSimParams::paper_defaults(
+        Workload::Open { rate: 1.0 },
+        0.00177,
+    ));
+    for (name, net) in [
+        ("fig3_cpu.dot", &cpu.net),
+        ("fig10_simple.dot", &simple.net),
+        ("fig12_closed.dot", &closed.net),
+        ("fig13_open.dot", &open.net),
+    ] {
+        match write_artifact(name, &petri_core::dot::to_dot(net)) {
+            Ok(path) => println!("[dot] {path}"),
+            Err(e) => eprintln!("[dot] {name}: {e}"),
+        }
+    }
+    println!();
+}
+
+fn seeds(opts: &Opts) {
+    let horizon = if opts.quick { 500.0 } else { 2000.0 };
+    let counts: &[u64] = if opts.quick {
+        &[4, 16]
+    } else {
+        &[4, 8, 16, 32, 64]
+    };
+    println!("ABL-SEED — 95% CI half-width of P(standby) vs replications");
+    println!(
+        "{:>14} {:>14} {:>16}",
+        "replications", "mean standby", "CI half-width"
+    );
+    let params = CpuModelParams::paper_defaults(0.3, 0.3);
+    for row in seed_ablation(
+        &params,
+        horizon,
+        counts,
+        0xCAFE,
+        wsn::sweep::default_threads(),
+    ) {
+        println!(
+            "{:>14} {:>14.5} {:>16.5}",
+            row.replications, row.mean_standby, row.ci_half_width
+        );
+    }
+    println!();
+}

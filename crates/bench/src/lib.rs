@@ -1,0 +1,30 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+
+/// Directory where `repro` writes CSV artifacts (created on demand).
+pub const RESULTS_DIR: &str = "results";
+
+/// Write `content` to `results/<name>` (best effort; returns the path).
+pub fn write_artifact(name: &str, content: &str) -> std::io::Result<String> {
+    std::fs::create_dir_all(RESULTS_DIR)?;
+    let path = format!("{RESULTS_DIR}/{name}");
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_artifact_roundtrip() {
+        let dir = std::env::temp_dir().join("bench-artifact-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let path = write_artifact("x.csv", "a,b\n1,2\n").unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        assert_eq!(back, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,221 @@
+//! State-time accounting: accumulate time per power state and integrate
+//! energy.
+//!
+//! The DES simulators use this directly (they know the exact state at every
+//! instant); the Petri-net pipeline arrives at the same numbers through
+//! steady-state probabilities × horizon (Eqs. 7/8), and the test-suite
+//! checks the two routes agree.
+
+use crate::power::{ComponentPower, PowerState};
+use crate::units::{Energy, Power};
+use serde::{Deserialize, Serialize};
+
+/// Time spent in each of the four power states.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StateTimes {
+    /// Seconds in sleep.
+    pub sleep: f64,
+    /// Seconds waking up.
+    pub wakeup: f64,
+    /// Seconds idle.
+    pub idle: f64,
+    /// Seconds active.
+    pub active: f64,
+}
+
+impl StateTimes {
+    /// Add `dt` seconds in state `s`.
+    pub fn add(&mut self, s: PowerState, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative dwell time");
+        match s {
+            PowerState::Sleep => self.sleep += dt,
+            PowerState::Wakeup => self.wakeup += dt,
+            PowerState::Idle => self.idle += dt,
+            PowerState::Active => self.active += dt,
+        }
+    }
+
+    /// Seconds in state `s`.
+    pub fn in_state(&self, s: PowerState) -> f64 {
+        match s {
+            PowerState::Sleep => self.sleep,
+            PowerState::Wakeup => self.wakeup,
+            PowerState::Idle => self.idle,
+            PowerState::Active => self.active,
+        }
+    }
+
+    /// Total accounted time.
+    pub fn total(&self) -> f64 {
+        self.sleep + self.wakeup + self.idle + self.active
+    }
+
+    /// Fraction of total time in state `s` (0 if nothing accounted).
+    pub fn fraction(&self, s: PowerState) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            self.in_state(s) / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Energy under a component power table: `Σ_state P(state)·t(state)`.
+    pub fn energy(&self, power: &ComponentPower) -> Energy {
+        PowerState::ALL
+            .iter()
+            .map(|&s| power.in_state(s).over_seconds(self.in_state(s)))
+            .sum()
+    }
+
+    /// Average power over the accounted window.
+    pub fn average_power(&self, power: &ComponentPower) -> Power {
+        let t = self.total();
+        if t > 0.0 {
+            self.energy(power).average_power(t)
+        } else {
+            Power::ZERO
+        }
+    }
+}
+
+/// Running tracker: the component's current state plus accumulated times.
+///
+/// Call [`StateTracker::transition_to`] at every state change with the
+/// current simulation clock; the tracker attributes the elapsed interval to
+/// the outgoing state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StateTracker {
+    state: PowerState,
+    since: f64,
+    times: StateTimes,
+    wakeup_count: u64,
+}
+
+impl StateTracker {
+    /// Start tracking in `initial` at time `t0`.
+    pub fn new(initial: PowerState, t0: f64) -> Self {
+        StateTracker {
+            state: initial,
+            since: t0,
+            times: StateTimes::default(),
+            wakeup_count: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Move to `next` at time `now` (attributes `[since, now)` to the old
+    /// state). Entering [`PowerState::Wakeup`] bumps the wake-up counter —
+    /// the quantity behind the paper's "CPU Wake Up Transitional Energy"
+    /// series.
+    pub fn transition_to(&mut self, next: PowerState, now: f64) {
+        debug_assert!(now >= self.since, "time went backwards");
+        self.times.add(self.state, now - self.since);
+        if next == PowerState::Wakeup && self.state != PowerState::Wakeup {
+            self.wakeup_count += 1;
+        }
+        self.state = next;
+        self.since = now;
+    }
+
+    /// Close the interval at `end` and return the final accounting.
+    pub fn finish(mut self, end: f64) -> (StateTimes, u64) {
+        debug_assert!(end >= self.since, "time went backwards");
+        self.times.add(self.state, end - self.since);
+        (self.times, self.wakeup_count)
+    }
+
+    /// Times accumulated so far (not including the open interval).
+    pub fn times(&self) -> &StateTimes {
+        &self.times
+    }
+
+    /// Wake-ups counted so far.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeup_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::PXA271_CPU;
+
+    #[test]
+    fn accumulate_and_fractions() {
+        let mut t = StateTimes::default();
+        t.add(PowerState::Sleep, 6.0);
+        t.add(PowerState::Active, 2.0);
+        t.add(PowerState::Idle, 2.0);
+        assert_eq!(t.total(), 10.0);
+        assert!((t.fraction(PowerState::Sleep) - 0.6).abs() < 1e-15);
+        assert!((t.fraction(PowerState::Active) - 0.2).abs() < 1e-15);
+        assert_eq!(t.fraction(PowerState::Wakeup), 0.0);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let t = StateTimes::default();
+        assert_eq!(t.fraction(PowerState::Sleep), 0.0);
+        assert_eq!(t.average_power(&PXA271_CPU), Power::ZERO);
+    }
+
+    #[test]
+    fn energy_matches_hand_calculation() {
+        let mut t = StateTimes::default();
+        t.add(PowerState::Sleep, 100.0);
+        t.add(PowerState::Active, 10.0);
+        // 17 mW * 100 s + 193 mW * 10 s = 1.7 + 1.93 = 3.63 J.
+        let e = t.energy(&PXA271_CPU);
+        assert!((e.joules() - 3.63).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_attributes_intervals() {
+        let mut tr = StateTracker::new(PowerState::Sleep, 0.0);
+        tr.transition_to(PowerState::Wakeup, 5.0); // slept [0,5)
+        tr.transition_to(PowerState::Idle, 5.3); // woke [5,5.3)
+        tr.transition_to(PowerState::Active, 6.0); // idled [5.3,6)
+        let (times, wakeups) = tr.finish(8.0); // active [6,8)
+        assert!((times.sleep - 5.0).abs() < 1e-12);
+        assert!((times.wakeup - 0.3).abs() < 1e-12);
+        assert!((times.idle - 0.7).abs() < 1e-12);
+        assert!((times.active - 2.0).abs() < 1e-12);
+        assert_eq!(wakeups, 1);
+        assert!((times.total() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_counts_wakeups_once_per_entry() {
+        let mut tr = StateTracker::new(PowerState::Sleep, 0.0);
+        tr.transition_to(PowerState::Wakeup, 1.0);
+        tr.transition_to(PowerState::Active, 1.3);
+        tr.transition_to(PowerState::Sleep, 2.0);
+        tr.transition_to(PowerState::Wakeup, 3.0);
+        tr.transition_to(PowerState::Idle, 3.3);
+        let (_, wakeups) = tr.finish(4.0);
+        assert_eq!(wakeups, 2);
+    }
+
+    #[test]
+    fn zero_length_intervals_are_fine() {
+        let mut tr = StateTracker::new(PowerState::Idle, 1.0);
+        tr.transition_to(PowerState::Active, 1.0);
+        let (times, _) = tr.finish(1.0);
+        assert_eq!(times.total(), 0.0);
+    }
+
+    #[test]
+    fn average_power_is_energy_over_time() {
+        let mut t = StateTimes::default();
+        t.add(PowerState::Idle, 50.0);
+        t.add(PowerState::Sleep, 50.0);
+        let avg = t.average_power(&PXA271_CPU);
+        // (88 + 17)/2 = 52.5 mW.
+        assert!((avg.milliwatts() - 52.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Battery-lifetime estimation.
+//!
+//! The paper's motivation (Sec. I) is extending battery lifetime; Jung et
+//! al. [12], the source of the power table, frame results as node lifetime.
+//! This module closes that loop: given an average power draw and a battery,
+//! estimate how long the node survives.
+
+use crate::units::Power;
+use serde::{Deserialize, Serialize};
+
+/// An idealized battery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    /// Capacity in milliamp-hours.
+    pub capacity_mah: f64,
+    /// Nominal voltage in volts.
+    pub voltage: f64,
+    /// Usable fraction of nominal capacity (cutoff voltage, self-discharge
+    /// etc.); 1.0 = ideal.
+    pub usable_fraction: f64,
+}
+
+impl Battery {
+    /// Two AA alkaline cells in series (the classic mote supply):
+    /// ~2500 mAh at 3 V, ~80 % usable.
+    pub const TWO_AA: Battery = Battery {
+        capacity_mah: 2500.0,
+        voltage: 3.0,
+        usable_fraction: 0.8,
+    };
+
+    /// A CR2032 coin cell: 225 mAh at 3 V, ~70 % usable at mote currents.
+    pub const CR2032: Battery = Battery {
+        capacity_mah: 225.0,
+        voltage: 3.0,
+        usable_fraction: 0.7,
+    };
+
+    /// Usable energy content in Joules: `mAh · 3.6 · V · usable`.
+    pub fn usable_energy_joules(&self) -> f64 {
+        self.capacity_mah * 3.6 * self.voltage * self.usable_fraction
+    }
+
+    /// Lifetime in seconds at a constant average draw.
+    pub fn lifetime_seconds(&self, draw: Power) -> f64 {
+        assert!(draw.watts() > 0.0, "draw must be positive");
+        self.usable_energy_joules() / draw.watts()
+    }
+
+    /// Lifetime in days at a constant average draw.
+    pub fn lifetime_days(&self, draw: Power) -> f64 {
+        self.lifetime_seconds(draw) / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_content() {
+        // 2500 mAh * 3.6 * 3 V * 0.8 = 21600 J.
+        let e = Battery::TWO_AA.usable_energy_joules();
+        assert!((e - 21_600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_at_one_milliwatt() {
+        // 21600 J / 1 mW = 21.6e6 s = 250 days.
+        let days = Battery::TWO_AA.lifetime_days(Power::from_milliwatts(1.0));
+        assert!((days - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imote2_simple_node_lifetime_plausible() {
+        // The measured simple node draws ~1.26 mW average (Table X):
+        // two AA cells last ~198 days.
+        let days = Battery::TWO_AA.lifetime_days(Power::from_milliwatts(1.261));
+        assert!((150.0..250.0).contains(&days), "days = {days}");
+    }
+
+    #[test]
+    fn higher_draw_shorter_life() {
+        let lo = Battery::CR2032.lifetime_seconds(Power::from_milliwatts(0.5));
+        let hi = Battery::CR2032.lifetime_seconds(Power::from_milliwatts(5.0));
+        assert!((lo / hi - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "draw must be positive")]
+    fn zero_draw_rejected() {
+        let _ = Battery::TWO_AA.lifetime_seconds(Power::ZERO);
+    }
+}

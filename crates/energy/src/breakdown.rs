@@ -1,0 +1,143 @@
+//! Node-level energy breakdown: the eight stacked series of the paper's
+//! Figures 14 and 15.
+//!
+//! Each figure decomposes total node energy into, per component (CPU and
+//! radio): sleep, idle, active, and wake-up-transitional energy.
+
+use crate::accounting::StateTimes;
+use crate::power::{ComponentPower, PowerState};
+use crate::units::Energy;
+use serde::{Deserialize, Serialize};
+
+/// Energy of one component split by power state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ComponentBreakdown {
+    /// Energy spent asleep.
+    pub sleep: Energy,
+    /// Energy spent waking up (the "transitional energy" of the figures).
+    pub wakeup: Energy,
+    /// Energy spent idle.
+    pub idle: Energy,
+    /// Energy spent active.
+    pub active: Energy,
+}
+
+impl ComponentBreakdown {
+    /// Compute from dwell times and a power table.
+    pub fn from_times(times: &StateTimes, power: &ComponentPower) -> Self {
+        ComponentBreakdown {
+            sleep: power.sleep.over_seconds(times.sleep),
+            wakeup: power.wakeup.over_seconds(times.wakeup),
+            idle: power.idle.over_seconds(times.idle),
+            active: power.active.over_seconds(times.active),
+        }
+    }
+
+    /// Total across the four states.
+    pub fn total(&self) -> Energy {
+        self.sleep + self.wakeup + self.idle + self.active
+    }
+
+    /// Energy of one state.
+    pub fn in_state(&self, s: PowerState) -> Energy {
+        match s {
+            PowerState::Sleep => self.sleep,
+            PowerState::Wakeup => self.wakeup,
+            PowerState::Idle => self.idle,
+            PowerState::Active => self.active,
+        }
+    }
+}
+
+/// Whole-node breakdown: CPU + radio, eight series total — one row of
+/// Figure 14/15 at a given Power-Down Threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeBreakdown {
+    /// CPU component.
+    pub cpu: ComponentBreakdown,
+    /// Radio component.
+    pub radio: ComponentBreakdown,
+}
+
+impl NodeBreakdown {
+    /// Total node energy.
+    pub fn total(&self) -> Energy {
+        self.cpu.total() + self.radio.total()
+    }
+
+    /// The eight series in the figures' legend order:
+    /// radio wake-up, CPU wake-up, CPU active, CPU idle, CPU sleep,
+    /// radio active, radio idle, radio sleep.
+    pub fn series(&self) -> [(&'static str, Energy); 8] {
+        [
+            ("Radio Wake Up Transitional Energy", self.radio.wakeup),
+            ("CPU Wake Up Transitional Energy", self.cpu.wakeup),
+            ("CPU Active Energy", self.cpu.active),
+            ("CPU Idle Energy", self.cpu.idle),
+            ("CPU Sleep Energy", self.cpu.sleep),
+            ("Radio Active Energy", self.radio.active),
+            ("Radio Idle Energy", self.radio.idle),
+            ("Radio Sleep Energy", self.radio.sleep),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{CC2420_RADIO, PXA271_CPU};
+
+    fn cpu_times() -> StateTimes {
+        let mut t = StateTimes::default();
+        t.add(PowerState::Sleep, 800.0);
+        t.add(PowerState::Wakeup, 10.0);
+        t.add(PowerState::Idle, 50.0);
+        t.add(PowerState::Active, 140.0);
+        t
+    }
+
+    #[test]
+    fn component_breakdown_matches_hand_math() {
+        let b = ComponentBreakdown::from_times(&cpu_times(), &PXA271_CPU);
+        assert!((b.sleep.joules() - 0.017 * 800.0).abs() < 1e-9);
+        assert!((b.wakeup.joules() - 0.192976 * 10.0).abs() < 1e-9);
+        assert!((b.idle.joules() - 0.088 * 50.0).abs() < 1e-9);
+        assert!((b.active.joules() - 0.193 * 140.0).abs() < 1e-9);
+        let total = b.total().joules();
+        assert!((total - (13.6 + 1.92976 + 4.4 + 27.02)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_total_sums_components() {
+        let cpu = ComponentBreakdown::from_times(&cpu_times(), &PXA271_CPU);
+        let mut rt = StateTimes::default();
+        rt.add(PowerState::Sleep, 990.0);
+        rt.add(PowerState::Active, 10.0);
+        let radio = ComponentBreakdown::from_times(&rt, &CC2420_RADIO);
+        let node = NodeBreakdown { cpu, radio };
+        assert!(
+            (node.total().joules() - (cpu.total().joules() + radio.total().joules())).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn series_cover_everything_once() {
+        let cpu = ComponentBreakdown::from_times(&cpu_times(), &PXA271_CPU);
+        let node = NodeBreakdown {
+            cpu,
+            radio: ComponentBreakdown::default(),
+        };
+        let series_total: f64 = node.series().iter().map(|(_, e)| e.joules()).sum();
+        assert!((series_total - node.total().joules()).abs() < 1e-12);
+        // Legend order matches the paper's figures.
+        assert_eq!(node.series()[0].0, "Radio Wake Up Transitional Energy");
+        assert_eq!(node.series()[4].0, "CPU Sleep Energy");
+    }
+
+    #[test]
+    fn in_state_accessor() {
+        let b = ComponentBreakdown::from_times(&cpu_times(), &PXA271_CPU);
+        assert_eq!(b.in_state(PowerState::Sleep), b.sleep);
+        assert_eq!(b.in_state(PowerState::Active), b.active);
+    }
+}

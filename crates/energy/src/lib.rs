@@ -1,0 +1,31 @@
+//! # energy — power/energy bookkeeping substrate
+//!
+//! Typed units, the paper's power tables, state-time accounting, the
+//! Fig. 14/15 energy breakdown, and battery-lifetime estimation.
+//!
+//! * [`units`] — `Power` (mW-backed) and `Energy` (J-backed) newtypes with
+//!   dimensionally sound arithmetic.
+//! * [`power`] — the four-state power vocabulary (`Sleep`/`Wakeup`/`Idle`/
+//!   `Active`) and per-component power tables.
+//! * [`tables`] — Table III (PXA271 CPU + CC2420 radio) and Table VII
+//!   (measured IMote2) constants.
+//! * [`accounting`] — dwell-time trackers and exact energy integration.
+//! * [`breakdown`] — the eight stacked energy series of Figs. 14/15.
+//! * [`battery`] — lifetime estimates (the paper's motivating metric).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod accounting;
+pub mod battery;
+pub mod breakdown;
+pub mod power;
+pub mod tables;
+pub mod units;
+
+pub use accounting::{StateTimes, StateTracker};
+pub use battery::Battery;
+pub use breakdown::{ComponentBreakdown, NodeBreakdown};
+pub use power::{ComponentPower, FourState, PowerState};
+pub use tables::{CC2420_RADIO, IMOTE2_MEASURED, PXA271_CPU};
+pub use units::{Energy, Power};

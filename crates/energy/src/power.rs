@@ -1,0 +1,169 @@
+//! Power-state vocabulary shared by the CPU, the radio, and the whole-node
+//! models.
+
+use crate::units::Power;
+use serde::{Deserialize, Serialize};
+
+/// The four power states of a power-managed component (CPU or radio):
+/// the paper's `Stand_By` / `Power_Up` / `Idle` / `Active`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Deep sleep / standby: minimum draw, needs a wake-up to serve.
+    Sleep,
+    /// Transitional wake-up (the expensive part the paper's Power-Down
+    /// Threshold question is about).
+    Wakeup,
+    /// Powered but doing nothing.
+    Idle,
+    /// Actively working (computing / transmitting / receiving).
+    Active,
+}
+
+impl PowerState {
+    /// All four states, in sleep→active order.
+    pub const ALL: [PowerState; 4] = [
+        PowerState::Sleep,
+        PowerState::Wakeup,
+        PowerState::Idle,
+        PowerState::Active,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PowerState::Sleep => "sleep",
+            PowerState::Wakeup => "wakeup",
+            PowerState::Idle => "idle",
+            PowerState::Active => "active",
+        }
+    }
+}
+
+/// Power draw of one component in each of its four states.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentPower {
+    /// Draw in [`PowerState::Sleep`].
+    pub sleep: Power,
+    /// Draw in [`PowerState::Wakeup`].
+    pub wakeup: Power,
+    /// Draw in [`PowerState::Idle`].
+    pub idle: Power,
+    /// Draw in [`PowerState::Active`].
+    pub active: Power,
+}
+
+impl ComponentPower {
+    /// Draw in a given state.
+    pub fn in_state(&self, s: PowerState) -> Power {
+        match s {
+            PowerState::Sleep => self.sleep,
+            PowerState::Wakeup => self.wakeup,
+            PowerState::Idle => self.idle,
+            PowerState::Active => self.active,
+        }
+    }
+
+    /// Are all four rates finite and non-negative?
+    pub fn is_physical(&self) -> bool {
+        PowerState::ALL
+            .iter()
+            .all(|&s| self.in_state(s).is_physical())
+    }
+
+    /// Weighted average power given a probability per state
+    /// (Eq. 7 of the paper).
+    pub fn average(&self, p_sleep: f64, p_wakeup: f64, p_idle: f64, p_active: f64) -> Power {
+        self.sleep * p_sleep + self.wakeup * p_wakeup + self.idle * p_idle + self.active * p_active
+    }
+}
+
+/// The simple sensor system's four *system* states (Fig. 10 / Table VII):
+/// wait, receiving, computation, transmitting. (Distinct from
+/// [`PowerState`], which describes one *component*.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FourState {
+    /// Waiting for an event (paper bills `Temp_Place` time at this rate too).
+    pub wait: Power,
+    /// Receiving a message.
+    pub receiving: Power,
+    /// Computing.
+    pub computation: Power,
+    /// Transmitting results.
+    pub transmitting: Power,
+}
+
+impl FourState {
+    /// Weighted average power under state probabilities (Eq. 8).
+    pub fn average(
+        &self,
+        p_wait: f64,
+        p_receiving: f64,
+        p_computation: f64,
+        p_transmitting: f64,
+    ) -> Power {
+        self.wait * p_wait
+            + self.receiving * p_receiving
+            + self.computation * p_computation
+            + self.transmitting * p_transmitting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp() -> ComponentPower {
+        ComponentPower {
+            sleep: Power::from_milliwatts(1.0),
+            wakeup: Power::from_milliwatts(10.0),
+            idle: Power::from_milliwatts(5.0),
+            active: Power::from_milliwatts(20.0),
+        }
+    }
+
+    #[test]
+    fn in_state_selects() {
+        let c = cp();
+        assert_eq!(c.in_state(PowerState::Sleep).milliwatts(), 1.0);
+        assert_eq!(c.in_state(PowerState::Wakeup).milliwatts(), 10.0);
+        assert_eq!(c.in_state(PowerState::Idle).milliwatts(), 5.0);
+        assert_eq!(c.in_state(PowerState::Active).milliwatts(), 20.0);
+    }
+
+    #[test]
+    fn average_is_weighted() {
+        let c = cp();
+        // Equal quarters: (1+10+5+20)/4 = 9.
+        let avg = c.average(0.25, 0.25, 0.25, 0.25);
+        assert!((avg.milliwatts() - 9.0).abs() < 1e-12);
+        // All active.
+        assert!((c.average(0.0, 0.0, 0.0, 1.0).milliwatts() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_state_average() {
+        let f = FourState {
+            wait: Power::from_milliwatts(1.0),
+            receiving: Power::from_milliwatts(2.0),
+            computation: Power::from_milliwatts(3.0),
+            transmitting: Power::from_milliwatts(4.0),
+        };
+        let avg = f.average(0.5, 0.0, 0.5, 0.0);
+        assert!((avg.milliwatts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn physicality() {
+        assert!(cp().is_physical());
+        let mut bad = cp();
+        bad.idle = Power::from_milliwatts(-3.0);
+        assert!(!bad.is_physical());
+    }
+
+    #[test]
+    fn state_names() {
+        assert_eq!(PowerState::Sleep.name(), "sleep");
+        assert_eq!(PowerState::Active.name(), "active");
+        assert_eq!(PowerState::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,82 @@
+//! The paper's power parameter tables.
+//!
+//! * [`PXA271_CPU`] / [`CC2420_RADIO`] — Table III: "System model Petri net
+//!   power parameters" for the iMote2 platform (values originally from
+//!   Jung et al. [12]).
+//! * [`IMOTE2_MEASURED`] — Table VII: bench-measured whole-node power in the
+//!   four operating states of the simple sensor system (Sec. V).
+
+use crate::power::{ComponentPower, FourState};
+use crate::units::Power;
+
+/// Table III, CPU rows (PXA271): standby 17 mW, idle 88 mW,
+/// power-up 192.976 mW, active 193 mW.
+pub const PXA271_CPU: ComponentPower = ComponentPower {
+    sleep: Power::from_milliwatts(17.0),
+    idle: Power::from_milliwatts(88.0),
+    wakeup: Power::from_milliwatts(192.976),
+    active: Power::from_milliwatts(193.0),
+};
+
+/// Table III, radio rows (CC2420): standby 1.44e-4 mW, idle 0.712 mW,
+/// power-up 0.034175 mW, active 78 mW.
+pub const CC2420_RADIO: ComponentPower = ComponentPower {
+    sleep: Power::from_milliwatts(1.44e-4),
+    idle: Power::from_milliwatts(0.712),
+    wakeup: Power::from_milliwatts(0.034175),
+    active: Power::from_milliwatts(78.0),
+};
+
+/// Table VII: measured IMote2 whole-node power in the simple system's four
+/// states (mW): idle 1.216, receiving 1.213, computation 1.253,
+/// transmission 1.028.
+///
+/// The paper notes the transmission state draws *less* than idle because an
+/// idle CC2420 keeps its receiver listening (18.8 mA RX vs 17.4 mA TX).
+pub const IMOTE2_MEASURED: FourState = FourState {
+    wait: Power::from_milliwatts(1.216),
+    receiving: Power::from_milliwatts(1.213),
+    computation: Power::from_milliwatts(1.253),
+    transmitting: Power::from_milliwatts(1.028),
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_cpu_values() {
+        assert_eq!(PXA271_CPU.sleep.milliwatts(), 17.0);
+        assert_eq!(PXA271_CPU.idle.milliwatts(), 88.0);
+        assert_eq!(PXA271_CPU.wakeup.milliwatts(), 192.976);
+        assert_eq!(PXA271_CPU.active.milliwatts(), 193.0);
+        assert!(PXA271_CPU.is_physical());
+    }
+
+    #[test]
+    fn table_iii_radio_values() {
+        assert_eq!(CC2420_RADIO.sleep.milliwatts(), 1.44e-4);
+        assert_eq!(CC2420_RADIO.idle.milliwatts(), 0.712);
+        assert_eq!(CC2420_RADIO.wakeup.milliwatts(), 0.034175);
+        assert_eq!(CC2420_RADIO.active.milliwatts(), 78.0);
+        assert!(CC2420_RADIO.is_physical());
+    }
+
+    #[test]
+    fn table_vii_values() {
+        assert_eq!(IMOTE2_MEASURED.wait.milliwatts(), 1.216);
+        assert_eq!(IMOTE2_MEASURED.receiving.milliwatts(), 1.213);
+        assert_eq!(IMOTE2_MEASURED.computation.milliwatts(), 1.253);
+        assert_eq!(IMOTE2_MEASURED.transmitting.milliwatts(), 1.028);
+        // The paper's observation: TX below idle.
+        assert!(IMOTE2_MEASURED.transmitting < IMOTE2_MEASURED.wait);
+    }
+
+    #[test]
+    fn cpu_ordering_sanity() {
+        // sleep < idle < wakeup <= active for the PXA271.
+        assert!(PXA271_CPU.sleep < PXA271_CPU.idle);
+        assert!(PXA271_CPU.idle < PXA271_CPU.wakeup);
+        assert!(PXA271_CPU.wakeup <= PXA271_CPU.active);
+    }
+}

@@ -1,0 +1,239 @@
+//! Typed power/energy units.
+//!
+//! The paper mixes milliwatts (Tables III, VII) and Joules (all energy
+//! results); these newtypes keep the conversions honest. Arithmetic is
+//! provided for the combinations that are dimensionally meaningful:
+//! `Power × time = Energy`, `Energy / time = Power`, plus additive and
+//! scalar operations within each unit.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A power value, stored in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// From milliwatts (the unit of the paper's tables).
+    pub const fn from_milliwatts(mw: f64) -> Power {
+        Power(mw)
+    }
+
+    /// From watts.
+    pub fn from_watts(w: f64) -> Power {
+        Power(w * 1e3)
+    }
+
+    /// From microwatts.
+    pub fn from_microwatts(uw: f64) -> Power {
+        Power(uw * 1e-3)
+    }
+
+    /// Value in milliwatts.
+    pub fn milliwatts(self) -> f64 {
+        self.0
+    }
+
+    /// Value in watts.
+    pub fn watts(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// Energy dissipated over `seconds`.
+    pub fn over_seconds(self, seconds: f64) -> Energy {
+        Energy::from_joules(self.watts() * seconds)
+    }
+
+    /// Is this value finite and non-negative (sanity gate for tables)?
+    pub fn is_physical(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+/// An energy value, stored in Joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// From Joules.
+    pub const fn from_joules(j: f64) -> Energy {
+        Energy(j)
+    }
+
+    /// From millijoules.
+    pub fn from_millijoules(mj: f64) -> Energy {
+        Energy(mj * 1e-3)
+    }
+
+    /// Value in Joules.
+    pub fn joules(self) -> f64 {
+        self.0
+    }
+
+    /// Value in millijoules.
+    pub fn millijoules(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Average power if spread uniformly over `seconds`.
+    pub fn average_power(self, seconds: f64) -> Power {
+        assert!(seconds > 0.0, "duration must be positive");
+        Power::from_watts(self.0 / seconds)
+    }
+}
+
+// --- arithmetic ---
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Power) -> Power {
+        Power(self.0 - rhs.0)
+    }
+}
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+impl Div<f64> for Power {
+    type Output = Power;
+    fn div(self, rhs: f64) -> Power {
+        Power(self.0 / rhs)
+    }
+}
+impl Neg for Power {
+    type Output = Power;
+    fn neg(self) -> Power {
+        Power(-self.0)
+    }
+}
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, Add::add)
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+impl Div<f64> for Energy {
+    type Output = Energy;
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+impl Div<Energy> for Energy {
+    type Output = f64;
+    fn div(self, rhs: Energy) -> f64 {
+        self.0 / rhs.0
+    }
+}
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let p = Power::from_milliwatts(193.0);
+        assert!((p.watts() - 0.193).abs() < 1e-15);
+        assert!((Power::from_watts(0.193).milliwatts() - 193.0).abs() < 1e-12);
+        assert!((Power::from_microwatts(712.0).milliwatts() - 0.712).abs() < 1e-12);
+
+        let e = Energy::from_joules(2.5);
+        assert!((e.millijoules() - 2500.0).abs() < 1e-12);
+        assert!((Energy::from_millijoules(2500.0).joules() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        // 88 mW for 1000 s = 88 J (the paper's idle CPU over the sim window).
+        let e = Power::from_milliwatts(88.0).over_seconds(1000.0);
+        assert!((e.joules() - 88.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Energy::from_joules(10.0).average_power(100.0);
+        assert!((p.watts() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Power::from_milliwatts(10.0);
+        let b = Power::from_milliwatts(5.0);
+        assert!(((a + b).milliwatts() - 15.0).abs() < 1e-15);
+        assert!(((a - b).milliwatts() - 5.0).abs() < 1e-15);
+        assert!(((a * 2.0).milliwatts() - 20.0).abs() < 1e-15);
+        assert!(((a / 2.0).milliwatts() - 5.0).abs() < 1e-15);
+        assert!(((-a).milliwatts() + 10.0).abs() < 1e-15);
+
+        let e = Energy::from_joules(4.0);
+        let f = Energy::from_joules(1.0);
+        assert!(((e + f).joules() - 5.0).abs() < 1e-15);
+        assert!(((e - f).joules() - 3.0).abs() < 1e-15);
+        assert!((e / f - 4.0).abs() < 1e-15);
+        let total: Energy = [e, f].into_iter().sum();
+        assert!((total.joules() - 5.0).abs() < 1e-15);
+        let ptotal: Power = [a, b].into_iter().sum();
+        assert!((ptotal.milliwatts() - 15.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn physicality_check() {
+        assert!(Power::from_milliwatts(0.0).is_physical());
+        assert!(Power::from_milliwatts(1.0).is_physical());
+        assert!(!Power::from_milliwatts(-1.0).is_physical());
+        assert!(!Power::from_milliwatts(f64::NAN).is_physical());
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_average_power_rejected() {
+        let _ = Energy::from_joules(1.0).average_power(0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Absorption analysis: mean time / probability to reach designated target
+//! states of a CTMC.
+//!
+//! The WSN application is lifetime analysis (the paper's motivating
+//! metric, Sec. I): make "battery empty" an absorbing state and ask for
+//! the expected hitting time. Solved by the standard linear system over
+//! the transient states: for each transient `i`,
+//! `h(i) = 1/E(i) + Σ_j P(i→j)·h(j)` where `E(i)` is the exit rate.
+
+use crate::ctmc::Ctmc;
+use crate::linalg::Matrix;
+
+/// Result of an absorption analysis.
+#[derive(Debug, Clone)]
+pub struct Absorption {
+    /// Expected time to hit any target state, per starting state
+    /// (`f64::INFINITY` where the targets are unreachable).
+    pub hitting_time: Vec<f64>,
+    /// Probability of ever hitting a target, per starting state.
+    pub hitting_probability: Vec<f64>,
+}
+
+/// Errors from absorption analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsorptionError {
+    /// A target index is out of range.
+    TargetOutOfRange(usize),
+    /// No targets given.
+    NoTargets,
+    /// The linear system is singular (should not happen for well-formed
+    /// chains; indicates degenerate rates).
+    Singular,
+}
+
+impl std::fmt::Display for AbsorptionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbsorptionError::TargetOutOfRange(s) => write!(f, "target state {s} out of range"),
+            AbsorptionError::NoTargets => write!(f, "need at least one target state"),
+            AbsorptionError::Singular => write!(f, "absorption system is singular"),
+        }
+    }
+}
+
+impl std::error::Error for AbsorptionError {}
+
+/// Compute hitting times and probabilities for the target set.
+pub fn absorb(chain: &Ctmc, targets: &[usize]) -> Result<Absorption, AbsorptionError> {
+    let n = chain.num_states();
+    if targets.is_empty() {
+        return Err(AbsorptionError::NoTargets);
+    }
+    for &t in targets {
+        if t >= n {
+            return Err(AbsorptionError::TargetOutOfRange(t));
+        }
+    }
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        is_target[t] = true;
+    }
+
+    // Gather rates.
+    let mut exit = vec![0.0; n];
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    chain.for_each_rate(|f, t, r| {
+        exit[f] += r;
+        edges.push((f, t, r));
+    });
+
+    // Reachability of targets (reverse BFS over edges).
+    let mut can_reach = is_target.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(f, t, _) in &edges {
+            if can_reach[t] && !can_reach[f] {
+                can_reach[f] = true;
+                changed = true;
+            }
+        }
+    }
+
+    // Transient states: not targets, can reach a target, and have exits.
+    let trans: Vec<usize> = (0..n)
+        .filter(|&i| !is_target[i] && can_reach[i] && exit[i] > 0.0)
+        .collect();
+    let index_of: std::collections::HashMap<usize, usize> =
+        trans.iter().enumerate().map(|(k, &s)| (s, k)).collect();
+    let m = trans.len();
+
+    // Hitting time system: (I - P_tt) h = 1/E  (dense; chains here are
+    // small). Probability system: (I - P_tt) q = P_t,target·1.
+    let mut a = Matrix::identity(m);
+    let mut b_time = vec![0.0; m];
+    let mut b_prob = vec![0.0; m];
+    for (k, &s) in trans.iter().enumerate() {
+        b_time[k] = 1.0 / exit[s];
+    }
+    for &(f, t, r) in &edges {
+        let Some(&fk) = index_of.get(&f) else {
+            continue;
+        };
+        let p = r / exit[f];
+        if let Some(&tk) = index_of.get(&t) {
+            a[(fk, tk)] -= p;
+        } else if is_target[t] {
+            b_prob[fk] += p;
+        }
+        // Edges into non-target states that cannot reach targets are lost
+        // probability mass for hitting; they simply do not appear in either
+        // right-hand side.
+    }
+
+    let h = a.solve(&b_time).ok_or(AbsorptionError::Singular)?;
+    let q = a.solve(&b_prob).ok_or(AbsorptionError::Singular)?;
+
+    let mut hitting_time = vec![f64::INFINITY; n];
+    let mut hitting_probability = vec![0.0; n];
+    for &t in targets {
+        hitting_time[t] = 0.0;
+        hitting_probability[t] = 1.0;
+    }
+    for (k, &s) in trans.iter().enumerate() {
+        hitting_time[s] = h[k];
+        hitting_probability[s] = q[k].clamp(0.0, 1.0);
+    }
+    Ok(Absorption {
+        hitting_time,
+        hitting_probability,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single Exp(r) step: mean hitting time 1/r.
+    #[test]
+    fn single_step() {
+        let c = Ctmc::from_rates(2, [(0, 1, 4.0)]).unwrap();
+        let a = absorb(&c, &[1]).unwrap();
+        assert!((a.hitting_time[0] - 0.25).abs() < 1e-12);
+        assert_eq!(a.hitting_time[1], 0.0);
+        assert!((a.hitting_probability[0] - 1.0).abs() < 1e-12);
+    }
+
+    /// Two-stage pipeline: hitting time adds stage means.
+    #[test]
+    fn pipeline_adds_means() {
+        let c = Ctmc::from_rates(3, [(0, 1, 2.0), (1, 2, 5.0)]).unwrap();
+        let a = absorb(&c, &[2]).unwrap();
+        assert!((a.hitting_time[0] - 0.7).abs() < 1e-12); // 0.5 + 0.2
+        assert!((a.hitting_time[1] - 0.2).abs() < 1e-12);
+    }
+
+    /// Branching: hitting probability splits by rates when one branch
+    /// leads to a dead end.
+    #[test]
+    fn branch_probability() {
+        // 0 -> target (rate 1), 0 -> dead end (rate 3).
+        let c = Ctmc::from_rates(3, [(0, 1, 1.0), (0, 2, 3.0)]).unwrap();
+        let a = absorb(&c, &[1]).unwrap();
+        assert!((a.hitting_probability[0] - 0.25).abs() < 1e-12);
+        // Dead end never reaches the target.
+        assert_eq!(a.hitting_probability[2], 0.0);
+        assert_eq!(a.hitting_time[2], f64::INFINITY);
+    }
+
+    /// A cycle with a leak: hitting time of the leak from inside the cycle
+    /// matches the geometric-retry closed form.
+    #[test]
+    fn cycle_with_leak() {
+        // 0 <-> 1 at rate 1 each way; 1 -> 2 (absorb) at rate 1.
+        let c = Ctmc::from_rates(3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0)]).unwrap();
+        let a = absorb(&c, &[2]).unwrap();
+        // h1 = 1/2 + (1/2) h0; h0 = 1 + h1  =>  h1 = 2, h0 = 3.
+        assert!(
+            (a.hitting_time[1] - 2.0).abs() < 1e-9,
+            "{:?}",
+            a.hitting_time
+        );
+        assert!((a.hitting_time[0] - 3.0).abs() < 1e-9);
+        assert!((a.hitting_probability[0] - 1.0).abs() < 1e-9);
+    }
+
+    /// Validation errors.
+    #[test]
+    fn errors() {
+        let c = Ctmc::from_rates(2, [(0, 1, 1.0)]).unwrap();
+        assert_eq!(absorb(&c, &[]).unwrap_err(), AbsorptionError::NoTargets);
+        assert_eq!(
+            absorb(&c, &[5]).unwrap_err(),
+            AbsorptionError::TargetOutOfRange(5)
+        );
+    }
+
+    /// Birth-death battery model: states = remaining charge quanta,
+    /// depletion rate per state; hitting time of empty = sum of means.
+    #[test]
+    fn battery_depletion_time() {
+        let quanta = 10;
+        let rate = 0.5; // quanta per hour
+        let mut c = Ctmc::new(quanta + 1);
+        for lvl in 1..=quanta {
+            c.add_rate(lvl, lvl - 1, rate).unwrap();
+        }
+        let a = absorb(&c, &[0]).unwrap();
+        assert!((a.hitting_time[quanta] - quanta as f64 / rate).abs() < 1e-9);
+    }
+}

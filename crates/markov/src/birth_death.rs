@@ -1,0 +1,84 @@
+//! Birth–death chains: closed-form steady state.
+//!
+//! The paper's Fig. 2 depicts the CPU job process as a birth–death chain
+//! (states `p01, p02, …` under arrival rate λ and service rate μ) with the
+//! standby/power-up states grafted on via supplementary variables. This
+//! module provides the plain birth–death machinery for the queueing part.
+
+/// Steady-state distribution of a finite birth–death chain with `n+1`
+/// states, birth rates `lambda[i]` (`i -> i+1`, length `n`) and death rates
+/// `mu[i]` (`i+1 -> i`, length `n`).
+///
+/// `pi_k ∝ Π_{i<k} lambda[i]/mu[i]`.
+pub fn steady_state(lambda: &[f64], mu: &[f64]) -> Vec<f64> {
+    assert_eq!(lambda.len(), mu.len(), "need equal-length rate vectors");
+    assert!(mu.iter().all(|&m| m > 0.0), "death rates must be positive");
+    assert!(
+        lambda.iter().all(|&l| l >= 0.0),
+        "birth rates must be non-negative"
+    );
+    let n = lambda.len();
+    let mut pi = Vec::with_capacity(n + 1);
+    pi.push(1.0f64);
+    for i in 0..n {
+        let prev = *pi.last().unwrap();
+        pi.push(prev * lambda[i] / mu[i]);
+    }
+    let total: f64 = pi.iter().sum();
+    for p in pi.iter_mut() {
+        *p /= total;
+    }
+    pi
+}
+
+/// Mean state index under the steady-state distribution (e.g. mean queue
+/// length for an M/M/1/K chain).
+pub fn mean_state(pi: &[f64]) -> f64 {
+    pi.iter().enumerate().map(|(i, &p)| i as f64 * p).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1k_matches_geometric() {
+        // lambda=1, mu=2, K=6 states 0..=6.
+        let k = 6;
+        let lambda = vec![1.0; k];
+        let mu = vec![2.0; k];
+        let pi = steady_state(&lambda, &mu);
+        let rho: f64 = 0.5;
+        let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        for (i, &p) in pi.iter().enumerate() {
+            assert!((p - rho.powi(i as i32) / norm).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let pi = steady_state(&[], &[]);
+        assert_eq!(pi, vec![1.0]);
+    }
+
+    #[test]
+    fn state_dependent_rates() {
+        // M/M/2-like: service rate doubles with 2 in system.
+        let pi = steady_state(&[1.0, 1.0], &[1.0, 2.0]);
+        // pi ∝ [1, 1, 0.5]; total 2.5.
+        assert!((pi[0] - 0.4).abs() < 1e-12);
+        assert!((pi[1] - 0.4).abs() < 1e-12);
+        assert!((pi[2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_state_weighted() {
+        assert!((mean_state(&[0.5, 0.25, 0.25]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "death rates must be positive")]
+    fn zero_death_rate_rejected() {
+        let _ = steady_state(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Discrete-time Markov chains.
+
+use crate::linalg::Matrix;
+
+/// A DTMC given by its row-stochastic transition matrix.
+#[derive(Debug, Clone)]
+pub struct Dtmc {
+    p: Matrix,
+}
+
+/// Errors from DTMC construction/solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DtmcError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A row does not sum to 1 (within tolerance) or has negative entries.
+    NotStochastic {
+        /// Offending row.
+        row: usize,
+    },
+    /// Power iteration failed to converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for DtmcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DtmcError::NotSquare => write!(f, "transition matrix must be square"),
+            DtmcError::NotStochastic { row } => {
+                write!(f, "row {row} is not a probability distribution")
+            }
+            DtmcError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DtmcError {}
+
+impl Dtmc {
+    /// Validate and wrap a transition matrix.
+    pub fn new(p: Matrix) -> Result<Self, DtmcError> {
+        if p.rows() != p.cols() {
+            return Err(DtmcError::NotSquare);
+        }
+        for i in 0..p.rows() {
+            let mut sum = 0.0;
+            for j in 0..p.cols() {
+                let v = p[(i, j)];
+                if !(0.0..=1.0 + 1e-9).contains(&v) {
+                    return Err(DtmcError::NotStochastic { row: i });
+                }
+                sum += v;
+            }
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(DtmcError::NotStochastic { row: i });
+            }
+        }
+        Ok(Dtmc { p })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// One step of the chain: `π' = π·P`.
+    pub fn step(&self, pi: &[f64]) -> Vec<f64> {
+        self.p.vec_mul(pi)
+    }
+
+    /// Distribution after `k` steps from `pi0`.
+    pub fn distribution_after(&self, pi0: &[f64], k: usize) -> Vec<f64> {
+        let mut pi = pi0.to_vec();
+        for _ in 0..k {
+            pi = self.step(&pi);
+        }
+        pi
+    }
+
+    /// Stationary distribution via power iteration on the *lazy* chain
+    /// `P' = (P + I)/2`, which is aperiodic and shares `P`'s stationary
+    /// distribution — so periodic chains (e.g. a two-state flip-flop)
+    /// converge too.
+    pub fn stationary(&self, max_iters: usize, tol: f64) -> Result<Vec<f64>, DtmcError> {
+        let n = self.num_states();
+        let mut pi = vec![1.0 / n as f64; n];
+        for _ in 0..max_iters {
+            let stepped = self.step(&pi);
+            let mut diff: f64 = 0.0;
+            let mut next = stepped;
+            for i in 0..n {
+                next[i] = 0.5 * (next[i] + pi[i]);
+                diff = diff.max((next[i] - pi[i]).abs());
+            }
+            pi = next;
+            if diff < tol {
+                let total: f64 = pi.iter().sum();
+                return Ok(pi.iter().map(|x| x / total).collect());
+            }
+        }
+        Err(DtmcError::NoConvergence {
+            iterations: max_iters,
+        })
+    }
+
+    /// Stationary distribution via direct linear solve of
+    /// `πᵀ(P - I) = 0, Σπ = 1` (replaces the last balance equation with the
+    /// normalization row).
+    pub fn stationary_direct(&self) -> Option<Vec<f64>> {
+        let n = self.num_states();
+        // Build (P^T - I) with the last row replaced by ones.
+        let mut a = self.p.transpose();
+        for i in 0..n {
+            a[(i, i)] -= 1.0;
+        }
+        for j in 0..n {
+            a[(n - 1, j)] = 1.0;
+        }
+        let mut b = vec![0.0; n];
+        b[n - 1] = 1.0;
+        a.solve(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Dtmc {
+        Dtmc::new(Matrix::from_rows(&[&[0.9, 0.1], &[0.5, 0.5]])).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            Dtmc::new(Matrix::zeros(2, 3)),
+            Err(DtmcError::NotSquare)
+        ));
+        assert!(matches!(
+            Dtmc::new(Matrix::from_rows(&[&[0.5, 0.4], &[0.5, 0.5]])),
+            Err(DtmcError::NotStochastic { row: 0 })
+        ));
+        assert!(matches!(
+            Dtmc::new(Matrix::from_rows(&[&[1.5, -0.5], &[0.5, 0.5]])),
+            Err(DtmcError::NotStochastic { row: 0 })
+        ));
+    }
+
+    #[test]
+    fn stationary_two_state() {
+        // pi = (5/6, 1/6): solve pi0*0.1 = pi1*0.5.
+        let d = two_state();
+        let pi = d.stationary(100_000, 1e-13).unwrap();
+        assert!((pi[0] - 5.0 / 6.0).abs() < 1e-6, "{pi:?}");
+        assert!((pi[1] - 1.0 / 6.0).abs() < 1e-6);
+        let direct = d.stationary_direct().unwrap();
+        assert!((direct[0] - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_chain_converges_via_cesaro() {
+        // Period-2 flip-flop: stationary = (0.5, 0.5).
+        let d = Dtmc::new(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]])).unwrap();
+        let pi = d.stationary(200_000, 1e-10).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-4, "{pi:?}");
+        let direct = d.stationary_direct().unwrap();
+        assert!((direct[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_after_steps() {
+        let d = two_state();
+        let pi1 = d.distribution_after(&[1.0, 0.0], 1);
+        assert!((pi1[0] - 0.9).abs() < 1e-15);
+        assert!((pi1[1] - 0.1).abs() < 1e-15);
+        let pi100 = d.distribution_after(&[1.0, 0.0], 100);
+        assert!((pi100[0] - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_chain_stays_put() {
+        let d = Dtmc::new(Matrix::identity(3)).unwrap();
+        let pi = d.distribution_after(&[0.2, 0.3, 0.5], 10);
+        assert_eq!(pi, vec![0.2, 0.3, 0.5]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Minimal dense linear algebra: row-major matrices and LU decomposition
+//! with partial pivoting. Self-contained (no external math crates) and
+//! sized for the state spaces this workspace produces (≲ a few thousand).
+
+use std::fmt;
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from nested slices (rows of equal length).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A·x`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Vector-matrix product `xᵀ·A` (row vector result).
+    #[allow(clippy::needless_range_loop)]
+    pub fn vec_mul(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows);
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (yj, &aij) in y.iter_mut().zip(row.iter()) {
+                *yj += xi * aij;
+            }
+        }
+        y
+    }
+
+    /// Matrix product `A·B`.
+    pub fn mul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows);
+        let mut c = Matrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    c[(i, j)] += aik * b[(k, j)];
+                }
+            }
+        }
+        c
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Solve `A·x = b` via LU decomposition with partial pivoting.
+    /// Returns `None` if the matrix is (numerically) singular.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Pivot: largest |value| in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[perm[k] * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[perm[r] * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return None;
+            }
+            perm.swap(k, pivot_row);
+            let pk = perm[k];
+            let pivot = lu[pk * n + k];
+            for r in (k + 1)..n {
+                let pr = perm[r];
+                let factor = lu[pr * n + k] / pivot;
+                lu[pr * n + k] = factor;
+                for c in (k + 1)..n {
+                    lu[pr * n + c] -= factor * lu[pk * n + c];
+                }
+            }
+        }
+
+        // Forward substitution (L has implicit unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let pi = perm[i];
+            let mut sum = b[pi];
+            for j in 0..i {
+                sum -= lu[pi * n + j] * y[j];
+            }
+            y[i] = sum;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let pi = perm[i];
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= lu[pi * n + j] * x[j];
+            }
+            x[i] = sum / lu[pi * n + i];
+        }
+        Some(x)
+    }
+
+    /// Max-norm of `A·x - b` (solution residual check).
+    pub fn residual(&self, x: &[f64], b: &[f64]) -> f64 {
+        self.mul_vec(x)
+            .iter()
+            .zip(b.iter())
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.6}", self[(i, j)])?;
+                if j + 1 < self.cols {
+                    write!(f, " ")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let a = Matrix::identity(3);
+        let x = a.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_system() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!(a.residual(&x, &[5.0, 10.0]) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn mul_vec_and_vec_mul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(a.vec_mul(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn mul_and_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::identity(2);
+        assert_eq!(a.mul(&b), a);
+        let t = a.transpose();
+        assert_eq!(t[(0, 1)], 3.0);
+        assert_eq!(t[(1, 0)], 2.0);
+    }
+
+    #[test]
+    fn larger_random_system_roundtrip() {
+        // Deterministic pseudo-random SPD-ish system.
+        let n = 30;
+        let mut a = Matrix::zeros(n, n);
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 10.0; // diagonally dominant => nonsingular
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 * 0.1 - 1.0).collect();
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xs, xt) in x.iter().zip(x_true.iter()) {
+            assert!((xs - xt).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rows_rejected() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[1.0][..]]);
+    }
+}

@@ -1,0 +1,103 @@
+//! M/M/1 queue closed forms — the textbook baseline the paper's CPU model
+//! degenerates to when the power-management states are removed (T → ∞,
+//! D → 0: the CPU never sleeps, so it is exactly an M/M/1 server).
+
+/// Closed-form metrics of a stable M/M/1 queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mm1 {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service rate μ.
+    pub mu: f64,
+}
+
+impl Mm1 {
+    /// New queue; panics unless `0 < lambda < mu` (stability).
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
+        assert!(lambda < mu, "unstable queue: lambda >= mu");
+        Mm1 { lambda, mu }
+    }
+
+    /// Utilization ρ = λ/μ (also the probability the server is busy).
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// P(system empty) = 1 - ρ.
+    pub fn p_empty(&self) -> f64 {
+        1.0 - self.rho()
+    }
+
+    /// P(exactly n in system) = (1-ρ)ρⁿ.
+    pub fn p_n(&self, n: u32) -> f64 {
+        self.p_empty() * self.rho().powi(n as i32)
+    }
+
+    /// Mean number in system L = ρ/(1-ρ).
+    pub fn mean_in_system(&self) -> f64 {
+        let r = self.rho();
+        r / (1.0 - r)
+    }
+
+    /// Mean number in queue Lq = ρ²/(1-ρ).
+    pub fn mean_in_queue(&self) -> f64 {
+        let r = self.rho();
+        r * r / (1.0 - r)
+    }
+
+    /// Mean time in system W = 1/(μ-λ).
+    pub fn mean_time_in_system(&self) -> f64 {
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean waiting time Wq = ρ/(μ-λ).
+    pub fn mean_wait(&self) -> f64 {
+        self.rho() / (self.mu - self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        let q = Mm1::new(1.0, 2.0);
+        assert!((q.rho() - 0.5).abs() < 1e-15);
+        assert!((q.p_empty() - 0.5).abs() < 1e-15);
+        assert!((q.p_n(1) - 0.25).abs() < 1e-15);
+        assert!((q.mean_in_system() - 1.0).abs() < 1e-15);
+        assert!((q.mean_in_queue() - 0.5).abs() < 1e-15);
+        assert!((q.mean_time_in_system() - 1.0).abs() < 1e-15);
+        assert!((q.mean_wait() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let q = Mm1::new(0.3, 1.7);
+        assert!((q.mean_in_system() - q.lambda * q.mean_time_in_system()).abs() < 1e-12);
+        assert!((q.mean_in_queue() - q.lambda * q.mean_wait()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let q = Mm1::new(2.0, 5.0);
+        let total: f64 = (0..200).map(|n| q.p_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_rejected() {
+        let _ = Mm1::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn paper_parameters() {
+        // The paper's CPU: lambda = 1/s, mean service 0.1 s => mu = 10/s.
+        let q = Mm1::new(1.0, 10.0);
+        assert!((q.rho() - 0.1).abs() < 1e-15);
+        // Active fraction ~10 %, matching Fig. 4's flat Active curve.
+    }
+}

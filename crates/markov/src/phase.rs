@@ -1,0 +1,254 @@
+//! Erlang phase-type expansion of the power-managed CPU.
+//!
+//! The ABL-ERLANG ablation: the paper argues that deterministic timers
+//! (Power-Down Threshold `T`, Power-Up Delay `D`) put the CPU outside the
+//! Markov-chain class. The classical repair is to replace each
+//! deterministic delay with an Erlang-k distribution (k exponential stages
+//! of rate `k/delay`), which *is* Markovian:
+//!
+//! * `k = 1` — the naive memoryless chain (exponential timers): large error;
+//! * `k → ∞` — converges in distribution to the deterministic timers, so
+//!   the CTMC steady state converges to the true system's.
+//!
+//! Plotting error vs `k` quantifies "how non-Markovian" the CPU is, and
+//! shows why the paper needed supplementary variables (and why Petri nets
+//! are the pragmatic tool: no state-space surgery required).
+
+use crate::ctmc::{Ctmc, CtmcError};
+use crate::supplementary::{CpuMarkovParams, CpuPowerRates};
+
+/// Configuration of the phase-type CPU chain.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseCpuConfig {
+    /// The CPU parameters being approximated.
+    pub params: CpuMarkovParams,
+    /// Erlang stages for both deterministic timers (k >= 1).
+    pub stages: u32,
+    /// Queue truncation (states with more queued jobs are dropped).
+    pub max_queue: u32,
+}
+
+/// Steady-state probabilities of the four CPU macro-states.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseCpuSolution {
+    /// Probability of standby.
+    pub p_standby: f64,
+    /// Probability of powering up (any stage).
+    pub p_powerup: f64,
+    /// Probability of idle (any timer stage).
+    pub p_idle: f64,
+    /// Probability of active (any queue length >= 1).
+    pub p_active: f64,
+}
+
+impl PhaseCpuSolution {
+    /// Average power (mW) under the given rates.
+    pub fn average_power_mw(&self, rates: &CpuPowerRates) -> f64 {
+        self.p_standby * rates.standby
+            + self.p_powerup * rates.powerup
+            + self.p_idle * rates.idle
+            + self.p_active * rates.active
+    }
+
+    /// Energy (J) over a fixed horizon.
+    pub fn energy_for_duration(&self, rates: &CpuPowerRates, duration_s: f64) -> f64 {
+        self.average_power_mw(rates) * 1e-3 * duration_s
+    }
+}
+
+/// State-space layout:
+/// `Standby` | `PowerUp(stage 1..=k, queue 1..=Q)` | `Busy(queue 1..=Q)` |
+/// `IdleTimer(stage 1..=k)`.
+struct Layout {
+    k: usize,
+    q: usize,
+}
+
+impl Layout {
+    fn standby(&self) -> usize {
+        0
+    }
+    fn powerup(&self, stage: usize, queue: usize) -> usize {
+        debug_assert!((1..=self.k).contains(&stage) && (1..=self.q).contains(&queue));
+        1 + (stage - 1) * self.q + (queue - 1)
+    }
+    fn busy(&self, queue: usize) -> usize {
+        debug_assert!((1..=self.q).contains(&queue));
+        1 + self.k * self.q + (queue - 1)
+    }
+    fn idle(&self, stage: usize) -> usize {
+        debug_assert!((1..=self.k).contains(&stage));
+        1 + self.k * self.q + self.q + (stage - 1)
+    }
+    fn total(&self) -> usize {
+        1 + self.k * self.q + self.q + self.k
+    }
+}
+
+/// Build the phase-type CTMC and solve for the macro-state probabilities.
+pub fn solve_phase_cpu(cfg: &PhaseCpuConfig) -> Result<PhaseCpuSolution, CtmcError> {
+    assert!(cfg.stages >= 1, "need at least one Erlang stage");
+    assert!(cfg.max_queue >= 1, "need at least one queue slot");
+    let p = &cfg.params;
+    let lambda = p.lambda;
+    let mu = p.mu;
+    let k = cfg.stages as usize;
+    let q = cfg.max_queue as usize;
+    let lay = Layout { k, q };
+
+    // Per-stage rates; a zero-length timer degenerates to an immediate hop,
+    // approximated by a very fast stage.
+    let stage_rate_up = if p.power_up_delay > 0.0 {
+        k as f64 / p.power_up_delay
+    } else {
+        1e12
+    };
+    let stage_rate_down = if p.power_down_threshold > 0.0 {
+        k as f64 / p.power_down_threshold
+    } else {
+        1e12
+    };
+
+    let mut chain = Ctmc::new(lay.total());
+
+    // Standby --lambda--> PowerUp(1, 1).
+    chain.add_rate(lay.standby(), lay.powerup(1, 1), lambda)?;
+
+    for s in 1..=k {
+        for queue in 1..=q {
+            let here = lay.powerup(s, queue);
+            // Arrivals during power-up queue.
+            if queue < q {
+                chain.add_rate(here, lay.powerup(s, queue + 1), lambda)?;
+            }
+            // Stage completion.
+            let next = if s < k {
+                lay.powerup(s + 1, queue)
+            } else {
+                lay.busy(queue)
+            };
+            chain.add_rate(here, next, stage_rate_up)?;
+        }
+    }
+
+    for queue in 1..=q {
+        let here = lay.busy(queue);
+        if queue < q {
+            chain.add_rate(here, lay.busy(queue + 1), lambda)?;
+        }
+        let next = if queue > 1 {
+            lay.busy(queue - 1)
+        } else {
+            lay.idle(1)
+        };
+        chain.add_rate(here, next, mu)?;
+    }
+
+    for s in 1..=k {
+        let here = lay.idle(s);
+        // A job interrupts the countdown: straight back to busy.
+        chain.add_rate(here, lay.busy(1), lambda)?;
+        let next = if s < k {
+            lay.idle(s + 1)
+        } else {
+            lay.standby()
+        };
+        chain.add_rate(here, next, stage_rate_down)?;
+    }
+
+    let pi = chain.steady_state()?;
+
+    let mut sol = PhaseCpuSolution {
+        p_standby: pi[lay.standby()],
+        p_powerup: 0.0,
+        p_idle: 0.0,
+        p_active: 0.0,
+    };
+    for s in 1..=k {
+        for queue in 1..=q {
+            sol.p_powerup += pi[lay.powerup(s, queue)];
+        }
+        sol.p_idle += pi[lay.idle(s)];
+    }
+    for queue in 1..=q {
+        sol.p_active += pi[lay.busy(queue)];
+    }
+    Ok(sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(t: f64, d: f64, k: u32) -> PhaseCpuConfig {
+        PhaseCpuConfig {
+            params: CpuMarkovParams {
+                lambda: 1.0,
+                mu: 10.0,
+                power_down_threshold: t,
+                power_up_delay: d,
+            },
+            stages: k,
+            max_queue: 30,
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let s = solve_phase_cpu(&cfg(0.1, 0.3, 4)).unwrap();
+        let total = s.p_standby + s.p_powerup + s.p_idle + s.p_active;
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn active_fraction_near_utilization() {
+        // Work conservation: long-run busy fraction ~ rho = 0.1 (slightly
+        // above because truncation is mild and wake-up adds backlog).
+        let s = solve_phase_cpu(&cfg(0.1, 0.001, 8)).unwrap();
+        assert!((s.p_active - 0.1).abs() < 0.02, "p_active={}", s.p_active);
+    }
+
+    #[test]
+    fn more_stages_approach_supplementary_solution_at_small_d() {
+        // At D = 0.001 the supplementary-variable solution is essentially
+        // exact, so Erlang-k must converge towards it as k grows.
+        let exact = cfg(0.3, 0.001, 1).params.solve();
+        let mut errs = Vec::new();
+        for k in [1u32, 2, 8, 32] {
+            let s = solve_phase_cpu(&cfg(0.3, 0.001, k)).unwrap();
+            errs.push((s.p_idle - exact.p_idle).abs() + (s.p_standby - exact.p_standby).abs());
+        }
+        assert!(
+            errs.last().unwrap() < &errs[0],
+            "error should shrink with k: {errs:?}"
+        );
+        assert!(errs.last().unwrap() < &0.02, "final error: {errs:?}");
+    }
+
+    #[test]
+    fn zero_threshold_means_no_idle_mass() {
+        let s = solve_phase_cpu(&cfg(0.0, 0.3, 4)).unwrap();
+        assert!(s.p_idle < 1e-6, "p_idle={}", s.p_idle);
+    }
+
+    #[test]
+    fn energy_increases_with_idle_power_share() {
+        let rates = CpuPowerRates::PXA271;
+        let low_t = solve_phase_cpu(&cfg(0.001, 0.001, 8)).unwrap();
+        let high_t = solve_phase_cpu(&cfg(1.0, 0.001, 8)).unwrap();
+        let e_low = low_t.energy_for_duration(&rates, 1000.0);
+        let e_high = high_t.energy_for_duration(&rates, 1000.0);
+        assert!(
+            e_high > e_low,
+            "more idling must cost more at tiny D: {e_low} vs {e_high}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one Erlang stage")]
+    fn zero_stages_rejected() {
+        let mut c = cfg(0.1, 0.1, 1);
+        c.stages = 0;
+        let _ = solve_phase_cpu(&c);
+    }
+}

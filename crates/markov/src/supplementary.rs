@@ -1,0 +1,313 @@
+//! The paper's Markov model of the power-managed CPU, solved with the
+//! method of supplementary variables (Cox 1955).
+//!
+//! Implements equations (1)–(6) of Shareef & Zhu (2010) verbatim:
+//!
+//! ```text
+//! denom = e^{λT} + (1-ρ)(1-e^{-λD}) + ρλD          with ρ = λ/μ
+//! p_s   = (1-ρ)                    / denom          (standby)       (1)
+//! p_i   = (1-ρ)(e^{λT} - 1)        / denom          (idle)          (2)
+//! p_u   = (1-ρ)(1-e^{-λD})         / denom          (power-up)      (3)
+//! G₀(1) = ρ(e^{λT} + λD)           / denom          (active/busy)   (4)
+//! L(1)  = ρ/(1-ρ) · [e^{λT} + ½(1-ρ)λ²D² + (2-ρ)λD] / denom         (5)
+//! E     = (p_i·P_idle + p_s·P_standby + p_u·P_powerup + G₀·P_active)
+//!         · (N + L(1)/2)/λ                                          (6)
+//! ```
+//!
+//! `T` is the Power-Down Threshold, `D` the (deterministic) Power-Up Delay,
+//! `N` the number of jobs. The deterministic `T` and `D` are what force the
+//! supplementary-variable treatment: the underlying process is *not* a
+//! Markov chain (the paper's central observation), and this closed form is
+//! an approximation whose error grows with `D` — Figs. 6/9 show it failing
+//! completely at `D = 10 s`, which our reproduction confirms.
+//!
+//! The published Eq. (6) typesets the last factor ambiguously
+//! ("(N + L(1)2)/λ"); we read it as `(N + L(1)/2)/λ`. For the paper's
+//! parameters the alternative reading differs by < 0.1 % (see DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the supplementary-variable CPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuMarkovParams {
+    /// Job arrival rate λ (jobs/s).
+    pub lambda: f64,
+    /// Job service rate μ (jobs/s). The paper's Table II quotes
+    /// "Service Rate .1 per second" which we interpret as a mean service
+    /// *time* of 0.1 s (μ = 10/s); see DESIGN.md §4.
+    pub mu: f64,
+    /// Power-Down Threshold `T` (s): idle time before entering standby.
+    pub power_down_threshold: f64,
+    /// Power-Up Delay `D` (s): fixed wake-up duration.
+    pub power_up_delay: f64,
+}
+
+/// Steady-state probabilities from equations (1)–(5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuMarkovSolution {
+    /// `p_s`: probability of standby.
+    pub p_standby: f64,
+    /// `p_i`: probability of idle.
+    pub p_idle: f64,
+    /// `p_u`: probability of powering up.
+    pub p_powerup: f64,
+    /// `G₀(1)`: probability of active (busy).
+    pub p_active: f64,
+    /// `L(1)`: mean queue-length related quantity used by Eq. (6).
+    pub l1: f64,
+}
+
+/// Power rates (mW) for the four CPU states, as in Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPowerRates {
+    /// Standby power (mW).
+    pub standby: f64,
+    /// Idle power (mW).
+    pub idle: f64,
+    /// Power-up power (mW).
+    pub powerup: f64,
+    /// Active power (mW).
+    pub active: f64,
+}
+
+impl CpuPowerRates {
+    /// The PXA271 rates of Table III (mW).
+    pub const PXA271: CpuPowerRates = CpuPowerRates {
+        standby: 17.0,
+        idle: 88.0,
+        powerup: 192.976,
+        active: 193.0,
+    };
+}
+
+/// Threshold above which `exp(λT)` would overflow; beyond it the asymptotic
+/// limits are exact to machine precision anyway.
+const EXP_GUARD: f64 = 700.0;
+
+impl CpuMarkovParams {
+    /// Utilization ρ = λ/μ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Evaluate equations (1)–(5).
+    ///
+    /// Panics if parameters are non-positive or the queue is unstable
+    /// (ρ ≥ 1), where the closed form is meaningless.
+    pub fn solve(&self) -> CpuMarkovSolution {
+        assert!(self.lambda > 0.0 && self.mu > 0.0, "rates must be positive");
+        assert!(
+            self.power_down_threshold >= 0.0 && self.power_up_delay >= 0.0,
+            "delays must be non-negative"
+        );
+        let rho = self.rho();
+        assert!(rho < 1.0, "unstable system: rho = {rho} >= 1");
+        let lt = self.lambda * self.power_down_threshold;
+        let ld = self.lambda * self.power_up_delay;
+
+        if lt > EXP_GUARD {
+            // e^{λT} dominates every term: the CPU never reaches standby.
+            return CpuMarkovSolution {
+                p_standby: 0.0,
+                p_idle: 1.0 - rho,
+                p_powerup: 0.0,
+                p_active: rho,
+                l1: rho / (1.0 - rho),
+            };
+        }
+
+        let elt = lt.exp();
+        let emld = (-ld).exp();
+        let denom = elt + (1.0 - rho) * (1.0 - emld) + rho * ld;
+
+        let p_standby = (1.0 - rho) / denom;
+        let p_idle = (1.0 - rho) * (elt - 1.0) / denom;
+        let p_powerup = (1.0 - rho) * (1.0 - emld) / denom;
+        let p_active = rho * (elt + ld) / denom;
+        let l1 = rho / (1.0 - rho) * (elt + 0.5 * (1.0 - rho) * ld * ld + (2.0 - rho) * ld) / denom;
+
+        CpuMarkovSolution {
+            p_standby,
+            p_idle,
+            p_powerup,
+            p_active,
+            l1,
+        }
+    }
+
+    /// Equation (6): total energy (Joules) for `n_jobs` jobs with the given
+    /// power rates in mW. The time factor `(N + L(1)/2)/λ` is the model's
+    /// estimate of the elapsed time for `N` jobs.
+    pub fn energy_joules(&self, rates: &CpuPowerRates, n_jobs: f64) -> f64 {
+        let s = self.solve();
+        let p_avg_mw = s.p_idle * rates.idle
+            + s.p_standby * rates.standby
+            + s.p_powerup * rates.powerup
+            + s.p_active * rates.active;
+        let time_s = (n_jobs + s.l1 / 2.0) / self.lambda;
+        p_avg_mw * 1e-3 * time_s
+    }
+
+    /// Energy over a fixed horizon (Eq. 7 style): average power × duration.
+    /// Used when comparing against simulators run for a fixed simulated
+    /// time rather than a fixed job count.
+    pub fn energy_for_duration(&self, rates: &CpuPowerRates, duration_s: f64) -> f64 {
+        let s = self.solve();
+        let p_avg_mw = s.p_idle * rates.idle
+            + s.p_standby * rates.standby
+            + s.p_powerup * rates.powerup
+            + s.p_active * rates.active;
+        p_avg_mw * 1e-3 * duration_s
+    }
+}
+
+impl CpuMarkovSolution {
+    /// The four state probabilities as an array
+    /// `[standby, powerup, idle, active]`.
+    pub fn probabilities(&self) -> [f64; 4] {
+        [self.p_standby, self.p_powerup, self.p_idle, self.p_active]
+    }
+
+    /// Sum of the four state probabilities (should be 1; exposed for
+    /// validation).
+    pub fn total_probability(&self) -> f64 {
+        self.p_standby + self.p_idle + self.p_powerup + self.p_active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_params(t: f64, d: f64) -> CpuMarkovParams {
+        CpuMarkovParams {
+            lambda: 1.0,
+            mu: 10.0,
+            power_down_threshold: t,
+            power_up_delay: d,
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for &t in &[0.001, 0.01, 0.1, 0.5, 1.0, 10.0] {
+            for &d in &[0.001, 0.3, 10.0] {
+                let s = paper_params(t, d).solve();
+                assert!(
+                    (s.total_probability() - 1.0).abs() < 1e-12,
+                    "T={t} D={d}: sum={}",
+                    s.total_probability()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_thresholds_mostly_standby() {
+        // T -> 0, D -> 0: the CPU drops to standby the instant it idles and
+        // wakes instantly: p_standby ~ 1-rho, p_active ~ rho.
+        let s = paper_params(1e-9, 1e-9).solve();
+        assert!((s.p_standby - 0.9).abs() < 1e-6, "{s:?}");
+        assert!((s.p_active - 0.1).abs() < 1e-6);
+        assert!(s.p_idle < 1e-6);
+        assert!(s.p_powerup < 1e-6);
+    }
+
+    #[test]
+    fn huge_threshold_never_sleeps() {
+        // T -> inf: no standby, idle takes the 1-rho share.
+        let s = paper_params(1e6, 0.3).solve();
+        assert_eq!(s.p_standby, 0.0);
+        assert!((s.p_idle - 0.9).abs() < 1e-12);
+        assert!((s.p_active - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_increases_with_threshold() {
+        let mut last = -1.0;
+        for &t in &[0.001, 0.01, 0.1, 0.3, 0.6, 1.0] {
+            let s = paper_params(t, 0.001).solve();
+            assert!(s.p_idle > last, "idle must increase with T");
+            last = s.p_idle;
+        }
+    }
+
+    #[test]
+    fn standby_decreases_with_threshold() {
+        let mut last = 2.0;
+        for &t in &[0.001, 0.01, 0.1, 0.3, 0.6, 1.0] {
+            let s = paper_params(t, 0.001).solve();
+            assert!(s.p_standby < last, "standby must decrease with T");
+            last = s.p_standby;
+        }
+    }
+
+    #[test]
+    fn active_roughly_constant_at_small_d() {
+        // Fig. 4's observation: Active ≈ rho regardless of T (at small D).
+        for &t in &[0.001, 0.1, 0.5, 1.0] {
+            let s = paper_params(t, 0.001).solve();
+            assert!((s.p_active - 0.1).abs() < 0.01, "T={t}: {}", s.p_active);
+        }
+    }
+
+    #[test]
+    fn large_powerup_delay_inflates_active_estimate() {
+        // The known failure mode (Fig. 6): at D = 10 s the closed form
+        // overestimates busy probability well beyond rho.
+        let s = paper_params(0.001, 10.0).solve();
+        assert!(
+            s.p_active > 0.3,
+            "expected inflated active estimate, got {}",
+            s.p_active
+        );
+    }
+
+    #[test]
+    fn energy_positive_and_monotone_window() {
+        let rates = CpuPowerRates::PXA271;
+        let e1 = paper_params(0.001, 0.001).energy_joules(&rates, 1000.0);
+        let e2 = paper_params(1.0, 0.001).energy_joules(&rates, 1000.0);
+        assert!(e1 > 0.0 && e2 > 0.0);
+        // At tiny D, larger T burns more idle power.
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn energy_for_duration_scales_linearly() {
+        let rates = CpuPowerRates::PXA271;
+        let p = paper_params(0.1, 0.3);
+        let e1 = p.energy_for_duration(&rates, 100.0);
+        let e2 = p.energy_for_duration(&rates, 200.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_guard_kicks_in() {
+        // λT > 700 must not overflow to NaN/inf.
+        let s = paper_params(1e4, 0.3).solve();
+        assert!(s.total_probability().is_finite());
+        assert!((s.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_rejected() {
+        let _ = CpuMarkovParams {
+            lambda: 1.0,
+            mu: 0.1, // the literal (wrong) reading of Table II
+            power_down_threshold: 0.1,
+            power_up_delay: 0.001,
+        }
+        .solve();
+    }
+
+    #[test]
+    fn pxa271_rates_match_table_iii() {
+        let r = CpuPowerRates::PXA271;
+        assert_eq!(r.standby, 17.0);
+        assert_eq!(r.idle, 88.0);
+        assert_eq!(r.powerup, 192.976);
+        assert_eq!(r.active, 193.0);
+    }
+}

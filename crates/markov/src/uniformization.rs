@@ -1,0 +1,162 @@
+//! Transient CTMC solution by uniformization (Jensen's method).
+//!
+//! `π(t) = Σ_k Poisson(Λt; k) · π(0) P^k` with `P = I + Q/Λ`. The Poisson
+//! series is truncated adaptively to reach a configured error bound.
+
+use crate::ctmc::{Ctmc, CtmcError};
+
+/// Transient distribution at time `t` starting from `pi0`.
+///
+/// `epsilon` bounds the truncation error of the Poisson series (total mass
+/// ignored in both tails).
+pub fn transient(chain: &Ctmc, pi0: &[f64], t: f64, epsilon: f64) -> Result<Vec<f64>, CtmcError> {
+    let n = chain.num_states();
+    if n == 0 {
+        return Err(CtmcError::Empty);
+    }
+    assert_eq!(pi0.len(), n, "initial distribution length mismatch");
+    if t <= 0.0 {
+        return Ok(pi0.to_vec());
+    }
+
+    // Uniformization constant.
+    let mut exit = vec![0.0; n];
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for s in 0..n {
+        let _ = s;
+    }
+    // Pull edges out of the chain via its public API: we rebuild from
+    // exit rates. (Ctmc intentionally hides its map; we reconstruct through
+    // `for_each_rate`.)
+    chain.for_each_rate(|f, to, r| {
+        exit[f] += r;
+        edges.push((f, to, r));
+    });
+    let lambda = exit.iter().cloned().fold(0.0, f64::max).max(1e-12) * 1.02;
+    let q = lambda * t;
+
+    // Poisson weights with left/right truncation.
+    let (left, right, weights) = poisson_weights(q, epsilon);
+
+    // Iterate v_k = pi0 * P^k, accumulating weighted sum.
+    let mut v = pi0.to_vec();
+    let mut result = vec![0.0; n];
+    if left == 0 {
+        for (r, &x) in result.iter_mut().zip(v.iter()) {
+            *r += weights[0] * x;
+        }
+    }
+    let mut next = vec![0.0; n];
+    for k in 1..=right {
+        // next = v * P.
+        for (i, x) in next.iter_mut().enumerate() {
+            *x = v[i] * (1.0 - exit[i] / lambda);
+        }
+        for &(f, to, r) in &edges {
+            next[to] += v[f] * r / lambda;
+        }
+        std::mem::swap(&mut v, &mut next);
+        if k >= left {
+            let w = weights[k - left];
+            for (r, &x) in result.iter_mut().zip(v.iter()) {
+                *r += w * x;
+            }
+        }
+    }
+    // Normalize to compensate truncation.
+    let total: f64 = result.iter().sum();
+    if total > 0.0 {
+        for r in result.iter_mut() {
+            *r /= total;
+        }
+    }
+    Ok(result)
+}
+
+/// Left/right truncation points and normalized weights of Poisson(q).
+fn poisson_weights(q: f64, epsilon: f64) -> (usize, usize, Vec<f64>) {
+    // Build weights by recursion from the mode to avoid underflow.
+    let mode = q.floor() as usize;
+    let mut ws = vec![(mode, 1.0f64)];
+    // Expand right.
+    let mut w = 1.0;
+    let mut k = mode;
+    loop {
+        k += 1;
+        w *= q / k as f64;
+        if w < epsilon * 1e-4 && k > mode + 3 {
+            break;
+        }
+        ws.push((k, w));
+        if k > mode + 10_000 {
+            break;
+        }
+    }
+    // Expand left.
+    let mut w = 1.0;
+    let mut k = mode;
+    while k > 0 {
+        w *= k as f64 / q;
+        k -= 1;
+        if w < epsilon * 1e-4 && k + 3 < mode {
+            break;
+        }
+        ws.push((k, w));
+    }
+    ws.sort_unstable_by_key(|e| e.0);
+    let left = ws.first().unwrap().0;
+    let right = ws.last().unwrap().0;
+    let total: f64 = ws.iter().map(|e| e.1).sum();
+    let weights = ws.iter().map(|e| e.1 / total).collect();
+    (left, right, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_two_state_analytic() {
+        // up -(a)-> down, down -(b)-> up, start in up.
+        // p_up(t) = b/(a+b) + a/(a+b) e^{-(a+b)t}.
+        let a = 1.0;
+        let b = 2.0;
+        let c = Ctmc::from_rates(2, [(0, 1, a), (1, 0, b)]).unwrap();
+        for &t in &[0.1, 0.5, 1.0, 3.0] {
+            let pi = transient(&c, &[1.0, 0.0], t, 1e-10).unwrap();
+            let expect = b / (a + b) + a / (a + b) * (-(a + b) * t).exp();
+            assert!(
+                (pi[0] - expect).abs() < 1e-7,
+                "t={t}: {} vs {}",
+                pi[0],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let c = Ctmc::from_rates(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        let pi_t = transient(&c, &[1.0, 0.0, 0.0], 200.0, 1e-10).unwrap();
+        let pi_ss = c.steady_state().unwrap();
+        for (a, b) in pi_t.iter().zip(pi_ss.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_time_is_initial() {
+        let c = Ctmc::from_rates(2, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let pi = transient(&c, &[0.25, 0.75], 0.0, 1e-10).unwrap();
+        assert_eq!(pi, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let c = Ctmc::from_rates(4, [(0, 1, 2.0), (1, 2, 1.0), (2, 3, 0.5), (3, 0, 1.5)]).unwrap();
+        let pi = transient(&c, &[1.0, 0.0, 0.0, 0.0], 2.5, 1e-9).unwrap();
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+}

@@ -1,0 +1,278 @@
+//! CTMC extraction from exponential-only nets.
+//!
+//! A stochastic Petri net whose transitions are all exponential is exactly a
+//! continuous-time Markov chain over its reachability graph. This module
+//! builds that chain so the `markov` crate can solve it analytically — the
+//! cross-validation oracle used throughout the test suite.
+//!
+//! If any transition is deterministic/uniform/Erlang/immediate, the marking
+//! process is *not* Markovian (the paper's central point); extraction is
+//! refused with [`ExtractError::NotExponential`].
+
+use crate::ids::TransitionId;
+use crate::marking::Marking;
+use crate::net::Net;
+use crate::timing::Timing;
+use std::collections::HashMap;
+
+/// Why CTMC extraction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The net contains a non-exponential transition (name reported).
+    NotExponential(String),
+    /// The state space exceeded the cap.
+    TooManyStates(usize),
+    /// The net contains a `Choice` colored output arc, whose branch
+    /// probabilities would need splitting rates; not supported.
+    ChoiceArc(String),
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::NotExponential(t) => {
+                write!(
+                    f,
+                    "transition {t:?} is not exponential; marking process is not a CTMC"
+                )
+            }
+            ExtractError::TooManyStates(n) => write!(f, "state space exceeds cap ({n} states)"),
+            ExtractError::ChoiceArc(t) => {
+                write!(f, "transition {t:?} has a Choice output arc; not supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// An extracted CTMC: states are reachable markings, edges carry rates.
+#[derive(Debug, Clone)]
+pub struct CtmcExtraction {
+    /// Distinct reachable markings, index = CTMC state id.
+    pub states: Vec<Marking>,
+    /// `(from, to, rate)` triples; multiple transitions between the same
+    /// marking pair are kept as separate entries (solvers sum them).
+    pub rates: Vec<(usize, usize, f64)>,
+    /// Index of the initial marking in `states`.
+    pub initial: usize,
+}
+
+impl CtmcExtraction {
+    /// Find the state index of a marking, if reachable.
+    pub fn state_of(&self, m: &Marking) -> Option<usize> {
+        let key = m.canonical_key();
+        self.states.iter().position(|s| s.canonical_key() == key)
+    }
+}
+
+/// Extract the CTMC of an exponential-only net (up to `max_states`).
+pub fn extract_ctmc(net: &Net, max_states: usize) -> Result<CtmcExtraction, ExtractError> {
+    // Class check first: every transition exponential, no Choice arcs.
+    for tid in net.transition_ids() {
+        let t = net.transition(tid);
+        match t.timing {
+            Timing::Exponential { .. } => {}
+            _ => return Err(ExtractError::NotExponential(t.name.clone())),
+        }
+        if t.outputs
+            .iter()
+            .any(|a| matches!(a.color, crate::arc::ColorExpr::Choice(_)))
+        {
+            return Err(ExtractError::ChoiceArc(t.name.clone()));
+        }
+    }
+
+    let initial = net.initial_marking();
+    let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut states: Vec<Marking> = Vec::new();
+    let mut rates: Vec<(usize, usize, f64)> = Vec::new();
+    let mut queue: Vec<usize> = Vec::new();
+
+    index.insert(initial.canonical_key(), 0);
+    states.push(initial);
+    queue.push(0);
+
+    while let Some(si) = queue.pop() {
+        let m = states[si].clone();
+        for ti in 0..net.num_transitions() {
+            let t = net.transition(TransitionId::from_index(ti));
+            // Enabling.
+            let enabled = t
+                .inputs
+                .iter()
+                .all(|a| m.count_matching(a.place, &a.filter) >= a.multiplicity as usize)
+                && t.inhibitors
+                    .iter()
+                    .all(|a| m.count_matching(a.place, &a.filter) < a.threshold as usize)
+                && t.guard.as_ref().is_none_or(|g| g.eval_bool(&m));
+            if !enabled {
+                continue;
+            }
+            // Successor marking (Const / Transfer colors are deterministic).
+            let mut s = m.clone();
+            let mut consumed = Vec::new();
+            let mut offsets = Vec::new();
+            for arc in &t.inputs {
+                offsets.push(consumed.len());
+                for _ in 0..arc.multiplicity {
+                    consumed.push(s.withdraw(arc.place, &arc.filter).expect("enabled"));
+                }
+            }
+            let mut rng = crate::rng::SimRng::seed_from_u64(0); // unused by Const/Transfer
+            for arc in &t.outputs {
+                for _ in 0..arc.multiplicity {
+                    let c = arc.color.eval(&consumed, &offsets, &mut rng);
+                    s.deposit(arc.place, c);
+                }
+            }
+            let rate = match t.timing {
+                Timing::Exponential { rate } => rate,
+                _ => unreachable!("class-checked above"),
+            };
+            let key = s.canonical_key();
+            let ti_state = match index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    if states.len() >= max_states {
+                        return Err(ExtractError::TooManyStates(max_states));
+                    }
+                    let i = states.len();
+                    index.insert(key, i);
+                    states.push(s);
+                    queue.push(i);
+                    i
+                }
+            };
+            if ti_state != si {
+                rates.push((si, ti_state, rate));
+            }
+            // Self-loops contribute nothing to a CTMC generator; skip.
+        }
+    }
+
+    Ok(CtmcExtraction {
+        states,
+        rates,
+        initial: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+
+    #[test]
+    fn two_state_chain_extracted() {
+        let mut b = NetBuilder::new("onoff");
+        let on = b.place("on").tokens(1).build();
+        let off = b.place("off").build();
+        b.transition("down", Timing::exponential(2.0))
+            .input(on, 1)
+            .output(off, 1)
+            .build();
+        b.transition("up", Timing::exponential(3.0))
+            .input(off, 1)
+            .output(on, 1)
+            .build();
+        let net = b.build().unwrap();
+        let ctmc = extract_ctmc(&net, 100).unwrap();
+        assert_eq!(ctmc.states.len(), 2);
+        assert_eq!(ctmc.rates.len(), 2);
+        assert_eq!(ctmc.initial, 0);
+        // Rates present in both directions.
+        let mut rs: Vec<f64> = ctmc.rates.iter().map(|r| r.2).collect();
+        rs.sort_by(f64::total_cmp);
+        assert_eq!(rs, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn deterministic_transition_refused() {
+        let mut b = NetBuilder::new("det");
+        let p = b.place("p").tokens(1).build();
+        b.transition("t", Timing::deterministic(1.0))
+            .input(p, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            extract_ctmc(&net, 100),
+            Err(ExtractError::NotExponential(_))
+        ));
+    }
+
+    #[test]
+    fn immediate_transition_refused() {
+        let mut b = NetBuilder::new("imm");
+        let p = b.place("p").tokens(1).build();
+        let q = b.place("q").build();
+        b.transition("t", Timing::immediate())
+            .input(p, 1)
+            .output(q, 1)
+            .build();
+        b.transition("u", Timing::exponential(1.0))
+            .input(q, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            extract_ctmc(&net, 100),
+            Err(ExtractError::NotExponential(_))
+        ));
+    }
+
+    #[test]
+    fn state_cap_enforced() {
+        let mut b = NetBuilder::new("open");
+        let q = b.place("q").build();
+        b.transition("gen", Timing::exponential(1.0))
+            .output(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            extract_ctmc(&net, 10),
+            Err(ExtractError::TooManyStates(10))
+        ));
+    }
+
+    #[test]
+    fn mm1k_chain_has_k_plus_one_states() {
+        // M/M/1/4: arrivals blocked at 4 via inhibitor arc.
+        let mut b = NetBuilder::new("mm1k");
+        let q = b.place("q").build();
+        b.transition("arrive", Timing::exponential(1.0))
+            .output(q, 1)
+            .inhibitor(q, 4)
+            .build();
+        b.transition("serve", Timing::exponential(2.0))
+            .input(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        let ctmc = extract_ctmc(&net, 100).unwrap();
+        assert_eq!(ctmc.states.len(), 5); // 0..=4 customers
+                                          // Birth-death structure: 4 up + 4 down edges.
+        assert_eq!(ctmc.rates.len(), 8);
+    }
+
+    #[test]
+    fn state_of_finds_markings() {
+        let mut b = NetBuilder::new("onoff2");
+        let on = b.place("on").tokens(1).build();
+        let off = b.place("off").build();
+        b.transition("down", Timing::exponential(1.0))
+            .input(on, 1)
+            .output(off, 1)
+            .build();
+        b.transition("up", Timing::exponential(1.0))
+            .input(off, 1)
+            .output(on, 1)
+            .build();
+        let net = b.build().unwrap();
+        let ctmc = extract_ctmc(&net, 10).unwrap();
+        assert_eq!(ctmc.state_of(&net.initial_marking()), Some(0));
+        let mut other = Marking::empty(2);
+        other.deposit(off, crate::token::Color::NONE);
+        assert_eq!(ctmc.state_of(&other), Some(1));
+    }
+}

@@ -1,0 +1,282 @@
+//! P-invariants (place invariants) via exact rational elimination.
+//!
+//! A P-invariant is a non-negative integer weighting `y` of places with
+//! `yᵀ·C = 0`, where `C` is the token-flow incidence matrix. Along any firing
+//! sequence the weighted token sum `yᵀ·m` is conserved — e.g. in the paper's
+//! CPU model (Fig. 3) the CPU-state places `Stand_By + P1 + Idle + Active`
+//! always hold exactly one token, which is the formal statement of "the CPU
+//! is in exactly one power state".
+//!
+//! Color filters and guards can only *restrict* firings, so invariants of
+//! the underlying uncolored net remain valid for the colored one.
+
+use crate::net::Net;
+
+/// One place invariant: non-negative weights per place, not all zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PInvariant {
+    /// Weight per place (dense, one entry per place).
+    pub weights: Vec<i64>,
+}
+
+impl PInvariant {
+    /// The conserved quantity `Σ weights[p] * tokens[p]` for a marking given
+    /// as a count vector.
+    pub fn value(&self, counts: &[usize]) -> i64 {
+        self.weights
+            .iter()
+            .zip(counts.iter())
+            .map(|(&w, &c)| w * c as i64)
+            .sum()
+    }
+
+    /// Places with non-zero weight.
+    pub fn support(&self) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The incidence matrix `C[p][t] = produced(p,t) - consumed(p,t)`.
+pub fn incidence_matrix(net: &Net) -> Vec<Vec<i64>> {
+    let np = net.num_places();
+    let nt = net.num_transitions();
+    let mut c = vec![vec![0i64; nt]; np];
+    for (ti, tid) in net.transition_ids().enumerate() {
+        let t = net.transition(tid);
+        for arc in &t.inputs {
+            c[arc.place.index()][ti] -= arc.multiplicity as i64;
+        }
+        for arc in &t.outputs {
+            c[arc.place.index()][ti] += arc.multiplicity as i64;
+        }
+    }
+    c
+}
+
+/// Compute a generating set of non-negative P-invariants using the classic
+/// Farkas / Martinez-Silva algorithm (exact i128 arithmetic, with row
+/// normalization by gcd to control growth).
+///
+/// Returns minimal-support invariants; exponential in the worst case but
+/// instantaneous for nets of this paper's size.
+pub fn p_invariants(net: &Net) -> Vec<PInvariant> {
+    let c = incidence_matrix(net);
+    let np = net.num_places();
+    let nt = net.num_transitions();
+
+    // Working rows: [ B | D ] where B starts as I (np x np) and D = C.
+    // Invariants are rows whose D-part becomes all-zero.
+    #[derive(Clone)]
+    struct Row {
+        b: Vec<i128>,
+        d: Vec<i128>,
+    }
+    let mut rows: Vec<Row> = (0..np)
+        .map(|p| Row {
+            b: (0..np).map(|i| i128::from(i == p)).collect(),
+            d: c[p].iter().map(|&x| x as i128).collect(),
+        })
+        .collect();
+
+    for col in 0..nt {
+        let mut next: Vec<Row> = Vec::new();
+        // Keep rows already zero in this column.
+        let (zeros, nonzeros): (Vec<Row>, Vec<Row>) = rows.into_iter().partition(|r| r.d[col] == 0);
+        next.extend(zeros);
+        // Combine every positive row with every negative row.
+        let pos: Vec<&Row> = nonzeros.iter().filter(|r| r.d[col] > 0).collect();
+        let neg: Vec<&Row> = nonzeros.iter().filter(|r| r.d[col] < 0).collect();
+        for rp in &pos {
+            for rn in &neg {
+                let a = rp.d[col].unsigned_abs();
+                let bq = rn.d[col].unsigned_abs();
+                let g = gcd(a, bq);
+                let (ma, mb) = ((bq / g) as i128, (a / g) as i128);
+                let mut b: Vec<i128> =
+                    rp.b.iter()
+                        .zip(rn.b.iter())
+                        .map(|(&x, &y)| ma * x + mb * y)
+                        .collect();
+                let mut d: Vec<i128> =
+                    rp.d.iter()
+                        .zip(rn.d.iter())
+                        .map(|(&x, &y)| ma * x + mb * y)
+                        .collect();
+                normalize(&mut b, &mut d);
+                next.push(Row { b, d });
+            }
+        }
+        // Drop non-minimal rows (support-superset elimination keeps the
+        // basis small and canonical).
+        let mut minimal: Vec<Row> = Vec::new();
+        'outer: for r in &next {
+            let sup = support_of(&r.b);
+            for m in &minimal {
+                if is_subset(&support_of(&m.b), &sup) {
+                    continue 'outer;
+                }
+            }
+            minimal.retain(|m| !is_subset(&sup, &support_of(&m.b)));
+            minimal.push(r.clone());
+        }
+        rows = minimal;
+    }
+
+    rows.into_iter()
+        .filter(|r| r.d.iter().all(|&x| x == 0) && r.b.iter().any(|&x| x != 0))
+        .map(|r| PInvariant {
+            weights: r.b.iter().map(|&x| x as i64).collect(),
+        })
+        .collect()
+}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn normalize(b: &mut [i128], d: &mut [i128]) {
+    let mut g: u128 = 0;
+    for &x in b.iter().chain(d.iter()) {
+        g = gcd(g, x.unsigned_abs());
+    }
+    if g > 1 {
+        for x in b.iter_mut() {
+            *x /= g as i128;
+        }
+        for x in d.iter_mut() {
+            *x /= g as i128;
+        }
+    }
+}
+
+fn support_of(v: &[i128]) -> Vec<usize> {
+    v.iter()
+        .enumerate()
+        .filter(|(_, &x)| x != 0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn is_subset(a: &[usize], b: &[usize]) -> bool {
+    a.iter().all(|x| b.contains(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::timing::Timing;
+
+    #[test]
+    fn two_place_cycle_has_conservation_invariant() {
+        let mut b = NetBuilder::new("cycle");
+        let p = b.place("p").tokens(1).build();
+        let q = b.place("q").build();
+        b.transition("pq", Timing::exponential(1.0))
+            .input(p, 1)
+            .output(q, 1)
+            .build();
+        b.transition("qp", Timing::exponential(1.0))
+            .input(q, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        let invs = p_invariants(&net);
+        assert_eq!(invs.len(), 1);
+        assert_eq!(invs[0].weights, vec![1, 1]);
+        // Conserved value = 1 token.
+        assert_eq!(invs[0].value(&net.initial_marking().count_vector()), 1);
+    }
+
+    #[test]
+    fn open_net_has_no_invariant() {
+        let mut b = NetBuilder::new("open");
+        let q = b.place("q").build();
+        b.transition("gen", Timing::exponential(1.0))
+            .output(q, 1)
+            .build();
+        b.transition("sink", Timing::exponential(1.0))
+            .input(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        // q's count changes with gen; no non-negative weighting survives.
+        assert!(p_invariants(&net).is_empty());
+    }
+
+    #[test]
+    fn weighted_invariant_found() {
+        // t consumes 2 from p, produces 1 in q; u consumes 1 from q,
+        // produces 2 in p. Invariant: 1*p + 2*q.
+        let mut b = NetBuilder::new("weighted");
+        let p = b.place("p").tokens(2).build();
+        let q = b.place("q").build();
+        b.transition("t", Timing::exponential(1.0))
+            .input(p, 2)
+            .output(q, 1)
+            .build();
+        b.transition("u", Timing::exponential(1.0))
+            .input(q, 1)
+            .output(p, 2)
+            .build();
+        let net = b.build().unwrap();
+        let invs = p_invariants(&net);
+        assert_eq!(invs.len(), 1);
+        assert_eq!(invs[0].weights, vec![1, 2]);
+    }
+
+    #[test]
+    fn disjoint_cycles_give_two_invariants() {
+        let mut b = NetBuilder::new("two_cycles");
+        let a1 = b.place("a1").tokens(1).build();
+        let a2 = b.place("a2").build();
+        let b1 = b.place("b1").tokens(1).build();
+        let b2 = b.place("b2").build();
+        b.transition("a12", Timing::exponential(1.0))
+            .input(a1, 1)
+            .output(a2, 1)
+            .build();
+        b.transition("a21", Timing::exponential(1.0))
+            .input(a2, 1)
+            .output(a1, 1)
+            .build();
+        b.transition("b12", Timing::exponential(1.0))
+            .input(b1, 1)
+            .output(b2, 1)
+            .build();
+        b.transition("b21", Timing::exponential(1.0))
+            .input(b2, 1)
+            .output(b1, 1)
+            .build();
+        let net = b.build().unwrap();
+        let mut invs = p_invariants(&net);
+        invs.sort_by_key(|i| i.support());
+        assert_eq!(invs.len(), 2);
+        assert_eq!(invs[0].support(), vec![0, 1]);
+        assert_eq!(invs[1].support(), vec![2, 3]);
+    }
+
+    #[test]
+    fn incidence_matrix_shape_and_values() {
+        let mut b = NetBuilder::new("inc");
+        let p = b.place("p").tokens(1).build();
+        let q = b.place("q").build();
+        b.transition("t", Timing::exponential(1.0))
+            .input(p, 2)
+            .output(q, 3)
+            .build();
+        let net = b.build().unwrap();
+        let c = incidence_matrix(&net);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0], vec![-2]);
+        assert_eq!(c[1], vec![3]);
+    }
+}

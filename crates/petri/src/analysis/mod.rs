@@ -1,0 +1,25 @@
+//! Structural and state-space analysis of nets.
+//!
+//! * [`reachability`] — bounded breadth-first exploration of the marking
+//!   graph: boundedness, deadlock detection, state counting.
+//! * [`invariants`] — P-invariants via exact rational Gaussian elimination;
+//!   token-conservation laws used by the property-test suite.
+//! * [`ctmc`] — extraction of a continuous-time Markov chain from an
+//!   exponential-only net, bridging to the `markov` crate's solvers. This is
+//!   the formal content of the paper's Markov-vs-Petri comparison: a net
+//!   with only exponential transitions *is* a CTMC; adding a deterministic
+//!   transition leaves that class, which is exactly why the paper's Markov
+//!   model needs supplementary variables and still fails at large
+//!   `Power_Up_Delay`.
+//! * [`structural`] — cheap lints: isolated places, unguarded immediate
+//!   sources, conflicting-priority warnings.
+
+pub mod ctmc;
+pub mod invariants;
+pub mod reachability;
+pub mod structural;
+
+pub use ctmc::{extract_ctmc, CtmcExtraction, ExtractError};
+pub use invariants::{p_invariants, PInvariant};
+pub use reachability::{explore, Exploration, ExploreLimits};
+pub use structural::{lint, Lint};

@@ -1,0 +1,323 @@
+//! Bounded reachability exploration.
+//!
+//! Explores the marking graph breadth-first. Immediate transitions are
+//! treated like any other edge (we explore the *full* graph including
+//! vanishing markings — adequate for the structural questions asked here:
+//! boundedness, deadlock-freedom, state counts).
+
+use crate::ids::TransitionId;
+use crate::marking::Marking;
+use crate::net::Net;
+use crate::rng::SimRng;
+use crate::transition::Transition;
+use std::collections::{HashMap, VecDeque};
+
+/// Limits protecting the explorer from state-space explosion.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Stop after discovering this many distinct markings.
+    pub max_states: usize,
+    /// Treat any place exceeding this token count as evidence of
+    /// unboundedness and stop.
+    pub max_tokens_per_place: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_states: 100_000,
+            max_tokens_per_place: 1_000,
+        }
+    }
+}
+
+/// Result of a bounded exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Number of distinct markings discovered.
+    pub states: usize,
+    /// Number of edges (transition firings) discovered.
+    pub edges: usize,
+    /// Markings with no enabled transition.
+    pub deadlocks: Vec<Marking>,
+    /// True if the exploration finished without hitting a limit.
+    pub complete: bool,
+    /// True if a place exceeded the token bound (the net is unbounded or
+    /// effectively so).
+    pub bound_exceeded: bool,
+    /// The maximum token count observed in any single place.
+    pub max_place_tokens: usize,
+}
+
+impl Exploration {
+    /// Did the (completed) exploration prove the net deadlock-free?
+    pub fn deadlock_free(&self) -> bool {
+        self.complete && self.deadlocks.is_empty()
+    }
+
+    /// Did the (completed) exploration prove the net k-bounded for the
+    /// returned `max_place_tokens`?
+    pub fn bounded(&self) -> bool {
+        self.complete && !self.bound_exceeded
+    }
+}
+
+/// Can `t` fire in `m`, and if so, what markings can it produce?
+///
+/// Colored `Choice` output arcs make successor computation nondeterministic;
+/// the explorer enumerates each choice color once (probability-blind — this
+/// is a *possibility* analysis).
+fn successors(net: &Net, m: &Marking, t: &Transition, out: &mut Vec<Marking>) {
+    out.clear();
+    // Enabling (same rules as the engine).
+    for arc in &t.inputs {
+        if m.count_matching(arc.place, &arc.filter) < arc.multiplicity as usize {
+            return;
+        }
+    }
+    for inh in &t.inhibitors {
+        if m.count_matching(inh.place, &inh.filter) >= inh.threshold as usize {
+            return;
+        }
+    }
+    if let Some(g) = &t.guard {
+        if !g.eval_bool(m) {
+            return;
+        }
+    }
+    let _ = net;
+
+    // Consume.
+    let mut base = m.clone();
+    let mut consumed = Vec::new();
+    let mut offsets = Vec::new();
+    for arc in &t.inputs {
+        offsets.push(consumed.len());
+        for _ in 0..arc.multiplicity {
+            let c = base
+                .withdraw(arc.place, &arc.filter)
+                .expect("enabled implies tokens available");
+            consumed.push(c);
+        }
+    }
+
+    // Produce: expand Choice arcs over every alternative color.
+    // (Cartesian product across arcs; bounded nets keep this tiny.)
+    let mut variants: Vec<Marking> = vec![base];
+    let mut rng = SimRng::seed_from_u64(0); // only used by Const/Transfer paths (no-ops)
+    for arc in &t.outputs {
+        match &arc.color {
+            crate::arc::ColorExpr::Choice(pairs) => {
+                let mut next: Vec<Marking> = Vec::with_capacity(variants.len() * pairs.len());
+                for v in &variants {
+                    for (color, _) in pairs {
+                        let mut w = v.clone();
+                        for _ in 0..arc.multiplicity {
+                            w.deposit(arc.place, *color);
+                        }
+                        next.push(w);
+                    }
+                }
+                variants = next;
+            }
+            expr => {
+                for v in &mut variants {
+                    for _ in 0..arc.multiplicity {
+                        let c = expr.eval(&consumed, &offsets, &mut rng);
+                        v.deposit(arc.place, c);
+                    }
+                }
+            }
+        }
+    }
+    out.extend(variants);
+}
+
+/// Breadth-first exploration from the initial marking.
+pub fn explore(net: &Net, limits: ExploreLimits) -> Exploration {
+    let initial = net.initial_marking();
+    let mut seen: HashMap<Vec<u32>, ()> = HashMap::new();
+    let mut queue: VecDeque<Marking> = VecDeque::new();
+    let mut deadlocks = Vec::new();
+    let mut edges = 0usize;
+    let mut complete = true;
+    let mut bound_exceeded = false;
+    let mut max_place_tokens = 0usize;
+    let mut succ_buf: Vec<Marking> = Vec::new();
+
+    seen.insert(initial.canonical_key(), ());
+    queue.push_back(initial);
+
+    while let Some(m) = queue.pop_front() {
+        for p in net.place_ids() {
+            max_place_tokens = max_place_tokens.max(m.count(p));
+            if m.count(p) > limits.max_tokens_per_place {
+                bound_exceeded = true;
+            }
+        }
+        if bound_exceeded {
+            complete = false;
+            break;
+        }
+
+        let mut any_enabled = false;
+        for ti in 0..net.num_transitions() {
+            let t = net.transition(TransitionId::from_index(ti));
+            successors(net, &m, t, &mut succ_buf);
+            if !succ_buf.is_empty() {
+                any_enabled = true;
+            }
+            for s in succ_buf.drain(..) {
+                edges += 1;
+                let key = s.canonical_key();
+                if !seen.contains_key(&key) {
+                    if seen.len() >= limits.max_states {
+                        complete = false;
+                        continue;
+                    }
+                    seen.insert(key, ());
+                    queue.push_back(s);
+                }
+            }
+        }
+        if !any_enabled {
+            deadlocks.push(m);
+        }
+    }
+
+    Exploration {
+        states: seen.len(),
+        edges,
+        deadlocks,
+        complete,
+        bound_exceeded,
+        max_place_tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::expr::Expr;
+    use crate::timing::Timing;
+
+    #[test]
+    fn two_state_cycle() {
+        let mut b = NetBuilder::new("cycle");
+        let p = b.place("p").tokens(1).build();
+        let q = b.place("q").build();
+        b.transition("pq", Timing::exponential(1.0))
+            .input(p, 1)
+            .output(q, 1)
+            .build();
+        b.transition("qp", Timing::exponential(1.0))
+            .input(q, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        let ex = explore(&net, ExploreLimits::default());
+        assert_eq!(ex.states, 2);
+        assert_eq!(ex.edges, 2);
+        assert!(ex.deadlock_free());
+        assert!(ex.bounded());
+        assert_eq!(ex.max_place_tokens, 1);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut b = NetBuilder::new("dead");
+        let p = b.place("p").tokens(1).build();
+        let q = b.place("q").build();
+        b.transition("pq", Timing::exponential(1.0))
+            .input(p, 1)
+            .output(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        let ex = explore(&net, ExploreLimits::default());
+        assert_eq!(ex.states, 2);
+        assert_eq!(ex.deadlocks.len(), 1);
+        assert!(!ex.deadlock_free());
+        // The deadlocked marking has the token in q.
+        assert_eq!(ex.deadlocks[0].count(q), 1);
+    }
+
+    #[test]
+    fn unbounded_net_hits_limit() {
+        let mut b = NetBuilder::new("unbounded");
+        let q = b.place("q").build();
+        b.transition("gen", Timing::exponential(1.0))
+            .output(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        let ex = explore(
+            &net,
+            ExploreLimits {
+                max_states: 1000,
+                max_tokens_per_place: 50,
+            },
+        );
+        assert!(ex.bound_exceeded);
+        assert!(!ex.bounded());
+    }
+
+    #[test]
+    fn guard_prunes_state_space() {
+        let mut b = NetBuilder::new("guarded");
+        let p = b.place("p").tokens(1).build();
+        let q = b.place("q").build();
+        let gate = b.place("gate").build();
+        b.transition("pq", Timing::exponential(1.0))
+            .input(p, 1)
+            .output(q, 1)
+            .guard(Expr::count(gate).gt_c(0)) // never true
+            .build();
+        let net = b.build().unwrap();
+        let ex = explore(&net, ExploreLimits::default());
+        // Only the initial marking; it is a deadlock.
+        assert_eq!(ex.states, 1);
+        assert_eq!(ex.deadlocks.len(), 1);
+    }
+
+    #[test]
+    fn choice_colors_expand_alternatives() {
+        use crate::arc::ColorExpr;
+        use crate::token::Color;
+        let mut b = NetBuilder::new("choice");
+        let src = b.place("src").tokens(1).build();
+        let dst = b.place("dst").build();
+        b.transition("t", Timing::exponential(1.0))
+            .input(src, 1)
+            .output_colored(
+                dst,
+                1,
+                ColorExpr::Choice(vec![(Color(1), 0.5), (Color(2), 0.5)]),
+            )
+            .build();
+        let net = b.build().unwrap();
+        let ex = explore(&net, ExploreLimits::default());
+        // initial + {dst:1-colored} + {dst:2-colored} = 3 states.
+        assert_eq!(ex.states, 3);
+    }
+
+    #[test]
+    fn state_count_mm1k_like() {
+        // Closed 3-token net: states = C(3+1-1, ...) — here simply 4
+        // distributions of 3 tokens over 2 places.
+        let mut b = NetBuilder::new("closed3");
+        let p = b.place("p").tokens(3).build();
+        let q = b.place("q").build();
+        b.transition("pq", Timing::exponential(1.0))
+            .input(p, 1)
+            .output(q, 1)
+            .build();
+        b.transition("qp", Timing::exponential(2.0))
+            .input(q, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        let ex = explore(&net, ExploreLimits::default());
+        assert_eq!(ex.states, 4);
+        assert!(ex.deadlock_free());
+    }
+}

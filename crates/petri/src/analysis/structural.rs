@@ -1,0 +1,243 @@
+//! Structural lints: cheap sanity checks run before simulating.
+
+use crate::ids::TransitionId;
+use crate::net::Net;
+use std::fmt;
+
+/// One structural finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A place is connected to no transition at all.
+    IsolatedPlace {
+        /// Place name.
+        place: String,
+    },
+    /// An immediate transition with no input arcs and no guard would fire
+    /// forever at t = 0 (guaranteed livelock).
+    UnguardedImmediateSource {
+        /// Transition name.
+        transition: String,
+    },
+    /// Two immediate transitions share an input place but have different
+    /// priorities — legal and well-defined, but worth confirming the
+    /// intent (the lower-priority one can starve).
+    PriorityShadowing {
+        /// The higher-priority transition.
+        winner: String,
+        /// The potentially starved transition.
+        loser: String,
+    },
+    /// A timed transition has a guard but no input arcs: it can only be
+    /// paced by its guard, which is a common modeling mistake (the clock
+    /// restarts at every marking change under RaceEnable).
+    GuardOnlyTimedSource {
+        /// Transition name.
+        transition: String,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::IsolatedPlace { place } => write!(f, "place {place:?} is isolated"),
+            Lint::UnguardedImmediateSource { transition } => write!(
+                f,
+                "immediate transition {transition:?} has no inputs and no guard: it will livelock"
+            ),
+            Lint::PriorityShadowing { winner, loser } => write!(
+                f,
+                "immediate {loser:?} shares an input place with higher-priority {winner:?} and may starve"
+            ),
+            Lint::GuardOnlyTimedSource { transition } => write!(
+                f,
+                "timed transition {transition:?} is paced only by its guard; its clock resets at every relevant marking change"
+            ),
+        }
+    }
+}
+
+/// Run all lints over a net.
+pub fn lint(net: &Net) -> Vec<Lint> {
+    let mut lints = Vec::new();
+
+    // Isolated places.
+    let mut touched = vec![false; net.num_places()];
+    for tid in net.transition_ids() {
+        let t = net.transition(tid);
+        for a in &t.inputs {
+            touched[a.place.index()] = true;
+        }
+        for a in &t.outputs {
+            touched[a.place.index()] = true;
+        }
+        for a in &t.inhibitors {
+            touched[a.place.index()] = true;
+        }
+        if let Some(g) = &t.guard {
+            let mut ps = Vec::new();
+            g.collect_places(&mut ps);
+            for p in ps {
+                touched[p.index()] = true;
+            }
+        }
+    }
+    for (i, &t) in touched.iter().enumerate() {
+        if !t {
+            lints.push(Lint::IsolatedPlace {
+                place: net.place(crate::ids::PlaceId::from_index(i)).name.clone(),
+            });
+        }
+    }
+
+    // Immediate sources and guard-only timed sources.
+    for tid in net.transition_ids() {
+        let t = net.transition(tid);
+        if t.inputs.is_empty() && t.inhibitors.is_empty() && t.guard.is_none() {
+            if t.timing.is_immediate() {
+                lints.push(Lint::UnguardedImmediateSource {
+                    transition: t.name.clone(),
+                });
+            }
+        } else if !t.timing.is_immediate() && t.inputs.is_empty() && t.guard.is_some() {
+            lints.push(Lint::GuardOnlyTimedSource {
+                transition: t.name.clone(),
+            });
+        }
+    }
+
+    // Priority shadowing between immediates sharing an input place.
+    let ids: Vec<TransitionId> = net.transition_ids().collect();
+    for (i, &a) in ids.iter().enumerate() {
+        let ta = net.transition(a);
+        let Some(pa) = ta.timing.priority() else {
+            continue;
+        };
+        for &b in &ids[i + 1..] {
+            let tb = net.transition(b);
+            let Some(pb) = tb.timing.priority() else {
+                continue;
+            };
+            if pa == pb {
+                continue;
+            }
+            let shares_place = ta
+                .inputs
+                .iter()
+                .any(|x| tb.inputs.iter().any(|y| y.place == x.place));
+            if shares_place {
+                let (winner, loser) = if pa > pb { (ta, tb) } else { (tb, ta) };
+                lints.push(Lint::PriorityShadowing {
+                    winner: winner.name.clone(),
+                    loser: loser.name.clone(),
+                });
+            }
+        }
+    }
+
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::expr::Expr;
+    use crate::timing::Timing;
+
+    #[test]
+    fn isolated_place_flagged() {
+        let mut b = NetBuilder::new("iso");
+        let p = b.place("used").tokens(1).build();
+        b.place("orphan").build();
+        b.transition("t", Timing::exponential(1.0))
+            .input(p, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        let lints = lint(&net);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::IsolatedPlace { place } if place == "orphan")));
+    }
+
+    #[test]
+    fn guard_reference_counts_as_touched() {
+        let mut b = NetBuilder::new("guardref");
+        let p = b.place("p").tokens(1).build();
+        let watched = b.place("watched").build();
+        b.transition("t", Timing::exponential(1.0))
+            .input(p, 1)
+            .output(p, 1)
+            .guard(Expr::count(watched).eq_c(0))
+            .build();
+        let net = b.build().unwrap();
+        assert!(lint(&net)
+            .iter()
+            .all(|l| !matches!(l, Lint::IsolatedPlace { .. })));
+    }
+
+    #[test]
+    fn unguarded_immediate_source_flagged() {
+        let mut b = NetBuilder::new("src");
+        let q = b.place("q").build();
+        b.transition("bad", Timing::immediate())
+            .output(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        assert!(lint(&net).iter().any(
+            |l| matches!(l, Lint::UnguardedImmediateSource { transition } if transition == "bad")
+        ));
+    }
+
+    #[test]
+    fn priority_shadowing_flagged() {
+        let mut b = NetBuilder::new("shadow");
+        let p = b.place("p").tokens(1).build();
+        b.transition("hi", Timing::immediate_pri(2))
+            .input(p, 1)
+            .build();
+        b.transition("lo", Timing::immediate_pri(1))
+            .input(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        assert!(lint(&net).iter().any(|l| matches!(
+            l,
+            Lint::PriorityShadowing { winner, loser } if winner == "hi" && loser == "lo"
+        )));
+    }
+
+    #[test]
+    fn guard_only_timed_source_flagged() {
+        let mut b = NetBuilder::new("guardpaced");
+        let gate = b.place("gate").tokens(1).build();
+        let q = b.place("q").build();
+        b.transition("gen", Timing::deterministic(1.0))
+            .output(q, 1)
+            .guard(Expr::count(gate).gt_c(0))
+            .build();
+        b.transition("drain", Timing::exponential(1.0))
+            .input(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        assert!(lint(&net).iter().any(
+            |l| matches!(l, Lint::GuardOnlyTimedSource { transition } if transition == "gen")
+        ));
+    }
+
+    #[test]
+    fn clean_net_produces_no_lints() {
+        let mut b = NetBuilder::new("clean");
+        let p = b.place("p").tokens(1).build();
+        let q = b.place("q").build();
+        b.transition("pq", Timing::exponential(1.0))
+            .input(p, 1)
+            .output(q, 1)
+            .build();
+        b.transition("qp", Timing::exponential(1.0))
+            .input(q, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        assert!(lint(&net).is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Arcs: the wiring between places and transitions.
+//!
+//! Three arc kinds, matching TimeNET's EDSPN class:
+//!
+//! * [`InputArc`] — consumes `multiplicity` tokens matching a
+//!   [`ColorFilter`] from a place when the transition fires; the transition
+//!   is enabled only if enough matching tokens are present.
+//! * [`OutputArc`] — deposits `multiplicity` tokens whose colors are given
+//!   by a [`ColorExpr`].
+//! * [`InhibitorArc`] — *disables* the transition while the place holds at
+//!   least `threshold` matching tokens.
+
+use crate::ids::PlaceId;
+use crate::rng::SimRng;
+use crate::token::{Color, ColorFilter};
+
+/// Consuming arc from a place into a transition.
+#[derive(Debug, Clone)]
+pub struct InputArc {
+    /// Source place.
+    pub place: PlaceId,
+    /// Number of tokens consumed per firing (>= 1).
+    pub multiplicity: u32,
+    /// Local guard: only tokens matching this filter count / are consumed.
+    pub filter: ColorFilter,
+}
+
+/// How an output arc chooses the color of each deposited token.
+#[derive(Debug, Clone)]
+pub enum ColorExpr {
+    /// Always deposit this color (the default is [`Color::NONE`]).
+    Const(Color),
+    /// Copy the color of the token consumed by input arc `arc_index` of the
+    /// same transition (0-based, in the order input arcs were added).
+    ///
+    /// This is how a colored job token flows through a processing pipeline
+    /// unchanged — e.g. the DVS job color travelling from `Buffer` through
+    /// `Execute` in the paper's Fig. 12.
+    Transfer {
+        /// Index into the transition's input-arc list.
+        arc_index: usize,
+    },
+    /// Sample the color from a weighted distribution (weights need not be
+    /// normalized). This is how a workload generator emits a random mix of
+    /// DVS job classes.
+    Choice(Vec<(Color, f64)>),
+}
+
+impl ColorExpr {
+    /// Evaluate the color for one deposited token. `consumed` holds the
+    /// colors taken by the transition's input arcs this firing (one entry
+    /// per multiplicity unit, grouped by arc; `consumed_offsets[i]` is the
+    /// start of arc `i`'s tokens).
+    #[inline]
+    pub fn eval(&self, consumed: &[Color], consumed_offsets: &[usize], rng: &mut SimRng) -> Color {
+        match self {
+            ColorExpr::Const(c) => *c,
+            ColorExpr::Transfer { arc_index } => {
+                // First token consumed by that arc. The builder validates
+                // `arc_index` and that the arc's multiplicity is >= 1.
+                consumed[consumed_offsets[*arc_index]]
+            }
+            ColorExpr::Choice(pairs) => {
+                debug_assert!(!pairs.is_empty());
+                if pairs.len() == 1 {
+                    return pairs[0].0;
+                }
+                // Weighted pick without allocating: inline prefix walk.
+                let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+                let mut x = rng.unit() * total;
+                for (c, w) in pairs {
+                    x -= w;
+                    if x < 0.0 {
+                        return *c;
+                    }
+                }
+                pairs[pairs.len() - 1].0
+            }
+        }
+    }
+}
+
+impl Default for ColorExpr {
+    fn default() -> Self {
+        ColorExpr::Const(Color::NONE)
+    }
+}
+
+/// Producing arc from a transition into a place.
+#[derive(Debug, Clone)]
+pub struct OutputArc {
+    /// Destination place.
+    pub place: PlaceId,
+    /// Number of tokens deposited per firing (>= 1).
+    pub multiplicity: u32,
+    /// Color of each deposited token.
+    pub color: ColorExpr,
+}
+
+/// Inhibitor arc: the transition is disabled while `place` holds at least
+/// `threshold` tokens matching `filter`.
+#[derive(Debug, Clone)]
+pub struct InhibitorArc {
+    /// Inhibiting place.
+    pub place: PlaceId,
+    /// Token count at or above which the transition is inhibited (>= 1).
+    pub threshold: u32,
+    /// Only tokens matching this filter count toward the threshold.
+    pub filter: ColorFilter,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_color_expr() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let e = ColorExpr::Const(Color(9));
+        assert_eq!(e.eval(&[], &[], &mut rng), Color(9));
+    }
+
+    #[test]
+    fn default_color_expr_is_plain() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(ColorExpr::default().eval(&[], &[], &mut rng), Color::NONE);
+    }
+
+    #[test]
+    fn transfer_color_expr_picks_right_arc() {
+        let mut rng = SimRng::seed_from_u64(1);
+        // Arc 0 consumed 2 tokens [5, 6]; arc 1 consumed 1 token [7].
+        let consumed = [Color(5), Color(6), Color(7)];
+        let offsets = [0, 2];
+        assert_eq!(
+            ColorExpr::Transfer { arc_index: 0 }.eval(&consumed, &offsets, &mut rng),
+            Color(5)
+        );
+        assert_eq!(
+            ColorExpr::Transfer { arc_index: 1 }.eval(&consumed, &offsets, &mut rng),
+            Color(7)
+        );
+    }
+
+    #[test]
+    fn choice_color_expr_single() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let e = ColorExpr::Choice(vec![(Color(3), 1.0)]);
+        for _ in 0..10 {
+            assert_eq!(e.eval(&[], &[], &mut rng), Color(3));
+        }
+    }
+
+    #[test]
+    fn choice_color_expr_distribution() {
+        let mut rng = SimRng::seed_from_u64(77);
+        let e = ColorExpr::Choice(vec![(Color(1), 1.0), (Color(2), 3.0)]);
+        let n = 40_000;
+        let twos = (0..n)
+            .filter(|_| e.eval(&[], &[], &mut rng) == Color(2))
+            .count();
+        let frac = twos as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac={frac}");
+    }
+}

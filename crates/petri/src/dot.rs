@@ -1,0 +1,180 @@
+//! Graphviz DOT export for visual inspection of nets.
+//!
+//! The paper presents its models as diagrams (Figs. 3, 10, 12, 13); this
+//! module renders our reconstructions the same way:
+//! `dot -Tpng net.dot -o net.png`.
+
+use crate::net::Net;
+use crate::timing::Timing;
+use std::fmt::Write as _;
+
+/// Render the net as a Graphviz `digraph`.
+///
+/// Places are circles (with initial token counts), timed transitions are
+/// boxes, immediates are thin filled bars — the conventional SPN notation.
+/// Inhibitor arcs use the `odot` arrowhead; guards appear in transition
+/// labels.
+pub fn to_dot(net: &Net) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(&net.name));
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  node [fontsize=10];");
+
+    for p in net.place_ids() {
+        let place = net.place(p);
+        let tokens = if place.initial.is_empty() {
+            String::new()
+        } else {
+            format!("\\n{} tok", place.initial.len())
+        };
+        let _ = writeln!(
+            s,
+            "  p{} [shape=circle label=\"{}{}\"];",
+            p.index(),
+            escape(&place.name),
+            tokens
+        );
+    }
+
+    for t in net.transition_ids() {
+        let tr = net.transition(t);
+        let shape = "box";
+        let label = match tr.timing {
+            Timing::Immediate { priority, .. } => {
+                format!("{} (imm p{})", escape(&tr.name), priority)
+            }
+            Timing::Deterministic { delay } => format!("{}\\nDET {delay}", escape(&tr.name)),
+            Timing::Exponential { rate } => format!("{}\\nEXP rate={rate}", escape(&tr.name)),
+            Timing::Uniform { low, high } => {
+                format!("{}\\nUNI [{low},{high}]", escape(&tr.name))
+            }
+            Timing::Erlang { k, rate } => {
+                format!("{}\\nERL k={k} rate={rate}", escape(&tr.name))
+            }
+        };
+        let style = if tr.timing.is_immediate() {
+            " style=filled fillcolor=gray20 fontcolor=white"
+        } else {
+            ""
+        };
+        let guard = tr
+            .guard
+            .as_ref()
+            .map(|g| format!("\\nguard: {}", escape(&g.to_string())))
+            .unwrap_or_default();
+        let _ = writeln!(
+            s,
+            "  t{} [shape={shape}{style} label=\"{label}{guard}\"];",
+            t.index()
+        );
+
+        for a in &tr.inputs {
+            let mult = if a.multiplicity > 1 {
+                format!(" [label=\"{}\"]", a.multiplicity)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(s, "  p{} -> t{}{};", a.place.index(), t.index(), mult);
+        }
+        for a in &tr.outputs {
+            let mult = if a.multiplicity > 1 {
+                format!(" [label=\"{}\"]", a.multiplicity)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(s, "  t{} -> p{}{};", t.index(), a.place.index(), mult);
+        }
+        for a in &tr.inhibitors {
+            let _ = writeln!(
+                s,
+                "  p{} -> t{} [arrowhead=odot label=\"{}\"];",
+                a.place.index(),
+                t.index(),
+                a.threshold
+            );
+        }
+    }
+
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::expr::Expr;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = NetBuilder::new("demo");
+        let p = b.place("Idle").tokens(1).build();
+        let q = b.place("Busy").build();
+        b.transition("start", Timing::immediate_pri(2))
+            .input(p, 1)
+            .output(q, 1)
+            .build();
+        b.transition("finish", Timing::exponential(2.0))
+            .input(q, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("Idle"));
+        assert!(dot.contains("Busy"));
+        assert!(dot.contains("start"));
+        assert!(dot.contains("EXP rate=2"));
+        assert!(dot.contains("p0 -> t0"));
+        assert!(dot.contains("t0 -> p1"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_shows_guards_and_inhibitors() {
+        let mut b = NetBuilder::new("guards");
+        let p = b.place("p").tokens(1).build();
+        let gate = b.place("gate").build();
+        b.transition("t", Timing::deterministic(0.5))
+            .input(p, 1)
+            .output(p, 1)
+            .inhibitor(gate, 3)
+            .guard(Expr::count(gate).eq_c(0))
+            .build();
+        let net = b.build().unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.contains("guard:"));
+        assert!(dot.contains("arrowhead=odot"));
+        assert!(dot.contains("DET 0.5"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut b = NetBuilder::new("quo\"te");
+        let p = b.place("p\"lace").tokens(1).build();
+        b.transition("t", Timing::immediate()).input(p, 1).build();
+        let net = b.build().unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.contains("quo\\\"te"));
+        assert!(dot.contains("p\\\"lace"));
+    }
+
+    #[test]
+    fn multiplicity_labels_rendered() {
+        let mut b = NetBuilder::new("mult");
+        let p = b.place("p").tokens(2).build();
+        let q = b.place("q").build();
+        b.transition("t", Timing::immediate())
+            .input(p, 2)
+            .output(q, 3)
+            .build();
+        let net = b.build().unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.contains("label=\"2\""));
+        assert!(dot.contains("label=\"3\""));
+    }
+}

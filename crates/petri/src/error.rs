@@ -1,0 +1,192 @@
+//! Error types for net construction and simulation.
+
+use std::fmt;
+
+/// Errors produced while building or validating a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A place name was used twice.
+    DuplicatePlaceName(String),
+    /// A transition name was used twice.
+    DuplicateTransitionName(String),
+    /// A transition's timing parameters are invalid (message from
+    /// [`crate::timing::Timing::validate`]).
+    InvalidTiming {
+        /// Offending transition name.
+        transition: String,
+        /// Problem description.
+        message: String,
+    },
+    /// An arc has multiplicity (or inhibitor threshold) zero.
+    ZeroMultiplicity {
+        /// Offending transition name.
+        transition: String,
+    },
+    /// A `ColorExpr::Transfer` refers to an input arc that does not exist.
+    BadTransferIndex {
+        /// Offending transition name.
+        transition: String,
+        /// The out-of-range index.
+        index: usize,
+        /// Number of input arcs actually present.
+        num_inputs: usize,
+    },
+    /// A `ColorExpr::Choice` has no entries or a non-positive total weight.
+    BadChoice {
+        /// Offending transition name.
+        transition: String,
+    },
+    /// A guard expression is not boolean-typed.
+    IllTypedGuard {
+        /// Offending transition name.
+        transition: String,
+    },
+    /// A guard references a place index outside the net.
+    GuardPlaceOutOfRange {
+        /// Offending transition name.
+        transition: String,
+    },
+    /// The reserved color `u32::MAX` was used (it is the canonical-key
+    /// sentinel).
+    ReservedColor {
+        /// Where it was used.
+        context: String,
+    },
+    /// The net has no transitions.
+    NoTransitions,
+    /// A transition has two input (or two inhibitor) arcs on the same place.
+    ///
+    /// Enabling tests count tokens per place; two consuming arcs on one
+    /// place would double-count. Use a single arc with a higher
+    /// multiplicity instead.
+    DuplicateArcPlace {
+        /// Offending transition name.
+        transition: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicatePlaceName(n) => write!(f, "duplicate place name: {n:?}"),
+            BuildError::DuplicateTransitionName(n) => {
+                write!(f, "duplicate transition name: {n:?}")
+            }
+            BuildError::InvalidTiming {
+                transition,
+                message,
+            } => write!(f, "transition {transition:?}: {message}"),
+            BuildError::ZeroMultiplicity { transition } => {
+                write!(f, "transition {transition:?}: arc multiplicity must be >= 1")
+            }
+            BuildError::BadTransferIndex {
+                transition,
+                index,
+                num_inputs,
+            } => write!(
+                f,
+                "transition {transition:?}: Transfer arc_index {index} out of range ({num_inputs} input arcs)"
+            ),
+            BuildError::BadChoice { transition } => write!(
+                f,
+                "transition {transition:?}: Choice color expression needs entries with positive total weight"
+            ),
+            BuildError::IllTypedGuard { transition } => {
+                write!(f, "transition {transition:?}: guard is not boolean-typed")
+            }
+            BuildError::GuardPlaceOutOfRange { transition } => {
+                write!(f, "transition {transition:?}: guard references unknown place")
+            }
+            BuildError::ReservedColor { context } => {
+                write!(f, "{context}: color u32::MAX is reserved")
+            }
+            BuildError::NoTransitions => write!(f, "net has no transitions"),
+            BuildError::DuplicateArcPlace { transition } => write!(
+                f,
+                "transition {transition:?}: two input/inhibitor arcs on the same place; merge them into one arc with higher multiplicity"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Errors raised during simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The vanishing-marking loop fired more immediates than the configured
+    /// bound without time advancing — the net has an immediate-transition
+    /// livelock (e.g. two unguarded immediates shuttling a token).
+    ImmediateLivelock {
+        /// Simulated time at which the livelock was detected.
+        time: f64,
+        /// The configured bound that was exceeded.
+        limit: u64,
+    },
+    /// A place exceeded the configured global token bound — the net is
+    /// (practically) unbounded, e.g. an open generator whose consumer
+    /// deadlocked.
+    TokenOverflow {
+        /// Index of the offending place.
+        place: usize,
+        /// Simulated time of the overflow.
+        time: f64,
+        /// The configured bound that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ImmediateLivelock { time, limit } => write!(
+                f,
+                "immediate-transition livelock at t={time}: more than {limit} immediate firings without time advancing"
+            ),
+            SimError::TokenOverflow { place, time, limit } => write!(
+                f,
+                "place P{place} exceeded {limit} tokens at t={time}; net appears unbounded"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = BuildError::DuplicatePlaceName("Idle".into());
+        assert!(e.to_string().contains("Idle"));
+        let e = BuildError::BadTransferIndex {
+            transition: "T1".into(),
+            index: 3,
+            num_inputs: 1,
+        };
+        assert!(e.to_string().contains('3'));
+        let e = SimError::ImmediateLivelock {
+            time: 1.5,
+            limit: 100,
+        };
+        assert!(e.to_string().contains("1.5"));
+        let e = SimError::TokenOverflow {
+            place: 2,
+            time: 0.0,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("P2"));
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&BuildError::NoTransitions);
+        takes_err(&SimError::ImmediateLivelock {
+            time: 0.0,
+            limit: 1,
+        });
+    }
+}

@@ -1,0 +1,94 @@
+//! Strongly-typed index newtypes for places and transitions.
+//!
+//! Nets store places and transitions in dense vectors; these newtypes make it
+//! impossible to confuse a place index with a transition index at compile
+//! time while remaining `Copy` and zero-cost.
+
+use core::fmt;
+
+/// Identifier of a place within a [`crate::net::Net`].
+///
+/// Obtained from [`crate::builder::NetBuilder::place`]; only valid for the
+/// net that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub(crate) u32);
+
+/// Identifier of a transition within a [`crate::net::Net`].
+///
+/// Obtained from [`crate::builder::NetBuilder::transition`]; only valid for
+/// the net that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionId(pub(crate) u32);
+
+impl PlaceId {
+    /// Dense index of this place.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Intended for iteration utilities; the
+    /// index must come from the same net.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        PlaceId(i as u32)
+    }
+}
+
+impl TransitionId {
+    /// Dense index of this transition.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Intended for iteration utilities; the
+    /// index must come from the same net.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        TransitionId(i as u32)
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_id_roundtrip() {
+        let p = PlaceId::from_index(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(p, PlaceId(42));
+    }
+
+    #[test]
+    fn transition_id_roundtrip() {
+        let t = TransitionId::from_index(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t, TransitionId(7));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PlaceId(3).to_string(), "P3");
+        assert_eq!(TransitionId(9).to_string(), "T9");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(PlaceId(1) < PlaceId(2));
+        assert!(TransitionId(0) < TransitionId(10));
+    }
+}

@@ -1,0 +1,165 @@
+//! Markings: the global token state of a net.
+//!
+//! A [`Marking`] assigns a [`TokenBag`] to every place. The simulator
+//! mutates a single marking in place; analysis code clones markings to
+//! explore the reachability graph. For hashing/exploration a canonical
+//! sorted form is available via [`Marking::canonical_key`] (FIFO order within
+//! a place is a simulation artifact and must not distinguish states).
+
+use crate::ids::PlaceId;
+use crate::token::{Color, ColorFilter, TokenBag};
+
+/// The token distribution over all places of a net.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Marking {
+    places: Vec<TokenBag>,
+}
+
+impl Marking {
+    /// A marking with `n` empty places.
+    pub fn empty(n: usize) -> Self {
+        Marking {
+            places: vec![TokenBag::new(); n],
+        }
+    }
+
+    /// Build from explicit bags (used by [`crate::net::Net::initial_marking`]).
+    pub fn from_bags(places: Vec<TokenBag>) -> Self {
+        Marking { places }
+    }
+
+    /// Number of places.
+    #[inline]
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Total tokens in place `p`.
+    #[inline]
+    pub fn count(&self, p: PlaceId) -> usize {
+        self.places[p.index()].len()
+    }
+
+    /// Tokens of color `c` in place `p`.
+    #[inline]
+    pub fn count_color(&self, p: PlaceId, c: Color) -> usize {
+        self.places[p.index()].count_color(c)
+    }
+
+    /// Tokens in `p` matching `filter`.
+    #[inline]
+    pub fn count_matching(&self, p: PlaceId, filter: &ColorFilter) -> usize {
+        self.places[p.index()].count_matching(filter)
+    }
+
+    /// Deposit one token of color `c` into `p`.
+    #[inline]
+    pub fn deposit(&mut self, p: PlaceId, c: Color) {
+        self.places[p.index()].push(c);
+    }
+
+    /// Remove the oldest token in `p` matching `filter`.
+    #[inline]
+    pub fn withdraw(&mut self, p: PlaceId, filter: &ColorFilter) -> Option<Color> {
+        self.places[p.index()].take_matching(filter)
+    }
+
+    /// Immutable access to the bag of place `p`.
+    #[inline]
+    pub fn bag(&self, p: PlaceId) -> &TokenBag {
+        &self.places[p.index()]
+    }
+
+    /// Total tokens across all places.
+    pub fn total_tokens(&self) -> usize {
+        self.places.iter().map(TokenBag::len).sum()
+    }
+
+    /// A canonical, order-independent key identifying this marking.
+    ///
+    /// Within each place, colors are sorted; across places the key embeds the
+    /// place boundary. Two markings that differ only in FIFO order within a
+    /// place map to the same key. Used by the reachability explorer.
+    pub fn canonical_key(&self) -> Vec<u32> {
+        // Encoding: for each place, the sorted colors followed by the
+        // sentinel u32::MAX (colors are u32 but a place can never legally
+        // hold a token of color u32::MAX — the builder rejects it).
+        let mut key = Vec::with_capacity(self.total_tokens() + self.places.len());
+        let mut scratch: Vec<u32> = Vec::new();
+        for bag in &self.places {
+            scratch.clear();
+            scratch.extend(bag.iter().map(|c| c.0));
+            scratch.sort_unstable();
+            key.extend_from_slice(&scratch);
+            key.push(u32::MAX);
+        }
+        key
+    }
+
+    /// Vector of per-place token counts (ignores colors). Handy for
+    /// invariant checking and display.
+    pub fn count_vector(&self) -> Vec<usize> {
+        self.places.iter().map(TokenBag::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> PlaceId {
+        PlaceId::from_index(i)
+    }
+
+    #[test]
+    fn empty_marking() {
+        let m = Marking::empty(3);
+        assert_eq!(m.num_places(), 3);
+        assert_eq!(m.total_tokens(), 0);
+        assert_eq!(m.count(p(0)), 0);
+    }
+
+    #[test]
+    fn deposit_withdraw_roundtrip() {
+        let mut m = Marking::empty(2);
+        m.deposit(p(0), Color(1));
+        m.deposit(p(0), Color(2));
+        m.deposit(p(1), Color::NONE);
+        assert_eq!(m.count(p(0)), 2);
+        assert_eq!(m.count(p(1)), 1);
+        assert_eq!(m.total_tokens(), 3);
+        assert_eq!(m.withdraw(p(0), &ColorFilter::Eq(Color(2))), Some(Color(2)));
+        assert_eq!(m.count(p(0)), 1);
+        assert_eq!(m.withdraw(p(0), &ColorFilter::Any), Some(Color(1)));
+        assert_eq!(m.withdraw(p(0), &ColorFilter::Any), None);
+    }
+
+    #[test]
+    fn canonical_key_ignores_fifo_order() {
+        let mut a = Marking::empty(1);
+        a.deposit(p(0), Color(2));
+        a.deposit(p(0), Color(1));
+        let mut b = Marking::empty(1);
+        b.deposit(p(0), Color(1));
+        b.deposit(p(0), Color(2));
+        assert_ne!(a, b); // FIFO order differs...
+        assert_eq!(a.canonical_key(), b.canonical_key()); // ...but the state is the same.
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_places() {
+        let mut a = Marking::empty(2);
+        a.deposit(p(0), Color(1));
+        let mut b = Marking::empty(2);
+        b.deposit(p(1), Color(1));
+        assert_ne!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn count_vector_matches() {
+        let mut m = Marking::empty(3);
+        m.deposit(p(1), Color::NONE);
+        m.deposit(p(1), Color(4));
+        assert_eq!(m.count_vector(), vec![0, 2, 0]);
+    }
+}

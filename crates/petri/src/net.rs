@@ -1,0 +1,172 @@
+//! The immutable net structure produced by [`crate::builder::NetBuilder`].
+//!
+//! A [`Net`] is validated once at build time and then shared (immutably,
+//! cheaply, across threads) by any number of simulator instances — the
+//! replication harness in [`crate::replicate`] relies on `Net: Sync`.
+
+use crate::ids::{PlaceId, TransitionId};
+use crate::marking::Marking;
+use crate::token::{Color, TokenBag};
+use crate::transition::Transition;
+
+/// A place definition: name + initial tokens.
+#[derive(Debug, Clone)]
+pub struct Place {
+    /// Human-readable name (unique within the net).
+    pub name: String,
+    /// Initial token colors (FIFO order).
+    pub initial: Vec<Color>,
+}
+
+/// An immutable, validated Petri net.
+#[derive(Debug, Clone)]
+pub struct Net {
+    /// Net name (for diagnostics and DOT export).
+    pub name: String,
+    pub(crate) places: Vec<Place>,
+    pub(crate) transitions: Vec<Transition>,
+    /// `affected_by[p]` = transitions whose enabling status can change when
+    /// the token count of place `p` changes (inputs, inhibitors, or guard
+    /// references). Built once; drives incremental enabling re-checks.
+    pub(crate) affected_by: Vec<Vec<TransitionId>>,
+}
+
+impl Net {
+    /// Number of places.
+    #[inline]
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    #[inline]
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Place metadata.
+    #[inline]
+    pub fn place(&self, p: PlaceId) -> &Place {
+        &self.places[p.index()]
+    }
+
+    /// Transition metadata.
+    #[inline]
+    pub fn transition(&self, t: TransitionId) -> &Transition {
+        &self.transitions[t.index()]
+    }
+
+    /// Iterate over all place ids.
+    pub fn place_ids(&self) -> impl Iterator<Item = PlaceId> {
+        (0..self.places.len()).map(PlaceId::from_index)
+    }
+
+    /// Iterate over all transition ids.
+    pub fn transition_ids(&self) -> impl Iterator<Item = TransitionId> {
+        (0..self.transitions.len()).map(TransitionId::from_index)
+    }
+
+    /// Look up a place by name.
+    pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
+        self.places
+            .iter()
+            .position(|p| p.name == name)
+            .map(PlaceId::from_index)
+    }
+
+    /// Look up a transition by name.
+    pub fn transition_by_name(&self, name: &str) -> Option<TransitionId> {
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(TransitionId::from_index)
+    }
+
+    /// The initial marking.
+    pub fn initial_marking(&self) -> Marking {
+        Marking::from_bags(
+            self.places
+                .iter()
+                .map(|p| TokenBag::with_colors(&p.initial))
+                .collect(),
+        )
+    }
+
+    /// Transitions whose enabling may be affected by a token-count change in
+    /// place `p`.
+    #[inline]
+    pub(crate) fn affected_by(&self, p: PlaceId) -> &[TransitionId] {
+        &self.affected_by[p.index()]
+    }
+
+    /// All transitions (slice access for the engine's hot loop).
+    #[inline]
+    pub(crate) fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::NetBuilder;
+    use crate::timing::Timing;
+
+    #[test]
+    fn lookups_by_name() {
+        let mut b = NetBuilder::new("lookup");
+        let p = b.place("Wait").tokens(1).build();
+        let q = b.place("Run").build();
+        let t = b
+            .transition("go", Timing::immediate())
+            .input(p, 1)
+            .output(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        assert_eq!(net.place_by_name("Wait"), Some(p));
+        assert_eq!(net.place_by_name("Run"), Some(q));
+        assert_eq!(net.place_by_name("Nope"), None);
+        assert_eq!(net.transition_by_name("go"), Some(t));
+        assert_eq!(net.transition_by_name("stop"), None);
+        assert_eq!(net.num_places(), 2);
+        assert_eq!(net.num_transitions(), 1);
+    }
+
+    #[test]
+    fn initial_marking_reflects_builder() {
+        let mut b = NetBuilder::new("init");
+        let p = b.place("a").tokens(2).build();
+        let q = b.place("b").build();
+        b.transition("t", Timing::immediate()).input(p, 1).build();
+        let net = b.build().unwrap();
+        let m = net.initial_marking();
+        assert_eq!(m.count(p), 2);
+        assert_eq!(m.count(q), 0);
+    }
+
+    #[test]
+    fn affected_by_covers_inputs_inhibitors_and_guards() {
+        use crate::expr::Expr;
+        let mut b = NetBuilder::new("adj");
+        let a = b.place("a").tokens(1).build();
+        let g = b.place("g").build();
+        let inh = b.place("inh").build();
+        let out = b.place("out").build();
+        let t = b
+            .transition("t", Timing::immediate())
+            .input(a, 1)
+            .output(out, 1)
+            .inhibitor(inh, 1)
+            .guard(Expr::count(g).eq_c(0))
+            .build();
+        let net = b.build().unwrap();
+        for p in [a, g, inh] {
+            assert!(
+                net.affected_by(p).contains(&t),
+                "transition should be indexed under {p:?}"
+            );
+        }
+        // Output-only places also wake the transition's re-check; harmless
+        // and required for self-loop nets.
+        assert!(net.affected_by(out).contains(&t));
+    }
+}

@@ -1,0 +1,1105 @@
+//! The simulation engine: enabling, scheduling, firing, reward integration.
+
+use super::rewards::{RewardId, RewardSpec, RewardSpecError};
+use super::trace::{TraceBuffer, TraceEvent};
+use crate::error::SimError;
+use crate::ids::{PlaceId, TransitionId};
+use crate::marking::Marking;
+use crate::net::Net;
+use crate::rng::SimRng;
+use crate::timing::MemoryPolicy;
+use crate::token::Color;
+use crate::transition::Transition;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Run-independent simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated time horizon (seconds).
+    pub end_time: f64,
+    /// Rewards are only accumulated after this much simulated time
+    /// (steady-state warm-up deletion). Default 0.
+    pub warmup: f64,
+    /// Abort with [`SimError::ImmediateLivelock`] after this many firings
+    /// without time advancing. Default 100 000.
+    pub max_zero_time_firings: u64,
+    /// Abort with [`SimError::TokenOverflow`] if any place exceeds this
+    /// token count. Default 1 000 000.
+    pub max_tokens_per_place: usize,
+    /// Record up to this many firings in the output trace. Default 0 (off).
+    pub trace_capacity: usize,
+}
+
+impl SimConfig {
+    /// Config with the given horizon and library defaults for everything
+    /// else.
+    pub fn for_horizon(end_time: f64) -> Self {
+        SimConfig {
+            end_time,
+            warmup: 0.0,
+            max_zero_time_firings: 100_000,
+            max_tokens_per_place: 1_000_000,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Builder-style: set the warm-up window.
+    pub fn with_warmup(mut self, warmup: f64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Builder-style: enable trace recording.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// The configured horizon actually simulated.
+    pub end_time: f64,
+    /// `end_time - warmup`: the window over which rewards were measured.
+    pub observed_time: f64,
+    /// One value per configured reward, in [`RewardId`] order.
+    pub rewards: Vec<f64>,
+    /// Total firings per transition over the whole run (including warm-up).
+    pub firing_counts: Vec<u64>,
+    /// Marking at the end of the run.
+    pub final_marking: Marking,
+    /// Recorded firings (empty unless `trace_capacity > 0`).
+    pub trace: Vec<TraceEvent>,
+    /// Firings not recorded because the trace buffer filled up.
+    pub trace_dropped: u64,
+}
+
+impl SimOutput {
+    /// Value of a configured reward.
+    #[inline]
+    pub fn reward(&self, id: RewardId) -> f64 {
+        self.rewards[id.index()]
+    }
+
+    /// Total number of firings across all transitions.
+    pub fn total_firings(&self) -> u64 {
+        self.firing_counts.iter().sum()
+    }
+}
+
+/// A configured, reusable simulator for one net.
+///
+/// Immutable after setup; [`Simulator::run`] takes `&self`, so independent
+/// replications can run concurrently on multiple threads.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    net: &'a Net,
+    cfg: SimConfig,
+    rewards: Vec<RewardSpec>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator for `net` with the given configuration.
+    pub fn new(net: &'a Net, cfg: SimConfig) -> Self {
+        Simulator {
+            net,
+            cfg,
+            rewards: Vec::new(),
+        }
+    }
+
+    /// Register a reward measure; the returned id indexes
+    /// [`SimOutput::rewards`].
+    pub fn reward(&mut self, spec: RewardSpec) -> Result<RewardId, RewardSpecError> {
+        spec.validate(self.net)?;
+        let id = RewardId(self.rewards.len());
+        self.rewards.push(spec);
+        Ok(id)
+    }
+
+    /// Convenience: time-average token count of a place.
+    pub fn reward_place(&mut self, p: PlaceId) -> RewardId {
+        self.reward(RewardSpec::PlaceTokens(p))
+            .expect("place id from the same net")
+    }
+
+    /// Convenience: fraction of time a predicate holds.
+    pub fn reward_predicate(&mut self, e: crate::expr::Expr) -> Result<RewardId, RewardSpecError> {
+        self.reward(RewardSpec::Predicate(e))
+    }
+
+    /// Convenience: firing count of a transition.
+    pub fn reward_firings(&mut self, t: TransitionId) -> RewardId {
+        self.reward(RewardSpec::FiringCount(t))
+            .expect("transition id from the same net")
+    }
+
+    /// The net this simulator runs.
+    pub fn net(&self) -> &Net {
+        self.net
+    }
+
+    /// Number of configured rewards.
+    pub fn reward_count(&self) -> usize {
+        self.rewards.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Execute one independent run with the given seed.
+    pub fn run(&self, seed: u64) -> Result<SimOutput, SimError> {
+        Engine::new(self.net, &self.cfg, &self.rewards, seed).run()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------------
+
+/// Heap key for pending timed firings. Min-order: earliest time first; ties
+/// broken by transition-definition order (see module docs of [`super`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapKey {
+    time: f64,
+    tid: u32,
+    gen: u64,
+}
+
+impl Eq for HeapKey {}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the *smallest* key on
+        // top.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.tid.cmp(&self.tid))
+            .then_with(|| other.gen.cmp(&self.gen))
+    }
+}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-transition scheduling state.
+#[derive(Debug, Clone, Default)]
+struct SchedState {
+    /// Generation counter; heap entries with a stale generation are ignored.
+    gen: u64,
+    /// Pending firing time, if scheduled.
+    fire_at: Option<f64>,
+    /// Frozen remaining delay (RaceAge policy only).
+    remaining: Option<f64>,
+}
+
+/// Per-reward accumulator.
+#[derive(Debug, Clone)]
+enum RewardAcc {
+    /// Integral of token count over observed time.
+    PlaceTokens { place: PlaceId, integral: f64 },
+    /// Integral of the indicator over observed time.
+    Predicate {
+        expr: crate::expr::Expr,
+        integral: f64,
+    },
+    /// Post-warmup firing counter, reported as rate.
+    Throughput { tid: TransitionId, count: u64 },
+    /// Post-warmup firing counter, reported raw.
+    FiringCount { tid: TransitionId, count: u64 },
+}
+
+struct Engine<'a> {
+    net: &'a Net,
+    cfg: &'a SimConfig,
+    rng: SimRng,
+    now: f64,
+    marking: Marking,
+    heap: BinaryHeap<HeapKey>,
+    sched: Vec<SchedState>,
+    firing_counts: Vec<u64>,
+    accs: Vec<RewardAcc>,
+    /// Cached ids of immediate transitions (checked every vanishing loop).
+    immediates: Vec<TransitionId>,
+    /// Cached ids of timed transitions with the Resample policy (re-checked
+    /// after every firing regardless of adjacency).
+    resamplers: Vec<TransitionId>,
+    /// Scratch: colors consumed by the current firing, grouped by arc.
+    consumed: Vec<Color>,
+    consumed_offsets: Vec<usize>,
+    /// Scratch: transitions to re-check after a firing.
+    recheck: Vec<TransitionId>,
+    recheck_flag: Vec<bool>,
+    trace: TraceBuffer,
+    zero_time_firings: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(net: &'a Net, cfg: &'a SimConfig, rewards: &[RewardSpec], seed: u64) -> Self {
+        let nt = net.num_transitions();
+        let accs = rewards
+            .iter()
+            .map(|spec| match spec {
+                RewardSpec::PlaceTokens(p) => RewardAcc::PlaceTokens {
+                    place: *p,
+                    integral: 0.0,
+                },
+                RewardSpec::Predicate(e) => RewardAcc::Predicate {
+                    expr: e.clone(),
+                    integral: 0.0,
+                },
+                RewardSpec::Throughput(t) => RewardAcc::Throughput { tid: *t, count: 0 },
+                RewardSpec::FiringCount(t) => RewardAcc::FiringCount { tid: *t, count: 0 },
+            })
+            .collect();
+        let immediates = net
+            .transition_ids()
+            .filter(|t| net.transition(*t).timing.is_immediate())
+            .collect();
+        let resamplers = net
+            .transition_ids()
+            .filter(|t| {
+                let tr = net.transition(*t);
+                !tr.timing.is_immediate() && tr.memory == MemoryPolicy::Resample
+            })
+            .collect();
+        Engine {
+            net,
+            cfg,
+            rng: SimRng::seed_from_u64(seed),
+            now: 0.0,
+            marking: net.initial_marking(),
+            heap: BinaryHeap::with_capacity(nt * 2),
+            sched: vec![SchedState::default(); nt],
+            firing_counts: vec![0; nt],
+            accs,
+            immediates,
+            resamplers,
+            consumed: Vec::with_capacity(8),
+            consumed_offsets: Vec::with_capacity(8),
+            recheck: Vec::with_capacity(nt),
+            recheck_flag: vec![false; nt],
+            trace: TraceBuffer::new(cfg.trace_capacity),
+            zero_time_firings: 0,
+        }
+    }
+
+    // ---- enabling ----
+
+    #[inline]
+    fn is_enabled(&self, t: &Transition) -> bool {
+        for arc in &t.inputs {
+            if self.marking.count_matching(arc.place, &arc.filter) < arc.multiplicity as usize {
+                return false;
+            }
+        }
+        for inh in &t.inhibitors {
+            if self.marking.count_matching(inh.place, &inh.filter) >= inh.threshold as usize {
+                return false;
+            }
+        }
+        if let Some(g) = &t.guard {
+            if !g.eval_bool(&self.marking) {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ---- scheduling ----
+
+    fn schedule(&mut self, tid: TransitionId, fire_at: f64) {
+        let s = &mut self.sched[tid.index()];
+        s.gen += 1;
+        s.fire_at = Some(fire_at);
+        self.heap.push(HeapKey {
+            time: fire_at,
+            tid: tid.0,
+            gen: s.gen,
+        });
+    }
+
+    fn cancel(&mut self, tid: TransitionId) -> Option<f64> {
+        let s = &mut self.sched[tid.index()];
+        let fire_at = s.fire_at.take();
+        if fire_at.is_some() {
+            s.gen += 1; // invalidate the heap entry lazily
+        }
+        fire_at
+    }
+
+    /// Bring one timed transition's schedule in line with its enabling
+    /// status.
+    fn recheck_timed(&mut self, tid: TransitionId) {
+        let net = self.net;
+        let t = net.transition(tid);
+        debug_assert!(!t.timing.is_immediate());
+        let enabled = self.is_enabled(t);
+        let scheduled = self.sched[tid.index()].fire_at.is_some();
+        match (enabled, scheduled) {
+            (true, false) => {
+                let delay = match t.memory {
+                    MemoryPolicy::RaceAge => self.sched[tid.index()]
+                        .remaining
+                        .take()
+                        .unwrap_or_else(|| t.timing.sample_delay(&mut self.rng)),
+                    _ => t.timing.sample_delay(&mut self.rng),
+                };
+                self.schedule(tid, self.now + delay);
+            }
+            (true, true) => {
+                if t.memory == MemoryPolicy::Resample {
+                    self.cancel(tid);
+                    let delay = t.timing.sample_delay(&mut self.rng);
+                    self.schedule(tid, self.now + delay);
+                }
+                // RaceEnable / RaceAge: clock keeps running.
+            }
+            (false, true) => {
+                let fire_at = self.cancel(tid).expect("scheduled implies fire_at");
+                if t.memory == MemoryPolicy::RaceAge {
+                    self.sched[tid.index()].remaining = Some((fire_at - self.now).max(0.0));
+                }
+            }
+            (false, false) => {}
+        }
+    }
+
+    /// Mark a transition for re-check (deduplicated).
+    #[inline]
+    fn mark_recheck(&mut self, tid: TransitionId) {
+        if !self.recheck_flag[tid.index()] {
+            self.recheck_flag[tid.index()] = true;
+            self.recheck.push(tid);
+        }
+    }
+
+    /// Re-check every timed transition whose enabling may have changed after
+    /// `fired` consumed/produced tokens.
+    fn update_schedules_after(&mut self, fired: TransitionId) {
+        self.recheck.clear();
+        // Copy the net reference out of `self` so iterating its adjacency
+        // lists does not conflict with the `&mut self` pushes below
+        // (zero-cost: `&'a Net` is Copy).
+        let net = self.net;
+        let t = net.transition(fired);
+        // Collect affected transitions from the dependency index.
+        for arc_place in t
+            .inputs
+            .iter()
+            .map(|a| a.place)
+            .chain(t.outputs.iter().map(|a| a.place))
+        {
+            for &tid in net.affected_by(arc_place) {
+                self.mark_recheck(tid);
+            }
+        }
+        // The fired transition's own clock was consumed by firing.
+        self.mark_recheck(fired);
+        // Resample-policy transitions re-sample on *every* marking change.
+        for i in 0..self.resamplers.len() {
+            let tid = self.resamplers[i];
+            self.mark_recheck(tid);
+        }
+
+        for i in 0..self.recheck.len() {
+            let tid = self.recheck[i];
+            self.recheck_flag[tid.index()] = false;
+            if !net.transition(tid).timing.is_immediate() {
+                self.recheck_timed(tid);
+            }
+        }
+        self.recheck.clear();
+    }
+
+    // ---- firing ----
+
+    fn fire(&mut self, tid: TransitionId) -> Result<(), SimError> {
+        // Copy the net reference so `t` does not pin `self` (see
+        // `update_schedules_after`).
+        let net = self.net;
+        let t: &Transition = &net.transitions()[tid.index()];
+        self.consumed.clear();
+        self.consumed_offsets.clear();
+        for arc in &t.inputs {
+            self.consumed_offsets.push(self.consumed.len());
+            for _ in 0..arc.multiplicity {
+                let c = self
+                    .marking
+                    .withdraw(arc.place, &arc.filter)
+                    .expect("transition fired while not enabled");
+                self.consumed.push(c);
+            }
+        }
+        for arc in &t.outputs {
+            for _ in 0..arc.multiplicity {
+                let c = arc
+                    .color
+                    .eval(&self.consumed, &self.consumed_offsets, &mut self.rng);
+                self.marking.deposit(arc.place, c);
+            }
+            if self.marking.count(arc.place) > self.cfg.max_tokens_per_place {
+                return Err(SimError::TokenOverflow {
+                    place: arc.place.index(),
+                    time: self.now,
+                    limit: self.cfg.max_tokens_per_place,
+                });
+            }
+        }
+        self.firing_counts[tid.index()] += 1;
+        if self.cfg.trace_capacity > 0 {
+            self.trace.record(self.now, tid);
+        }
+        if self.now >= self.cfg.warmup {
+            for acc in &mut self.accs {
+                match acc {
+                    RewardAcc::Throughput { tid: rt, count } if *rt == tid => *count += 1,
+                    RewardAcc::FiringCount { tid: rt, count } if *rt == tid => *count += 1,
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fire enabled immediates (highest priority first, weighted conflicts)
+    /// until none remain enabled.
+    fn fire_immediates(&mut self) -> Result<(), SimError> {
+        // Scratch buffers reused across iterations.
+        let mut candidates: Vec<TransitionId> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        loop {
+            let mut best_pri: Option<u8> = None;
+            candidates.clear();
+            for &tid in &self.immediates {
+                let t = self.net.transition(tid);
+                let pri = t.timing.priority().expect("immediate");
+                // Skip transitions that cannot beat the current best.
+                if let Some(bp) = best_pri {
+                    if pri < bp {
+                        continue;
+                    }
+                }
+                if self.is_enabled(t) {
+                    match best_pri {
+                        Some(bp) if pri > bp => {
+                            best_pri = Some(pri);
+                            candidates.clear();
+                            candidates.push(tid);
+                        }
+                        Some(_) => candidates.push(tid),
+                        None => {
+                            best_pri = Some(pri);
+                            candidates.push(tid);
+                        }
+                    }
+                }
+            }
+            let Some(_) = best_pri else { break };
+            let chosen = if candidates.len() == 1 {
+                candidates[0]
+            } else {
+                weights.clear();
+                weights.extend(
+                    candidates
+                        .iter()
+                        .map(|&c| self.net.transition(c).timing.weight().expect("immediate")),
+                );
+                candidates[self.rng.weighted_choice(&weights)]
+            };
+            self.fire(chosen)?;
+            self.update_schedules_after(chosen);
+            self.bump_zero_time_counter()?;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn bump_zero_time_counter(&mut self) -> Result<(), SimError> {
+        self.zero_time_firings += 1;
+        if self.zero_time_firings > self.cfg.max_zero_time_firings {
+            return Err(SimError::ImmediateLivelock {
+                time: self.now,
+                limit: self.cfg.max_zero_time_firings,
+            });
+        }
+        Ok(())
+    }
+
+    // ---- reward integration ----
+
+    /// Integrate rewards over `[self.now, until)`, clipping to the warm-up
+    /// boundary.
+    fn integrate_rewards(&mut self, until: f64) {
+        let from = self.now.max(self.cfg.warmup);
+        let dt = until - from;
+        if dt <= 0.0 {
+            return;
+        }
+        for acc in &mut self.accs {
+            match acc {
+                RewardAcc::PlaceTokens { place, integral } => {
+                    *integral += self.marking.count(*place) as f64 * dt;
+                }
+                RewardAcc::Predicate { expr, integral } => {
+                    if expr.eval_bool(&self.marking) {
+                        *integral += dt;
+                    }
+                }
+                RewardAcc::Throughput { .. } | RewardAcc::FiringCount { .. } => {}
+            }
+        }
+    }
+
+    // ---- main loop ----
+
+    fn run(mut self) -> Result<SimOutput, SimError> {
+        // Initial scheduling pass over all transitions.
+        for tid in self.net.transition_ids() {
+            if !self.net.transition(tid).timing.is_immediate() {
+                self.recheck_timed(tid);
+            }
+        }
+        self.fire_immediates()?;
+
+        loop {
+            // Find the next valid timed event.
+            let next = loop {
+                match self.heap.peek() {
+                    None => break None,
+                    Some(key) => {
+                        let s = &self.sched[key.tid as usize];
+                        let valid = s.gen == key.gen && s.fire_at == Some(key.time);
+                        if valid {
+                            break Some(*key);
+                        }
+                        self.heap.pop();
+                    }
+                }
+            };
+
+            match next {
+                Some(key) if key.time < self.cfg.end_time => {
+                    self.heap.pop();
+                    let tid = TransitionId(key.tid);
+                    self.integrate_rewards(key.time);
+                    if key.time > self.now {
+                        self.zero_time_firings = 0;
+                    }
+                    self.now = key.time;
+                    // Consume the schedule entry.
+                    self.sched[tid.index()].fire_at = None;
+                    self.sched[tid.index()].gen += 1;
+                    self.fire(tid)?;
+                    self.bump_zero_time_counter()?;
+                    self.update_schedules_after(tid);
+                    self.fire_immediates()?;
+                }
+                _ => {
+                    // No more events before the horizon: integrate the tail
+                    // and stop.
+                    self.integrate_rewards(self.cfg.end_time);
+                    self.now = self.cfg.end_time;
+                    break;
+                }
+            }
+        }
+
+        let observed = (self.cfg.end_time - self.cfg.warmup).max(0.0);
+        let rewards = self
+            .accs
+            .iter()
+            .map(|acc| match acc {
+                RewardAcc::PlaceTokens { integral, .. } => {
+                    if observed > 0.0 {
+                        integral / observed
+                    } else {
+                        0.0
+                    }
+                }
+                RewardAcc::Predicate { integral, .. } => {
+                    if observed > 0.0 {
+                        integral / observed
+                    } else {
+                        0.0
+                    }
+                }
+                RewardAcc::Throughput { count, .. } => {
+                    if observed > 0.0 {
+                        *count as f64 / observed
+                    } else {
+                        0.0
+                    }
+                }
+                RewardAcc::FiringCount { count, .. } => *count as f64,
+            })
+            .collect();
+
+        Ok(SimOutput {
+            end_time: self.cfg.end_time,
+            observed_time: observed,
+            rewards,
+            firing_counts: self.firing_counts,
+            final_marking: self.marking,
+            trace_dropped: self.trace.dropped,
+            trace: self.trace.into_events(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::expr::Expr;
+    use crate::timing::Timing;
+
+    /// Single deterministic transition cycling one token: P -> T(1s) -> P.
+    #[test]
+    fn deterministic_clock_fires_once_per_second() {
+        let mut b = NetBuilder::new("clock");
+        let p = b.place("p").tokens(1).build();
+        let t = b
+            .transition("tick", Timing::deterministic(1.0))
+            .input(p, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(10.5));
+        let firings = sim.reward_firings(t);
+        let out = sim.run(1).unwrap();
+        // Fires at t = 1, 2, ..., 10.
+        assert_eq!(out.reward(firings), 10.0);
+    }
+
+    /// Immediate transitions fire before any time passes.
+    #[test]
+    fn immediates_fire_at_time_zero() {
+        let mut b = NetBuilder::new("imm");
+        let a = b.place("a").tokens(3).build();
+        let z = b.place("z").build();
+        b.transition("move", Timing::immediate())
+            .input(a, 1)
+            .output(z, 1)
+            .build();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net, SimConfig::for_horizon(1.0));
+        let out = sim.run(1).unwrap();
+        assert_eq!(out.final_marking.count(z), 3);
+        assert_eq!(out.final_marking.count(a), 0);
+    }
+
+    /// Higher-priority immediates win conflicts outright.
+    #[test]
+    fn immediate_priority_wins() {
+        let mut b = NetBuilder::new("pri");
+        let a = b.place("a").tokens(1).build();
+        let hi = b.place("hi").build();
+        let lo = b.place("lo").build();
+        b.transition("to_lo", Timing::immediate_pri(1))
+            .input(a, 1)
+            .output(lo, 1)
+            .build();
+        b.transition("to_hi", Timing::immediate_pri(2))
+            .input(a, 1)
+            .output(hi, 1)
+            .build();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net, SimConfig::for_horizon(1.0));
+        for seed in 0..20 {
+            let out = sim.run(seed).unwrap();
+            assert_eq!(out.final_marking.count(hi), 1, "seed {seed}");
+            assert_eq!(out.final_marking.count(lo), 0, "seed {seed}");
+        }
+    }
+
+    /// Equal-priority immediates split according to weight.
+    #[test]
+    fn immediate_weights_split_conflicts() {
+        let mut b = NetBuilder::new("weights");
+        let src = b.place("src").build();
+        let left = b.place("left").build();
+        let right = b.place("right").build();
+        // Token generator: one token per second.
+        b.transition("gen", Timing::deterministic(1.0))
+            .output(src, 1)
+            .build();
+        b.transition(
+            "to_left",
+            Timing::Immediate {
+                priority: 1,
+                weight: 1.0,
+            },
+        )
+        .input(src, 1)
+        .output(left, 1)
+        .build();
+        b.transition(
+            "to_right",
+            Timing::Immediate {
+                priority: 1,
+                weight: 3.0,
+            },
+        )
+        .input(src, 1)
+        .output(right, 1)
+        .build();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net, SimConfig::for_horizon(4000.0));
+        let out = sim.run(99).unwrap();
+        let l = out.final_marking.count(left) as f64;
+        let r = out.final_marking.count(right) as f64;
+        let frac = r / (l + r);
+        assert!((frac - 0.75).abs() < 0.03, "frac={frac}");
+    }
+
+    /// Time-average token count of a place fed at rate 1 and drained at
+    /// rate 2 matches M/M/1 with rho = 0.5: E[N] = rho/(1-rho) = 1.
+    #[test]
+    fn mm1_queue_length() {
+        let mut b = NetBuilder::new("mm1");
+        let q = b.place("q").build();
+        b.transition("arrive", Timing::exponential(1.0))
+            .output(q, 1)
+            .build();
+        b.transition("serve", Timing::exponential(2.0))
+            .input(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(60_000.0).with_warmup(1000.0));
+        let n = sim.reward_place(q);
+        let out = sim.run(7).unwrap();
+        let avg = out.reward(n);
+        assert!((avg - 1.0).abs() < 0.08, "E[N]={avg}");
+    }
+
+    /// Guards gate enabling: a transition whose guard is false never fires.
+    #[test]
+    fn guard_blocks_firing() {
+        let mut b = NetBuilder::new("guard");
+        let p = b.place("p").tokens(1).build();
+        let gate = b.place("gate").build(); // stays empty
+        let out_p = b.place("out").build();
+        let t = b
+            .transition("t", Timing::deterministic(0.1))
+            .input(p, 1)
+            .output(out_p, 1)
+            .guard(Expr::count(gate).gt_c(0))
+            .build();
+        let net = b.build().unwrap();
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(10.0));
+        let f = sim.reward_firings(t);
+        let out = sim.run(1).unwrap();
+        assert_eq!(out.reward(f), 0.0);
+        assert_eq!(out.final_marking.count(p), 1);
+    }
+
+    /// Inhibitor arcs disable while tokens are present.
+    #[test]
+    fn inhibitor_blocks_firing() {
+        let mut b = NetBuilder::new("inh");
+        let p = b.place("p").tokens(1).build();
+        let blocker = b.place("blocker").tokens(1).build();
+        let out_p = b.place("out").build();
+        b.transition("t", Timing::deterministic(0.1))
+            .input(p, 1)
+            .output(out_p, 1)
+            .inhibitor(blocker, 1)
+            .build();
+        // Drain the blocker at t = 5.
+        b.transition("unblock", Timing::deterministic(5.0))
+            .input(blocker, 1)
+            .build();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net, SimConfig::for_horizon(10.0));
+        let out = sim.run(1).unwrap();
+        assert_eq!(out.final_marking.count(out_p), 1);
+        // Fired only after the blocker drained (t = 5.1), not at 0.1.
+    }
+
+    /// RaceEnable: disabling a deterministic transition discards its clock.
+    /// A PDT-style timer that keeps getting interrupted never fires.
+    #[test]
+    fn race_enable_restarts_clock() {
+        let mut b = NetBuilder::new("race");
+        let idle = b.place("idle").tokens(1).build();
+        let buf = b.place("buf").build();
+        let slept = b.place("slept").build();
+        // Job arrives every 0.5 s and is served instantly.
+        b.transition("arrive", Timing::deterministic(0.5))
+            .output(buf, 1)
+            .build();
+        b.transition("serve", Timing::immediate())
+            .input(buf, 1)
+            .build();
+        // Sleep timer: 0.8 s of continuous idleness required; the guard
+        // breaks every 0.5 s when a job lands.
+        b.transition("sleep", Timing::deterministic(0.8))
+            .input(idle, 1)
+            .output(slept, 1)
+            .guard(Expr::count(buf).eq_c(0))
+            .build();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net, SimConfig::for_horizon(100.0));
+        let out = sim.run(1).unwrap();
+        assert_eq!(
+            out.final_marking.count(slept),
+            0,
+            "timer must restart on every interruption"
+        );
+    }
+
+    /// RaceAge: the same interrupted timer accumulates age and eventually
+    /// fires.
+    #[test]
+    fn race_age_accumulates() {
+        let mut b = NetBuilder::new("age");
+        let idle = b.place("idle").tokens(1).build();
+        let buf = b.place("buf").build();
+        let slept = b.place("slept").build();
+        b.transition("arrive", Timing::deterministic(0.5))
+            .output(buf, 1)
+            .build();
+        b.transition("serve", Timing::deterministic(0.1))
+            .input(buf, 1)
+            .build();
+        b.transition("sleep", Timing::deterministic(0.8))
+            .input(idle, 1)
+            .output(slept, 1)
+            .guard(Expr::count(buf).eq_c(0))
+            .memory(MemoryPolicy::RaceAge)
+            .build();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net, SimConfig::for_horizon(100.0));
+        let out = sim.run(1).unwrap();
+        assert_eq!(
+            out.final_marking.count(slept),
+            1,
+            "aged timer must eventually fire"
+        );
+    }
+
+    /// Immediate livelock is detected, not spun on.
+    #[test]
+    fn immediate_livelock_detected() {
+        let mut b = NetBuilder::new("livelock");
+        let a = b.place("a").tokens(1).build();
+        let z = b.place("z").build();
+        b.transition("ab", Timing::immediate())
+            .input(a, 1)
+            .output(z, 1)
+            .build();
+        b.transition("ba", Timing::immediate())
+            .input(z, 1)
+            .output(a, 1)
+            .build();
+        let net = b.build().unwrap();
+        let mut cfg = SimConfig::for_horizon(1.0);
+        cfg.max_zero_time_firings = 1000;
+        let sim = Simulator::new(&net, cfg);
+        assert!(matches!(
+            sim.run(1),
+            Err(SimError::ImmediateLivelock { .. })
+        ));
+    }
+
+    /// Unbounded generators trip the token-overflow guard instead of eating
+    /// all memory.
+    #[test]
+    fn token_overflow_detected() {
+        let mut b = NetBuilder::new("overflow");
+        let q = b.place("q").build();
+        b.transition("gen", Timing::deterministic(0.001))
+            .output(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        let mut cfg = SimConfig::for_horizon(1e9);
+        cfg.max_tokens_per_place = 500;
+        let sim = Simulator::new(&net, cfg);
+        assert!(matches!(sim.run(1), Err(SimError::TokenOverflow { .. })));
+    }
+
+    /// Same seed, same trajectory; different seed, different trajectory.
+    #[test]
+    fn reproducibility() {
+        let mut b = NetBuilder::new("repro");
+        let q = b.place("q").build();
+        b.transition("arrive", Timing::exponential(1.0))
+            .output(q, 1)
+            .build();
+        b.transition("serve", Timing::exponential(1.5))
+            .input(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(500.0));
+        let n = sim.reward_place(q);
+        let a = sim.run(42).unwrap();
+        let b2 = sim.run(42).unwrap();
+        let c = sim.run(43).unwrap();
+        assert_eq!(a.reward(n), b2.reward(n));
+        assert_eq!(a.firing_counts, b2.firing_counts);
+        assert_ne!(a.reward(n), c.reward(n));
+    }
+
+    /// Predicate rewards measure conjunction states.
+    #[test]
+    fn predicate_reward_measures_fraction() {
+        let mut b = NetBuilder::new("pred");
+        let p = b.place("p").tokens(1).build();
+        let q = b.place("q").build();
+        // Token oscillates: 1 s in p, 1 s in q.
+        b.transition("pq", Timing::deterministic(1.0))
+            .input(p, 1)
+            .output(q, 1)
+            .build();
+        b.transition("qp", Timing::deterministic(1.0))
+            .input(q, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(1000.0));
+        let in_p = sim.reward_predicate(Expr::count(p).gt_c(0)).unwrap();
+        let out = sim.run(1).unwrap();
+        assert!((out.reward(in_p) - 0.5).abs() < 1e-9);
+    }
+
+    /// Warm-up deletion removes the initial transient from rewards.
+    #[test]
+    fn warmup_excluded_from_rewards() {
+        let mut b = NetBuilder::new("warm");
+        let p = b.place("p").tokens(1).build();
+        let q = b.place("q").build();
+        // One-shot move at t = 1: p empty afterwards.
+        b.transition("move", Timing::deterministic(1.0))
+            .input(p, 1)
+            .output(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(11.0).with_warmup(1.0));
+        let avg_p = sim.reward_place(p);
+        let out = sim.run(1).unwrap();
+        // After warm-up the token is always in q.
+        assert_eq!(out.reward(avg_p), 0.0);
+        assert_eq!(out.observed_time, 10.0);
+    }
+
+    /// Trace recording captures firings in time order.
+    #[test]
+    fn trace_records_firings() {
+        let mut b = NetBuilder::new("trace");
+        let p = b.place("p").tokens(1).build();
+        let t = b
+            .transition("tick", Timing::deterministic(2.0))
+            .input(p, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net, SimConfig::for_horizon(7.0).with_trace(10));
+        let out = sim.run(1).unwrap();
+        let times: Vec<f64> = out.trace.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![2.0, 4.0, 6.0]);
+        assert!(out.trace.iter().all(|e| e.transition == t));
+    }
+
+    /// Simultaneous deterministic firings resolve in definition order.
+    #[test]
+    fn simultaneous_firings_use_definition_order() {
+        let mut b = NetBuilder::new("tie");
+        let a = b.place("a").tokens(1).build();
+        let winner = b.place("winner").build();
+        let loser = b.place("loser").build();
+        // Both want the single token at exactly t = 1.0.
+        b.transition("first", Timing::deterministic(1.0))
+            .input(a, 1)
+            .output(winner, 1)
+            .build();
+        b.transition("second", Timing::deterministic(1.0))
+            .input(a, 1)
+            .output(loser, 1)
+            .build();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net, SimConfig::for_horizon(2.0));
+        for seed in 0..10 {
+            let out = sim.run(seed).unwrap();
+            assert_eq!(out.final_marking.count(winner), 1, "seed {seed}");
+            assert_eq!(out.final_marking.count(loser), 0, "seed {seed}");
+        }
+    }
+
+    /// Colored tokens flow through Transfer output arcs unchanged.
+    #[test]
+    fn color_transfer_pipeline() {
+        use crate::arc::ColorExpr;
+        use crate::token::{Color, ColorFilter};
+        let mut b = NetBuilder::new("colors");
+        let src = b
+            .place("src")
+            .token_colored(Color(1))
+            .token_colored(Color(2))
+            .build();
+        let fast = b.place("fast").build();
+        let slow = b.place("slow").build();
+        let mid = b.place("mid").build();
+        // Move everything to mid, preserving colors.
+        b.transition("stage", Timing::immediate())
+            .input(src, 1)
+            .output_colored(mid, 1, ColorExpr::Transfer { arc_index: 0 })
+            .build();
+        // Color-filtered consumers.
+        b.transition("take1", Timing::immediate())
+            .input_filtered(mid, 1, ColorFilter::Eq(Color(1)))
+            .output(fast, 1)
+            .build();
+        b.transition("take2", Timing::immediate())
+            .input_filtered(mid, 1, ColorFilter::Eq(Color(2)))
+            .output(slow, 1)
+            .build();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net, SimConfig::for_horizon(1.0));
+        let out = sim.run(5).unwrap();
+        assert_eq!(out.final_marking.count(fast), 1);
+        assert_eq!(out.final_marking.count(slow), 1);
+    }
+
+    /// Throughput reward equals firings / observed time.
+    #[test]
+    fn throughput_reward() {
+        let mut b = NetBuilder::new("thru");
+        let p = b.place("p").tokens(1).build();
+        let t = b
+            .transition("tick", Timing::deterministic(0.25))
+            .input(p, 1)
+            .output(p, 1)
+            .build();
+        let net = b.build().unwrap();
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(100.0));
+        let thru = sim.reward(RewardSpec::Throughput(t)).unwrap();
+        let out = sim.run(1).unwrap();
+        assert!((out.reward(thru) - 4.0).abs() < 0.05);
+    }
+
+    /// Deterministic(0) transitions advance state without advancing time and
+    /// do not livelock when they terminate.
+    #[test]
+    fn zero_delay_deterministic_ok() {
+        let mut b = NetBuilder::new("zerodelay");
+        let a = b.place("a").tokens(5).build();
+        let z = b.place("z").build();
+        b.transition("move", Timing::deterministic(0.0))
+            .input(a, 1)
+            .output(z, 1)
+            .build();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net, SimConfig::for_horizon(1.0));
+        let out = sim.run(1).unwrap();
+        assert_eq!(out.final_marking.count(z), 5);
+    }
+}

@@ -1,0 +1,30 @@
+//! Discrete-event simulation of EDSPN/SCPN nets.
+//!
+//! The public entry point is [`Simulator`]: configure it once (net, horizon,
+//! rewards), then call [`Simulator::run`] with as many seeds as you need —
+//! each run is an independent, reproducible trajectory. `Simulator` is
+//! `Sync`, so [`crate::replicate`] fans runs out across threads.
+//!
+//! # Semantics
+//!
+//! * Enabled **immediate** transitions fire before simulated time advances
+//!   (vanishing markings), highest priority first; equal-priority conflicts
+//!   are resolved probabilistically by weight.
+//! * **Timed** transitions sample a firing delay when they become enabled;
+//!   the [`crate::timing::MemoryPolicy`] governs what happens to the clock
+//!   when a transition is disabled before firing.
+//! * Two timed transitions scheduled for the same instant fire in
+//!   **transition-definition order** (lowest [`crate::ids::TransitionId`]
+//!   first). This is load-bearing for threshold models: the paper's optimal
+//!   `Power_Down_Threshold` sits *exactly* on a job-arrival boundary, and
+//!   definition order decides whether the CPU sleeps at the boundary.
+//! * Rewards are integrated exactly between events (token counts and
+//!   predicates are piecewise-constant in time).
+
+mod engine;
+mod rewards;
+mod trace;
+
+pub use engine::{SimConfig, SimOutput, Simulator};
+pub use rewards::{RewardId, RewardSpec, RewardSpecError};
+pub use trace::TraceEvent;

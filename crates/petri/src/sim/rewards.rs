@@ -1,0 +1,173 @@
+//! Reward measures: what a simulation run reports.
+//!
+//! The paper computes "the average number of tokens in a certain place
+//! during the duration of the simulation time", which equals the
+//! steady-state fraction of time the modeled component spends in that state
+//! (Sec. III-B). [`RewardSpec`] generalizes this slightly:
+//!
+//! * [`RewardSpec::PlaceTokens`] — time-average token count of a place
+//!   (the paper's primary measure).
+//! * [`RewardSpec::Predicate`] — fraction of time a marking predicate holds
+//!   (needed when a conceptual state is a *conjunction*, e.g. "CPU on AND
+//!   buffer empty" = idle).
+//! * [`RewardSpec::Throughput`] — firings per second of a transition.
+//! * [`RewardSpec::FiringCount`] — raw number of firings (used to count CPU
+//!   wake-ups for the transitional-energy series of Figs. 14–15).
+
+use crate::expr::{Expr, ExprKind};
+use crate::ids::{PlaceId, TransitionId};
+use crate::net::Net;
+use std::fmt;
+
+/// Handle to a configured reward; indexes [`super::SimOutput::rewards`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RewardId(pub(crate) usize);
+
+impl RewardId {
+    /// Dense index into the output reward vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A quantity to measure during simulation.
+#[derive(Debug, Clone)]
+pub enum RewardSpec {
+    /// Time-average number of tokens in the place (over the post-warmup
+    /// window).
+    PlaceTokens(PlaceId),
+    /// Fraction of (post-warmup) time during which the boolean marking
+    /// expression holds.
+    Predicate(Expr),
+    /// Firings per second of the transition over the post-warmup window.
+    Throughput(TransitionId),
+    /// Number of firings of the transition in the post-warmup window.
+    FiringCount(TransitionId),
+}
+
+/// Why a reward specification was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewardSpecError {
+    /// The place id does not belong to the net.
+    PlaceOutOfRange,
+    /// The transition id does not belong to the net.
+    TransitionOutOfRange,
+    /// The predicate expression is not boolean-typed.
+    NotBoolean,
+    /// The predicate references a place outside the net.
+    ExprPlaceOutOfRange,
+}
+
+impl fmt::Display for RewardSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RewardSpecError::PlaceOutOfRange => "reward place id out of range",
+            RewardSpecError::TransitionOutOfRange => "reward transition id out of range",
+            RewardSpecError::NotBoolean => "reward predicate is not boolean-typed",
+            RewardSpecError::ExprPlaceOutOfRange => "reward predicate references unknown place",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for RewardSpecError {}
+
+impl RewardSpec {
+    /// Validate against a net.
+    pub fn validate(&self, net: &Net) -> Result<(), RewardSpecError> {
+        match self {
+            RewardSpec::PlaceTokens(p) => {
+                if p.index() >= net.num_places() {
+                    return Err(RewardSpecError::PlaceOutOfRange);
+                }
+            }
+            RewardSpec::Predicate(e) => {
+                if e.kind() != Some(ExprKind::Bool) {
+                    return Err(RewardSpecError::NotBoolean);
+                }
+                if let Some(max) = e.max_place_index() {
+                    if max >= net.num_places() {
+                        return Err(RewardSpecError::ExprPlaceOutOfRange);
+                    }
+                }
+            }
+            RewardSpec::Throughput(t) | RewardSpec::FiringCount(t) => {
+                if t.index() >= net.num_transitions() {
+                    return Err(RewardSpecError::TransitionOutOfRange);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::timing::Timing;
+
+    fn tiny_net() -> Net {
+        let mut b = NetBuilder::new("tiny");
+        let p = b.place("p").tokens(1).build();
+        b.transition("t", Timing::exponential(1.0))
+            .input(p, 1)
+            .output(p, 1)
+            .build();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_specs_pass() {
+        let net = tiny_net();
+        let p = net.place_by_name("p").unwrap();
+        let t = net.transition_by_name("t").unwrap();
+        assert!(RewardSpec::PlaceTokens(p).validate(&net).is_ok());
+        assert!(RewardSpec::Throughput(t).validate(&net).is_ok());
+        assert!(RewardSpec::FiringCount(t).validate(&net).is_ok());
+        assert!(RewardSpec::Predicate(Expr::count(p).gt_c(0))
+            .validate(&net)
+            .is_ok());
+    }
+
+    #[test]
+    fn out_of_range_place_rejected() {
+        let net = tiny_net();
+        let bad = PlaceId::from_index(99);
+        assert_eq!(
+            RewardSpec::PlaceTokens(bad).validate(&net),
+            Err(RewardSpecError::PlaceOutOfRange)
+        );
+    }
+
+    #[test]
+    fn out_of_range_transition_rejected() {
+        let net = tiny_net();
+        let bad = TransitionId::from_index(99);
+        assert_eq!(
+            RewardSpec::Throughput(bad).validate(&net),
+            Err(RewardSpecError::TransitionOutOfRange)
+        );
+    }
+
+    #[test]
+    fn non_boolean_predicate_rejected() {
+        let net = tiny_net();
+        let p = net.place_by_name("p").unwrap();
+        assert_eq!(
+            RewardSpec::Predicate(Expr::count(p)).validate(&net),
+            Err(RewardSpecError::NotBoolean)
+        );
+    }
+
+    #[test]
+    fn predicate_with_unknown_place_rejected() {
+        let net = tiny_net();
+        let bad = PlaceId::from_index(42);
+        assert_eq!(
+            RewardSpec::Predicate(Expr::count(bad).gt_c(0)).validate(&net),
+            Err(RewardSpecError::ExprPlaceOutOfRange)
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Optional event-trace recording.
+
+use crate::ids::TransitionId;
+
+/// One recorded firing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time of the firing.
+    pub time: f64,
+    /// Which transition fired.
+    pub transition: TransitionId,
+}
+
+/// Bounded trace buffer: keeps the first `capacity` firings.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Number of firings not recorded because the buffer was full.
+    pub(crate) dropped: u64,
+}
+
+impl TraceBuffer {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, time: f64, transition: TransitionId) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent { time, transition });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    pub(crate) fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_up_to_capacity() {
+        let mut buf = TraceBuffer::new(2);
+        buf.record(0.0, TransitionId::from_index(0));
+        buf.record(1.0, TransitionId::from_index(1));
+        buf.record(2.0, TransitionId::from_index(0));
+        assert_eq!(buf.dropped, 1);
+        let events = buf.into_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].time, 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut buf = TraceBuffer::new(0);
+        buf.record(0.5, TransitionId::from_index(3));
+        assert_eq!(buf.dropped, 1);
+        assert!(buf.into_events().is_empty());
+    }
+}

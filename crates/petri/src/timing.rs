@@ -1,0 +1,350 @@
+//! Transition timing semantics and firing-delay distributions.
+//!
+//! EDSPNs (Extended Deterministic and Stochastic Petri Nets, the class the
+//! paper's Fig. 3 model belongs to) combine three transition kinds:
+//!
+//! * **Immediate** — fires as soon as enabled, before simulated time
+//!   advances; conflicts resolved by priority, then weight.
+//! * **Deterministic** — fires a fixed delay after becoming enabled
+//!   (the `Power_Down_Threshold` and `Power_Up_Delay` transitions).
+//! * **Exponential** — fires after an exponentially distributed delay
+//!   (the `Arrival_Rate` and `Service_Rate` transitions).
+//!
+//! We additionally support `Uniform` and `Erlang` distributions: Erlang is
+//! the phase-type stand-in used by the ABL-ERLANG ablation to show how many
+//! exponential stages a Markov chain needs to mimic a deterministic delay.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// How and when an enabled transition fires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Timing {
+    /// Fires at the current instant, before any timed transition.
+    ///
+    /// `priority`: higher fires first. `weight`: probabilistic share among
+    /// equal-priority enabled immediates.
+    Immediate {
+        /// Conflict-resolution priority (higher wins).
+        priority: u8,
+        /// Relative probability among equal-priority conflicts. Must be > 0.
+        weight: f64,
+    },
+    /// Fires exactly `delay` seconds after (re-)enabling.
+    Deterministic {
+        /// The fixed firing delay in seconds (>= 0).
+        delay: f64,
+    },
+    /// Fires after Exp(rate)-distributed delay (mean `1/rate` seconds).
+    Exponential {
+        /// Rate parameter λ (> 0), in events per second.
+        rate: f64,
+    },
+    /// Fires after a Uniform(low, high) delay.
+    Uniform {
+        /// Lower bound (>= 0).
+        low: f64,
+        /// Upper bound (>= low).
+        high: f64,
+    },
+    /// Fires after an Erlang(k, rate) delay: the sum of `k` independent
+    /// Exp(rate) stages, with mean `k / rate`.
+    Erlang {
+        /// Number of exponential stages (>= 1).
+        k: u32,
+        /// Per-stage rate (> 0).
+        rate: f64,
+    },
+}
+
+impl Timing {
+    /// Immediate with priority 1 and weight 1.
+    pub fn immediate() -> Timing {
+        Timing::Immediate {
+            priority: 1,
+            weight: 1.0,
+        }
+    }
+
+    /// Immediate with the given priority and weight 1.
+    pub fn immediate_pri(priority: u8) -> Timing {
+        Timing::Immediate {
+            priority,
+            weight: 1.0,
+        }
+    }
+
+    /// Deterministic delay of `delay` seconds.
+    pub fn deterministic(delay: f64) -> Timing {
+        Timing::Deterministic { delay }
+    }
+
+    /// Exponential with rate `rate` (mean `1/rate`).
+    pub fn exponential(rate: f64) -> Timing {
+        Timing::Exponential { rate }
+    }
+
+    /// Exponential with mean delay `mean` seconds.
+    ///
+    /// The paper's parameter tables (e.g. Table VIII: "Job_Arrival,
+    /// Exponential, Delay 3.0") quote exponential transitions by their mean,
+    /// so this constructor mirrors that convention.
+    pub fn exponential_mean(mean: f64) -> Timing {
+        Timing::Exponential { rate: 1.0 / mean }
+    }
+
+    /// Uniform on `[low, high]`.
+    pub fn uniform(low: f64, high: f64) -> Timing {
+        Timing::Uniform { low, high }
+    }
+
+    /// Erlang with `k` stages of rate `rate`.
+    pub fn erlang(k: u32, rate: f64) -> Timing {
+        Timing::Erlang { k, rate }
+    }
+
+    /// Is this an immediate transition?
+    #[inline]
+    pub fn is_immediate(&self) -> bool {
+        matches!(self, Timing::Immediate { .. })
+    }
+
+    /// Priority if immediate.
+    #[inline]
+    pub fn priority(&self) -> Option<u8> {
+        match self {
+            Timing::Immediate { priority, .. } => Some(*priority),
+            _ => None,
+        }
+    }
+
+    /// Weight if immediate.
+    #[inline]
+    pub fn weight(&self) -> Option<f64> {
+        match self {
+            Timing::Immediate { weight, .. } => Some(*weight),
+            _ => None,
+        }
+    }
+
+    /// Mean firing delay (0 for immediates).
+    pub fn mean_delay(&self) -> f64 {
+        match self {
+            Timing::Immediate { .. } => 0.0,
+            Timing::Deterministic { delay } => *delay,
+            Timing::Exponential { rate } => 1.0 / rate,
+            Timing::Uniform { low, high } => 0.5 * (low + high),
+            Timing::Erlang { k, rate } => *k as f64 / rate,
+        }
+    }
+
+    /// Sample a firing delay. Immediates return 0.
+    #[inline]
+    pub fn sample_delay(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            Timing::Immediate { .. } => 0.0,
+            Timing::Deterministic { delay } => *delay,
+            Timing::Exponential { rate } => rng.exp(*rate),
+            Timing::Uniform { low, high } => rng.uniform(*low, *high),
+            Timing::Erlang { k, rate } => {
+                let mut total = 0.0;
+                for _ in 0..*k {
+                    total += rng.exp(*rate);
+                }
+                total
+            }
+        }
+    }
+
+    /// Validate the parameters; returns a human-readable problem description
+    /// if invalid. Called by the net builder.
+    // Negated comparisons are deliberate: they reject NaN as well.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Timing::Immediate { weight, .. } => {
+                if !(*weight > 0.0) || !weight.is_finite() {
+                    return Err(format!(
+                        "immediate weight must be finite and > 0, got {weight}"
+                    ));
+                }
+            }
+            Timing::Deterministic { delay } => {
+                if !(*delay >= 0.0) || !delay.is_finite() {
+                    return Err(format!(
+                        "deterministic delay must be finite and >= 0, got {delay}"
+                    ));
+                }
+            }
+            Timing::Exponential { rate } => {
+                if !(*rate > 0.0) || !rate.is_finite() {
+                    return Err(format!(
+                        "exponential rate must be finite and > 0, got {rate}"
+                    ));
+                }
+            }
+            Timing::Uniform { low, high } => {
+                if !(*low >= 0.0) || !low.is_finite() || !high.is_finite() || high < low {
+                    return Err(format!("uniform bounds invalid: [{low}, {high}]"));
+                }
+            }
+            Timing::Erlang { k, rate } => {
+                if *k == 0 {
+                    return Err("erlang stage count must be >= 1".to_string());
+                }
+                if !(*rate > 0.0) || !rate.is_finite() {
+                    return Err(format!("erlang rate must be finite and > 0, got {rate}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Memory policy: what happens to a timed transition's sampled firing time
+/// when the enabling condition flickers.
+///
+/// The paper's `Power_Down_Threshold` transition *requires* [`RaceEnable`]
+/// semantics: the idle countdown restarts whenever the CPU re-enters the
+/// idle state and is discarded the moment a job arrives.
+///
+/// [`RaceEnable`]: MemoryPolicy::RaceEnable
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MemoryPolicy {
+    /// Keep the firing clock while continuously enabled; discard it on
+    /// disable; resample on re-enable ("enabling memory"). The TimeNET
+    /// default and ours.
+    #[default]
+    RaceEnable,
+    /// Freeze the remaining time on disable and resume it on re-enable
+    /// ("age memory").
+    RaceAge,
+    /// Resample the delay at every marking change, even while the transition
+    /// stays enabled. (Memoryless for exponentials; for deterministic
+    /// transitions this can postpone firing forever — exposed for the
+    /// ABL-MEMORY ablation.)
+    Resample,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let t = Timing::immediate_pri(4);
+        assert!(t.is_immediate());
+        assert_eq!(t.priority(), Some(4));
+        assert_eq!(t.weight(), Some(1.0));
+        assert_eq!(t.mean_delay(), 0.0);
+
+        let d = Timing::deterministic(0.25);
+        assert!(!d.is_immediate());
+        assert_eq!(d.priority(), None);
+        assert_eq!(d.mean_delay(), 0.25);
+
+        let e = Timing::exponential(2.0);
+        assert!((e.mean_delay() - 0.5).abs() < 1e-12);
+
+        let em = Timing::exponential_mean(3.0);
+        assert!((em.mean_delay() - 3.0).abs() < 1e-12);
+
+        let u = Timing::uniform(1.0, 3.0);
+        assert!((u.mean_delay() - 2.0).abs() < 1e-12);
+
+        let er = Timing::erlang(4, 8.0);
+        assert!((er.mean_delay() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_sampling_is_exact() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let t = Timing::deterministic(0.125);
+        for _ in 0..10 {
+            assert_eq!(t.sample_delay(&mut rng), 0.125);
+        }
+    }
+
+    #[test]
+    fn exponential_sampling_mean() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let t = Timing::exponential(4.0);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| t.sample_delay(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 0.25).abs() < 0.01,
+            "sampled mean {mean} too far from 0.25"
+        );
+    }
+
+    #[test]
+    fn uniform_sampling_bounds() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let t = Timing::uniform(0.5, 1.5);
+        for _ in 0..1000 {
+            let d = t.sample_delay(&mut rng);
+            assert!((0.5..=1.5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn erlang_sampling_mean_and_lower_variance() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let exp = Timing::exponential(1.0);
+        let erl = Timing::erlang(16, 16.0); // same mean 1.0, much tighter
+        let n = 20_000;
+        let mut sum_e = 0.0;
+        let mut sum2_e = 0.0;
+        let mut sum_k = 0.0;
+        let mut sum2_k = 0.0;
+        for _ in 0..n {
+            let a = exp.sample_delay(&mut rng);
+            let b = erl.sample_delay(&mut rng);
+            sum_e += a;
+            sum2_e += a * a;
+            sum_k += b;
+            sum2_k += b * b;
+        }
+        let mean_e = sum_e / n as f64;
+        let var_e = sum2_e / n as f64 - mean_e * mean_e;
+        let mean_k = sum_k / n as f64;
+        let var_k = sum2_k / n as f64 - mean_k * mean_k;
+        assert!((mean_e - 1.0).abs() < 0.05);
+        assert!((mean_k - 1.0).abs() < 0.05);
+        // Erlang-16 variance is 1/16 of the exponential's.
+        assert!(var_k < var_e * 0.25, "var_k={var_k} var_e={var_e}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(Timing::deterministic(-1.0).validate().is_err());
+        assert!(Timing::deterministic(f64::NAN).validate().is_err());
+        assert!(Timing::exponential(0.0).validate().is_err());
+        assert!(Timing::exponential(-2.0).validate().is_err());
+        assert!(Timing::uniform(2.0, 1.0).validate().is_err());
+        assert!(Timing::uniform(-0.1, 1.0).validate().is_err());
+        assert!(Timing::erlang(0, 1.0).validate().is_err());
+        assert!(Timing::erlang(2, 0.0).validate().is_err());
+        assert!(Timing::Immediate {
+            priority: 1,
+            weight: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn validation_accepts_good_parameters() {
+        assert!(Timing::immediate().validate().is_ok());
+        assert!(Timing::deterministic(0.0).validate().is_ok());
+        assert!(Timing::exponential(1.0).validate().is_ok());
+        assert!(Timing::uniform(0.0, 0.0).validate().is_ok());
+        assert!(Timing::erlang(3, 2.0).validate().is_ok());
+    }
+
+    #[test]
+    fn memory_policy_default_is_race_enable() {
+        assert_eq!(MemoryPolicy::default(), MemoryPolicy::RaceEnable);
+    }
+}

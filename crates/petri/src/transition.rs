@@ -1,0 +1,120 @@
+//! Transition definition: timing + arcs + guards + memory policy.
+
+use crate::arc::{InhibitorArc, InputArc, OutputArc};
+use crate::expr::Expr;
+use crate::timing::{MemoryPolicy, Timing};
+
+/// A fully-specified transition of a net.
+///
+/// Constructed through [`crate::builder::TransitionBuilder`]; the engine
+/// reads these fields directly.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Human-readable name (unique within the net).
+    pub name: String,
+    /// Firing semantics.
+    pub timing: Timing,
+    /// Memory policy for timed transitions (ignored for immediates).
+    pub memory: MemoryPolicy,
+    /// Consuming arcs. Order matters: [`crate::arc::ColorExpr::Transfer`]
+    /// refers to arcs by position in this list.
+    pub inputs: Vec<InputArc>,
+    /// Producing arcs.
+    pub outputs: Vec<OutputArc>,
+    /// Inhibitor arcs.
+    pub inhibitors: Vec<InhibitorArc>,
+    /// Optional global guard: the transition is enabled only while this
+    /// marking predicate holds.
+    pub guard: Option<Expr>,
+}
+
+impl Transition {
+    /// Total number of tokens consumed per firing.
+    pub fn tokens_consumed(&self) -> u64 {
+        self.inputs.iter().map(|a| a.multiplicity as u64).sum()
+    }
+
+    /// Total number of tokens produced per firing.
+    pub fn tokens_produced(&self) -> u64 {
+        self.outputs.iter().map(|a| a.multiplicity as u64).sum()
+    }
+
+    /// A *source* transition has no input arcs (it can generate tokens
+    /// forever — legal, used by open workload generators, but worth
+    /// flagging in structural lints when unguarded and immediate).
+    pub fn is_source(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// A *sink* transition has no output arcs.
+    pub fn is_sink(&self) -> bool {
+        self.outputs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PlaceId;
+    use crate::token::ColorFilter;
+
+    fn arc_in(p: usize, m: u32) -> InputArc {
+        InputArc {
+            place: PlaceId::from_index(p),
+            multiplicity: m,
+            filter: ColorFilter::Any,
+        }
+    }
+
+    fn arc_out(p: usize, m: u32) -> OutputArc {
+        OutputArc {
+            place: PlaceId::from_index(p),
+            multiplicity: m,
+            color: Default::default(),
+        }
+    }
+
+    #[test]
+    fn token_flow_counts() {
+        let t = Transition {
+            name: "t".into(),
+            timing: Timing::immediate(),
+            memory: Default::default(),
+            inputs: vec![arc_in(0, 2), arc_in(1, 1)],
+            outputs: vec![arc_out(2, 3)],
+            inhibitors: vec![],
+            guard: None,
+        };
+        assert_eq!(t.tokens_consumed(), 3);
+        assert_eq!(t.tokens_produced(), 3);
+        assert!(!t.is_source());
+        assert!(!t.is_sink());
+    }
+
+    #[test]
+    fn source_and_sink_flags() {
+        let source = Transition {
+            name: "gen".into(),
+            timing: Timing::exponential(1.0),
+            memory: Default::default(),
+            inputs: vec![],
+            outputs: vec![arc_out(0, 1)],
+            inhibitors: vec![],
+            guard: None,
+        };
+        assert!(source.is_source());
+        assert!(!source.is_sink());
+
+        let sink = Transition {
+            name: "drain".into(),
+            timing: Timing::immediate(),
+            memory: Default::default(),
+            inputs: vec![arc_in(0, 1)],
+            outputs: vec![],
+            inhibitors: vec![],
+            guard: None,
+        };
+        assert!(!sink.is_source());
+        assert!(sink.is_sink());
+    }
+}

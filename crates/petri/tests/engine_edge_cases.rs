@@ -1,0 +1,260 @@
+//! Focused edge-case tests of engine behaviours not exercised by the main
+//! suites: uniform timing, color-count guards, weighted color choices at
+//! runtime, age-memory arithmetic, arc multiplicities, and degenerate
+//! configurations.
+
+use petri_core::prelude::*;
+use petri_core::sim::RewardSpec;
+
+/// Uniform(a,b) transitions fire within their support and at the right
+/// long-run rate.
+#[test]
+fn uniform_transition_rate() {
+    let mut b = NetBuilder::new("uniform");
+    let p = b.place("p").tokens(1).build();
+    let t = b
+        .transition("tick", Timing::uniform(0.5, 1.5))
+        .input(p, 1)
+        .output(p, 1)
+        .build();
+    let net = b.build().unwrap();
+    let mut sim = Simulator::new(&net, SimConfig::for_horizon(10_000.0));
+    let thru = sim.reward(RewardSpec::Throughput(t)).unwrap();
+    let out = sim.run(3).unwrap();
+    // Mean delay 1.0 -> throughput ~1.0.
+    assert!(
+        (out.reward(thru) - 1.0).abs() < 0.05,
+        "throughput {}",
+        out.reward(thru)
+    );
+}
+
+/// `#place[color]` guards gate on specific colors only.
+#[test]
+fn color_count_guard() {
+    let mut b = NetBuilder::new("colorguard");
+    let jobs = b
+        .place("jobs")
+        .token_colored(Color(1))
+        .token_colored(Color(2))
+        .build();
+    let fired = b.place("fired").build();
+    // Only enabled while a color-2 token is present; consumes any token
+    // (FIFO -> color 1 first).
+    b.transition("t", Timing::deterministic(1.0))
+        .input(jobs, 1)
+        .output(fired, 1)
+        .guard(Expr::count_color(jobs, Color(2)).gt_c(0))
+        .build();
+    let net = b.build().unwrap();
+    let sim = Simulator::new(&net, SimConfig::for_horizon(10.0));
+    let out = sim.run(1).unwrap();
+    // First firing at t=1 consumes the color-1 token; color-2 remains so a
+    // second firing at t=2 consumes it; then the guard is false forever.
+    assert_eq!(out.final_marking.count(fired), 2);
+    assert_eq!(out.final_marking.count(jobs), 0);
+}
+
+/// Weighted Choice output colors follow their distribution at runtime.
+#[test]
+fn choice_colors_in_simulation() {
+    let mut b = NetBuilder::new("choice");
+    let p = b.place("p").tokens(1).build();
+    let sink1 = b.place("sink1").build();
+    let sink2 = b.place("sink2").build();
+    let staging = b.place("staging").build();
+    b.transition("gen", Timing::deterministic(0.1))
+        .input(p, 1)
+        .output(p, 1)
+        .output_colored(
+            staging,
+            1,
+            ColorExpr::Choice(vec![(Color(1), 1.0), (Color(2), 4.0)]),
+        )
+        .build();
+    b.transition("route1", Timing::immediate())
+        .input_filtered(staging, 1, ColorFilter::Eq(Color(1)))
+        .output(sink1, 1)
+        .build();
+    b.transition("route2", Timing::immediate())
+        .input_filtered(staging, 1, ColorFilter::Eq(Color(2)))
+        .output(sink2, 1)
+        .build();
+    let net = b.build().unwrap();
+    let sim = Simulator::new(&net, SimConfig::for_horizon(2000.0));
+    let out = sim.run(11).unwrap();
+    let c1 = out.final_marking.count(sink1) as f64;
+    let c2 = out.final_marking.count(sink2) as f64;
+    let frac = c2 / (c1 + c2);
+    assert!((frac - 0.8).abs() < 0.02, "frac {frac}");
+}
+
+/// RaceAge freezes the *remaining* time exactly: a timer interrupted
+/// halfway resumes with half the delay left.
+#[test]
+fn race_age_remaining_time_is_exact() {
+    let mut b = NetBuilder::new("age-exact");
+    let idle = b.place("idle").tokens(1).build();
+    let once = b.place("once").tokens(1).build(); // one-shot fuel
+    let gate = b.place("gate").build();
+    let done = b.place("done").build();
+    // Interruptor: gate token present during [2, 7): the timer (10 s, age
+    // memory, started at 0) runs 2 s, pauses 5 s, resumes with 8 s left,
+    // and must fire at exactly 15.
+    b.transition("block", Timing::deterministic(2.0))
+        .input(once, 1)
+        .output(gate, 1)
+        .build();
+    b.transition("unblock", Timing::deterministic(5.0))
+        .input(gate, 1)
+        .build();
+    b.transition("timer", Timing::deterministic(10.0))
+        .input(idle, 1)
+        .output(done, 1)
+        .guard(Expr::count(gate).eq_c(0))
+        .memory(MemoryPolicy::RaceAge)
+        .build();
+    let net = b.build().unwrap();
+    let sim = Simulator::new(&net, SimConfig::for_horizon(20.0).with_trace(16));
+    let out = sim.run(1).unwrap();
+    let timer_id = net.transition_by_name("timer").unwrap();
+    let firing = out
+        .trace
+        .iter()
+        .find(|e| e.transition == timer_id)
+        .expect("timer fired");
+    assert!(
+        (firing.time - 15.0).abs() < 1e-9,
+        "timer fired at {} (expected 15.0)",
+        firing.time
+    );
+}
+
+/// Arc multiplicities: a transition needing 3 tokens fires only on every
+/// third arrival and produces its outputs in bulk.
+#[test]
+fn multiplicity_batching() {
+    let mut b = NetBuilder::new("batch");
+    let q = b.place("q").build();
+    let out_p = b.place("out").build();
+    b.transition("gen", Timing::deterministic(1.0))
+        .output(q, 1)
+        .build();
+    b.transition("batch", Timing::immediate())
+        .input(q, 3)
+        .output(out_p, 2)
+        .build();
+    let net = b.build().unwrap();
+    let sim = Simulator::new(&net, SimConfig::for_horizon(9.5));
+    let out = sim.run(1).unwrap();
+    // 9 tokens generated -> 3 batch firings -> 6 outputs, 0 left in q.
+    assert_eq!(out.final_marking.count(out_p), 6);
+    assert_eq!(out.final_marking.count(q), 0);
+}
+
+/// Zero-horizon runs are legal: no events, empty rewards, initial marking
+/// preserved.
+#[test]
+fn zero_horizon() {
+    let mut b = NetBuilder::new("zero");
+    let p = b.place("p").tokens(2).build();
+    b.transition("t", Timing::exponential(1.0))
+        .input(p, 1)
+        .build();
+    let net = b.build().unwrap();
+    let mut sim = Simulator::new(&net, SimConfig::for_horizon(0.0));
+    let r = sim.reward_place(p);
+    let out = sim.run(1).unwrap();
+    assert_eq!(out.total_firings(), 0);
+    assert_eq!(out.final_marking.count(p), 2);
+    assert_eq!(out.reward(r), 0.0); // no observed time
+}
+
+/// A transition disabled mid-countdown by an inhibitor (not a guard) also
+/// obeys race-enable: the clock restarts.
+#[test]
+fn inhibitor_disabling_restarts_clock() {
+    let mut b = NetBuilder::new("inh-restart");
+    let idle = b.place("idle").tokens(1).build();
+    let blocker = b.place("blocker").build();
+    let slept = b.place("slept").build();
+    // Blocker pulses: appears at 0.4, cleared at 0.8, appears at 1.2, ...
+    b.transition("pulse_on", Timing::deterministic(0.4))
+        .output(blocker, 1)
+        .inhibitor(blocker, 1)
+        .build();
+    b.transition("pulse_off", Timing::deterministic(0.4))
+        .input(blocker, 1)
+        .build();
+    // Timer needs 0.9 s of uninterrupted enablement; pulses every 0.4 s
+    // keep resetting it under race-enable.
+    b.transition("timer", Timing::deterministic(0.9))
+        .input(idle, 1)
+        .output(slept, 1)
+        .inhibitor(blocker, 1)
+        .build();
+    let net = b.build().unwrap();
+    let sim = Simulator::new(&net, SimConfig::for_horizon(50.0));
+    let out = sim.run(1).unwrap();
+    assert_eq!(out.final_marking.count(slept), 0, "timer must never fire");
+}
+
+/// Transfer color expressions preserve the consumed token's color through
+/// a timed (not just immediate) transition.
+#[test]
+fn transfer_through_timed_transition() {
+    let mut b = NetBuilder::new("transfer-timed");
+    let src = b
+        .place("src")
+        .token_colored(Color(7))
+        .token_colored(Color(9))
+        .build();
+    let dst = b.place("dst").build();
+    b.transition("move", Timing::deterministic(1.0))
+        .input(src, 1)
+        .output_colored(dst, 1, ColorExpr::Transfer { arc_index: 0 })
+        .build();
+    let net = b.build().unwrap();
+    let sim = Simulator::new(&net, SimConfig::for_horizon(5.0));
+    let out = sim.run(1).unwrap();
+    assert_eq!(out.final_marking.count_color(dst, Color(7)), 1);
+    assert_eq!(out.final_marking.count_color(dst, Color(9)), 1);
+}
+
+/// Simulators are reusable and runs are order-independent: interleaving
+/// runs with different seeds does not change any individual run.
+#[test]
+fn runs_are_independent() {
+    let mut b = NetBuilder::new("independent");
+    let q = b.place("q").build();
+    b.transition("a", Timing::exponential(1.0))
+        .output(q, 1)
+        .build();
+    b.transition("s", Timing::exponential(2.0))
+        .input(q, 1)
+        .build();
+    let net = b.build().unwrap();
+    let sim = Simulator::new(&net, SimConfig::for_horizon(200.0));
+    let a1 = sim.run(1).unwrap();
+    let _ = sim.run(2).unwrap();
+    let _ = sim.run(3).unwrap();
+    let a2 = sim.run(1).unwrap();
+    assert_eq!(a1.firing_counts, a2.firing_counts);
+    assert_eq!(a1.final_marking, a2.final_marking);
+}
+
+/// Guards referencing the transition's own output place work (feedback
+/// self-limitation): generator stops at 5 tokens via guard, not inhibitor.
+#[test]
+fn guard_on_own_output() {
+    let mut b = NetBuilder::new("selflimit");
+    let q = b.place("q").build();
+    b.transition("gen", Timing::deterministic(0.1))
+        .output(q, 1)
+        .guard(Expr::count(q).lt_c(5))
+        .build();
+    let net = b.build().unwrap();
+    let sim = Simulator::new(&net, SimConfig::for_horizon(100.0));
+    let out = sim.run(1).unwrap();
+    assert_eq!(out.final_marking.count(q), 5);
+}

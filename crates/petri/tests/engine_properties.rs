@@ -1,0 +1,200 @@
+//! Property-based tests of the simulation engine's core guarantees, on
+//! randomly generated nets.
+
+use petri_core::analysis::{extract_ctmc, p_invariants};
+use petri_core::prelude::*;
+use proptest::prelude::*;
+
+/// A random fork/join net: a source place feeding `k` parallel branches
+/// that rejoin. Token count is conserved (1 circulating token).
+fn fork_join_net(branch_delays: &[f64]) -> (Net, PlaceId) {
+    let mut b = NetBuilder::new("forkjoin");
+    let start = b.place("start").tokens(1).build();
+    let end = b.place("end").build();
+    for (i, &d) in branch_delays.iter().enumerate() {
+        let mid = b.place(format!("mid{i}")).build();
+        b.transition(format!("enter{i}"), Timing::exponential(1.0 + i as f64))
+            .input(start, 1)
+            .output(mid, 1)
+            .build();
+        b.transition(format!("leave{i}"), Timing::deterministic(d))
+            .input(mid, 1)
+            .output(end, 1)
+            .build();
+    }
+    b.transition("restart", Timing::deterministic(0.05))
+        .input(end, 1)
+        .output(start, 1)
+        .build();
+    (b.build().unwrap(), start)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Reward fractions of a 1-token net partition the timeline: summing
+    /// the time-average of every place gives exactly 1.
+    #[test]
+    fn place_averages_partition_time(
+        delays in proptest::collection::vec(0.01f64..0.5, 1..5),
+        seed in 0u64..500,
+    ) {
+        let (net, _) = fork_join_net(&delays);
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(100.0));
+        let rs: Vec<_> = net.place_ids().map(|p| sim.reward_place(p)).collect();
+        let out = sim.run(seed).unwrap();
+        let total: f64 = rs.iter().map(|&r| out.reward(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Firing counts balance: in a conservative cycle, every transition
+    /// layer fires the same number of times (±1 for the in-flight token).
+    #[test]
+    fn firing_counts_balance_in_cycle(
+        delays in proptest::collection::vec(0.01f64..0.3, 1..4),
+        seed in 0u64..500,
+    ) {
+        let (net, _) = fork_join_net(&delays);
+        let sim = Simulator::new(&net, SimConfig::for_horizon(200.0));
+        let out = sim.run(seed).unwrap();
+        let k = delays.len();
+        let enter_total: u64 = (0..k)
+            .map(|i| out.firing_counts[net.transition_by_name(&format!("enter{i}")).unwrap().index()])
+            .sum();
+        let leave_total: u64 = (0..k)
+            .map(|i| out.firing_counts[net.transition_by_name(&format!("leave{i}")).unwrap().index()])
+            .sum();
+        let restart = out.firing_counts[net.transition_by_name("restart").unwrap().index()];
+        prop_assert!(enter_total >= leave_total && enter_total - leave_total <= 1);
+        prop_assert!(leave_total >= restart && leave_total - restart <= 1);
+    }
+
+    /// Warm-up never changes the trajectory, only the measuring window:
+    /// firing counts are identical with and without warm-up.
+    #[test]
+    fn warmup_does_not_change_trajectory(
+        delays in proptest::collection::vec(0.01f64..0.5, 1..4),
+        warmup in 0.0f64..50.0,
+        seed in 0u64..500,
+    ) {
+        let (net, _) = fork_join_net(&delays);
+        let a = Simulator::new(&net, SimConfig::for_horizon(100.0)).run(seed).unwrap();
+        let b = Simulator::new(&net, SimConfig::for_horizon(100.0).with_warmup(warmup))
+            .run(seed)
+            .unwrap();
+        prop_assert_eq!(a.firing_counts, b.firing_counts);
+        prop_assert_eq!(a.final_marking, b.final_marking);
+    }
+
+    /// Exponential-only nets: simulation converges to the extracted CTMC's
+    /// steady state (tested on random 2-branch routing nets).
+    #[test]
+    fn exponential_net_matches_ctmc(
+        r1 in 0.5f64..4.0,
+        r2 in 0.5f64..4.0,
+        r3 in 0.5f64..4.0,
+        seed in 0u64..100,
+    ) {
+        let mut b = NetBuilder::new("route");
+        let a = b.place("a").tokens(1).build();
+        let c = b.place("c").build();
+        let d = b.place("d").build();
+        b.transition("ac", Timing::exponential(r1)).input(a, 1).output(c, 1).build();
+        b.transition("ad", Timing::exponential(r2)).input(a, 1).output(d, 1).build();
+        b.transition("ca", Timing::exponential(r3)).input(c, 1).output(a, 1).build();
+        b.transition("da", Timing::exponential(r3 * 0.5)).input(d, 1).output(a, 1).build();
+        let net = b.build().unwrap();
+
+        let ext = extract_ctmc(&net, 100).unwrap();
+        let chain = markov::Ctmc::from_rates(ext.states.len(), ext.rates.iter().copied()).unwrap();
+        let pi = chain.steady_state().unwrap();
+        let analytic_a: f64 = ext
+            .states
+            .iter()
+            .zip(pi.iter())
+            .map(|(m, p)| m.count(a) as f64 * p)
+            .sum();
+
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(20_000.0).with_warmup(100.0));
+        let ra = sim.reward_place(a);
+        let out = sim.run(seed).unwrap();
+        prop_assert!(
+            (out.reward(ra) - analytic_a).abs() < 0.03,
+            "sim {} vs analytic {}", out.reward(ra), analytic_a
+        );
+    }
+
+    /// Inhibitor arcs enforce an exact bound: a generator inhibited at `k`
+    /// never pushes a place above `k` tokens.
+    #[test]
+    fn inhibitor_bounds_place(
+        k in 1u32..6,
+        rate in 0.5f64..5.0,
+        seed in 0u64..500,
+    ) {
+        let mut b = NetBuilder::new("bounded");
+        let q = b.place("q").build();
+        b.transition("gen", Timing::exponential(rate))
+            .output(q, 1)
+            .inhibitor(q, k)
+            .build();
+        b.transition("drain", Timing::exponential(rate * 0.3))
+            .input(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(300.0));
+        let above = sim
+            .reward_predicate(Expr::count(q).gt_c(k as i64))
+            .unwrap();
+        let out = sim.run(seed).unwrap();
+        prop_assert_eq!(out.reward(above), 0.0);
+        prop_assert!(out.final_marking.count(q) <= k as usize);
+    }
+
+    /// P-invariant weights are conserved along the whole trajectory, not
+    /// just at the end: check at the horizon for every invariant of the
+    /// fork/join family.
+    #[test]
+    fn invariants_conserved(
+        delays in proptest::collection::vec(0.01f64..0.5, 1..4),
+        seed in 0u64..500,
+    ) {
+        let (net, _) = fork_join_net(&delays);
+        let invs = p_invariants(&net);
+        prop_assert!(!invs.is_empty());
+        let sim = Simulator::new(&net, SimConfig::for_horizon(77.0));
+        let out = sim.run(seed).unwrap();
+        let init = net.initial_marking().count_vector();
+        let fin = out.final_marking.count_vector();
+        for inv in &invs {
+            prop_assert_eq!(inv.value(&init), inv.value(&fin));
+        }
+    }
+
+    /// Erlang(k, k·r) transitions have the same mean as Exponential(r), so
+    /// long-run throughputs agree.
+    #[test]
+    fn erlang_and_exponential_same_throughput(
+        rate in 0.5f64..3.0,
+        k in 1u32..8,
+        seed in 0u64..200,
+    ) {
+        let horizon = 3000.0;
+        let make = |timing: Timing| {
+            let mut b = NetBuilder::new("thru");
+            let p = b.place("p").tokens(1).build();
+            let t = b.transition("t", timing).input(p, 1).output(p, 1).build();
+            let net = b.build().unwrap();
+            let mut sim = Simulator::new(&net, SimConfig::for_horizon(horizon));
+            let r = sim.reward(RewardSpec::Throughput(t)).unwrap();
+            let out = sim.run(seed).unwrap();
+            out.reward(r)
+        };
+        let thru_exp = make(Timing::exponential(rate));
+        let thru_erl = make(Timing::erlang(k, k as f64 * rate));
+        prop_assert!(
+            (thru_exp - thru_erl).abs() < 0.15 * rate,
+            "exp {} vs erlang {}", thru_exp, thru_erl
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! The three-way CPU comparison: discrete-event simulation vs the
+//! supplementary-variable Markov model vs the Petri net.
+//!
+//! Regenerates Figs. 4–6 (state-time percentages vs Power-Down Threshold),
+//! Figs. 7–9 (energy vs threshold) and Tables IV–VI (Δ-energy statistics)
+//! for the three published Power-Up Delays (0.001 s, 0.3 s, 10 s).
+
+use crate::cpu_model::{simulate_cpu_model, CpuModelParams};
+use crate::metrics::DeltaEnergyTable;
+use crate::sweep::parallel_map;
+use des::{simulate_cpu, CpuSimParams};
+use energy::PXA271_CPU;
+use markov::supplementary::{CpuMarkovParams, CpuPowerRates};
+use serde::{Deserialize, Serialize};
+
+/// One sweep point of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuComparisonPoint {
+    /// Power-Down Threshold (s).
+    pub pdt: f64,
+    /// DES `[standby, powerup, idle, active]` fractions.
+    pub sim_probs: [f64; 4],
+    /// Markov (Eqs. 1–4) fractions.
+    pub markov_probs: [f64; 4],
+    /// Petri-net fractions.
+    pub petri_probs: [f64; 4],
+    /// DES energy over the horizon (J).
+    pub sim_energy_j: f64,
+    /// Markov energy over the horizon (J).
+    pub markov_energy_j: f64,
+    /// Petri-net energy over the horizon (J).
+    pub petri_energy_j: f64,
+}
+
+/// A full sweep at one Power-Up Delay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuComparison {
+    /// The fixed Power-Up Delay (s).
+    pub power_up_delay: f64,
+    /// Simulated horizon (s).
+    pub horizon: f64,
+    /// Sweep points in threshold order.
+    pub points: Vec<CpuComparisonPoint>,
+}
+
+/// Configuration of a comparison sweep.
+#[derive(Debug, Clone)]
+pub struct CpuComparisonConfig {
+    /// Arrival rate λ (default 1/s).
+    pub lambda: f64,
+    /// Service rate μ (default 10/s — mean service 0.1 s, see DESIGN.md).
+    pub mu: f64,
+    /// Horizon (default 1000 s, Table II).
+    pub horizon: f64,
+    /// Independent replications averaged per point for the two stochastic
+    /// methods (DES and Petri). The Markov column is a closed form and
+    /// needs none. Default 8: enough to resolve the Markov model's
+    /// systematic bias above Monte-Carlo noise at the paper's horizon.
+    pub replications: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads for the sweep.
+    pub threads: usize,
+}
+
+impl Default for CpuComparisonConfig {
+    fn default() -> Self {
+        CpuComparisonConfig {
+            lambda: 1.0,
+            mu: 10.0,
+            horizon: 1000.0,
+            replications: 8,
+            seed: 0x5EED,
+            threads: crate::sweep::default_threads(),
+        }
+    }
+}
+
+/// Run the comparison for one Power-Up Delay over the given threshold grid.
+pub fn run_cpu_comparison(
+    power_up_delay: f64,
+    grid: &[f64],
+    cfg: &CpuComparisonConfig,
+) -> CpuComparison {
+    let rates = CpuPowerRates::PXA271;
+    let reps = cfg.replications.max(1);
+    let points = parallel_map(grid, cfg.threads, |&pdt| {
+        // Ground truth: DES, averaged over independent replications.
+        let mut sim_probs = [0.0f64; 4];
+        let mut sim_energy_j = 0.0;
+        for r in 0..reps {
+            let seed = petri_core::rng::SimRng::child_seed(cfg.seed, r as u64);
+            let sim_r = simulate_cpu(
+                &CpuSimParams {
+                    lambda: cfg.lambda,
+                    mu: cfg.mu,
+                    power_down_threshold: pdt,
+                    power_up_delay,
+                    horizon: cfg.horizon,
+                },
+                seed,
+            );
+            for (acc, p) in sim_probs.iter_mut().zip(sim_r.probabilities()) {
+                *acc += p;
+            }
+            sim_energy_j += sim_r.energy(&PXA271_CPU).joules();
+        }
+        let n = reps as f64;
+        sim_probs.iter_mut().for_each(|p| *p /= n);
+        sim_energy_j /= n;
+
+        // Markov closed form (exact, no replications).
+        let mk = CpuMarkovParams {
+            lambda: cfg.lambda,
+            mu: cfg.mu,
+            power_down_threshold: pdt,
+            power_up_delay,
+        };
+        let sol = mk.solve();
+        let markov_probs = [sol.p_standby, sol.p_powerup, sol.p_idle, sol.p_active];
+        let markov_energy_j = mk.energy_for_duration(&rates, cfg.horizon);
+
+        // Petri net, averaged over independent replications.
+        let mut petri_probs = [0.0f64; 4];
+        let mut petri_energy_j = 0.0;
+        for r in 0..reps {
+            let seed = petri_core::rng::SimRng::child_seed(cfg.seed ^ 0xA5A5, r as u64);
+            let petri_r = simulate_cpu_model(
+                &CpuModelParams {
+                    lambda: cfg.lambda,
+                    mu: cfg.mu,
+                    power_down_threshold: pdt,
+                    power_up_delay,
+                },
+                cfg.horizon,
+                seed,
+            );
+            for (acc, p) in petri_probs.iter_mut().zip(petri_r.probabilities) {
+                *acc += p;
+            }
+            petri_energy_j += petri_r.energy(&PXA271_CPU, cfg.horizon).joules();
+        }
+        petri_probs.iter_mut().for_each(|p| *p /= n);
+        petri_energy_j /= n;
+
+        CpuComparisonPoint {
+            pdt,
+            sim_probs,
+            markov_probs,
+            petri_probs,
+            sim_energy_j,
+            markov_energy_j,
+            petri_energy_j,
+        }
+    });
+    CpuComparison {
+        power_up_delay,
+        horizon: cfg.horizon,
+        points,
+    }
+}
+
+impl CpuComparison {
+    /// The Δ-energy statistics table (Tables IV–VI).
+    pub fn delta_table(&self) -> DeltaEnergyTable {
+        let sim: Vec<f64> = self.points.iter().map(|p| p.sim_energy_j).collect();
+        let markov: Vec<f64> = self.points.iter().map(|p| p.markov_energy_j).collect();
+        let petri: Vec<f64> = self.points.iter().map(|p| p.petri_energy_j).collect();
+        DeltaEnergyTable::from_curves(&sim, &markov, &petri)
+    }
+
+    /// Energy curves `(pdt, sim, markov, petri)` for Figs. 7–9.
+    pub fn energy_rows(&self) -> Vec<(f64, f64, f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.pdt, p.sim_energy_j, p.markov_energy_j, p.petri_energy_j))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::fig4_9_pdt_grid;
+
+    fn quick_cfg() -> CpuComparisonConfig {
+        CpuComparisonConfig {
+            horizon: 2000.0,
+            threads: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn small_pud_all_three_agree() {
+        // Fig. 4/7 regime: at D = 0.001 s the Markov closed form is nearly
+        // exact, so all three methods coincide.
+        let grid = [0.001, 0.25, 0.5, 1.0];
+        let c = run_cpu_comparison(0.001, &grid, &quick_cfg());
+        for p in &c.points {
+            for i in 0..4 {
+                assert!(
+                    (p.sim_probs[i] - p.markov_probs[i]).abs() < 0.03,
+                    "pdt={} state {i}: sim {} vs markov {}",
+                    p.pdt,
+                    p.sim_probs[i],
+                    p.markov_probs[i]
+                );
+                assert!(
+                    (p.sim_probs[i] - p.petri_probs[i]).abs() < 0.03,
+                    "pdt={} state {i}: sim {} vs petri {}",
+                    p.pdt,
+                    p.sim_probs[i],
+                    p.petri_probs[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_pud_markov_fails_petri_tracks() {
+        // Fig. 6/9 regime (D = 10 s): the Markov model "completely fails";
+        // the Petri net stays "in lock step with the simulator".
+        let grid = [0.001, 0.5, 1.0];
+        let c = run_cpu_comparison(10.0, &grid, &quick_cfg());
+        let t = c.delta_table();
+        assert!(
+            t.sim_petri.avg < t.sim_markov.avg / 3.0,
+            "petri avg Δ {} must be far below markov avg Δ {}",
+            t.sim_petri.avg,
+            t.sim_markov.avg
+        );
+    }
+
+    #[test]
+    fn energy_rises_with_threshold_at_small_pud() {
+        // Fig. 7's shape: more idle time = more energy when waking is cheap.
+        let grid = [0.001, 0.5, 1.0];
+        let c = run_cpu_comparison(0.001, &grid, &quick_cfg());
+        let rows = c.energy_rows();
+        assert!(rows[2].1 > rows[0].1, "sim energy must rise: {rows:?}");
+        assert!(rows[2].2 > rows[0].2, "markov energy must rise");
+        assert!(rows[2].3 > rows[0].3, "petri energy must rise");
+    }
+
+    #[test]
+    fn energy_falls_with_threshold_at_huge_pud() {
+        // Fig. 9's inversion: at D = 10 s, larger thresholds avoid ruinous
+        // wake-ups, so energy *decreases* with the threshold.
+        let grid = [0.001, 0.5, 1.0];
+        let c = run_cpu_comparison(10.0, &grid, &quick_cfg());
+        let rows = c.energy_rows();
+        assert!(
+            rows[2].1 < rows[0].1,
+            "sim energy must fall at D=10: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn full_grid_has_21_points() {
+        let grid = fig4_9_pdt_grid();
+        let cfg = CpuComparisonConfig {
+            horizon: 200.0,
+            ..quick_cfg()
+        };
+        let c = run_cpu_comparison(0.3, &grid, &cfg);
+        assert_eq!(c.points.len(), 21);
+        // Thresholds preserved in order.
+        for (p, g) in c.points.iter().zip(grid.iter()) {
+            assert_eq!(p.pdt, *g);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Tables VIII–X: the simple sensor system and the (emulated) IMote2
+//! validation.
+
+use crate::imote2::{table_x_comparison, TableXComparison};
+use crate::simple_node::{
+    analytic_probabilities, simulate_simple_node, SimpleNodeParams, SimpleNodeProbabilities,
+};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table VIII: a transition with its distribution, delay, and
+/// the steady-state probability of its input place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableViiiRow {
+    /// Transition name.
+    pub transition: String,
+    /// "Exponential" or "Deterministic".
+    pub distribution: String,
+    /// Delay parameter (s); mean for the exponential.
+    pub delay: f64,
+    /// Steady-state probability (%) of the state the transition drains.
+    pub probability_pct: f64,
+}
+
+/// The Tables VIII/IX content: transition parameters plus simulated and
+/// analytic steady-state probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimpleSystemReport {
+    /// Table VIII rows.
+    pub rows: Vec<TableViiiRow>,
+    /// Simulated probabilities (Petri net run).
+    pub simulated: SimpleNodeProbabilities,
+    /// Exact renewal probabilities.
+    pub analytic: SimpleNodeProbabilities,
+}
+
+/// Produce the Tables VIII/IX report.
+pub fn run_simple_system(horizon: f64, seed: u64) -> SimpleSystemReport {
+    let params = SimpleNodeParams::default();
+    let analytic = analytic_probabilities(&params);
+    let simulated = simulate_simple_node(&params, horizon, seed);
+    let rows = vec![
+        TableViiiRow {
+            transition: "Job_Arrival".into(),
+            distribution: "Exponential".into(),
+            delay: params.job_arrival_mean,
+            probability_pct: 100.0 * analytic.wait,
+        },
+        TableViiiRow {
+            transition: "Temp".into(),
+            distribution: "Deterministic".into(),
+            delay: params.temp_delay,
+            probability_pct: 100.0 * analytic.temp_place,
+        },
+        TableViiiRow {
+            transition: "Receive_Delay".into(),
+            distribution: "Deterministic".into(),
+            delay: params.receive_delay,
+            probability_pct: 100.0 * analytic.receiving,
+        },
+        TableViiiRow {
+            transition: "Computation_Delay".into(),
+            distribution: "Deterministic".into(),
+            delay: params.computation_delay,
+            probability_pct: 100.0 * analytic.computation,
+        },
+        TableViiiRow {
+            transition: "Transmit_Delay".into(),
+            distribution: "Deterministic".into(),
+            delay: params.transmit_delay,
+            probability_pct: 100.0 * analytic.transmitting,
+        },
+    ];
+    SimpleSystemReport {
+        rows,
+        simulated,
+        analytic,
+    }
+}
+
+/// Produce the Table X comparison (emulated measurement vs Petri
+/// prediction).
+pub fn run_table_x(seed: u64) -> TableXComparison {
+    table_x_comparison(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_viii_delays_match_paper() {
+        let r = run_simple_system(5000.0, 1);
+        let by_name = |n: &str| r.rows.iter().find(|row| row.transition == n).unwrap();
+        assert_eq!(by_name("Job_Arrival").delay, 3.0);
+        assert_eq!(by_name("Temp").delay, 1.0);
+        assert_eq!(by_name("Receive_Delay").delay, 0.00597);
+        assert_eq!(by_name("Computation_Delay").delay, 1.0274);
+        assert_eq!(by_name("Transmit_Delay").delay, 0.0059);
+    }
+
+    #[test]
+    fn probabilities_consistent_between_sim_and_analytic() {
+        let r = run_simple_system(20_000.0, 2);
+        assert!((r.simulated.wait - r.analytic.wait).abs() < 0.02);
+        assert!((r.simulated.computation - r.analytic.computation).abs() < 0.02);
+    }
+
+    #[test]
+    fn row_probabilities_sum_to_100() {
+        let r = run_simple_system(1000.0, 3);
+        let total: f64 = r.rows.iter().map(|row| row.probability_pct).sum();
+        assert!((total - 100.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn table_x_reports_small_gap() {
+        let c = run_table_x(4);
+        assert!(c.percent_difference < 6.0);
+        assert!(c.petri_energy_j > 0.0);
+        assert!(c.measured_energy_j > 0.0);
+    }
+}

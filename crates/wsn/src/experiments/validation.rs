@@ -1,0 +1,114 @@
+//! Substrate cross-validation sweep: the Petri-net node model against the
+//! independent DES oracle at every threshold, as a machine-checkable CSV.
+//!
+//! This is the evidence behind the claim that our TimeNET replacement
+//! implements the intended semantics: two independently written simulators
+//! agreeing across the full parameter range.
+
+use crate::node::simulate_node_model;
+use crate::sweep::parallel_map;
+use des::{simulate_node, NodeSimParams, Workload};
+use energy::{CC2420_RADIO, PXA271_CPU};
+use serde::{Deserialize, Serialize};
+
+/// One row of the validation sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationRow {
+    /// Power-Down Threshold (s).
+    pub pdt: f64,
+    /// Petri-net total energy (J).
+    pub petri_j: f64,
+    /// DES total energy (J).
+    pub des_j: f64,
+    /// Relative difference `|petri - des| / des`.
+    pub rel_diff: f64,
+    /// Petri CPU wake-ups.
+    pub petri_wakeups: f64,
+    /// DES CPU wake-ups.
+    pub des_wakeups: u64,
+}
+
+/// Run the validation sweep over a threshold grid for one workload.
+///
+/// The closed workload is deterministic in both substrates, so rows should
+/// agree to numerical precision; the open workload uses different RNG
+/// streams and agrees statistically.
+pub fn run_validation(
+    workload: Workload,
+    grid: &[f64],
+    horizon: f64,
+    seed: u64,
+    threads: usize,
+) -> Vec<ValidationRow> {
+    parallel_map(grid, threads, |&pdt| {
+        let mut params = NodeSimParams::paper_defaults(workload, pdt);
+        params.horizon = horizon;
+        let petri = simulate_node_model(&params, seed);
+        let des = simulate_node(&params, seed.wrapping_add(1));
+        let petri_j = petri.breakdown(&PXA271_CPU, &CC2420_RADIO).total().joules();
+        let des_j = des.total_energy(&PXA271_CPU, &CC2420_RADIO).joules();
+        ValidationRow {
+            pdt,
+            petri_j,
+            des_j,
+            rel_diff: (petri_j - des_j).abs() / des_j,
+            petri_wakeups: petri.cpu_wakeups,
+            des_wakeups: des.cpu_wakeups,
+        }
+    })
+}
+
+/// Render the sweep as CSV.
+pub fn render_validation_csv(rows: &[ValidationRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("pdt,petri_j,des_j,rel_diff,petri_wakeups,des_wakeups\n");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{:.4},{:.4},{:.6},{:.0},{}",
+            r.pdt, r.petri_j, r.des_j, r.rel_diff, r.petri_wakeups, r.des_wakeups
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_model_rows_agree_tightly() {
+        let rows = run_validation(
+            Workload::Closed { interval: 1.0 },
+            &[1e-9, 0.00177, 0.1, 10.0],
+            300.0,
+            1,
+            2,
+        );
+        for r in &rows {
+            assert!(r.rel_diff < 0.005, "pdt={}: {:?}", r.pdt, r);
+            assert!(
+                (r.petri_wakeups - r.des_wakeups as f64).abs() <= 1.0,
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn open_model_rows_agree_statistically() {
+        // Single runs with independent seeds: agreement is statistical
+        // (relative Monte-Carlo std of a 5000 s energy estimate ≈ 2-3 %).
+        let rows = run_validation(Workload::Open { rate: 1.0 }, &[0.00177, 0.1], 5000.0, 7, 2);
+        for r in &rows {
+            assert!(r.rel_diff < 0.08, "pdt={}: {:?}", r.pdt, r);
+        }
+    }
+
+    #[test]
+    fn csv_renders_all_rows() {
+        let rows = run_validation(Workload::Closed { interval: 1.0 }, &[0.01], 100.0, 1, 1);
+        let csv = render_validation_csv(&rows);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("pdt,"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Emulated IMote2 measurement rig — the substitution for the paper's
+//! physical bench (Fig. 11: power supply, 1 Ω sense resistor,
+//! oscilloscope).
+//!
+//! The paper triggers a real IMote2 with 100 random events, measures the
+//! average power over 266.5 s, and compares the measured energy
+//! (0.336137 J) against the Petri-net prediction (0.326519 J, a 2.95 %
+//! gap). We cannot source the hardware, so this module *emulates the
+//! measurement*: it replays the same four-state behaviour (Fig. 10
+//! semantics with the IMote2's 1 s minimum event spacing), draws the
+//! measured per-state powers of Table VII, and corrupts the readings with
+//! configurable oscilloscope noise and a small systematic bias calibrated
+//! to the gap the paper observed between its model and its bench.
+//!
+//! The comparison code path (predicted vs "measured" energy, Table X) is
+//! therefore exercised end-to-end; only the electrons are synthetic.
+
+use crate::simple_node::SimpleNodeParams;
+use des::rng::DesRng;
+use energy::{Energy, FourState, IMOTE2_MEASURED};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the emulated measurement run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Imote2RigConfig {
+    /// Number of triggered events (the paper uses 100).
+    pub events: u32,
+    /// Relative amplitude of zero-mean Gaussian oscilloscope noise on each
+    /// sampled power reading (e.g. 0.02 = 2 %).
+    pub noise_rel: f64,
+    /// Systematic relative bias of the rig vs the model's power table
+    /// (positive = the bench reads high). The paper's bench read ≈ +2.95 %
+    /// relative to its model.
+    pub bias_rel: f64,
+    /// Power-sampling interval of the emulated oscilloscope (s).
+    pub sample_interval: f64,
+}
+
+impl Default for Imote2RigConfig {
+    fn default() -> Self {
+        Imote2RigConfig {
+            events: 100,
+            noise_rel: 0.01,
+            bias_rel: 0.0295,
+            sample_interval: 0.01,
+        }
+    }
+}
+
+/// Outcome of an emulated bench run (the "measured" column of Table X).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Imote2Measurement {
+    /// Wall-clock duration of the run (s); the paper's run took 266.5 s.
+    pub duration_s: f64,
+    /// Average measured power (mW); the paper reports 1.261 mW.
+    pub average_power_mw: f64,
+    /// Measured energy (J); the paper reports 0.336137 J.
+    pub energy: Energy,
+    /// Events completed.
+    pub events: u32,
+}
+
+/// Replay the simple-system behaviour on the emulated rig.
+///
+/// The node follows the Fig. 10 cycle (`Wait → Temp → Receiving →
+/// Computation → Transmitting`), drawing the Table VII state powers; the
+/// rig integrates sampled power over the run.
+pub fn run_rig(
+    node: &SimpleNodeParams,
+    rig: &Imote2RigConfig,
+    powers: &FourState,
+    seed: u64,
+) -> Imote2Measurement {
+    assert!(rig.events > 0, "need at least one event");
+    assert!(
+        rig.sample_interval > 0.0,
+        "sample interval must be positive"
+    );
+    let mut rng = DesRng::seed_from_u64(seed);
+
+    // Generate the exact state timeline for `events` cycles.
+    // Segments: (duration, true power in mW).
+    let mut segments: Vec<(f64, f64)> = Vec::with_capacity(rig.events as usize * 5);
+    for _ in 0..rig.events {
+        let wait = rng.exp(1.0 / node.job_arrival_mean);
+        segments.push((wait, powers.wait.milliwatts()));
+        // Temp_Place: the 1 s minimum spacing, billed at idle power like
+        // Wait (Eq. 8).
+        segments.push((node.temp_delay, powers.wait.milliwatts()));
+        segments.push((node.receive_delay, powers.receiving.milliwatts()));
+        segments.push((node.computation_delay, powers.computation.milliwatts()));
+        segments.push((node.transmit_delay, powers.transmitting.milliwatts()));
+    }
+    let duration: f64 = segments.iter().map(|(d, _)| d).sum();
+
+    // The oscilloscope samples instantaneous power every `sample_interval`
+    // with multiplicative noise and systematic bias; energy is the
+    // trapezoid-free running sum (matching how the paper averaged).
+    let mut t_in_segment = 0.0;
+    let mut seg_iter = segments.iter().copied();
+    let mut current = seg_iter.next().expect("events > 0");
+    let mut sampled_sum_mw = 0.0;
+    let mut samples: u64 = 0;
+    let mut t = 0.0;
+    while t < duration {
+        // Advance to the segment containing t.
+        while t_in_segment + current.0 < t {
+            t_in_segment += current.0;
+            match seg_iter.next() {
+                Some(s) => current = s,
+                None => break,
+            }
+        }
+        let true_mw = current.1;
+        let noisy = true_mw * (1.0 + rig.bias_rel) * (1.0 + rng.gaussian(0.0, rig.noise_rel));
+        sampled_sum_mw += noisy.max(0.0);
+        samples += 1;
+        t += rig.sample_interval;
+    }
+
+    let average_power_mw = if samples > 0 {
+        sampled_sum_mw / samples as f64
+    } else {
+        0.0
+    };
+    let energy = Energy::from_joules(average_power_mw * 1e-3 * duration);
+    Imote2Measurement {
+        duration_s: duration,
+        average_power_mw,
+        energy,
+        events: rig.events,
+    }
+}
+
+/// Run the rig with the paper's configuration (100 events, Table VII
+/// powers).
+pub fn run_paper_rig(seed: u64) -> Imote2Measurement {
+    run_rig(
+        &SimpleNodeParams::default(),
+        &Imote2RigConfig::default(),
+        &IMOTE2_MEASURED,
+        seed,
+    )
+}
+
+/// The Table X comparison: predicted vs measured energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableXComparison {
+    /// Emulated bench duration (s).
+    pub execution_time_s: f64,
+    /// Emulated average power (mW).
+    pub average_power_mw: f64,
+    /// Emulated measured energy (J).
+    pub measured_energy_j: f64,
+    /// Petri-net predicted energy over the same duration (J).
+    pub petri_energy_j: f64,
+    /// Percent difference, as the paper computes it.
+    pub percent_difference: f64,
+}
+
+/// Produce the Table X comparison: emulate the bench, predict with the
+/// Petri-net steady state, and compare.
+pub fn table_x_comparison(seed: u64) -> TableXComparison {
+    let node = SimpleNodeParams::default();
+    let measured = run_paper_rig(seed);
+    let predicted = crate::simple_node::analytic_probabilities(&node)
+        .energy(&IMOTE2_MEASURED, measured.duration_s);
+    let measured_j = measured.energy.joules();
+    let predicted_j = predicted.joules();
+    TableXComparison {
+        execution_time_s: measured.duration_s,
+        average_power_mw: measured.average_power_mw,
+        measured_energy_j: measured_j,
+        petri_energy_j: predicted_j,
+        percent_difference: 100.0 * (measured_j - predicted_j).abs() / measured_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_scales_with_events() {
+        // Mean cycle ≈ 5.04 s; 100 events ≈ 500 s (the paper saw 266.5 s —
+        // within the spread of 100 exponential waits... their mean wait was
+        // evidently shorter; we match the model, not their luck).
+        let m = run_paper_rig(1);
+        assert_eq!(m.events, 100);
+        assert!(
+            (300.0..700.0).contains(&m.duration_s),
+            "duration {}",
+            m.duration_s
+        );
+    }
+
+    #[test]
+    fn average_power_in_plausible_band() {
+        // All four state powers are 1.0–1.3 mW, so the average (plus ~3 %
+        // bias) must be in that band.
+        let m = run_paper_rig(2);
+        assert!(
+            (1.0..1.4).contains(&m.average_power_mw),
+            "avg power {}",
+            m.average_power_mw
+        );
+    }
+
+    #[test]
+    fn energy_equals_power_times_duration() {
+        let m = run_paper_rig(3);
+        let expect = m.average_power_mw * 1e-3 * m.duration_s;
+        assert!((m.energy.joules() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_x_gap_matches_paper_band() {
+        // The paper observed 2.95 %; with the calibrated bias the emulated
+        // gap lands in the same few-percent band.
+        let c = table_x_comparison(4);
+        assert!(
+            (0.5..6.0).contains(&c.percent_difference),
+            "percent difference {}",
+            c.percent_difference
+        );
+        assert!(c.measured_energy_j > c.petri_energy_j * 0.95);
+    }
+
+    #[test]
+    fn zero_noise_zero_bias_matches_prediction_tightly() {
+        let node = SimpleNodeParams::default();
+        let rig = Imote2RigConfig {
+            noise_rel: 0.0,
+            bias_rel: 0.0,
+            ..Default::default()
+        };
+        let m = run_rig(&node, &rig, &IMOTE2_MEASURED, 5);
+        let predicted = crate::simple_node::analytic_probabilities(&node)
+            .energy(&IMOTE2_MEASURED, m.duration_s);
+        let rel = (m.energy.joules() - predicted.joules()).abs() / predicted.joules();
+        // Finite-run state-mix fluctuation only (the wait fraction of a
+        // 100-cycle run wobbles a few percent around its mean).
+        assert!(rel < 0.03, "relative gap {rel}");
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let a = run_paper_rig(7);
+        let b = run_paper_rig(7);
+        assert_eq!(a, b);
+        let c = run_paper_rig(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bias_moves_measurement() {
+        let node = SimpleNodeParams::default();
+        let hi = Imote2RigConfig {
+            bias_rel: 0.10,
+            noise_rel: 0.0,
+            ..Default::default()
+        };
+        let lo = Imote2RigConfig {
+            bias_rel: 0.0,
+            noise_rel: 0.0,
+            ..Default::default()
+        };
+        let m_hi = run_rig(&node, &hi, &IMOTE2_MEASURED, 9);
+        let m_lo = run_rig(&node, &lo, &IMOTE2_MEASURED, 9);
+        let ratio = m_hi.average_power_mw / m_lo.average_power_mw;
+        assert!((ratio - 1.10).abs() < 0.01, "ratio {ratio}");
+    }
+}

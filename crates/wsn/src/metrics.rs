@@ -1,0 +1,111 @@
+//! Error metrics between model predictions — the Δ-energy statistics of the
+//! paper's Tables IV, V and VI.
+
+use petri_core::stats::describe;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of per-sweep-point differences between two energy
+/// curves (one row block of Tables IV–VI): average, variance, standard
+/// deviation and RMSE of `|a_i - b_i|`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiffStats {
+    /// Mean absolute difference ("Avg." row).
+    pub avg: f64,
+    /// Sample variance of the absolute differences ("Variance" row).
+    pub variance: f64,
+    /// Standard deviation ("STD DEV" row).
+    pub std_dev: f64,
+    /// Root-mean-square of the differences ("RMSE" row).
+    pub rmse: f64,
+}
+
+impl DiffStats {
+    /// Compute from two equal-length curves.
+    pub fn between(a: &[f64], b: &[f64]) -> DiffStats {
+        assert_eq!(a.len(), b.len(), "curves must have equal length");
+        assert!(!a.is_empty(), "need at least one point");
+        let diffs: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).collect();
+        let (avg, variance, std_dev, rmse) = describe(&diffs);
+        DiffStats {
+            avg,
+            variance,
+            std_dev,
+            rmse,
+        }
+    }
+}
+
+/// One full Δ-energy table (the paper's Tables IV–VI): simulator vs Markov,
+/// simulator vs Petri net, Markov vs Petri net.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeltaEnergyTable {
+    /// |Simulation − Markov| statistics.
+    pub sim_markov: DiffStats,
+    /// |Simulation − Petri| statistics.
+    pub sim_petri: DiffStats,
+    /// |Markov − Petri| statistics.
+    pub markov_petri: DiffStats,
+}
+
+impl DeltaEnergyTable {
+    /// Build from three equal-length energy curves.
+    pub fn from_curves(sim: &[f64], markov: &[f64], petri: &[f64]) -> DeltaEnergyTable {
+        DeltaEnergyTable {
+            sim_markov: DiffStats::between(sim, markov),
+            sim_petri: DiffStats::between(sim, petri),
+            markov_petri: DiffStats::between(markov, petri),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_curves_give_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let d = DiffStats::between(&a, &a);
+        assert_eq!(d.avg, 0.0);
+        assert_eq!(d.variance, 0.0);
+        assert_eq!(d.std_dev, 0.0);
+        assert_eq!(d.rmse, 0.0);
+    }
+
+    #[test]
+    fn constant_offset() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 4.0, 5.0];
+        let d = DiffStats::between(&a, &b);
+        assert!((d.avg - 2.0).abs() < 1e-12);
+        assert!((d.variance - 0.0).abs() < 1e-12);
+        assert!((d.rmse - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_differences() {
+        // |diffs| = [1, 3]; avg 2; var 2; std sqrt(2); rmse sqrt(5).
+        let d = DiffStats::between(&[0.0, 0.0], &[1.0, -3.0]);
+        assert!((d.avg - 2.0).abs() < 1e-12);
+        assert!((d.variance - 2.0).abs() < 1e-12);
+        assert!((d.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!((d.rmse - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_from_curves() {
+        let sim = [10.0, 20.0];
+        let markov = [12.0, 22.0];
+        let petri = [10.5, 20.5];
+        let t = DeltaEnergyTable::from_curves(&sim, &markov, &petri);
+        assert!((t.sim_markov.avg - 2.0).abs() < 1e-12);
+        assert!((t.sim_petri.avg - 0.5).abs() < 1e-12);
+        assert!((t.markov_petri.avg - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_lengths_rejected() {
+        let _ = DiffStats::between(&[1.0], &[1.0, 2.0]);
+    }
+}

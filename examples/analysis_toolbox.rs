@@ -1,0 +1,125 @@
+//! Analysis toolbox tour: the structural/analytic side of the library on
+//! the paper's own nets — reachability, P-invariants, structural lints,
+//! the CTMC bridge, absorption (battery lifetime), and DOT export.
+//!
+//! ```sh
+//! cargo run --release --example analysis_toolbox
+//! ```
+
+use wsn_petri::petri_core::analysis::{explore, extract_ctmc, lint, p_invariants, ExploreLimits};
+use wsn_petri::prelude::*;
+
+fn main() {
+    // --- The Fig. 10 simple node: small enough to analyze exhaustively ---
+    let simple = wsn_petri::wsn::build_simple_node(&SimpleNodeParams::default());
+    let ex = explore(&simple.net, ExploreLimits::default());
+    println!("Fig. 10 simple node:");
+    println!("  reachable markings : {}", ex.states);
+    println!("  deadlock-free      : {}", ex.deadlock_free());
+    println!(
+        "  bounded (k = {})    : {}",
+        ex.max_place_tokens,
+        ex.bounded()
+    );
+    let invs = p_invariants(&simple.net);
+    println!("  P-invariants       : {} (token conservation)", invs.len());
+
+    // --- The Fig. 3 CPU net: invariants + lints ---
+    let cpu = build_cpu_model(&CpuModelParams::paper_defaults(0.3, 0.3));
+    let invs = p_invariants(&cpu.net);
+    println!("\nFig. 3 CPU net:");
+    for inv in &invs {
+        let names: Vec<&str> = inv
+            .support()
+            .iter()
+            .map(|&i| {
+                cpu.net
+                    .place(wsn_petri::petri_core::ids::PlaceId::from_index(i))
+                    .name
+                    .as_str()
+            })
+            .collect();
+        println!("  invariant over {{{}}}", names.join(", "));
+    }
+    let lints = lint(&cpu.net);
+    println!(
+        "  structural lints   : {}",
+        if lints.is_empty() {
+            "none".into()
+        } else {
+            format!("{lints:?}")
+        }
+    );
+
+    // --- CTMC bridge: an exponential-only variant is solvable exactly ---
+    // Replace the deterministic timers with exponentials of the same mean
+    // and extract the chain (the k = 1 Markovization).
+    let mut b = NetBuilder::new("cpu-exp");
+    let queue = b.place("queue").build();
+    let off = b.place("off").tokens(1).build();
+    let on = b.place("on").build();
+    b.transition("arrive", Timing::exponential(1.0))
+        .output(queue, 1)
+        .inhibitor(queue, 5) // truncate for a finite chain
+        .build();
+    b.transition("wake", Timing::exponential(1.0 / 0.3))
+        .input(off, 1)
+        .output(on, 1)
+        .guard(Expr::count(queue).gt_c(0))
+        .build();
+    b.transition("serve", Timing::exponential(10.0))
+        .input(on, 1)
+        .input(queue, 1)
+        .output(on, 1)
+        .build();
+    b.transition("sleep", Timing::exponential(1.0 / 0.3))
+        .input(on, 1)
+        .output(off, 1)
+        .guard(Expr::count(queue).eq_c(0))
+        .build();
+    let net = b.build().unwrap();
+    let extraction = extract_ctmc(&net, 1000).unwrap();
+    let chain =
+        Ctmc::from_rates(extraction.states.len(), extraction.rates.iter().copied()).unwrap();
+    let pi = chain.steady_state().unwrap();
+    let p_on: f64 = extraction
+        .states
+        .iter()
+        .zip(&pi)
+        .filter(|(m, _)| m.count(on) > 0)
+        .map(|(_, p)| p)
+        .sum();
+    println!("\nExponential-only CPU variant (the k=1 Markovization):");
+    println!("  CTMC states        : {}", extraction.states.len());
+    println!("  P(on), analytic    : {p_on:.4}");
+
+    // --- Absorption: time to battery death ---
+    // 20 charge quanta; drain rate proportional to the node's average
+    // power at the Fig. 14 optimum.
+    let params = NodeSimParams::paper_defaults(Workload::Closed { interval: 1.0 }, 0.00177);
+    let node = simulate_node_model(&params, 1);
+    let avg = node.average_power(&PXA271_CPU, &CC2420_RADIO);
+    let battery = Battery::TWO_AA;
+    let quanta = 20usize;
+    let quantum_j = battery.usable_energy_joules() / quanta as f64;
+    let drain_rate = avg.watts() / quantum_j; // quanta per second
+    let mut chain = Ctmc::new(quanta + 1);
+    for lvl in 1..=quanta {
+        chain.add_rate(lvl, lvl - 1, drain_rate).unwrap();
+    }
+    let absorption = markov::absorb(&chain, &[0]).unwrap();
+    println!("\nBattery-death analysis at the optimal threshold:");
+    println!("  average node power : {:.2} mW", avg.milliwatts());
+    println!(
+        "  mean time to death : {:.1} days (exp-quantum CTMC) vs {:.1} days (deterministic)",
+        absorption.hitting_time[quanta] / 86_400.0,
+        battery.lifetime_days(avg)
+    );
+
+    // --- DOT export ---
+    let dot = wsn_petri::petri_core::dot::to_dot(&cpu.net);
+    println!(
+        "\nDOT export of the Fig. 3 net: {} bytes (pipe to `dot -Tpng`)",
+        dot.len()
+    );
+}

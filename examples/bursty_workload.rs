@@ -1,0 +1,134 @@
+//! Bursty workloads: does the paper's optimal Power-Down Threshold survive
+//! burstiness?
+//!
+//! The paper's workloads are Poisson or periodic. Real sensor fields are
+//! *bursty* (quiet nights, event storms). This example composes a Markov-
+//! modulated Poisson process (MMPP) **inside the Petri net itself** — a
+//! two-state modulator (Quiet/Burst places) gating two arrival transitions
+//! with different rates — and re-asks Section VII's question. No engine
+//! changes needed: this is exactly the modeling flexibility the paper
+//! advertises for Petri nets.
+//!
+//! ```sh
+//! cargo run --release --example bursty_workload
+//! ```
+
+use wsn_petri::prelude::*;
+
+/// Build the Fig. 3 CPU with an MMPP workload: Quiet state arrivals at
+/// `rate_quiet`, Burst state at `rate_burst`, switching at `switch_rate`.
+/// The average rate is kept at 1 job/s for comparability with the paper.
+fn build_mmpp_cpu(pdt: f64, pud: f64, rate_quiet: f64, rate_burst: f64, switch_rate: f64) -> Net {
+    let mut b = NetBuilder::new("mmpp-cpu");
+    // Modulator.
+    let quiet = b.place("Quiet").tokens(1).build();
+    let burst = b.place("Burst").build();
+    b.transition("go_burst", Timing::exponential(switch_rate))
+        .input(quiet, 1)
+        .output(burst, 1)
+        .build();
+    b.transition("go_quiet", Timing::exponential(switch_rate))
+        .input(burst, 1)
+        .output(quiet, 1)
+        .build();
+    // Modulated arrivals (guards instead of arcs keep the modulator clean).
+    let buffer = b.place("Buffer").build();
+    b.transition("arrive_quiet", Timing::exponential(rate_quiet))
+        .output(buffer, 1)
+        .guard(Expr::count(quiet).gt_c(0))
+        .build();
+    b.transition("arrive_burst", Timing::exponential(rate_burst))
+        .output(buffer, 1)
+        .guard(Expr::count(burst).gt_c(0))
+        .build();
+    // The Fig. 3 CPU component.
+    let sleeping = b.place("Sleeping").tokens(1).build();
+    let waking = b.place("Waking").build();
+    let idle = b.place("Idle").build();
+    let active = b.place("Active").build();
+    b.transition("wake", Timing::immediate_pri(4))
+        .input(sleeping, 1)
+        .output(waking, 1)
+        .guard(Expr::count(buffer).gt_c(0))
+        .build();
+    b.transition("wake_done", Timing::deterministic(pud))
+        .input(waking, 1)
+        .output(idle, 1)
+        .build();
+    b.transition("start", Timing::immediate_pri(2))
+        .input(idle, 1)
+        .output(active, 1)
+        .guard(Expr::count(buffer).gt_c(0))
+        .build();
+    b.transition("stop", Timing::immediate_pri(3))
+        .input(active, 1)
+        .output(idle, 1)
+        .guard(Expr::count(buffer).eq_c(0))
+        .build();
+    b.transition("serve", Timing::exponential(10.0))
+        .input(active, 1)
+        .input(buffer, 1)
+        .output(active, 1)
+        .build();
+    b.transition("power_down", Timing::deterministic(pdt))
+        .input(idle, 1)
+        .output(sleeping, 1)
+        .build();
+    b.build().expect("valid MMPP net")
+}
+
+fn energy_at(pdt: f64, rate_quiet: f64, rate_burst: f64, seeds: u64) -> f64 {
+    let horizon = 5000.0;
+    let net = build_mmpp_cpu(pdt, 0.3, rate_quiet, rate_burst, 0.05);
+    let mut sim = Simulator::new(&net, SimConfig::for_horizon(horizon));
+    let rs = [
+        sim.reward_place(net.place_by_name("Sleeping").unwrap()),
+        sim.reward_place(net.place_by_name("Waking").unwrap()),
+        sim.reward_place(net.place_by_name("Idle").unwrap()),
+        sim.reward_place(net.place_by_name("Active").unwrap()),
+    ];
+    let mut total = 0.0;
+    for s in 0..seeds {
+        let out = sim.run(1000 + s).expect("runs");
+        let p: Vec<f64> = rs.iter().map(|&r| out.reward(r)).collect();
+        total += PXA271_CPU
+            .average(p[0], p[1], p[2], p[3])
+            .over_seconds(horizon)
+            .joules();
+    }
+    total / seeds as f64
+}
+
+fn main() {
+    let grid = [0.001, 0.01, 0.05, 0.1, 0.3, 0.5, 1.0, 2.0, 5.0];
+
+    println!("CPU energy (J / 5000 s, PUD = 0.3 s) vs Power-Down Threshold\n");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "PDT (s)", "Poisson (1/s)", "mild burst", "heavy burst"
+    );
+    // Mixtures averaging ~1 job/s: (quiet, burst) rates.
+    let scenarios = [(1.0, 1.0), (0.4, 1.6), (0.1, 1.9)];
+    let mut best = [(f64::MAX, 0.0); 3];
+    for &pdt in &grid {
+        let mut row = format!("{pdt:>8}");
+        for (i, &(q, bst)) in scenarios.iter().enumerate() {
+            let e = energy_at(pdt, q, bst, 6);
+            if e < best[i].0 {
+                best[i] = (e, pdt);
+            }
+            row.push_str(&format!(" {e:>16.2}"));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\noptimal PDT: Poisson {} s, mild burst {} s, heavy burst {} s",
+        best[0].1, best[1].1, best[2].1
+    );
+    println!(
+        "\nBurstiness concentrates arrivals: during storms the CPU rides from job to\n\
+         job without sleeping, and during lulls it sleeps regardless — so the optimum\n\
+         threshold (and the price of getting it wrong) shifts with the duty cycle.\n\
+         The paper's machinery answers this with ~40 lines of net construction."
+    );
+}

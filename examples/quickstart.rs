@@ -1,0 +1,81 @@
+//! Quickstart: build a tiny power-managed-CPU Petri net by hand, simulate
+//! it, and read energy out — the library's core loop in ~60 lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use wsn_petri::prelude::*;
+
+fn main() {
+    // 1. Model: a CPU that sleeps after 0.5 s of idleness and takes 0.3 s
+    //    to wake, fed by Poisson(0.2/s) jobs served at 10/s.
+    let mut b = NetBuilder::new("quickstart-cpu");
+    let buffer = b.place("Buffer").build();
+    let sleeping = b.place("Sleeping").tokens(1).build();
+    let waking = b.place("Waking").build();
+    let idle = b.place("Idle").build();
+    let active = b.place("Active").build();
+
+    b.transition("arrive", Timing::exponential(0.2))
+        .output(buffer, 1)
+        .build();
+    b.transition("wake", Timing::immediate_pri(4))
+        .input(sleeping, 1)
+        .output(waking, 1)
+        .guard(Expr::count(buffer).gt_c(0))
+        .build();
+    b.transition("wake_done", Timing::deterministic(0.3))
+        .input(waking, 1)
+        .output(idle, 1)
+        .build();
+    b.transition("start", Timing::immediate_pri(2))
+        .input(idle, 1)
+        .output(active, 1)
+        .guard(Expr::count(buffer).gt_c(0))
+        .build();
+    b.transition("finish", Timing::immediate_pri(3))
+        .input(active, 1)
+        .output(idle, 1)
+        .guard(Expr::count(buffer).eq_c(0))
+        .build();
+    b.transition("serve", Timing::exponential(10.0))
+        .input(active, 1)
+        .input(buffer, 1)
+        .output(active, 1)
+        .build();
+    b.transition("power_down", Timing::deterministic(0.5))
+        .input(idle, 1)
+        .output(sleeping, 1)
+        .build();
+    let net = b.build().expect("valid net");
+
+    // 2. Simulate 1 hour of model time.
+    let mut sim = Simulator::new(&net, SimConfig::for_horizon(3600.0));
+    let p_sleep = sim.reward_place(sleeping);
+    let p_wake = sim.reward_place(waking);
+    let p_idle = sim.reward_place(idle);
+    let p_active = sim.reward_place(active);
+    let out = sim.run(2024).expect("simulation runs");
+
+    // 3. Energy via the PXA271 power table (Table III of the paper).
+    let probs = [
+        out.reward(p_sleep),
+        out.reward(p_wake),
+        out.reward(p_idle),
+        out.reward(p_active),
+    ];
+    let avg = PXA271_CPU.average(probs[0], probs[1], probs[2], probs[3]);
+    let energy = avg.over_seconds(3600.0);
+
+    println!("state fractions over 1 h:");
+    for (name, p) in ["sleep", "waking", "idle", "active"].iter().zip(probs) {
+        println!("  {name:<8} {:6.2} %", 100.0 * p);
+    }
+    println!("average power : {:8.3} mW", avg.milliwatts());
+    println!("energy        : {:8.3} J", energy.joules());
+    println!(
+        "battery life  : {:8.1} days on 2xAA",
+        Battery::TWO_AA.lifetime_days(avg)
+    );
+}

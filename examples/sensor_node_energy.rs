@@ -1,0 +1,57 @@
+//! End-to-end sensor-node energy budget: the Fig. 12 closed-workload node
+//! at its optimal threshold, broken down into the paper's eight energy
+//! series, plus the battery-lifetime consequence (the paper's motivating
+//! metric).
+//!
+//! ```sh
+//! cargo run --release --example sensor_node_energy
+//! ```
+
+use wsn_petri::prelude::*;
+
+fn main() {
+    let mut params = NodeSimParams::paper_defaults(Workload::Closed { interval: 1.0 }, 0.00177);
+    params.horizon = 900.0;
+
+    // Petri-net model and DES oracle, side by side.
+    let petri = simulate_node_model(&params, 1);
+    let des = simulate_node(&params, 1);
+
+    let b_petri = petri.breakdown(&PXA271_CPU, &CC2420_RADIO);
+    let b_des = des.breakdown(&PXA271_CPU, &CC2420_RADIO);
+
+    println!("15-minute energy breakdown at PDT = 0.00177 s (closed workload)");
+    println!("{:<36} {:>12} {:>12}", "series", "Petri (J)", "DES (J)");
+    for ((name, e_petri), (_, e_des)) in b_petri.series().iter().zip(b_des.series().iter()) {
+        println!(
+            "{:<36} {:>12.4} {:>12.4}",
+            name,
+            e_petri.joules(),
+            e_des.joules()
+        );
+    }
+    println!(
+        "{:<36} {:>12.4} {:>12.4}",
+        "TOTAL",
+        b_petri.total().joules(),
+        b_des.total().joules()
+    );
+
+    println!(
+        "\ncycles completed: petri {:.0}, des {}",
+        petri.cycles_completed, des.cycles_completed
+    );
+    println!(
+        "CPU wake-ups:     petri {:.0}, des {}",
+        petri.cpu_wakeups, des.cpu_wakeups
+    );
+
+    let avg = petri.average_power(&PXA271_CPU, &CC2420_RADIO);
+    println!("\naverage node power: {:.3} mW", avg.milliwatts());
+    for (name, battery) in [("2xAA", Battery::TWO_AA), ("CR2032", Battery::CR2032)] {
+        println!(
+            "lifetime on {name:<7}: {:>8.1} days",
+            battery.lifetime_days(avg)
+        );
+    }
+}

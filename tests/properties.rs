@@ -1,0 +1,221 @@
+//! Property-based tests (proptest) over the core invariants of the whole
+//! stack: random nets, random parameters, and cross-substrate agreement
+//! that must hold for *any* input, not just the paper's.
+
+use proptest::prelude::*;
+use wsn_petri::prelude::*;
+
+/// Build a random closed ring net: `n` places in a cycle, one token,
+/// random timing per transition. Such a net conserves its token and never
+/// deadlocks.
+fn ring_net(n: usize, timings: &[u8], delay: f64) -> Net {
+    let mut b = NetBuilder::new("ring");
+    let places: Vec<_> = (0..n)
+        .map(|i| {
+            let mut pb = b.place(format!("p{i}"));
+            if i == 0 {
+                pb = pb.tokens(1);
+            }
+            pb.build()
+        })
+        .collect();
+    for i in 0..n {
+        let timing = match timings[i % timings.len()] % 3 {
+            0 => Timing::deterministic(delay),
+            1 => Timing::exponential(1.0 / delay.max(1e-6)),
+            _ => Timing::uniform(0.0, 2.0 * delay),
+        };
+        b.transition(format!("t{i}"), timing)
+            .input(places[i], 1)
+            .output(places[(i + 1) % n], 1)
+            .build();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Token conservation: a ring net's total token count is always 1, so
+    /// the sum of all time-average place counts is exactly 1.
+    #[test]
+    fn ring_net_conserves_tokens(
+        n in 2usize..8,
+        timings in proptest::collection::vec(0u8..3, 1..8),
+        delay in 0.01f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let net = ring_net(n, &timings, delay);
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(200.0));
+        let rewards: Vec<_> = net.place_ids().map(|p| sim.reward_place(p)).collect();
+        let out = sim.run(seed).unwrap();
+        let total: f64 = rewards.iter().map(|&r| out.reward(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        prop_assert_eq!(out.final_marking.total_tokens(), 1);
+    }
+
+    /// P-invariant agreement: every invariant found structurally is
+    /// numerically conserved along any simulated trajectory's endpoint.
+    #[test]
+    fn p_invariants_hold_at_trajectory_end(
+        n in 2usize..6,
+        timings in proptest::collection::vec(0u8..3, 1..6),
+        delay in 0.05f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let net = ring_net(n, &timings, delay);
+        let invariants = petri_core::analysis::p_invariants(&net);
+        prop_assert!(!invariants.is_empty());
+        let initial_counts = net.initial_marking().count_vector();
+        let sim = Simulator::new(&net, SimConfig::for_horizon(50.0));
+        let out = sim.run(seed).unwrap();
+        let final_counts = out.final_marking.count_vector();
+        for inv in &invariants {
+            prop_assert_eq!(inv.value(&initial_counts), inv.value(&final_counts));
+        }
+    }
+
+    /// Reward sanity: predicate probabilities are in [0,1]; observed time
+    /// equals horizon minus warm-up.
+    #[test]
+    fn rewards_are_well_formed(
+        delay in 0.05f64..1.0,
+        warmup in 0.0f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let net = ring_net(3, &[0, 1, 2], delay);
+        let p0 = net.place_by_name("p0").unwrap();
+        let horizon = 40.0;
+        let mut sim = Simulator::new(
+            &net,
+            SimConfig::for_horizon(horizon).with_warmup(warmup),
+        );
+        let pred = sim.reward_predicate(Expr::count(p0).gt_c(0)).unwrap();
+        let avg = sim.reward_place(p0);
+        let out = sim.run(seed).unwrap();
+        prop_assert!((out.observed_time - (horizon - warmup)).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&out.reward(pred)));
+        prop_assert!(out.reward(avg) >= 0.0);
+        // With one token, the place average equals the predicate prob.
+        prop_assert!((out.reward(avg) - out.reward(pred)).abs() < 1e-9);
+    }
+
+    /// Determinism: identical seeds give identical outputs for arbitrary
+    /// ring nets.
+    #[test]
+    fn identical_seeds_identical_runs(
+        n in 2usize..6,
+        timings in proptest::collection::vec(0u8..3, 1..6),
+        delay in 0.05f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let net = ring_net(n, &timings, delay);
+        let sim = Simulator::new(&net, SimConfig::for_horizon(60.0));
+        let a = sim.run(seed).unwrap();
+        let b = sim.run(seed).unwrap();
+        prop_assert_eq!(a.firing_counts, b.firing_counts);
+        prop_assert_eq!(a.final_marking, b.final_marking);
+    }
+
+    /// The DES CPU and the Petri CPU agree on state fractions for random
+    /// parameters (same semantics, independent implementations).
+    #[test]
+    fn cpu_des_and_petri_agree_on_random_params(
+        t in 0.01f64..2.0,
+        d in 0.001f64..2.0,
+        lambda in 0.2f64..2.0,
+        seed in 0u64..100,
+    ) {
+        let mu = 10.0 * lambda; // keep rho = 0.1
+        let horizon = 4000.0;
+        let mut des_params = CpuSimParams { lambda, mu, power_down_threshold: t, power_up_delay: d, horizon };
+        des_params.horizon = horizon;
+        let des_probs = simulate_cpu(&des_params, seed).probabilities();
+        let petri_probs = simulate_cpu_model(
+            &CpuModelParams { lambda, mu, power_down_threshold: t, power_up_delay: d },
+            horizon,
+            seed.wrapping_add(7),
+        ).probabilities;
+        for i in 0..4 {
+            prop_assert!(
+                (des_probs[i] - petri_probs[i]).abs() < 0.06,
+                "state {} at T={} D={} λ={}: des {} vs petri {}",
+                i, t, d, lambda, des_probs[i], petri_probs[i]
+            );
+        }
+    }
+
+    /// GTH and the LU-based DTMC direct solve agree on random irreducible
+    /// chains (via the embedded uniformized DTMC).
+    #[test]
+    fn gth_matches_direct_solve(
+        n in 2usize..12,
+        rates in proptest::collection::vec(0.1f64..5.0, 24),
+    ) {
+        // Ring + one shortcut per state => irreducible.
+        let mut chain = Ctmc::new(n);
+        for i in 0..n {
+            chain.add_rate(i, (i + 1) % n, rates[i % rates.len()]).unwrap();
+            if n > 2 {
+                chain.add_rate(i, (i + 2) % n, rates[(i + 7) % rates.len()] * 0.3).unwrap();
+            }
+        }
+        let gth = chain.steady_state_gth();
+        // Build the uniformized DTMC and solve directly.
+        let lambda_max: f64 = (0..n).map(|s| chain.exit_rate(s)).fold(0.0, f64::max) * 1.1;
+        let mut p = markov::Matrix::zeros(n, n);
+        for i in 0..n {
+            p[(i, i)] = 1.0 - chain.exit_rate(i) / lambda_max;
+        }
+        chain.for_each_rate(|f, t, r| {
+            p[(f, t)] += r / lambda_max;
+        });
+        let dtmc = markov::Dtmc::new(p).unwrap();
+        let direct = dtmc.stationary_direct().unwrap();
+        for i in 0..n {
+            prop_assert!((gth[i] - direct[i]).abs() < 1e-8,
+                "state {}: gth {} vs direct {}", i, gth[i], direct[i]);
+        }
+    }
+
+    /// Energy accounting: for any dwell times, breakdown total equals the
+    /// dot product of times and powers.
+    #[test]
+    fn breakdown_total_is_dot_product(
+        sleep in 0.0f64..1000.0,
+        wake in 0.0f64..100.0,
+        idle in 0.0f64..1000.0,
+        active in 0.0f64..1000.0,
+    ) {
+        let mut times = energy::StateTimes::default();
+        times.add(PowerState::Sleep, sleep);
+        times.add(PowerState::Wakeup, wake);
+        times.add(PowerState::Idle, idle);
+        times.add(PowerState::Active, active);
+        let b = energy::ComponentBreakdown::from_times(&times, &PXA271_CPU);
+        let manual = (17.0 * sleep + 192.976 * wake + 88.0 * idle + 193.0 * active) * 1e-3;
+        prop_assert!((b.total().joules() - manual).abs() < 1e-9);
+    }
+
+    /// The supplementary-variable solution is a probability distribution
+    /// for any stable parameters.
+    #[test]
+    fn markov_solution_is_distribution(
+        t in 0.0f64..50.0,
+        d in 0.0f64..50.0,
+        lambda in 0.05f64..5.0,
+        rho in 0.01f64..0.9,
+    ) {
+        let params = CpuMarkovParams {
+            lambda,
+            mu: lambda / rho,
+            power_down_threshold: t,
+            power_up_delay: d,
+        };
+        let s = params.solve();
+        for p in [s.p_standby, s.p_idle, s.p_powerup, s.p_active] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "p = {p}");
+        }
+        prop_assert!((s.total_probability() - 1.0).abs() < 1e-9);
+    }
+}
