@@ -1,0 +1,125 @@
+//! Paired A/B measurement of the incremental engine vs the reference
+//! engine, designed for noisy shared-CPU hosts: the two engines are timed
+//! in adjacent blocks (interleaved within milliseconds, so machine-speed
+//! phases hit both equally), each pair yields a speedup ratio, and the
+//! median ratio over many pairs is robust to drift that makes separated
+//! minimums incomparable. Writes `BENCH_engine.json`-ready numbers to
+//! stdout.
+//!
+//! ```text
+//! cargo run --release -p bench --bin engine_ab [pairs_per_net]
+//! ```
+
+use petri_core::prelude::*;
+use std::time::Instant;
+
+fn mm1_net() -> Net {
+    let mut b = NetBuilder::new("mm1");
+    let q = b.place("q").build();
+    b.transition("arrive", Timing::exponential(1.0))
+        .output(q, 1)
+        .build();
+    b.transition("serve", Timing::exponential(2.0))
+        .input(q, 1)
+        .build();
+    b.build().unwrap()
+}
+
+fn tandem_net(n: usize) -> Net {
+    let mut b = NetBuilder::new("tandem");
+    let places: Vec<_> = (0..n).map(|i| b.place(format!("p{i}")).build()).collect();
+    b.transition("source", Timing::exponential(1.0))
+        .output(places[0], 1)
+        .build();
+    for i in 0..n - 1 {
+        b.transition(format!("t{i}"), Timing::exponential(2.0))
+            .input(places[i], 1)
+            .output(places[i + 1], 1)
+            .build();
+    }
+    b.transition("sink", Timing::exponential(2.0))
+        .input(places[n - 1], 1)
+        .build();
+    b.build().unwrap()
+}
+
+/// Time `runs` simulation runs, returning ns/run and a checksum of total
+/// firings (keeps the optimizer honest and proves both engines agree).
+fn time_block(sim: &Simulator<'_>, seed0: u64, runs: u64, reference: bool) -> (f64, u64) {
+    let t0 = Instant::now();
+    let mut firings = 0u64;
+    for i in 0..runs {
+        let out = if reference {
+            sim.run_reference(seed0 + i).unwrap()
+        } else {
+            sim.run(seed0 + i).unwrap()
+        };
+        firings += out.total_firings();
+    }
+    (t0.elapsed().as_nanos() as f64 / runs as f64, firings)
+}
+
+fn measure(label: &str, sim: &Simulator<'_>, runs_per_block: u64, pairs: usize) {
+    // Warm both paths.
+    time_block(sim, 0, runs_per_block.min(4), false);
+    time_block(sim, 0, runs_per_block.min(4), true);
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut new_ns = Vec::with_capacity(pairs);
+    let mut ref_ns = Vec::with_capacity(pairs);
+    for p in 0..pairs {
+        let seed0 = (p as u64) * runs_per_block + 1;
+        // Alternate which engine goes first so slow drift cancels.
+        let (a, fa, b, fb) = if p % 2 == 0 {
+            let (a, fa) = time_block(sim, seed0, runs_per_block, false);
+            let (b, fb) = time_block(sim, seed0, runs_per_block, true);
+            (a, fa, b, fb)
+        } else {
+            let (b, fb) = time_block(sim, seed0, runs_per_block, true);
+            let (a, fa) = time_block(sim, seed0, runs_per_block, false);
+            (a, fa, b, fb)
+        };
+        assert_eq!(fa, fb, "engines disagree on total firings");
+        ratios.push(b / a);
+        new_ns.push(a);
+        ref_ns.push(b);
+    }
+    let med = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(|x, y| x.total_cmp(y));
+        v[v.len() / 2]
+    };
+    let r = med(&mut ratios);
+    let a = med(&mut new_ns);
+    let b = med(&mut ref_ns);
+    println!(
+        "{label:<20} reference {:9.3} ms  incremental {:9.3} ms  median paired speedup {r:5.2}x",
+        b / 1e6,
+        a / 1e6,
+    );
+}
+
+fn main() {
+    let pairs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    println!("paired A/B, {pairs} pairs per net (median of adjacent-block ratios)");
+
+    let net = mm1_net();
+    let sim = Simulator::new(&net, SimConfig::for_horizon(10_000.0));
+    measure("mm1/10k_seconds", &sim, 3, pairs);
+
+    for n in [4usize, 16, 64] {
+        let net = tandem_net(n);
+        let sim = Simulator::new(&net, SimConfig::for_horizon(1000.0));
+        measure(
+            &format!("tandem/{n}"),
+            &sim,
+            if n == 64 { 1 } else { 4 },
+            pairs,
+        );
+    }
+
+    let model = wsn::build_cpu_model(&wsn::CpuModelParams::paper_defaults(0.1, 0.3));
+    let sim = Simulator::new(&model.net, SimConfig::for_horizon(1000.0));
+    measure("fig3_cpu_1000s", &sim, 6, pairs);
+}

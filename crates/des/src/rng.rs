@@ -1,28 +1,42 @@
 //! Seeded sampling for the DES simulators (independent of petri-core's RNG
 //! so the two substrates share no code paths — they are meant to
 //! cross-validate each other).
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Deliberately a *different* generator family than `petri_core::rng`
+//! (a counter-mode SplitMix64 stream rather than xoshiro256++), keeping the
+//! cross-validation oracles statistically independent implementations top
+//! to bottom.
 
 /// Reproducible random stream for DES runs.
 #[derive(Debug, Clone)]
 pub struct DesRng {
-    inner: SmallRng,
+    state: u64,
 }
 
 impl DesRng {
     /// Create from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        DesRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        // Advance the counter once so the first output is the finalizer
+        // of seed+gamma rather than of the raw seed itself.
+        let mut r = DesRng { state: seed };
+        r.next_u64();
+        r
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Uniform in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Exponential with the given rate (inverse transform).

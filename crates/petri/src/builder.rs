@@ -216,11 +216,44 @@ impl NetBuilder {
             }
         }
 
+        // Color-flow fixpoint: which places can ever hold a non-NONE token?
+        // Sources: colored initial tokens, Const/Choice output arcs naming a
+        // non-NONE color, and Transfer arcs copying from a (transitively)
+        // colored place. Count-only places get the dense O(1) marking layout.
+        let mut colored: Vec<bool> = self
+            .places
+            .iter()
+            .map(|p| p.initial.iter().any(|c| *c != Color::NONE))
+            .collect();
+        loop {
+            let mut changed = false;
+            for t in &self.transitions {
+                for a in &t.outputs {
+                    let produces_color = match &a.color {
+                        ColorExpr::Const(c) => *c != Color::NONE,
+                        ColorExpr::Choice(pairs) => pairs.iter().any(|(c, _)| *c != Color::NONE),
+                        // Validated above: arc_index is in range.
+                        ColorExpr::Transfer { arc_index } => {
+                            colored[t.inputs[*arc_index].place.index()]
+                        }
+                    };
+                    if produces_color && !colored[a.place.index()] {
+                        colored[a.place.index()] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
         Ok(Net {
             name: self.name,
             places: self.places,
             transitions: self.transitions,
             affected_by,
+            colored: colored.into(),
         })
     }
 }
@@ -542,6 +575,36 @@ mod tests {
             b.build().unwrap_err(),
             BuildError::DuplicateArcPlace { .. }
         ));
+    }
+
+    #[test]
+    fn color_flow_marks_reachable_places() {
+        // src holds a colored token; `stage` receives it via Transfer;
+        // `plain` only ever sees NONE tokens; `chosen` gets Choice colors.
+        let mut b = NetBuilder::new("flow");
+        let src = b.place("src").token_colored(Color(2)).build();
+        let stage = b.place("stage").build();
+        let plain = b.place("plain").tokens(1).build();
+        let chosen = b.place("chosen").build();
+        b.transition("move", Timing::immediate())
+            .input(src, 1)
+            .output_colored(stage, 1, ColorExpr::Transfer { arc_index: 0 })
+            .build();
+        b.transition("cycle", Timing::exponential(1.0))
+            .input(plain, 1)
+            .output(plain, 1)
+            .build();
+        b.transition("pick", Timing::exponential(1.0))
+            .output_colored(chosen, 1, ColorExpr::Choice(vec![(Color(1), 1.0)]))
+            .build();
+        let net = b.build().unwrap();
+        assert!(net.place_may_hold_colors(src));
+        assert!(
+            net.place_may_hold_colors(stage),
+            "Transfer propagates color"
+        );
+        assert!(net.place_may_hold_colors(chosen), "Choice produces color");
+        assert!(!net.place_may_hold_colors(plain), "plain stays count-only");
     }
 
     #[test]

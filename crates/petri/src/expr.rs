@@ -304,6 +304,164 @@ impl Expr {
     }
 }
 
+/// One step of a compiled (postfix) expression program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ExprOp {
+    /// Push an integer literal.
+    ConstI(i64),
+    /// Push the total token count of a place (a dense-vector load).
+    Count(u32),
+    /// Push the count of tokens of one color in a place.
+    CountColor(u32, Color),
+    /// Pop two ints, push their sum.
+    Add,
+    /// Pop two ints, push their difference.
+    Sub,
+    /// Pop two ints, push the comparison result (0/1).
+    Cmp(CmpOp),
+    /// Pop two bools, push the conjunction.
+    And,
+    /// Pop two bools, push the disjunction.
+    Or,
+    /// Pop one bool, push the negation.
+    Not,
+    /// Push a boolean literal (0/1).
+    ConstB(bool),
+}
+
+/// A guard/predicate [`Expr`] flattened to a postfix program, evaluated
+/// against the marking's dense count vector with a caller-provided scratch
+/// stack — no recursion, no `Box` pointer chasing in the simulator's hot
+/// loop. Booleans are represented as 0/1 on the integer stack; the
+/// builder's type-check guarantees programs are well-formed.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CompiledExpr {
+    ops: Vec<ExprOp>,
+    /// Exact stack high-water mark, so callers can reserve once.
+    stack_needed: usize,
+}
+
+impl CompiledExpr {
+    /// Flatten `e` (postorder walk).
+    pub(crate) fn compile(e: &Expr) -> CompiledExpr {
+        fn emit(e: &Expr, ops: &mut Vec<ExprOp>) {
+            match e {
+                Expr::Const(v) => ops.push(ExprOp::ConstI(*v)),
+                Expr::Count(p, None) => ops.push(ExprOp::Count(p.index() as u32)),
+                Expr::Count(p, Some(c)) => ops.push(ExprOp::CountColor(p.index() as u32, *c)),
+                Expr::Add(a, b) => {
+                    emit(a, ops);
+                    emit(b, ops);
+                    ops.push(ExprOp::Add);
+                }
+                Expr::Sub(a, b) => {
+                    emit(a, ops);
+                    emit(b, ops);
+                    ops.push(ExprOp::Sub);
+                }
+                Expr::Cmp(a, op, b) => {
+                    emit(a, ops);
+                    emit(b, ops);
+                    ops.push(ExprOp::Cmp(*op));
+                }
+                Expr::And(a, b) => {
+                    emit(a, ops);
+                    emit(b, ops);
+                    ops.push(ExprOp::And);
+                }
+                Expr::Or(a, b) => {
+                    emit(a, ops);
+                    emit(b, ops);
+                    ops.push(ExprOp::Or);
+                }
+                Expr::Not(a) => {
+                    emit(a, ops);
+                    ops.push(ExprOp::Not);
+                }
+                Expr::True => ops.push(ExprOp::ConstB(true)),
+                Expr::False => ops.push(ExprOp::ConstB(false)),
+            }
+        }
+        let mut ops = Vec::new();
+        emit(e, &mut ops);
+        // Stack high-water mark: pushes add one, binary ops net -1.
+        let mut depth = 0usize;
+        let mut max_depth = 0usize;
+        for op in &ops {
+            match op {
+                ExprOp::ConstI(_)
+                | ExprOp::Count(_)
+                | ExprOp::CountColor(..)
+                | ExprOp::ConstB(_) => {
+                    depth += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                ExprOp::Add | ExprOp::Sub | ExprOp::Cmp(_) | ExprOp::And | ExprOp::Or => depth -= 1,
+                ExprOp::Not => {}
+            }
+        }
+        CompiledExpr {
+            ops,
+            stack_needed: max_depth,
+        }
+    }
+
+    /// Scratch capacity the evaluation stack needs.
+    #[inline]
+    pub(crate) fn stack_needed(&self) -> usize {
+        self.stack_needed
+    }
+
+    /// Evaluate as a boolean. `stack` is caller-owned scratch (cleared
+    /// here); `m` supplies counts.
+    #[inline]
+    pub(crate) fn eval_bool(&self, m: &Marking, stack: &mut Vec<i64>) -> bool {
+        stack.clear();
+        let counts = m.counts();
+        for op in &self.ops {
+            match *op {
+                ExprOp::ConstI(v) => stack.push(v),
+                ExprOp::Count(p) => stack.push(counts[p as usize] as i64),
+                ExprOp::CountColor(p, c) => {
+                    stack.push(m.count_color(crate::ids::PlaceId(p), c) as i64)
+                }
+                ExprOp::ConstB(b) => stack.push(b as i64),
+                ExprOp::Add => {
+                    let b = stack.pop().expect("well-formed program");
+                    let a = stack.last_mut().expect("well-formed program");
+                    *a += b;
+                }
+                ExprOp::Sub => {
+                    let b = stack.pop().expect("well-formed program");
+                    let a = stack.last_mut().expect("well-formed program");
+                    *a -= b;
+                }
+                ExprOp::Cmp(op) => {
+                    let b = stack.pop().expect("well-formed program");
+                    let a = stack.last_mut().expect("well-formed program");
+                    *a = op.apply(*a, b) as i64;
+                }
+                ExprOp::And => {
+                    let b = stack.pop().expect("well-formed program");
+                    let a = stack.last_mut().expect("well-formed program");
+                    *a = (*a != 0 && b != 0) as i64;
+                }
+                ExprOp::Or => {
+                    let b = stack.pop().expect("well-formed program");
+                    let a = stack.last_mut().expect("well-formed program");
+                    *a = (*a != 0 || b != 0) as i64;
+                }
+                ExprOp::Not => {
+                    let a = stack.last_mut().expect("well-formed program");
+                    *a = (*a == 0) as i64;
+                }
+            }
+        }
+        debug_assert_eq!(stack.len(), 1);
+        stack.pop().expect("well-formed program") != 0
+    }
+}
+
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -427,6 +585,47 @@ mod tests {
         places.sort();
         assert_eq!(places, vec![p(0), p(2)]);
         assert_eq!(e.max_place_index(), Some(2));
+    }
+
+    #[test]
+    fn compiled_matches_tree_walk() {
+        let exprs = [
+            Expr::count(p(0)).eq_c(0).and(Expr::count(p(1)).gt_c(0)),
+            Expr::count(p(0))
+                .add(Expr::count(p(1)))
+                .sub(Expr::constant(1))
+                .ge_c(2),
+            Expr::count(p(2))
+                .lt_c(3)
+                .or(Expr::count(p(0)).ne(Expr::constant(1))),
+            Expr::count_color(p(2), Color(1)).eq_c(0).not(),
+            Expr::True,
+            Expr::False.or(Expr::count(p(1)).le_c(5)),
+        ];
+        let markings = [
+            marking(&[0, 1, 0]),
+            marking(&[1, 0, 3]),
+            marking(&[2, 5, 1]),
+            {
+                let mut m = Marking::empty(3);
+                m.deposit(p(2), Color(1));
+                m.deposit(p(2), Color(4));
+                m
+            },
+        ];
+        let mut stack = Vec::new();
+        for e in &exprs {
+            let prog = CompiledExpr::compile(e);
+            assert!(prog.stack_needed() >= 1);
+            for m in &markings {
+                assert_eq!(
+                    prog.eval_bool(m, &mut stack),
+                    e.eval_bool(m),
+                    "expr {e} diverged on {:?}",
+                    m.count_vector()
+                );
+            }
+        }
     }
 
     #[test]

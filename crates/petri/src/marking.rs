@@ -1,96 +1,237 @@
 //! Markings: the global token state of a net.
 //!
-//! A [`Marking`] assigns a [`TokenBag`] to every place. The simulator
-//! mutates a single marking in place; analysis code clones markings to
-//! explore the reachability graph. For hashing/exploration a canonical
-//! sorted form is available via [`Marking::canonical_key`] (FIFO order within
-//! a place is a simulation artifact and must not distinguish states).
+//! A [`Marking`] is stored as a dense per-place count vector plus a colored
+//! side-table: only places that can ever hold a non-[`Color::NONE`] token
+//! (decided once, at [`crate::builder::NetBuilder::build`] time, by a
+//! color-flow fixpoint) materialize a FIFO [`TokenBag`]. On the paper's
+//! uncolored nets every token operation — `count`, `count_matching`,
+//! `deposit`, `withdraw` with [`ColorFilter::Any`] — is an O(1) integer
+//! operation on the count vector, and [`Marking::canonical_key`] is simply
+//! that vector, which is what makes the simulator's enabling checks and the
+//! reachability explorer's hashing cheap.
+//!
+//! The simulator mutates a single marking in place; analysis code clones
+//! markings to explore the reachability graph. FIFO order within a colored
+//! place is a simulation artifact and must not distinguish states, so the
+//! canonical key sorts colors within each place.
 
 use crate::ids::PlaceId;
 use crate::token::{Color, ColorFilter, TokenBag};
+use std::sync::Arc;
 
 /// The token distribution over all places of a net.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Marking {
-    places: Vec<TokenBag>,
+    /// Total tokens per place — the single source of truth for counts.
+    counts: Vec<u32>,
+    /// Which places materialize a color bag. Shared between all markings of
+    /// one net (refcounted, never mutated after construction).
+    colored: Arc<[bool]>,
+    /// FIFO color bags; maintained only for places with `colored[p]`, empty
+    /// otherwise (their tokens are implicitly all [`Color::NONE`]).
+    bags: Vec<TokenBag>,
+    /// Number of non-[`Color::NONE`] tokens currently present, maintained on
+    /// deposit/withdraw. Zero ⇔ the marking is semantically uncolored, which
+    /// selects the dense [`Marking::canonical_key`] encoding regardless of
+    /// layout.
+    colored_tokens: u32,
 }
 
 impl Marking {
-    /// A marking with `n` empty places.
+    /// A marking with `n` empty places, all of which may hold colors (the
+    /// fully general layout; nets build masked markings via
+    /// [`crate::net::Net::initial_marking`]).
     pub fn empty(n: usize) -> Self {
+        Marking::empty_masked(vec![true; n].into())
+    }
+
+    /// A marking with one empty place per mask entry; places whose mask is
+    /// `false` are stored count-only.
+    pub(crate) fn empty_masked(colored: Arc<[bool]>) -> Self {
+        let n = colored.len();
         Marking {
-            places: vec![TokenBag::new(); n],
+            counts: vec![0; n],
+            colored,
+            bags: vec![TokenBag::new(); n],
+            colored_tokens: 0,
         }
     }
 
-    /// Build from explicit bags (used by [`crate::net::Net::initial_marking`]).
+    /// Build from explicit bags. All places are treated as colored; used by
+    /// tests and external constructions that bypass a net.
     pub fn from_bags(places: Vec<TokenBag>) -> Self {
-        Marking { places }
+        let mut m = Marking::empty(places.len());
+        for (i, bag) in places.into_iter().enumerate() {
+            m.counts[i] = bag.len() as u32;
+            m.colored_tokens += bag.iter().filter(|&c| c != Color::NONE).count() as u32;
+            m.bags[i] = bag;
+        }
+        m
     }
 
     /// Number of places.
     #[inline]
     pub fn num_places(&self) -> usize {
-        self.places.len()
+        self.counts.len()
     }
 
     /// Total tokens in place `p`.
     #[inline]
     pub fn count(&self, p: PlaceId) -> usize {
-        self.places[p.index()].len()
+        self.counts[p.index()] as usize
+    }
+
+    /// Total tokens in place `p` as the raw dense count (engine hot path).
+    #[inline]
+    pub(crate) fn count_raw(&self, p: u32) -> u32 {
+        self.counts[p as usize]
+    }
+
+    /// The dense count vector (engine and compiled-guard hot path).
+    #[inline]
+    pub(crate) fn counts(&self) -> &[u32] {
+        &self.counts
     }
 
     /// Tokens of color `c` in place `p`.
     #[inline]
     pub fn count_color(&self, p: PlaceId, c: Color) -> usize {
-        self.places[p.index()].count_color(c)
+        let i = p.index();
+        if self.colored[i] {
+            self.bags[i].count_color(c)
+        } else if c == Color::NONE {
+            self.counts[i] as usize
+        } else {
+            0
+        }
     }
 
     /// Tokens in `p` matching `filter`.
     #[inline]
     pub fn count_matching(&self, p: PlaceId, filter: &ColorFilter) -> usize {
-        self.places[p.index()].count_matching(filter)
+        let i = p.index();
+        match filter {
+            ColorFilter::Any => self.counts[i] as usize,
+            _ if self.colored[i] => self.bags[i].count_matching(filter),
+            _ if filter.matches(Color::NONE) => self.counts[i] as usize,
+            _ => 0,
+        }
     }
 
     /// Deposit one token of color `c` into `p`.
+    ///
+    /// For count-only places the builder's color-flow analysis guarantees
+    /// `c == Color::NONE`; that invariant is checked in debug builds.
     #[inline]
     pub fn deposit(&mut self, p: PlaceId, c: Color) {
-        self.places[p.index()].push(c);
+        let i = p.index();
+        // Saturating: counts cap at u32::MAX, which always exceeds the
+        // engines' (clamped) token limit, so overflow surfaces as
+        // SimError::TokenOverflow instead of a silent wrap.
+        self.counts[i] = self.counts[i].saturating_add(1);
+        if self.colored[i] {
+            self.colored_tokens += (c != Color::NONE) as u32;
+            self.bags[i].push(c);
+        } else {
+            debug_assert_eq!(
+                c,
+                Color::NONE,
+                "colored token deposited into place {i} that the color-flow \
+                 analysis marked count-only"
+            );
+        }
     }
 
     /// Remove the oldest token in `p` matching `filter`.
     #[inline]
     pub fn withdraw(&mut self, p: PlaceId, filter: &ColorFilter) -> Option<Color> {
-        self.places[p.index()].take_matching(filter)
+        let i = p.index();
+        if self.colored[i] {
+            let taken = self.bags[i].take_matching(filter);
+            if let Some(c) = taken {
+                self.counts[i] -= 1;
+                self.colored_tokens -= (c != Color::NONE) as u32;
+            }
+            taken
+        } else if self.counts[i] > 0 && filter.matches(Color::NONE) {
+            self.counts[i] -= 1;
+            Some(Color::NONE)
+        } else {
+            None
+        }
     }
 
-    /// Immutable access to the bag of place `p`.
+    /// Bulk-deposit `n` plain tokens into a count-only place (engine fast
+    /// path; the caller guarantees the place is count-only).
     #[inline]
-    pub fn bag(&self, p: PlaceId) -> &TokenBag {
-        &self.places[p.index()]
+    pub(crate) fn add_plain(&mut self, p: u32, n: u32) -> u32 {
+        debug_assert!(!self.colored[p as usize]);
+        let c = &mut self.counts[p as usize];
+        // Saturating for the same reason as `deposit`.
+        *c = c.saturating_add(n);
+        *c
+    }
+
+    /// Bulk-withdraw `n` plain tokens from a count-only place (engine fast
+    /// path; the caller guarantees enabledness, i.e. `count >= n`).
+    #[inline]
+    pub(crate) fn sub_plain(&mut self, p: u32, n: u32) {
+        debug_assert!(!self.colored[p as usize]);
+        debug_assert!(self.counts[p as usize] >= n);
+        self.counts[p as usize] -= n;
+    }
+
+    /// Iterate the colors currently in place `p` (FIFO order; count-only
+    /// places yield `Color::NONE` `count` times).
+    pub fn colors(&self, p: PlaceId) -> impl Iterator<Item = Color> + '_ {
+        let i = p.index();
+        let (bag_iter, plain) = if self.colored[i] {
+            (Some(self.bags[i].iter()), 0)
+        } else {
+            (None, self.counts[i] as usize)
+        };
+        bag_iter
+            .into_iter()
+            .flatten()
+            .chain(std::iter::repeat_n(Color::NONE, plain))
     }
 
     /// Total tokens across all places.
     pub fn total_tokens(&self) -> usize {
-        self.places.iter().map(TokenBag::len).sum()
+        self.counts.iter().map(|&c| c as usize).sum()
     }
 
     /// A canonical, order-independent key identifying this marking.
     ///
-    /// Within each place, colors are sorted; across places the key embeds the
-    /// place boundary. Two markings that differ only in FIFO order within a
-    /// place map to the same key. Used by the reachability explorer.
+    /// A marking currently holding no non-[`Color::NONE`] token returns the
+    /// dense count vector directly (fixed length, no sentinels — the cheap
+    /// path the reachability explorer and CTMC extraction hash millions of
+    /// times). Otherwise the key encodes, per place: the token count, the
+    /// sorted non-`NONE` colors (plain tokens are implied by the count),
+    /// then the sentinel `u32::MAX` (a color the builder rejects). The
+    /// encoding depends only on token *content*, never on the storage
+    /// layout, and the two forms cannot collide (different lengths). Two
+    /// markings that differ only in FIFO order within a place map to the
+    /// same key.
     pub fn canonical_key(&self) -> Vec<u32> {
-        // Encoding: for each place, the sorted colors followed by the
-        // sentinel u32::MAX (colors are u32 but a place can never legally
-        // hold a token of color u32::MAX — the builder rejects it).
-        let mut key = Vec::with_capacity(self.total_tokens() + self.places.len());
+        if self.colored_tokens == 0 {
+            return self.counts.clone();
+        }
+        let mut key = Vec::with_capacity(self.colored_tokens as usize + 2 * self.counts.len());
         let mut scratch: Vec<u32> = Vec::new();
-        for bag in &self.places {
-            scratch.clear();
-            scratch.extend(bag.iter().map(|c| c.0));
-            scratch.sort_unstable();
-            key.extend_from_slice(&scratch);
+        for i in 0..self.counts.len() {
+            key.push(self.counts[i]);
+            if self.colored[i] {
+                scratch.clear();
+                scratch.extend(
+                    self.bags[i]
+                        .iter()
+                        .filter(|&c| c != Color::NONE)
+                        .map(|c| c.0),
+                );
+                scratch.sort_unstable();
+                key.extend_from_slice(&scratch);
+            }
             key.push(u32::MAX);
         }
         key
@@ -99,7 +240,40 @@ impl Marking {
     /// Vector of per-place token counts (ignores colors). Handy for
     /// invariant checking and display.
     pub fn count_vector(&self) -> Vec<usize> {
-        self.places.iter().map(TokenBag::len).collect()
+        self.counts.iter().map(|&c| c as usize).collect()
+    }
+}
+
+impl PartialEq for Marking {
+    fn eq(&self, other: &Self) -> bool {
+        // The colored mask is net-derived metadata, not token state: two
+        // markings are equal iff their counts and token colors (in FIFO
+        // order) agree. A count-only place holds `count` implicit
+        // `Color::NONE` tokens, so against a materialized bag it is equal
+        // exactly when that bag is all-NONE of the same length.
+        if self.counts != other.counts {
+            return false;
+        }
+        for i in 0..self.counts.len() {
+            let equal = match (self.colored[i], other.colored[i]) {
+                (true, true) => self.bags[i] == other.bags[i],
+                (false, false) => true,
+                (true, false) => self.bags[i].iter().all(|c| c == Color::NONE),
+                (false, true) => other.bags[i].iter().all(|c| c == Color::NONE),
+            };
+            if !equal {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Eq for Marking {}
+
+impl Default for Marking {
+    fn default() -> Self {
+        Marking::empty(0)
     }
 }
 
@@ -135,6 +309,25 @@ mod tests {
     }
 
     #[test]
+    fn count_only_places_behave_like_plain_bags() {
+        let mask: Arc<[bool]> = vec![false, true].into();
+        let mut m = Marking::empty_masked(mask);
+        m.deposit(p(0), Color::NONE);
+        m.deposit(p(0), Color::NONE);
+        m.deposit(p(1), Color(3));
+        assert_eq!(m.count(p(0)), 2);
+        assert_eq!(m.count_color(p(0), Color::NONE), 2);
+        assert_eq!(m.count_color(p(0), Color(1)), 0);
+        assert_eq!(m.count_matching(p(0), &ColorFilter::Eq(Color::NONE)), 2);
+        assert_eq!(m.count_matching(p(0), &ColorFilter::Eq(Color(1))), 0);
+        assert_eq!(m.withdraw(p(0), &ColorFilter::Eq(Color(9))), None);
+        assert_eq!(m.withdraw(p(0), &ColorFilter::Any), Some(Color::NONE));
+        assert_eq!(m.count(p(0)), 1);
+        // The colored place still tracks real colors.
+        assert_eq!(m.count_color(p(1), Color(3)), 1);
+    }
+
+    #[test]
     fn canonical_key_ignores_fifo_order() {
         let mut a = Marking::empty(1);
         a.deposit(p(0), Color(2));
@@ -156,10 +349,81 @@ mod tests {
     }
 
     #[test]
+    fn canonical_key_dense_for_uncolored() {
+        let mask: Arc<[bool]> = vec![false, false, false].into();
+        let mut m = Marking::empty_masked(mask);
+        m.deposit(p(1), Color::NONE);
+        m.deposit(p(1), Color::NONE);
+        // The uncolored key IS the count vector: no sentinels, no sorting.
+        assert_eq!(m.canonical_key(), vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn colors_iterator_covers_both_layouts() {
+        let mask: Arc<[bool]> = vec![false, true].into();
+        let mut m = Marking::empty_masked(mask);
+        m.deposit(p(0), Color::NONE);
+        m.deposit(p(0), Color::NONE);
+        m.deposit(p(1), Color(7));
+        let plain: Vec<Color> = m.colors(p(0)).collect();
+        assert_eq!(plain, vec![Color::NONE, Color::NONE]);
+        let colored: Vec<Color> = m.colors(p(1)).collect();
+        assert_eq!(colored, vec![Color(7)]);
+    }
+
+    #[test]
+    fn canonical_key_is_layout_independent() {
+        // Same token content, different storage layouts: identical keys.
+        let mask: Arc<[bool]> = vec![false, true].into();
+        let mut dense = Marking::empty_masked(mask);
+        dense.deposit(p(0), Color::NONE);
+        dense.deposit(p(1), Color(4));
+        let mut general = Marking::empty(2);
+        general.deposit(p(0), Color::NONE);
+        general.deposit(p(1), Color(4));
+        assert_eq!(dense.canonical_key(), general.canonical_key());
+
+        // And once the colored token is gone, both collapse to the dense
+        // count-vector key.
+        assert_eq!(dense.withdraw(p(1), &ColorFilter::Any), Some(Color(4)));
+        assert_eq!(general.withdraw(p(1), &ColorFilter::Any), Some(Color(4)));
+        assert_eq!(dense.canonical_key(), vec![1, 0]);
+        assert_eq!(general.canonical_key(), vec![1, 0]);
+    }
+
+    #[test]
     fn count_vector_matches() {
         let mut m = Marking::empty(3);
         m.deposit(p(1), Color::NONE);
         m.deposit(p(1), Color(4));
         assert_eq!(m.count_vector(), vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn equality_ignores_mask_layout_when_states_differ() {
+        let mut a = Marking::empty(1);
+        a.deposit(p(0), Color::NONE);
+        let mut b = Marking::empty(1);
+        b.deposit(p(0), Color(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn equality_is_layout_independent() {
+        // Same token content in different storage layouts compares equal.
+        let mask: Arc<[bool]> = vec![false, true].into();
+        let mut dense = Marking::empty_masked(mask);
+        dense.deposit(p(0), Color::NONE);
+        dense.deposit(p(0), Color::NONE);
+        dense.deposit(p(1), Color(3));
+        let mut general = Marking::empty(2);
+        general.deposit(p(0), Color::NONE);
+        general.deposit(p(0), Color::NONE);
+        general.deposit(p(1), Color(3));
+        assert_eq!(dense, general);
+        assert_eq!(general, dense);
+        // And differing counts still differ.
+        general.deposit(p(0), Color::NONE);
+        assert_ne!(dense, general);
     }
 }

@@ -6,8 +6,9 @@
 
 use crate::ids::{PlaceId, TransitionId};
 use crate::marking::Marking;
-use crate::token::{Color, TokenBag};
+use crate::token::Color;
 use crate::transition::Transition;
+use std::sync::Arc;
 
 /// A place definition: name + initial tokens.
 #[derive(Debug, Clone)]
@@ -29,6 +30,10 @@ pub struct Net {
     /// the token count of place `p` changes (inputs, inhibitors, or guard
     /// references). Built once; drives incremental enabling re-checks.
     pub(crate) affected_by: Vec<Vec<TransitionId>>,
+    /// Color-flow result: `colored[p]` iff place `p` can ever hold a
+    /// non-[`Color::NONE`] token. Count-only places get the dense O(1)
+    /// marking layout (see [`crate::marking`]).
+    pub(crate) colored: Arc<[bool]>,
 }
 
 impl Net {
@@ -82,14 +87,24 @@ impl Net {
             .map(TransitionId::from_index)
     }
 
-    /// The initial marking.
+    /// The initial marking, laid out per the net's color-flow analysis:
+    /// places that can never hold colors are stored count-only.
     pub fn initial_marking(&self) -> Marking {
-        Marking::from_bags(
-            self.places
-                .iter()
-                .map(|p| TokenBag::with_colors(&p.initial))
-                .collect(),
-        )
+        let mut m = Marking::empty_masked(Arc::clone(&self.colored));
+        for (i, p) in self.places.iter().enumerate() {
+            let pid = PlaceId::from_index(i);
+            for &c in &p.initial {
+                m.deposit(pid, c);
+            }
+        }
+        m
+    }
+
+    /// Can place `p` ever hold a non-[`Color::NONE`] token? (Result of the
+    /// build-time color-flow fixpoint.)
+    #[inline]
+    pub fn place_may_hold_colors(&self, p: PlaceId) -> bool {
+        self.colored[p.index()]
     }
 
     /// Transitions whose enabling may be affected by a token-count change in

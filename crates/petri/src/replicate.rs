@@ -43,7 +43,7 @@ pub fn run_replications(
     base_seed: u64,
     replications: u64,
 ) -> Result<ReplicationSummary, SimError> {
-    let num_rewards = count_rewards(sim);
+    let num_rewards = sim.reward_count();
     let mut rewards = vec![Welford::new(); num_rewards];
     for i in 0..replications {
         let seed = crate::rng::SimRng::child_seed(base_seed, i);
@@ -77,12 +77,12 @@ pub fn run_replications_parallel(
         return run_replications(sim, base_seed, replications);
     }
     let next = AtomicUsize::new(0);
-    let results: Vec<Result<Vec<Welford>, SimError>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<Vec<Welford>, SimError>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let next = &next;
-            handles.push(scope.spawn(move |_| {
-                let mut local = vec![Welford::new(); count_rewards(sim)];
+            handles.push(scope.spawn(move || {
+                let mut local = vec![Welford::new(); sim.reward_count()];
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed) as u64;
                     if i >= replications {
@@ -101,11 +101,13 @@ pub fn run_replications_parallel(
                 Ok(local)
             }));
         }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("replication worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replication worker panicked"))
+            .collect()
+    });
 
-    let mut rewards = vec![Welford::new(); count_rewards(sim)];
+    let mut rewards = vec![Welford::new(); sim.reward_count()];
     for r in results {
         let local = r?;
         for (w, l) in rewards.iter_mut().zip(local.iter()) {
@@ -116,15 +118,6 @@ pub fn run_replications_parallel(
         rewards,
         replications,
     })
-}
-
-fn count_rewards(sim: &Simulator<'_>) -> usize {
-    // The simulator does not expose its reward list directly; run length is
-    // visible from any output. Cheapest correct probe: a zero-horizon run.
-    // To avoid that cost we read the reward count from a probe run only once.
-    // (Simulator keeps rewards private by design; this helper is the single
-    // sanctioned peek.)
-    sim.reward_count()
 }
 
 #[cfg(test)]

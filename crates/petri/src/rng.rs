@@ -4,29 +4,65 @@
 //! engine owns one [`SimRng`]; replication harnesses derive independent
 //! child seeds with [`SimRng::child_seed`] (a SplitMix64 jump, so replication
 //! `i` gets a stream decorrelated from replication `j`).
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! seeded through SplitMix64 — the same construction the `rand` crate's
+//! `SmallRng` uses — so the build has no external dependency while keeping
+//! the statistical quality the engine's weighted choices and exponential
+//! streams rely on.
 
 /// Simulation RNG: a seeded, reproducible generator plus distribution
 /// helpers used by the timing module.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed through SplitMix64 (never yields the all-zero
+        // state xoshiro must avoid).
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> the standard [0, 1) double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[low, high]`.
@@ -57,7 +93,10 @@ impl SimRng {
     /// Uniform integer in `[0, n)`.
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        debug_assert!(n > 0);
+        // Widening-multiply range reduction (Lemire); bias is < 2^-64 per
+        // draw, far below anything a simulation estimate can resolve.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
     }
 
     /// Pick an index in `[0, weights.len())` with probability proportional to
@@ -119,6 +158,18 @@ mod tests {
             let x = rng.unit();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn below_in_range_and_covers() {
+        let mut rng = SimRng::seed_from_u64(17);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let i = rng.below(7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //!   predicates are piecewise-constant in time).
 
 mod engine;
+mod reference;
 mod rewards;
 mod trace;
 

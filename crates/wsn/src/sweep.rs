@@ -7,6 +7,7 @@
 //! work-stealing index, preserving output order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// The PDT grid of the paper's Figs. 14/15 x-axis (seconds): clustered
 /// sample points around the 0.00177 s intra-cycle gap and the 1.00177 s
@@ -27,10 +28,15 @@ pub fn fig4_9_pdt_grid() -> Vec<f64> {
 
 /// Map `f` over `inputs` using `threads` scoped worker threads; the output
 /// preserves input order. `f` must be `Sync` (called concurrently).
+///
+/// Workers claim indices from an atomic counter (work stealing, so uneven
+/// sweep points balance) and publish each result straight into its own
+/// pre-allocated output slot via a per-slot `OnceLock` — no shared lock is
+/// ever taken, so result publication never serializes the fan-out.
 pub fn parallel_map<T, R, F>(inputs: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
-    R: Send,
+    R: Send + Sync,
     F: Fn(&T) -> R + Sync,
 {
     let threads = threads.max(1).min(inputs.len().max(1));
@@ -38,27 +44,23 @@ where
         return inputs.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..inputs.len()).map(|_| None).collect();
-    {
-        // Scope the mutex so its borrow of `slots` ends before the move-out.
-        let slots_mutex = parking_lot::Mutex::new(&mut slots);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= inputs.len() {
-                        break;
-                    }
-                    let r = f(&inputs[i]);
-                    slots_mutex.lock()[i] = Some(r);
-                });
-            }
-        })
-        .expect("sweep worker panicked");
-    }
+    let slots: Vec<OnceLock<R>> = (0..inputs.len()).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let r = f(&inputs[i]);
+                // Each index is claimed exactly once, so the slot is empty.
+                let _ = slots[i].set(r);
+            });
+        }
+    });
     slots
         .into_iter()
-        .map(|s| s.expect("every slot filled"))
+        .map(|s| s.into_inner().expect("every slot filled"))
         .collect()
 }
 

@@ -1,0 +1,7 @@
+//! Offline stand-in for `serde`: re-exports the no-op derive macros.
+//!
+//! `use serde::{Serialize, Deserialize}` resolves to these derives, exactly
+//! as with the real crate. No trait machinery is provided because nothing in
+//! this workspace serializes at runtime when built offline.
+
+pub use serde_derive::{Deserialize, Serialize};

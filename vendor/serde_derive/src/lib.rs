@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata
+//! (no code actually serializes anything in the offline build), so emitting
+//! no impls keeps every type compiling without pulling in the real serde.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
