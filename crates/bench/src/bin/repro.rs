@@ -16,11 +16,16 @@
 //! repro trigger             # ABL-TRIGGER: Poisson vs periodic arrivals
 //! repro dot                 # Graphviz exports of the three paper nets
 //! repro validate            # Petri-vs-DES cross-check CSV
+//! repro steady              # adaptive stopping: replications until CI settles
 //! ```
 //!
 //! Figures are emitted as CSV under `results/` (plus a textual summary on
 //! stdout); tables are printed in the paper's layout. Use `--quick` for a
 //! fast smoke run (shorter horizons).
+//!
+//! Worker threads for every experiment come from one place: `--threads N`,
+//! falling back to the `REPRO_THREADS` environment variable, falling back
+//! to one worker per core. Results are bit-identical whatever the count.
 
 use bench::write_artifact;
 use des::Workload;
@@ -39,22 +44,44 @@ use wsn::CpuModelParams;
 
 struct Opts {
     quick: bool,
+    /// Worker threads, resolved once (`--threads` > `REPRO_THREADS` > one
+    /// per core) and threaded through every experiment config.
+    threads: usize,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let opts = Opts { quick };
+    let mut quick = false;
+    let mut threads: Option<usize> = None;
+    let mut targets: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+            target => targets.push(target),
+        }
+    }
+    let threads = threads
+        .or_else(|| sim_runtime::env_threads("REPRO_THREADS"))
+        .unwrap_or_else(sim_runtime::default_threads);
+    let opts = Opts { quick, threads };
 
     if targets.is_empty() {
-        eprintln!("usage: repro [--quick] <target>...   (try: repro all)");
+        eprintln!("usage: repro [--quick] [--threads N] <target>...   (try: repro all)");
         std::process::exit(2);
     }
+    eprintln!("[repro] {threads} worker thread(s)");
 
     for t in &targets {
         match *t {
@@ -79,6 +106,7 @@ fn main() {
             "trigger" => trigger(&opts),
             "dot" => dot(),
             "validate" => validate(&opts),
+            "steady" => steady(&opts),
             other => {
                 eprintln!("unknown target: {other}");
                 std::process::exit(2);
@@ -106,11 +134,13 @@ fn run_all(opts: &Opts) {
     trigger(opts);
     dot();
     validate(opts);
+    steady(opts);
 }
 
 fn cpu_cfg(opts: &Opts) -> CpuComparisonConfig {
     CpuComparisonConfig {
         horizon: if opts.quick { 300.0 } else { 5000.0 },
+        threads: opts.threads,
         ..Default::default()
     }
 }
@@ -180,6 +210,7 @@ fn node_fig(opts: &Opts, workload: Workload, fig: &str) {
         } else {
             1
         },
+        threads: opts.threads,
         ..Default::default()
     };
     let sweep = run_node_sweep(workload, &FIG14_15_PDT_GRID, &cfg);
@@ -294,13 +325,7 @@ fn validate(opts: &Opts) {
         ("closed", Workload::Closed { interval: 1.0 }),
         ("open", Workload::Open { rate: 1.0 }),
     ] {
-        let rows = run_validation(
-            workload,
-            &FIG14_15_PDT_GRID,
-            horizon,
-            0xDE5,
-            wsn::sweep::default_threads(),
-        );
+        let rows = run_validation(workload, &FIG14_15_PDT_GRID, horizon, 0xDE5, opts.threads);
         let worst = rows.iter().map(|r| r.rel_diff).fold(0.0f64, f64::max);
         match write_artifact(
             &format!("validate_{name}.csv"),
@@ -367,6 +392,43 @@ fn dot() {
     println!();
 }
 
+fn steady(opts: &Opts) {
+    use petri_core::prelude::*;
+    let horizon = if opts.quick { 500.0 } else { 2000.0 };
+    let rule = StoppingRule::relative(if opts.quick { 0.05 } else { 0.02 }).with_budget(
+        8,
+        if opts.quick { 64 } else { 256 },
+        8,
+    );
+    println!(
+        "STEADY — adaptive replications until the 95% CI of P(standby) is within {:.0}% (budget {}..{})",
+        rule.relative.unwrap() * 100.0,
+        rule.min_replications,
+        rule.max_replications,
+    );
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>10}",
+        "PDT (s)", "replications", "mean standby", "CI half-width", "settled"
+    );
+    for pdt in [0.1, 0.3, 0.5, 1.0] {
+        let model = wsn::build_cpu_model(&CpuModelParams::paper_defaults(pdt, 0.3));
+        let mut sim = Simulator::new(&model.net, SimConfig::for_horizon(horizon));
+        let r_standby = sim.reward_place(model.places.stand_by);
+        let a = run_replications_adaptive(&sim, 0x57EAD, &rule, &[r_standby.index()], opts.threads)
+            .expect("CPU net runs");
+        let ci = a.summary.ci(r_standby.index(), ConfidenceLevel::P95);
+        println!(
+            "{:>10} {:>12} {:>14.5} {:>14.5} {:>10}",
+            pdt,
+            a.summary.replications,
+            ci.mean,
+            ci.half_width,
+            if a.converged { "yes" } else { "BUDGET" }
+        );
+    }
+    println!();
+}
+
 fn seeds(opts: &Opts) {
     let horizon = if opts.quick { 500.0 } else { 2000.0 };
     let counts: &[u64] = if opts.quick {
@@ -380,13 +442,7 @@ fn seeds(opts: &Opts) {
         "replications", "mean standby", "CI half-width"
     );
     let params = CpuModelParams::paper_defaults(0.3, 0.3);
-    for row in seed_ablation(
-        &params,
-        horizon,
-        counts,
-        0xCAFE,
-        wsn::sweep::default_threads(),
-    ) {
+    for row in seed_ablation(&params, horizon, counts, 0xCAFE, opts.threads) {
         println!(
             "{:>14} {:>14.5} {:>16.5}",
             row.replications, row.mean_standby, row.ci_half_width

@@ -1,0 +1,194 @@
+//! Paired A/B of the flattened two-level grid (`sim_runtime::Runner::grid`)
+//! against the old one-level fan-out (parallel over sweep points, serial
+//! replications inside each point), on the Fig. 4–9 CPU sweep workload.
+//!
+//! Two measurements, both over the same tasks:
+//!
+//! 1. **Wall clock** (paired adjacent blocks, median ratio — robust on
+//!    noisy shared hosts): the end-to-end sweep in both modes at the given
+//!    worker-thread count. On a single-CPU host both modes degenerate to
+//!    the total serial work, so this doubles as a zero-overhead check for
+//!    the runtime layer.
+//! 2. **Modeled makespan**: per-task costs are *measured* (serially, so no
+//!    interference), then replayed through the exact greedy claim
+//!    discipline both executors use — next free worker takes the next task
+//!    in claim order — at hypothetical thread counts. This isolates the
+//!    scheduling structure from host parallelism: it is how the same
+//!    workload lands on 8-, 32- or 64-core machines.
+//!
+//! Both modes must produce bit-identical sweep results; the binary asserts
+//! this before timing anything.
+//!
+//! ```text
+//! cargo run --release -p bench --bin runtime_ab [--threads N] [--pairs K]
+//! ```
+
+use sim_runtime::Runner;
+use std::time::Instant;
+use wsn::cpu_model::{simulate_cpu_model, CpuModelParams};
+use wsn::sweep::fig4_9_pdt_grid;
+
+const HORIZON: f64 = 1000.0;
+const REPS: u64 = 8;
+const SEED: u64 = 0x5EED;
+
+/// One replication of one sweep point (the unit task of both modes).
+fn task(pdt: f64, rep: u64) -> f64 {
+    let seed = petri_core::rng::SimRng::child_seed(SEED, rep);
+    let out = simulate_cpu_model(&CpuModelParams::paper_defaults(pdt, 0.3), HORIZON, seed);
+    out.probabilities[0]
+}
+
+/// The pre-runtime shape: fan out over sweep points only; each point runs
+/// its replications serially inside the point task.
+fn one_level(grid: &[f64], threads: usize) -> Vec<f64> {
+    Runner::new(threads).map(grid, |&pdt| {
+        let mut acc = 0.0;
+        for r in 0..REPS {
+            acc += task(pdt, r);
+        }
+        acc / REPS as f64
+    })
+}
+
+/// The flattened `(point × replication)` grid.
+fn flattened(grid: &[f64], threads: usize) -> Vec<f64> {
+    let reps = vec![REPS; grid.len()];
+    Runner::new(threads)
+        .grid(&reps, |point, r| task(grid[point], r))
+        .into_iter()
+        .map(|outputs| outputs.into_iter().sum::<f64>() / REPS as f64)
+        .collect()
+}
+
+/// Greedy list schedule: worker that frees up first takes the next task in
+/// claim order — exactly the atomic-claim executor with zero claim cost.
+/// Returns the makespan.
+fn greedy_makespan(costs: &[f64], workers: usize) -> f64 {
+    let mut free_at = vec![0.0f64; workers.max(1)];
+    for &c in costs {
+        let w = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        free_at[w] += c;
+    }
+    free_at.iter().fold(0.0f64, |m, &t| m.max(t))
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(|x, y| x.total_cmp(y));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let mut threads = sim_runtime::default_threads();
+    let mut pairs = 9usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--pairs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => pairs = n,
+                _ => {
+                    eprintln!("--pairs needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown arg: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let grid = fig4_9_pdt_grid();
+    eprintln!(
+        "workload: {} sweep points x {REPS} replications (CPU Petri net, {HORIZON} s horizon); {threads} thread(s), {pairs} pairs",
+        grid.len(),
+    );
+
+    // Correctness first: both modes must agree bit-for-bit.
+    let a = one_level(&grid, threads);
+    let b = flattened(&grid, threads);
+    assert_eq!(a, b, "one-level and flattened sweeps must be bit-identical");
+
+    // 1. Paired wall clock.
+    let mut ratios = Vec::new();
+    let mut one_ms = Vec::new();
+    let mut flat_ms = Vec::new();
+    for p in 0..pairs {
+        let (t_one, t_flat) = if p % 2 == 0 {
+            let t0 = Instant::now();
+            std::hint::black_box(one_level(&grid, threads));
+            let t_one = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            std::hint::black_box(flattened(&grid, threads));
+            (t_one, t0.elapsed().as_secs_f64())
+        } else {
+            let t0 = Instant::now();
+            std::hint::black_box(flattened(&grid, threads));
+            let t_flat = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            std::hint::black_box(one_level(&grid, threads));
+            (t0.elapsed().as_secs_f64(), t_flat)
+        };
+        ratios.push(t_one / t_flat);
+        one_ms.push(t_one * 1e3);
+        flat_ms.push(t_flat * 1e3);
+    }
+    let wall_ratio = median(&mut ratios);
+    let wall_one = median(&mut one_ms);
+    let wall_flat = median(&mut flat_ms);
+
+    // 2. Modeled makespan from serially measured per-task costs.
+    let mut rep_cost = vec![vec![0.0f64; REPS as usize]; grid.len()];
+    for (i, &pdt) in grid.iter().enumerate() {
+        for r in 0..REPS {
+            let t0 = Instant::now();
+            std::hint::black_box(task(pdt, r));
+            rep_cost[i][r as usize] = t0.elapsed().as_secs_f64();
+        }
+    }
+    let point_costs: Vec<f64> = rep_cost.iter().map(|rs| rs.iter().sum()).collect();
+    let flat_costs: Vec<f64> = rep_cost.iter().flatten().copied().collect();
+
+    println!("{{");
+    println!("  \"workload\": \"fig4_9 sweep: {} points x {REPS} replications, CPU Petri net, {HORIZON} s horizon\",", grid.len());
+    println!("  \"host_threads\": {},", sim_runtime::default_threads());
+    println!("  \"wall_clock\": {{");
+    println!("    \"threads\": {threads},");
+    println!("    \"one_level_ms\": {wall_one:.1},");
+    println!("    \"flattened_ms\": {wall_flat:.1},");
+    println!("    \"median_paired_speedup\": {wall_ratio:.3}");
+    println!("  }},");
+    println!("  \"modeled_makespan\": {{");
+    println!("    \"note\": \"greedy claim-order schedule replayed over serially measured per-task costs; isolates scheduling structure from host core count\",");
+    print!("    \"by_threads\": [");
+    let mut first = true;
+    for t in [1usize, 2, 4, 8, 16, 32, 64] {
+        let m_one = greedy_makespan(&point_costs, t.min(grid.len()));
+        let m_flat = greedy_makespan(&flat_costs, t);
+        if !first {
+            print!(", ");
+        }
+        first = false;
+        print!(
+            "{{\"threads\": {t}, \"one_level_ms\": {:.2}, \"flattened_ms\": {:.2}, \"speedup\": {:.3}}}",
+            m_one * 1e3,
+            m_flat * 1e3,
+            m_one / m_flat
+        );
+    }
+    println!("]");
+    println!("  }}");
+    println!("}}");
+}

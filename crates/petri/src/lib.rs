@@ -18,7 +18,9 @@
 //! * per-transition memory policies (race-enable / race-age / resample);
 //! * reward measures (time-average tokens, predicate probabilities,
 //!   throughputs, firing counts) integrated exactly between events;
-//! * parallel independent replications with Student-t confidence intervals;
+//! * parallel independent replications on the shared `sim_runtime`
+//!   executor — bit-identical results at any thread count, plus an
+//!   adaptive Student-t stopping mode ("run until the estimate settles");
 //! * analysis: bounded reachability, P-invariants, structural lints, and
 //!   CTMC extraction for exponential-only nets (the bridge to the `markov`
 //!   crate used for cross-validation).
@@ -81,9 +83,13 @@ pub mod prelude {
     pub use crate::expr::Expr;
     pub use crate::ids::{PlaceId, TransitionId};
     pub use crate::net::Net;
-    pub use crate::replicate::{run_replications, run_replications_parallel};
+    pub use crate::replicate::{
+        run_replications, run_replications_adaptive, run_replications_parallel, AdaptiveSummary,
+        ReplicationSummary,
+    };
     pub use crate::sim::{RewardId, RewardSpec, SimConfig, SimOutput, Simulator};
     pub use crate::stats::{ConfidenceLevel, Welford};
     pub use crate::timing::{MemoryPolicy, Timing};
     pub use crate::token::{Color, ColorFilter};
+    pub use sim_runtime::StoppingRule;
 }

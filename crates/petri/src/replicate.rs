@@ -2,15 +2,16 @@
 //!
 //! Simulation of one trajectory is inherently sequential, so the honest
 //! parallelism for this workload is *across* independent replications (and,
-//! one level up, across parameter-sweep points — see `wsn::sweep`). This
-//! module fans replications out over scoped threads with a work-stealing
-//! atomic counter: no unsafe, no channels in the hot path, deterministic
-//! results regardless of thread count.
+//! one level up, across parameter-sweep points — see `wsn::sweep`). Both
+//! levels are scheduled by the shared [`sim_runtime`] executor, which
+//! flattens the `(point × replication)` grid into one work-stealing task
+//! stream; this module is the replication-level entry point over a single
+//! simulator.
 
 use crate::error::SimError;
 use crate::sim::Simulator;
 use crate::stats::{ConfidenceInterval, ConfidenceLevel, Welford};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use sim_runtime::{Runner, StoppingRule};
 
 /// Aggregated results of `n` independent replications.
 #[derive(Debug, Clone)]
@@ -61,62 +62,76 @@ pub fn run_replications(
 /// Run `replications` independent simulations across `threads` worker
 /// threads (scoped; no detached work).
 ///
-/// Each worker claims replication indices from a shared atomic counter, so
-/// load balances even when trajectories differ wildly in event count. The
-/// per-replication seed depends only on `(base_seed, index)`, making the
-/// aggregate *statistically* identical to the sequential runner; per-reward
-/// means may differ in the last ulp because merge order differs.
+/// Workers claim replication indices from the shared [`sim_runtime`]
+/// executor, so load balances even when trajectories differ wildly in
+/// event count. Per-replication outputs are folded into the summary in
+/// replication-index order, so the result is **bit-identical** to
+/// [`run_replications`] — same bits at 1, 2 or 128 threads.
 pub fn run_replications_parallel(
     sim: &Simulator<'_>,
     base_seed: u64,
     replications: u64,
     threads: usize,
 ) -> Result<ReplicationSummary, SimError> {
-    let threads = threads.max(1).min(replications.max(1) as usize);
-    if threads == 1 {
-        return run_replications(sim, base_seed, replications);
-    }
-    let next = AtomicUsize::new(0);
-    let results: Vec<Result<Vec<Welford>, SimError>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let mut local = vec![Welford::new(); sim.reward_count()];
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed) as u64;
-                    if i >= replications {
-                        break;
-                    }
-                    let seed = crate::rng::SimRng::child_seed(base_seed, i);
-                    match sim.run(seed) {
-                        Ok(out) => {
-                            for (w, &x) in local.iter_mut().zip(out.rewards.iter()) {
-                                w.push(x);
-                            }
-                        }
-                        Err(e) => return Err(e),
-                    }
-                }
-                Ok(local)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replication worker panicked"))
-            .collect()
-    });
-
+    let per_point = Runner::new(threads).try_grid(&[replications], |_point, i| {
+        let seed = crate::rng::SimRng::child_seed(base_seed, i);
+        sim.run(seed).map(|out| out.rewards)
+    })?;
     let mut rewards = vec![Welford::new(); sim.reward_count()];
-    for r in results {
-        let local = r?;
-        for (w, l) in rewards.iter_mut().zip(local.iter()) {
-            w.merge(l);
+    let [outputs] = <[_; 1]>::try_from(per_point).expect("one point scheduled");
+    for out in outputs {
+        for (w, x) in rewards.iter_mut().zip(out) {
+            w.push(x);
         }
     }
     Ok(ReplicationSummary {
         rewards,
         replications,
+    })
+}
+
+/// Result of [`run_replications_adaptive`]: a summary plus how the
+/// stopping rule fared.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSummary {
+    /// The aggregated rewards (exactly as if `summary.replications`
+    /// replications had been requested up front).
+    pub summary: ReplicationSummary,
+    /// Whether the watched rewards settled within the budget.
+    pub converged: bool,
+}
+
+/// Run replications until the Student-t confidence interval of the watched
+/// rewards satisfies `rule` (the paper's "until steady state probability
+/// values were obtained", made precise and budget-aware).
+///
+/// `watch` lists reward indices the rule tests (empty = all rewards).
+/// Replication `i` uses seed `SimRng::child_seed(base_seed, i)` and results
+/// fold in index order, so the outcome — including the number of
+/// replications run — is bit-identical at any thread count.
+pub fn run_replications_adaptive(
+    sim: &Simulator<'_>,
+    base_seed: u64,
+    rule: &StoppingRule,
+    watch: &[usize],
+    threads: usize,
+) -> Result<AdaptiveSummary, SimError> {
+    let points = Runner::new(threads).run_adaptive(1, rule, watch, |_point, i| {
+        let seed = crate::rng::SimRng::child_seed(base_seed, i);
+        sim.run(seed).map(|out| out.rewards)
+    })?;
+    let [point] = <[_; 1]>::try_from(points).expect("one point scheduled");
+    let rewards = if point.stats.is_empty() {
+        vec![Welford::new(); sim.reward_count()]
+    } else {
+        point.stats
+    };
+    Ok(AdaptiveSummary {
+        summary: ReplicationSummary {
+            rewards,
+            replications: point.replications,
+        },
+        converged: point.converged,
     })
 }
 
@@ -161,27 +176,17 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_sequential_statistics() {
+    fn parallel_bit_identical_to_sequential() {
         let net = mm1_net();
         let (sim, r) = mm1_sim(&net);
         let seq = run_replications(&sim, 11, 12).unwrap();
-        let par = run_replications_parallel(&sim, 11, 12, 4).unwrap();
-        // Same seeds, same per-replication outputs; merged moments agree to
-        // floating-point reassociation.
-        assert_eq!(seq.replications, par.replications);
-        assert!((seq.mean(r.index()) - par.mean(r.index())).abs() < 1e-9);
-        assert!(
-            (seq.rewards[r.index()].variance() - par.rewards[r.index()].variance()).abs() < 1e-9
-        );
-    }
-
-    #[test]
-    fn parallel_single_thread_falls_back() {
-        let net = mm1_net();
-        let (sim, r) = mm1_sim(&net);
-        let a = run_replications_parallel(&sim, 3, 4, 1).unwrap();
-        let b = run_replications(&sim, 3, 4).unwrap();
-        assert_eq!(a.mean(r.index()), b.mean(r.index()));
+        for threads in [1, 2, 4, 8] {
+            let par = run_replications_parallel(&sim, 11, 12, threads).unwrap();
+            // Same seeds, same per-replication outputs, same fold order:
+            // the merged moments are the same bits at any thread count.
+            assert_eq!(seq.replications, par.replications);
+            assert_eq!(seq.rewards[r.index()], par.rewards[r.index()]);
+        }
     }
 
     #[test]
@@ -197,5 +202,32 @@ mod tests {
         cfg.max_tokens_per_place = 100;
         let sim = Simulator::new(&net, cfg);
         assert!(run_replications_parallel(&sim, 1, 8, 4).is_err());
+    }
+
+    #[test]
+    fn adaptive_settles_and_matches_fixed_count() {
+        let net = mm1_net();
+        let (sim, r) = mm1_sim(&net);
+        let rule = StoppingRule::relative(0.2).with_budget(4, 64, 4);
+        let a = run_replications_adaptive(&sim, 7, &rule, &[r.index()], 4).unwrap();
+        assert!(a.converged, "mm1 mean must settle within 64 replications");
+        assert!(a.summary.replications >= 4);
+        // Exactly reproducible by asking for that count up front.
+        let fixed = run_replications(&sim, 7, a.summary.replications).unwrap();
+        assert_eq!(a.summary.rewards[r.index()], fixed.rewards[r.index()]);
+        // And independent of thread count, replication budget included.
+        let b = run_replications_adaptive(&sim, 7, &rule, &[r.index()], 1).unwrap();
+        assert_eq!(a.summary.replications, b.summary.replications);
+        assert_eq!(a.summary.rewards[r.index()], b.summary.rewards[r.index()]);
+    }
+
+    #[test]
+    fn adaptive_budget_exhaustion_reports_unconverged() {
+        let net = mm1_net();
+        let (sim, _r) = mm1_sim(&net);
+        let rule = StoppingRule::relative(1e-9).with_budget(2, 6, 2);
+        let a = run_replications_adaptive(&sim, 3, &rule, &[], 2).unwrap();
+        assert!(!a.converged);
+        assert_eq!(a.summary.replications, 6);
     }
 }

@@ -1,419 +1,9 @@
 //! Statistics utilities: streaming moments, confidence intervals, and batch
 //! means for steady-state simulation output analysis.
 //!
-//! The paper runs its Petri nets "until steady state probability values were
-//! obtained" (Sec. V). We make that notion precise: replications or batch
-//! means feed a [`Welford`] accumulator, and a Student-t [`ConfidenceInterval`]
-//! quantifies how settled the estimate is.
+//! The implementation lives in the shared orchestration crate
+//! ([`sim_runtime::stats`]) so the runtime's adaptive stopping rule and the
+//! Petri replication machinery agree on one set of estimators; this module
+//! re-exports it under the historical `petri_core::stats` path.
 
-use serde::{Deserialize, Serialize};
-
-/// Streaming mean/variance accumulator (Welford's algorithm —
-/// numerically stable single-pass moments).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct Welford {
-    n: u64,
-    mean: f64,
-    m2: f64,
-}
-
-impl Welford {
-    /// Empty accumulator.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Add an observation.
-    #[inline]
-    pub fn push(&mut self, x: f64) {
-        self.n += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.n as f64;
-        self.m2 += delta * (x - self.mean);
-    }
-
-    /// Number of observations.
-    #[inline]
-    pub fn count(&self) -> u64 {
-        self.n
-    }
-
-    /// Sample mean (0 if empty).
-    #[inline]
-    pub fn mean(&self) -> f64 {
-        self.mean
-    }
-
-    /// Unbiased sample variance (0 if fewer than 2 observations).
-    #[inline]
-    pub fn variance(&self) -> f64 {
-        if self.n < 2 {
-            0.0
-        } else {
-            self.m2 / (self.n - 1) as f64
-        }
-    }
-
-    /// Population variance (0 if empty).
-    #[inline]
-    pub fn variance_population(&self) -> f64 {
-        if self.n == 0 {
-            0.0
-        } else {
-            self.m2 / self.n as f64
-        }
-    }
-
-    /// Sample standard deviation.
-    #[inline]
-    pub fn std_dev(&self) -> f64 {
-        self.variance().sqrt()
-    }
-
-    /// Standard error of the mean.
-    #[inline]
-    pub fn std_error(&self) -> f64 {
-        if self.n == 0 {
-            0.0
-        } else {
-            (self.variance() / self.n as f64).sqrt()
-        }
-    }
-
-    /// Merge another accumulator into this one (parallel reduction;
-    /// Chan et al. pairwise update).
-    pub fn merge(&mut self, other: &Welford) {
-        if other.n == 0 {
-            return;
-        }
-        if self.n == 0 {
-            *self = other.clone();
-            return;
-        }
-        let n1 = self.n as f64;
-        let n2 = other.n as f64;
-        let delta = other.mean - self.mean;
-        let total = n1 + n2;
-        self.mean += delta * n2 / total;
-        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
-        self.n += other.n;
-    }
-
-    /// Two-sided Student-t confidence interval for the mean.
-    pub fn confidence_interval(&self, level: ConfidenceLevel) -> ConfidenceInterval {
-        let half = if self.n < 2 {
-            f64::INFINITY
-        } else {
-            student_t_critical(level, self.n - 1) * self.std_error()
-        };
-        ConfidenceInterval {
-            mean: self.mean(),
-            half_width: half,
-            level,
-            n: self.n,
-        }
-    }
-}
-
-/// Supported confidence levels for interval estimates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ConfidenceLevel {
-    /// 90 % two-sided.
-    P90,
-    /// 95 % two-sided.
-    P95,
-    /// 99 % two-sided.
-    P99,
-}
-
-/// A symmetric confidence interval `mean ± half_width`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-pub struct ConfidenceInterval {
-    /// Point estimate.
-    pub mean: f64,
-    /// Half-width of the interval (infinite when `n < 2`).
-    pub half_width: f64,
-    /// The confidence level used.
-    pub level: ConfidenceLevel,
-    /// Number of observations behind the estimate.
-    pub n: u64,
-}
-
-impl ConfidenceInterval {
-    /// Lower bound.
-    pub fn low(&self) -> f64 {
-        self.mean - self.half_width
-    }
-
-    /// Upper bound.
-    pub fn high(&self) -> f64 {
-        self.mean + self.half_width
-    }
-
-    /// Does the interval contain `x`?
-    pub fn contains(&self, x: f64) -> bool {
-        x >= self.low() && x <= self.high()
-    }
-
-    /// Relative half-width (`half_width / |mean|`; infinite for zero mean).
-    pub fn relative_half_width(&self) -> f64 {
-        if self.mean == 0.0 {
-            f64::INFINITY
-        } else {
-            self.half_width / self.mean.abs()
-        }
-    }
-}
-
-/// Two-sided Student-t critical value for the given confidence level and
-/// degrees of freedom (tabulated for small df, normal approximation beyond).
-pub fn student_t_critical(level: ConfidenceLevel, df: u64) -> f64 {
-    // Rows: df 1..=30, then 40, 60, 120, then z.
-    // Columns: 90 %, 95 %, 99 % two-sided.
-    const TABLE: [[f64; 3]; 30] = [
-        [6.314, 12.706, 63.657],
-        [2.920, 4.303, 9.925],
-        [2.353, 3.182, 5.841],
-        [2.132, 2.776, 4.604],
-        [2.015, 2.571, 4.032],
-        [1.943, 2.447, 3.707],
-        [1.895, 2.365, 3.499],
-        [1.860, 2.306, 3.355],
-        [1.833, 2.262, 3.250],
-        [1.812, 2.228, 3.169],
-        [1.796, 2.201, 3.106],
-        [1.782, 2.179, 3.055],
-        [1.771, 2.160, 3.012],
-        [1.761, 2.145, 2.977],
-        [1.753, 2.131, 2.947],
-        [1.746, 2.120, 2.921],
-        [1.740, 2.110, 2.898],
-        [1.734, 2.101, 2.878],
-        [1.729, 2.093, 2.861],
-        [1.725, 2.086, 2.845],
-        [1.721, 2.080, 2.831],
-        [1.717, 2.074, 2.819],
-        [1.714, 2.069, 2.807],
-        [1.711, 2.064, 2.797],
-        [1.708, 2.060, 2.787],
-        [1.706, 2.056, 2.779],
-        [1.703, 2.052, 2.771],
-        [1.701, 2.048, 2.763],
-        [1.699, 2.045, 2.756],
-        [1.697, 2.042, 2.750],
-    ];
-    let col = match level {
-        ConfidenceLevel::P90 => 0,
-        ConfidenceLevel::P95 => 1,
-        ConfidenceLevel::P99 => 2,
-    };
-    match df {
-        0 => f64::INFINITY,
-        1..=30 => TABLE[(df - 1) as usize][col],
-        31..=40 => [1.684, 2.021, 2.704][col],
-        41..=60 => [1.671, 2.000, 2.660][col],
-        61..=120 => [1.658, 1.980, 2.617][col],
-        _ => [1.645, 1.960, 2.576][col],
-    }
-}
-
-/// Batch-means estimator for a single long run: splits a stream of
-/// correlated observations into `num_batches` contiguous batches and treats
-/// batch averages as (approximately) independent samples.
-#[derive(Debug, Clone)]
-pub struct BatchMeans {
-    batch_size: u64,
-    current_sum: f64,
-    current_count: u64,
-    batches: Welford,
-}
-
-impl BatchMeans {
-    /// Accumulate observations into batches of `batch_size`.
-    pub fn new(batch_size: u64) -> Self {
-        assert!(batch_size > 0, "batch size must be positive");
-        BatchMeans {
-            batch_size,
-            current_sum: 0.0,
-            current_count: 0,
-            batches: Welford::new(),
-        }
-    }
-
-    /// Add one observation.
-    pub fn push(&mut self, x: f64) {
-        self.current_sum += x;
-        self.current_count += 1;
-        if self.current_count == self.batch_size {
-            self.batches.push(self.current_sum / self.batch_size as f64);
-            self.current_sum = 0.0;
-            self.current_count = 0;
-        }
-    }
-
-    /// Number of completed batches.
-    pub fn num_batches(&self) -> u64 {
-        self.batches.count()
-    }
-
-    /// Statistics over completed batch means.
-    pub fn stats(&self) -> &Welford {
-        &self.batches
-    }
-}
-
-/// Descriptive statistics of a slice in one pass: `(mean, variance, std-dev,
-/// RMSE-against-zero)`. The paper's Tables IV–VI report exactly these four
-/// numbers for per-sweep-point energy differences; see
-/// `wsn::metrics::DiffStats` for the table-shaped wrapper.
-pub fn describe(xs: &[f64]) -> (f64, f64, f64, f64) {
-    if xs.is_empty() {
-        return (0.0, 0.0, 0.0, 0.0);
-    }
-    let mut w = Welford::new();
-    let mut sq_sum = 0.0;
-    for &x in xs {
-        w.push(x);
-        sq_sum += x * x;
-    }
-    let rmse = (sq_sum / xs.len() as f64).sqrt();
-    (w.mean(), w.variance(), w.std_dev(), rmse)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn welford_known_values() {
-        let mut w = Welford::new();
-        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
-            w.push(x);
-        }
-        assert_eq!(w.count(), 8);
-        assert!((w.mean() - 5.0).abs() < 1e-12);
-        assert!((w.variance_population() - 4.0).abs() < 1e-12);
-        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn welford_empty_and_single() {
-        let w = Welford::new();
-        assert_eq!(w.mean(), 0.0);
-        assert_eq!(w.variance(), 0.0);
-        let mut w = Welford::new();
-        w.push(3.0);
-        assert_eq!(w.mean(), 3.0);
-        assert_eq!(w.variance(), 0.0);
-        assert_eq!(w.std_error(), 0.0);
-    }
-
-    #[test]
-    fn welford_merge_equals_sequential() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
-        let mut seq = Welford::new();
-        for &x in &xs {
-            seq.push(x);
-        }
-        let mut a = Welford::new();
-        let mut b = Welford::new();
-        for &x in &xs[..37] {
-            a.push(x);
-        }
-        for &x in &xs[37..] {
-            b.push(x);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), seq.count());
-        assert!((a.mean() - seq.mean()).abs() < 1e-10);
-        assert!((a.variance() - seq.variance()).abs() < 1e-9);
-    }
-
-    #[test]
-    fn merge_with_empty_is_identity() {
-        let mut a = Welford::new();
-        a.push(1.0);
-        a.push(2.0);
-        let before = (a.count(), a.mean(), a.variance());
-        a.merge(&Welford::new());
-        assert_eq!((a.count(), a.mean(), a.variance()), before);
-
-        let mut empty = Welford::new();
-        let mut b = Welford::new();
-        b.push(5.0);
-        empty.merge(&b);
-        assert_eq!(empty.count(), 1);
-        assert_eq!(empty.mean(), 5.0);
-    }
-
-    #[test]
-    fn t_critical_values() {
-        assert!((student_t_critical(ConfidenceLevel::P95, 1) - 12.706).abs() < 1e-9);
-        assert!((student_t_critical(ConfidenceLevel::P95, 10) - 2.228).abs() < 1e-9);
-        assert!((student_t_critical(ConfidenceLevel::P95, 1000) - 1.960).abs() < 1e-9);
-        assert!((student_t_critical(ConfidenceLevel::P90, 5) - 2.015).abs() < 1e-9);
-        assert!((student_t_critical(ConfidenceLevel::P99, 2) - 9.925).abs() < 1e-9);
-        assert_eq!(student_t_critical(ConfidenceLevel::P95, 0), f64::INFINITY);
-        // Monotone decreasing in df.
-        assert!(
-            student_t_critical(ConfidenceLevel::P95, 3)
-                > student_t_critical(ConfidenceLevel::P95, 30)
-        );
-    }
-
-    #[test]
-    fn confidence_interval_basics() {
-        let mut w = Welford::new();
-        for x in [10.0, 12.0, 11.0, 9.0, 13.0, 11.0, 10.0, 12.0] {
-            w.push(x);
-        }
-        let ci = w.confidence_interval(ConfidenceLevel::P95);
-        assert!(ci.contains(w.mean()));
-        assert!(ci.low() < ci.high());
-        assert!(ci.half_width > 0.0);
-        assert!(ci.relative_half_width() > 0.0);
-        // Wider at higher confidence.
-        let ci99 = w.confidence_interval(ConfidenceLevel::P99);
-        assert!(ci99.half_width > ci.half_width);
-    }
-
-    #[test]
-    fn confidence_interval_infinite_for_tiny_samples() {
-        let mut w = Welford::new();
-        w.push(1.0);
-        let ci = w.confidence_interval(ConfidenceLevel::P95);
-        assert!(ci.half_width.is_infinite());
-    }
-
-    #[test]
-    fn batch_means_reduces_to_batches() {
-        let mut bm = BatchMeans::new(10);
-        for i in 0..95 {
-            bm.push(i as f64);
-        }
-        // 9 full batches; the partial 10th is discarded.
-        assert_eq!(bm.num_batches(), 9);
-        // First batch mean = mean(0..10) = 4.5.
-        assert!(bm.stats().mean() > 4.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "batch size must be positive")]
-    fn batch_means_rejects_zero() {
-        let _ = BatchMeans::new(0);
-    }
-
-    #[test]
-    fn describe_matches_manual() {
-        let (mean, var, sd, rmse) = describe(&[3.0, 4.0]);
-        assert!((mean - 3.5).abs() < 1e-12);
-        assert!((var - 0.5).abs() < 1e-12);
-        assert!((sd - 0.5f64.sqrt()).abs() < 1e-12);
-        assert!((rmse - (12.5f64).sqrt()).abs() < 1e-12);
-    }
-
-    #[test]
-    fn describe_empty() {
-        assert_eq!(describe(&[]), (0.0, 0.0, 0.0, 0.0));
-    }
-}
+pub use sim_runtime::stats::*;

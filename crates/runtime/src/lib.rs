@@ -1,0 +1,34 @@
+//! # sim-runtime — two-level experiment orchestration
+//!
+//! Every evaluation in this workspace is "a sweep over parameter points ×
+//! independent replications per point, run until steady-state estimates
+//! settle". This crate is the one shared executor for that shape, used by
+//! `petri_core::replicate`, `wsn::sweep`, every experiment driver and the
+//! `repro` binary:
+//!
+//! * [`grid::Runner`] — flattens the `(point × replication)` grid into one
+//!   work-stealing task stream over one scoped thread pool: no idle cores
+//!   on wide machines, no oversubscription from nested fan-out, first-error
+//!   cancellation, optional progress callbacks.
+//! * **Deterministic aggregation** — per-point results come back in
+//!   replication-index order, so reductions are bit-identical at any
+//!   thread count (1, 2 or 128 workers: same bits).
+//! * [`stopping::StoppingRule`] — the paper's "until steady state
+//!   probability values were obtained" as a first-class, budget-aware mode:
+//!   per point, replications run in rounds until the Student-t CI
+//!   half-width of watched metrics meets a target.
+//! * [`stats`] — Welford moments, Student-t confidence intervals and batch
+//!   means (re-exported by `petri_core::stats` for compatibility).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod grid;
+pub mod stats;
+pub mod stopping;
+
+pub use grid::{default_threads, env_threads, Progress, Runner};
+pub use stats::{
+    describe, student_t_critical, BatchMeans, ConfidenceInterval, ConfidenceLevel, Welford,
+};
+pub use stopping::{AdaptivePoint, StoppingRule};

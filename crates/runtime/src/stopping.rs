@@ -1,0 +1,380 @@
+//! Adaptive stopping: run replications per point until the estimate settles.
+//!
+//! The paper states its Petri nets ran "until steady state probability
+//! values were obtained" (Sec. V) without saying how that was judged. Here
+//! the criterion is explicit and budget-aware: per sweep point, run
+//! replications in rounds and stop once the Student-t confidence-interval
+//! half-width of every *watched* metric falls under a target — or the
+//! replication budget runs out. Because replications are claimed from the
+//! same flattened task stream as everything else (see [`crate::grid`]) and
+//! folded in index order, the outcome is bit-identical at any thread count.
+
+use crate::grid::{Runner, Segment};
+use crate::stats::{ConfidenceLevel, Welford};
+use serde::{Deserialize, Serialize};
+
+/// When to stop adding replications to a point.
+///
+/// A point is *settled* when every watched metric's confidence interval
+/// satisfies the precision targets (both, when both are set; a metric
+/// passes if **either** an absolute or a relative target is met, since a
+/// mean near zero can make relative precision unreachable). At least
+/// `min_replications` are always run; never more than `max_replications`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoppingRule {
+    /// Confidence level of the interval test.
+    pub level: ConfidenceLevel,
+    /// Target relative half-width (`half_width / |mean|`), if any.
+    pub relative: Option<f64>,
+    /// Target absolute half-width, if any.
+    pub absolute: Option<f64>,
+    /// Replications always run before the first test (≥ 2; one observation
+    /// has an infinite interval).
+    pub min_replications: u64,
+    /// Hard budget per point.
+    pub max_replications: u64,
+    /// Replications added per round after the first test fails.
+    pub round: u64,
+}
+
+impl StoppingRule {
+    /// Stop at `rel` relative 95 % CI half-width, with the default budget
+    /// (min 8, max 256, rounds of 8).
+    pub fn relative(rel: f64) -> Self {
+        assert!(rel > 0.0, "relative precision target must be positive");
+        StoppingRule {
+            level: ConfidenceLevel::P95,
+            relative: Some(rel),
+            absolute: None,
+            min_replications: 8,
+            max_replications: 256,
+            round: 8,
+        }
+    }
+
+    /// Stop at `abs` absolute 95 % CI half-width, with the default budget.
+    pub fn absolute(abs: f64) -> Self {
+        assert!(abs > 0.0, "absolute precision target must be positive");
+        StoppingRule {
+            level: ConfidenceLevel::P95,
+            relative: None,
+            absolute: Some(abs),
+            min_replications: 8,
+            max_replications: 256,
+            round: 8,
+        }
+    }
+
+    /// Override the replication budget (`min`, `max`) and round size.
+    pub fn with_budget(mut self, min: u64, max: u64, round: u64) -> Self {
+        assert!(min >= 2, "need at least two replications for an interval");
+        assert!(max >= min, "max replications below min");
+        assert!(round >= 1, "round size must be positive");
+        self.min_replications = min;
+        self.max_replications = max;
+        self.round = round;
+        self
+    }
+
+    /// Is this accumulator's estimate settled under the rule?
+    ///
+    /// Works on any [`Welford`] — per-replication rewards here, but equally
+    /// the batch means of a single long run (`BatchMeans::stats`).
+    pub fn settled(&self, w: &Welford) -> bool {
+        if w.count() < 2 {
+            return false;
+        }
+        let ci = w.confidence_interval(self.level);
+        // A zero half-width is an exact estimate: settled by definition,
+        // even at mean 0 where the relative width is undefined (infinite).
+        let rel_ok = self
+            .relative
+            .map(|t| ci.half_width == 0.0 || ci.relative_half_width() <= t);
+        let abs_ok = self.absolute.map(|t| ci.half_width <= t);
+        match (rel_ok, abs_ok) {
+            (None, None) => true,
+            (Some(r), None) => r,
+            (None, Some(a)) => a,
+            // Either precision notion suffices when both are requested.
+            (Some(r), Some(a)) => r || a,
+        }
+    }
+}
+
+/// The adaptive estimate for one sweep point.
+#[derive(Debug, Clone)]
+pub struct AdaptivePoint {
+    /// Per-metric statistics over the replications run (same order as the
+    /// task's observation vector).
+    pub stats: Vec<Welford>,
+    /// Replications actually run.
+    pub replications: u64,
+    /// Whether the watched metrics settled within the budget (`false`
+    /// means the point exhausted `max_replications` unsettled).
+    pub converged: bool,
+}
+
+impl Runner {
+    /// Run an adaptive `(point × replication)` grid: each of `points`
+    /// points runs rounds of replications until `rule` declares the watched
+    /// metrics settled or the budget is spent.
+    ///
+    /// `task(point, rep)` returns the observation vector of one
+    /// replication; all points must produce vectors of equal length.
+    /// `watch` lists the metric indices the rule tests (empty = all).
+    /// Rounds are scheduled as one flattened task stream across all still
+    /// unsettled points, so late-converging points keep every core busy.
+    pub fn run_adaptive<E, F>(
+        &self,
+        points: usize,
+        rule: &StoppingRule,
+        watch: &[usize],
+        task: F,
+    ) -> Result<Vec<AdaptivePoint>, E>
+    where
+        E: Send,
+        F: Fn(usize, u64) -> Result<Vec<f64>, E> + Sync,
+    {
+        // The struct's fields are public (and deserializable), so the
+        // `with_budget` asserts may have been bypassed: a zero round size
+        // would plan empty rounds forever. Clamp rather than hang.
+        let round = rule.round.max(1);
+        let mut out: Vec<AdaptivePoint> = (0..points)
+            .map(|_| AdaptivePoint {
+                stats: Vec::new(),
+                replications: 0,
+                converged: false,
+            })
+            .collect();
+        loop {
+            // Plan the next round: how many more replications each
+            // unsettled point gets.
+            let segments: Vec<Segment> = out
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.converged && p.replications < rule.max_replications)
+                .map(|(point, p)| {
+                    let want = if p.replications < rule.min_replications {
+                        rule.min_replications - p.replications
+                    } else {
+                        round
+                    };
+                    let budget = rule.max_replications - p.replications;
+                    Segment {
+                        point,
+                        base_rep: p.replications,
+                        count: want.min(budget) as usize,
+                    }
+                })
+                .collect();
+            if segments.is_empty() {
+                return Ok(out);
+            }
+            for (seg, observations) in self.run_segments(&segments, &task)? {
+                let p = &mut out[seg.point];
+                for obs in observations {
+                    if p.stats.is_empty() {
+                        p.stats = vec![Welford::new(); obs.len()];
+                        for &w in watch {
+                            assert!(
+                                w < obs.len(),
+                                "watch index {w} out of range: tasks return {} metric(s)",
+                                obs.len()
+                            );
+                        }
+                    }
+                    assert_eq!(
+                        p.stats.len(),
+                        obs.len(),
+                        "observation vectors must have a fixed length"
+                    );
+                    // Index-ordered push: deterministic at any thread count.
+                    for (w, x) in p.stats.iter_mut().zip(obs) {
+                        w.push(x);
+                    }
+                    p.replications += 1;
+                }
+                let watched_settled = if watch.is_empty() {
+                    p.stats.iter().all(|w| rule.settled(w))
+                } else {
+                    watch.iter().all(|&i| rule.settled(&p.stats[i]))
+                };
+                if p.replications >= rule.min_replications && watched_settled {
+                    p.converged = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::BatchMeans;
+
+    /// Deterministic pseudo-noise in [-0.5, 0.5) from (point, rep).
+    fn noise(point: usize, rep: u64) -> f64 {
+        let mut z = (point as u64 + 1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(rep.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z ^= z >> 30;
+        z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    #[test]
+    fn tight_points_stop_at_min_noisy_points_run_longer() {
+        let rule = StoppingRule::relative(0.02).with_budget(4, 512, 16);
+        // Point 0: tiny noise around 10 (settles immediately).
+        // Point 1: large noise around 10 (needs many replications).
+        let out = Runner::new(4)
+            .run_adaptive(2, &rule, &[], |p, r| {
+                let scale = if p == 0 { 0.001 } else { 2.0 };
+                Ok::<_, std::convert::Infallible>(vec![10.0 + scale * noise(p, r)])
+            })
+            .unwrap();
+        assert!(out[0].converged);
+        assert_eq!(out[0].replications, 4);
+        assert!(out[1].converged, "wide point should still settle in budget");
+        assert!(
+            out[1].replications > out[0].replications,
+            "noisy point must take more replications: {} vs {}",
+            out[1].replications,
+            out[0].replications
+        );
+        assert!((out[0].stats[0].mean() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn budget_cap_marks_unconverged() {
+        let rule = StoppingRule::relative(1e-6).with_budget(2, 10, 4);
+        let out = Runner::new(2)
+            .run_adaptive(1, &rule, &[], |p, r| {
+                Ok::<_, std::convert::Infallible>(vec![noise(p, r)])
+            })
+            .unwrap();
+        assert!(!out[0].converged);
+        assert_eq!(out[0].replications, 10);
+    }
+
+    #[test]
+    fn watch_restricts_the_test() {
+        // Metric 0 is noisy, metric 1 is constant. Watching only metric 1
+        // stops at min; watching all runs past it.
+        let rule = StoppingRule::relative(0.01).with_budget(4, 64, 4);
+        let task = |p: usize, r: u64| Ok::<_, std::convert::Infallible>(vec![noise(p, r), 5.0]);
+        let watched = Runner::new(2).run_adaptive(1, &rule, &[1], task).unwrap();
+        assert_eq!(watched[0].replications, 4);
+        assert!(watched[0].converged);
+        let all = Runner::new(2).run_adaptive(1, &rule, &[], task).unwrap();
+        assert!(all[0].replications > 4);
+    }
+
+    #[test]
+    fn adaptive_is_deterministic_across_thread_counts() {
+        let rule = StoppingRule::relative(0.05).with_budget(4, 128, 8);
+        let run = |threads: usize| {
+            Runner::new(threads)
+                .run_adaptive(3, &rule, &[], |p, r| {
+                    Ok::<_, std::convert::Infallible>(vec![
+                        1.0 + noise(p, r),
+                        100.0 + noise(p, r + 1000),
+                    ])
+                })
+                .unwrap()
+        };
+        let a = run(1);
+        for threads in [2, 8] {
+            let b = run(threads);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.replications, y.replications);
+                assert_eq!(x.converged, y.converged);
+                // Bit-identical moments, not just approximately equal.
+                assert_eq!(x.stats, y.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn errors_cancel_the_round() {
+        let rule = StoppingRule::relative(0.05).with_budget(4, 64, 8);
+        let err = Runner::new(4)
+            .run_adaptive(2, &rule, &[], |p, r| {
+                if p == 1 && r == 2 {
+                    Err("replication failed")
+                } else {
+                    Ok(vec![noise(p, r)])
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, "replication failed");
+    }
+
+    #[test]
+    fn batch_means_feed_the_rule() {
+        // A single long correlated run: the rule applies unchanged to the
+        // batch-means accumulator.
+        let mut bm = BatchMeans::new(100);
+        let mut x = 0.0f64;
+        for i in 0..20_000 {
+            // AR(1)-ish correlated stream around 3.0.
+            x = 0.9 * x + noise(7, i);
+            bm.push(3.0 + x);
+        }
+        let loose = StoppingRule::relative(0.1);
+        let tight = StoppingRule::relative(1e-9);
+        assert!(loose.settled(bm.stats()), "{:?}", bm.stats());
+        assert!(!tight.settled(bm.stats()));
+        // An absolute target works on the same stats.
+        assert!(StoppingRule::absolute(1.0).settled(bm.stats()));
+    }
+
+    #[test]
+    fn zero_round_rule_still_terminates() {
+        // Public fields / deserialization can bypass with_budget's asserts;
+        // the runner must clamp rather than plan empty rounds forever.
+        let rule = StoppingRule {
+            level: crate::stats::ConfidenceLevel::P95,
+            relative: Some(1e-9), // unreachable: forces budget exhaustion
+            absolute: None,
+            min_replications: 2,
+            max_replications: 7,
+            round: 0,
+        };
+        let out = Runner::new(2)
+            .run_adaptive(1, &rule, &[], |p, r| {
+                Ok::<_, std::convert::Infallible>(vec![noise(p, r)])
+            })
+            .unwrap();
+        assert!(!out[0].converged);
+        assert_eq!(out[0].replications, 7);
+    }
+
+    #[test]
+    fn settled_needs_two_observations() {
+        let rule = StoppingRule::relative(0.5);
+        let mut w = Welford::new();
+        assert!(!rule.settled(&w));
+        w.push(1.0);
+        assert!(!rule.settled(&w));
+        w.push(1.0);
+        // Zero variance: interval collapses, rule passes.
+        assert!(rule.settled(&w));
+    }
+
+    #[test]
+    fn exactly_zero_metric_settles_at_min_replications() {
+        // A reward that is 0.0 in every replication (state never reached)
+        // has an exact zero-width interval; a relative-only rule must not
+        // burn the whole budget on it.
+        let rule = StoppingRule::relative(0.05).with_budget(4, 256, 8);
+        let out = Runner::new(2)
+            .run_adaptive(1, &rule, &[], |_p, _r| {
+                Ok::<_, std::convert::Infallible>(vec![0.0])
+            })
+            .unwrap();
+        assert!(out[0].converged);
+        assert_eq!(out[0].replications, 4);
+    }
+}

@@ -16,8 +16,8 @@ use des::{simulate_cpu, CpuSimParams};
 use markov::phase::{solve_phase_cpu, PhaseCpuConfig};
 use markov::supplementary::CpuMarkovParams;
 use petri_core::prelude::*;
-use petri_core::replicate::run_replications_parallel;
 use serde::{Deserialize, Serialize};
+use sim_runtime::Runner;
 
 /// One row of the Erlang ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -126,6 +126,11 @@ pub struct SeedRow {
 
 /// ABL-SEED: confidence-interval width vs replication count for the CPU
 /// net's standby probability.
+///
+/// Row `n` uses replications seeded `child_seed(base_seed, 0..n)`, so every
+/// row is a prefix of the longest one: simulate `max(counts)` replications
+/// once on the shared executor and fold each row over its prefix — the
+/// same bits as running each row independently, at a fraction of the work.
 pub fn seed_ablation(
     params: &CpuModelParams,
     horizon: f64,
@@ -136,12 +141,22 @@ pub fn seed_ablation(
     let model = crate::cpu_model::build_cpu_model(params);
     let mut sim = Simulator::new(&model.net, SimConfig::for_horizon(horizon));
     let r_standby = sim.reward_place(model.places.stand_by);
+    let max_reps = replication_counts.iter().copied().max().unwrap_or(0);
+    let mut per_point = Runner::new(threads)
+        .try_grid(&[max_reps], |_point, i| {
+            let seed = petri_core::rng::SimRng::child_seed(base_seed, i);
+            sim.run(seed).map(|out| out.reward(r_standby))
+        })
+        .expect("CPU net runs");
+    let observations = per_point.pop().expect("one point scheduled");
     replication_counts
         .iter()
         .map(|&n| {
-            let summary =
-                run_replications_parallel(&sim, base_seed, n, threads).expect("CPU net runs");
-            let ci = summary.ci(r_standby.index(), ConfidenceLevel::P95);
+            let mut w = Welford::new();
+            for &x in &observations[..n as usize] {
+                w.push(x);
+            }
+            let ci = w.confidence_interval(ConfidenceLevel::P95);
             SeedRow {
                 replications: n,
                 mean_standby: ci.mean,

@@ -7,11 +7,11 @@
 
 use crate::cpu_model::{simulate_cpu_model, CpuModelParams};
 use crate::metrics::DeltaEnergyTable;
-use crate::sweep::parallel_map;
 use des::{simulate_cpu, CpuSimParams};
 use energy::PXA271_CPU;
 use markov::supplementary::{CpuMarkovParams, CpuPowerRates};
 use serde::{Deserialize, Serialize};
+use sim_runtime::Runner;
 
 /// One sweep point of the comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -76,7 +76,22 @@ impl Default for CpuComparisonConfig {
     }
 }
 
+/// One replication's worth of stochastic output at one sweep point (the
+/// DES and Petri runs share a task so the grid stays dense).
+struct RepOutput {
+    sim_probs: [f64; 4],
+    sim_energy_j: f64,
+    petri_probs: [f64; 4],
+    petri_energy_j: f64,
+}
+
 /// Run the comparison for one Power-Up Delay over the given threshold grid.
+///
+/// The whole `(threshold × replication)` grid is flattened into one task
+/// stream on the shared executor — a 21-point sweep with 8 replications
+/// schedules 168 concurrent tasks instead of 21 — and per-point outputs
+/// fold in replication order, so results are bit-identical at any thread
+/// count. The Markov column is a closed form and computed once per point.
 pub fn run_cpu_comparison(
     power_up_delay: f64,
     grid: &[f64],
@@ -84,75 +99,85 @@ pub fn run_cpu_comparison(
 ) -> CpuComparison {
     let rates = CpuPowerRates::PXA271;
     let reps = cfg.replications.max(1);
-    let points = parallel_map(grid, cfg.threads, |&pdt| {
-        // Ground truth: DES, averaged over independent replications.
-        let mut sim_probs = [0.0f64; 4];
-        let mut sim_energy_j = 0.0;
-        for r in 0..reps {
-            let seed = petri_core::rng::SimRng::child_seed(cfg.seed, r as u64);
-            let sim_r = simulate_cpu(
-                &CpuSimParams {
-                    lambda: cfg.lambda,
-                    mu: cfg.mu,
-                    power_down_threshold: pdt,
-                    power_up_delay,
-                    horizon: cfg.horizon,
-                },
-                seed,
-            );
-            for (acc, p) in sim_probs.iter_mut().zip(sim_r.probabilities()) {
-                *acc += p;
-            }
-            sim_energy_j += sim_r.energy(&PXA271_CPU).joules();
-        }
-        let n = reps as f64;
-        sim_probs.iter_mut().for_each(|p| *p /= n);
-        sim_energy_j /= n;
-
-        // Markov closed form (exact, no replications).
-        let mk = CpuMarkovParams {
-            lambda: cfg.lambda,
-            mu: cfg.mu,
-            power_down_threshold: pdt,
-            power_up_delay,
-        };
-        let sol = mk.solve();
-        let markov_probs = [sol.p_standby, sol.p_powerup, sol.p_idle, sol.p_active];
-        let markov_energy_j = mk.energy_for_duration(&rates, cfg.horizon);
-
-        // Petri net, averaged over independent replications.
-        let mut petri_probs = [0.0f64; 4];
-        let mut petri_energy_j = 0.0;
-        for r in 0..reps {
-            let seed = petri_core::rng::SimRng::child_seed(cfg.seed ^ 0xA5A5, r as u64);
-            let petri_r = simulate_cpu_model(
-                &CpuModelParams {
-                    lambda: cfg.lambda,
-                    mu: cfg.mu,
-                    power_down_threshold: pdt,
-                    power_up_delay,
-                },
-                cfg.horizon,
-                seed,
-            );
-            for (acc, p) in petri_probs.iter_mut().zip(petri_r.probabilities) {
-                *acc += p;
-            }
-            petri_energy_j += petri_r.energy(&PXA271_CPU, cfg.horizon).joules();
-        }
-        petri_probs.iter_mut().for_each(|p| *p /= n);
-        petri_energy_j /= n;
-
-        CpuComparisonPoint {
-            pdt,
-            sim_probs,
-            markov_probs,
-            petri_probs,
-            sim_energy_j,
-            markov_energy_j,
-            petri_energy_j,
+    let reps_per_point = vec![reps as u64; grid.len()];
+    let per_point = Runner::new(cfg.threads).grid(&reps_per_point, |point, r| {
+        let pdt = grid[point];
+        // Ground truth: one DES replication.
+        let seed = petri_core::rng::SimRng::child_seed(cfg.seed, r);
+        let sim_r = simulate_cpu(
+            &CpuSimParams {
+                lambda: cfg.lambda,
+                mu: cfg.mu,
+                power_down_threshold: pdt,
+                power_up_delay,
+                horizon: cfg.horizon,
+            },
+            seed,
+        );
+        // One Petri-net replication of the same point.
+        let seed = petri_core::rng::SimRng::child_seed(cfg.seed ^ 0xA5A5, r);
+        let petri_r = simulate_cpu_model(
+            &CpuModelParams {
+                lambda: cfg.lambda,
+                mu: cfg.mu,
+                power_down_threshold: pdt,
+                power_up_delay,
+            },
+            cfg.horizon,
+            seed,
+        );
+        RepOutput {
+            sim_probs: sim_r.probabilities(),
+            sim_energy_j: sim_r.energy(&PXA271_CPU).joules(),
+            petri_probs: petri_r.probabilities,
+            petri_energy_j: petri_r.energy(&PXA271_CPU, cfg.horizon).joules(),
         }
     });
+
+    let n = reps as f64;
+    let points = grid
+        .iter()
+        .zip(per_point)
+        .map(|(&pdt, outputs)| {
+            // Replication-index-ordered fold (deterministic aggregation).
+            let mut sim_probs = [0.0f64; 4];
+            let mut sim_energy_j = 0.0;
+            let mut petri_probs = [0.0f64; 4];
+            let mut petri_energy_j = 0.0;
+            for o in outputs {
+                for (acc, p) in sim_probs.iter_mut().zip(o.sim_probs) {
+                    *acc += p;
+                }
+                sim_energy_j += o.sim_energy_j;
+                for (acc, p) in petri_probs.iter_mut().zip(o.petri_probs) {
+                    *acc += p;
+                }
+                petri_energy_j += o.petri_energy_j;
+            }
+            sim_probs.iter_mut().for_each(|p| *p /= n);
+            sim_energy_j /= n;
+            petri_probs.iter_mut().for_each(|p| *p /= n);
+            petri_energy_j /= n;
+
+            // Markov closed form (exact, no replications).
+            let mk = CpuMarkovParams {
+                lambda: cfg.lambda,
+                mu: cfg.mu,
+                power_down_threshold: pdt,
+                power_up_delay,
+            };
+            let sol = mk.solve();
+            CpuComparisonPoint {
+                pdt,
+                sim_probs,
+                markov_probs: [sol.p_standby, sol.p_powerup, sol.p_idle, sol.p_active],
+                petri_probs,
+                sim_energy_j,
+                markov_energy_j: mk.energy_for_duration(&rates, cfg.horizon),
+                petri_energy_j,
+            }
+        })
+        .collect();
     CpuComparison {
         power_up_delay,
         horizon: cfg.horizon,

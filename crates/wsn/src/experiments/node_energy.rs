@@ -3,10 +3,10 @@
 //! (Sec. VII).
 
 use crate::node::simulate_node_model;
-use crate::sweep::parallel_map;
 use des::{NodeSimParams, Workload};
 use energy::{NodeBreakdown, CC2420_RADIO, PXA271_CPU};
 use serde::{Deserialize, Serialize};
+use sim_runtime::Runner;
 
 /// One sweep point: threshold, energy breakdown, and wake-up counts.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,61 +88,74 @@ impl Default for NodeSweepConfig {
 }
 
 /// Run a Fig. 14/15 sweep over `grid` thresholds.
+///
+/// The `(threshold × replication)` grid — heterogeneous, since the
+/// deterministic closed model needs exactly one replication per point
+/// while the open model averages `cfg.replications` — is flattened into
+/// one task stream on the shared executor; per-point averages fold in
+/// replication order, so the sweep is bit-identical at any thread count.
 pub fn run_node_sweep(workload: Workload, grid: &[f64], cfg: &NodeSweepConfig) -> NodeSweep {
     assert!(cfg.replications >= 1, "need at least one replication");
-    let points = parallel_map(grid, cfg.threads, |&pdt| {
-        let mut params = NodeSimParams::paper_defaults(workload, pdt);
+    // The closed model is deterministic, so one replication is exact.
+    let reps = match workload {
+        Workload::Closed { .. } => 1,
+        Workload::Open { .. } => cfg.replications,
+    };
+    let reps_per_point = vec![reps as u64; grid.len()];
+    let per_point = Runner::new(cfg.threads).grid(&reps_per_point, |point, r| {
+        let mut params = NodeSimParams::paper_defaults(workload, grid[point]);
         params.horizon = cfg.horizon;
-        // Average breakdowns over replications (the closed model is
-        // deterministic, so one replication is exact).
-        let reps = match workload {
-            Workload::Closed { .. } => 1,
-            Workload::Open { .. } => cfg.replications,
-        };
-        let mut acc = NodeBreakdown::default();
-        let mut cpu_wakeups = 0.0;
-        let mut radio_wakeups = 0.0;
-        let mut cycles = 0.0;
-        for r in 0..reps {
-            let seed = petri_core::rng::SimRng::child_seed(cfg.seed, r as u64);
-            let out = simulate_node_model(&params, seed);
-            let b = out.breakdown(&PXA271_CPU, &CC2420_RADIO);
-            acc.cpu.sleep += b.cpu.sleep;
-            acc.cpu.wakeup += b.cpu.wakeup;
-            acc.cpu.idle += b.cpu.idle;
-            acc.cpu.active += b.cpu.active;
-            acc.radio.sleep += b.radio.sleep;
-            acc.radio.wakeup += b.radio.wakeup;
-            acc.radio.idle += b.radio.idle;
-            acc.radio.active += b.radio.active;
-            cpu_wakeups += out.cpu_wakeups;
-            radio_wakeups += out.radio_wakeups;
-            cycles += out.cycles_completed;
-        }
-        let n = reps as f64;
-        let scale = 1.0 / n;
-        let avg = NodeBreakdown {
-            cpu: energy::ComponentBreakdown {
-                sleep: acc.cpu.sleep * scale,
-                wakeup: acc.cpu.wakeup * scale,
-                idle: acc.cpu.idle * scale,
-                active: acc.cpu.active * scale,
-            },
-            radio: energy::ComponentBreakdown {
-                sleep: acc.radio.sleep * scale,
-                wakeup: acc.radio.wakeup * scale,
-                idle: acc.radio.idle * scale,
-                active: acc.radio.active * scale,
-            },
-        };
-        NodeSweepPoint {
-            pdt,
-            breakdown: avg,
-            cpu_wakeups: cpu_wakeups / n,
-            radio_wakeups: radio_wakeups / n,
-            cycles: cycles / n,
-        }
+        let seed = petri_core::rng::SimRng::child_seed(cfg.seed, r);
+        simulate_node_model(&params, seed)
     });
+    let points = grid
+        .iter()
+        .zip(per_point)
+        .map(|(&pdt, outputs)| {
+            // Replication-index-ordered fold (deterministic aggregation).
+            let mut acc = NodeBreakdown::default();
+            let mut cpu_wakeups = 0.0;
+            let mut radio_wakeups = 0.0;
+            let mut cycles = 0.0;
+            for out in outputs {
+                let b = out.breakdown(&PXA271_CPU, &CC2420_RADIO);
+                acc.cpu.sleep += b.cpu.sleep;
+                acc.cpu.wakeup += b.cpu.wakeup;
+                acc.cpu.idle += b.cpu.idle;
+                acc.cpu.active += b.cpu.active;
+                acc.radio.sleep += b.radio.sleep;
+                acc.radio.wakeup += b.radio.wakeup;
+                acc.radio.idle += b.radio.idle;
+                acc.radio.active += b.radio.active;
+                cpu_wakeups += out.cpu_wakeups;
+                radio_wakeups += out.radio_wakeups;
+                cycles += out.cycles_completed;
+            }
+            let n = reps as f64;
+            let scale = 1.0 / n;
+            let avg = NodeBreakdown {
+                cpu: energy::ComponentBreakdown {
+                    sleep: acc.cpu.sleep * scale,
+                    wakeup: acc.cpu.wakeup * scale,
+                    idle: acc.cpu.idle * scale,
+                    active: acc.cpu.active * scale,
+                },
+                radio: energy::ComponentBreakdown {
+                    sleep: acc.radio.sleep * scale,
+                    wakeup: acc.radio.wakeup * scale,
+                    idle: acc.radio.idle * scale,
+                    active: acc.radio.active * scale,
+                },
+            };
+            NodeSweepPoint {
+                pdt,
+                breakdown: avg,
+                cpu_wakeups: cpu_wakeups / n,
+                radio_wakeups: radio_wakeups / n,
+                cycles: cycles / n,
+            }
+        })
+        .collect();
     NodeSweep {
         workload,
         horizon: cfg.horizon,

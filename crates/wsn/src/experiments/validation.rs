@@ -6,10 +6,10 @@
 //! agreeing across the full parameter range.
 
 use crate::node::simulate_node_model;
-use crate::sweep::parallel_map;
 use des::{simulate_node, NodeSimParams, Workload};
 use energy::{CC2420_RADIO, PXA271_CPU};
 use serde::{Deserialize, Serialize};
+use sim_runtime::Runner;
 
 /// One row of the validation sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,7 +40,7 @@ pub fn run_validation(
     seed: u64,
     threads: usize,
 ) -> Vec<ValidationRow> {
-    parallel_map(grid, threads, |&pdt| {
+    Runner::new(threads).map(grid, |&pdt| {
         let mut params = NodeSimParams::paper_defaults(workload, pdt);
         params.horizon = horizon;
         let petri = simulate_node_model(&params, seed);

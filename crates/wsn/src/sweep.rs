@@ -1,13 +1,14 @@
-//! Parallel parameter sweeps.
+//! Parameter-sweep grids and the sweep-level view of the shared executor.
 //!
 //! Every figure in the paper is a sweep over the Power-Down Threshold. A
 //! single simulation trajectory is inherently sequential, so the right
-//! parallel axis is *across sweep points* (and replications): this module
-//! fans a list of inputs over scoped worker threads with an atomic
-//! work-stealing index, preserving output order.
+//! parallel axes are across sweep points *and* replications — and since
+//! this PR both levels are one flattened task stream on the
+//! [`sim_runtime`] executor (see `sim_runtime::Runner`). This module keeps
+//! the published PDT grids and a thin order-preserving `parallel_map`
+//! compatibility wrapper for single-level sweeps.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+pub use sim_runtime::default_threads;
 
 /// The PDT grid of the paper's Figs. 14/15 x-axis (seconds): clustered
 /// sample points around the 0.00177 s intra-cycle gap and the 1.00177 s
@@ -26,50 +27,21 @@ pub fn fig4_9_pdt_grid() -> Vec<f64> {
     grid
 }
 
-/// Map `f` over `inputs` using `threads` scoped worker threads; the output
+/// Map `f` over `inputs` using `threads` worker threads; the output
 /// preserves input order. `f` must be `Sync` (called concurrently).
 ///
-/// Workers claim indices from an atomic counter (work stealing, so uneven
-/// sweep points balance) and publish each result straight into its own
-/// pre-allocated output slot via a per-slot `OnceLock` — no shared lock is
-/// ever taken, so result publication never serializes the fan-out.
+/// Compatibility shim over [`sim_runtime::Runner::map`] — a one-replication-
+/// per-point grid on the shared work-stealing executor. Sweeps that also
+/// average replications per point should schedule the whole
+/// `(point × replication)` grid instead (`Runner::grid`), as the experiment
+/// drivers in [`crate::experiments`] do.
 pub fn parallel_map<T, R, F>(inputs: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send + Sync,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1).min(inputs.len().max(1));
-    if threads <= 1 || inputs.len() <= 1 {
-        return inputs.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<OnceLock<R>> = (0..inputs.len()).map(|_| OnceLock::new()).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= inputs.len() {
-                    break;
-                }
-                let r = f(&inputs[i]);
-                // Each index is claimed exactly once, so the slot is empty.
-                let _ = slots[i].set(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("every slot filled"))
-        .collect()
-}
-
-/// Convenience: number of worker threads to use by default (one per
-/// available core, at least 1).
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    sim_runtime::Runner::new(threads).map(inputs, f)
 }
 
 #[cfg(test)]
@@ -124,7 +96,8 @@ mod tests {
             for i in 0..(x % 7) * 10_000 {
                 acc = acc.wrapping_add(i);
             }
-            (x, acc).0
+            std::hint::black_box(acc);
+            x
         });
         assert_eq!(out, inputs);
     }

@@ -14,7 +14,14 @@ use wsn_petri::wsn::report::render_delta_table;
 use wsn_petri::wsn::sweep::fig4_9_pdt_grid;
 
 fn main() {
-    let cfg = CpuComparisonConfig::default();
+    // One flattened (threshold × replication) grid per Power-Up Delay on
+    // the shared runtime (SWEEP_THREADS overrides the per-core default;
+    // the numbers are bit-identical either way).
+    let cfg = CpuComparisonConfig {
+        threads: wsn_petri::sim_runtime::env_threads("SWEEP_THREADS")
+            .unwrap_or_else(wsn_petri::sim_runtime::default_threads),
+        ..Default::default()
+    };
     let grid = fig4_9_pdt_grid();
 
     for (pud, table) in [(0.001, "IV"), (0.3, "V"), (10.0, "VI")] {

@@ -6,6 +6,7 @@
 //!
 //! | Crate | Role |
 //! |-------|------|
+//! | [`sim_runtime`] | Two-level (sweep × replication) orchestration: flattened work-stealing grid, deterministic aggregation, adaptive stopping |
 //! | [`petri_core`] | EDSPN/SCPN modeling + simulation engine (the TimeNET stand-in) |
 //! | [`markov`] | CTMC/DTMC solvers + the paper's supplementary-variable equations |
 //! | [`des`] | Discrete-event simulators (the paper's ground truth) |
@@ -33,6 +34,7 @@ pub use des;
 pub use energy;
 pub use markov;
 pub use petri_core;
+pub use sim_runtime;
 pub use wsn;
 
 /// One-stop imports for the common workflows.
