@@ -35,7 +35,7 @@ fn bench_node_sweep_scaling(c: &mut Criterion) {
         let cfg = NodeSweepConfig {
             horizon: 300.0,
             replications: 1,
-            threads,
+            exec: sim_runtime::Exec::in_process(threads),
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(threads), &cfg, |b, cfg| {

@@ -23,12 +23,28 @@
 //! stdout); tables are printed in the paper's layout. Use `--quick` for a
 //! fast smoke run (shorter horizons).
 //!
-//! Worker threads for every experiment come from one place: `--threads N`,
-//! falling back to the `REPRO_THREADS` environment variable, falling back
-//! to one worker per core. Results are bit-identical whatever the count.
+//! Execution is resolved once and threaded through every experiment:
+//!
+//! * `--threads N` (falling back to `REPRO_THREADS`, falling back to one
+//!   worker per core) — worker threads per process;
+//! * `--shards N` (falling back to `REPRO_SHARDS`, falling back to 0 =
+//!   in-process) — worker *subprocesses*: the portable experiment grids
+//!   are partitioned across `N` re-invocations of this binary as
+//!   `repro --worker`, each running `--threads` threads. Results are
+//!   **byte-identical** whatever the thread and shard counts.
+//! * `--fixed-reps` — escape hatch: run the open-workload sweeps (fig15,
+//!   validate/open) with the historical fixed replication counts instead
+//!   of the default adaptive `StoppingRule` budgets, reproducing the seed
+//!   numbers exactly.
+//!
+//! `repro --worker` is not a user-facing mode: it reads one task-manifest
+//! frame from stdin, executes it against the job registry
+//! (`bench::shard::worker_registry`), and streams per-slot results back on
+//! stdout.
 
 use bench::write_artifact;
 use des::Workload;
+use sim_runtime::{Exec, StoppingRule};
 use wsn::experiments::ablations::{
     erlang_ablation, memory_ablation, seed_ablation, trigger_ablation,
 };
@@ -47,21 +63,71 @@ struct Opts {
     /// Worker threads, resolved once (`--threads` > `REPRO_THREADS` > one
     /// per core) and threaded through every experiment config.
     threads: usize,
+    /// Worker subprocesses (`--shards` > `REPRO_SHARDS` > 0 = in-process).
+    shards: usize,
+    /// Fixed replication counts for the open-workload sweeps instead of
+    /// the default adaptive budgets.
+    fixed_reps: bool,
+}
+
+impl Opts {
+    /// The execution backend every experiment runs on.
+    fn exec(&self) -> Exec {
+        if self.shards >= 1 {
+            Exec::sharded(self.threads, self.shards)
+        } else {
+            Exec::in_process(self.threads)
+        }
+    }
+
+    /// Adaptive budget for the open-workload sweeps (fig15 and
+    /// validate/open), sized down under `--quick`; `None` under
+    /// `--fixed-reps`.
+    fn open_rule(&self) -> Option<StoppingRule> {
+        if self.fixed_reps {
+            None
+        } else if self.quick {
+            Some(StoppingRule::relative(0.10).with_budget(2, 8, 2))
+        } else {
+            Some(StoppingRule::relative(0.03).with_budget(4, 64, 4))
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Worker mode first: stdout is the protocol channel, so nothing else
+    // may print to it.
+    if args.first().map(String::as_str) == Some("--worker") {
+        match sim_runtime::worker::serve_stdio(&bench::shard::worker_registry()) {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("[worker] {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let mut quick = false;
+    let mut fixed_reps = false;
     let mut threads: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut targets: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--fixed-reps" => fixed_reps = true,
             "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => threads = Some(n),
                 _ => {
                     eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => shards = Some(n),
+                _ => {
+                    eprintln!("--shards needs a non-negative integer (0 = in-process)");
                     std::process::exit(2);
                 }
             },
@@ -75,13 +141,27 @@ fn main() {
     let threads = threads
         .or_else(|| sim_runtime::env_threads("REPRO_THREADS"))
         .unwrap_or_else(sim_runtime::default_threads);
-    let opts = Opts { quick, threads };
+    let shards = shards
+        .or_else(|| {
+            std::env::var("REPRO_SHARDS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .unwrap_or(0);
+    let opts = Opts {
+        quick,
+        threads,
+        shards,
+        fixed_reps,
+    };
 
     if targets.is_empty() {
-        eprintln!("usage: repro [--quick] [--threads N] <target>...   (try: repro all)");
+        eprintln!(
+            "usage: repro [--quick] [--threads N] [--shards N] [--fixed-reps] <target>...   (try: repro all)"
+        );
         std::process::exit(2);
     }
-    eprintln!("[repro] {threads} worker thread(s)");
+    eprintln!("[repro] executor: {}", opts.exec().label());
 
     for t in &targets {
         match *t {
@@ -140,7 +220,7 @@ fn run_all(opts: &Opts) {
 fn cpu_cfg(opts: &Opts) -> CpuComparisonConfig {
     CpuComparisonConfig {
         horizon: if opts.quick { 300.0 } else { 5000.0 },
-        threads: opts.threads,
+        exec: opts.exec(),
         ..Default::default()
     }
 }
@@ -199,9 +279,10 @@ fn table10() {
 }
 
 fn node_fig(opts: &Opts, workload: Workload, fig: &str) {
+    let open = matches!(workload, Workload::Open { .. });
     let cfg = NodeSweepConfig {
         horizon: if opts.quick { 200.0 } else { 900.0 },
-        replications: if matches!(workload, Workload::Open { .. }) {
+        replications: if open {
             if opts.quick {
                 2
             } else {
@@ -210,7 +291,8 @@ fn node_fig(opts: &Opts, workload: Workload, fig: &str) {
         } else {
             1
         },
-        threads: opts.threads,
+        exec: opts.exec(),
+        open_rule: opts.open_rule(),
         ..Default::default()
     };
     let sweep = run_node_sweep(workload, &FIG14_15_PDT_GRID, &cfg);
@@ -218,6 +300,24 @@ fn node_fig(opts: &Opts, workload: Workload, fig: &str) {
     match write_artifact(&format!("{fig}_breakdown.csv"), &csv) {
         Ok(path) => println!("[{fig}] {workload:?} -> {path}"),
         Err(e) => eprintln!("[{fig}] failed to write artifact: {e}"),
+    }
+    if open {
+        let total: u64 = sweep.points.iter().map(|p| p.replications).sum();
+        let unconverged = sweep.points.iter().filter(|p| !p.converged).count();
+        match &cfg.open_rule {
+            Some(rule) => println!(
+                "  adaptive budget: {total} replications over {} points (rule: {:.0}% CI, {}..{}; {} point(s) hit the cap)",
+                sweep.points.len(),
+                rule.relative.unwrap_or_default() * 100.0,
+                rule.min_replications,
+                rule.max_replications,
+                unconverged,
+            ),
+            None => println!(
+                "  fixed budget: {total} replications over {} points (--fixed-reps)",
+                sweep.points.len()
+            ),
+        }
     }
     let a = sweep.optimum_analysis();
     println!(
@@ -321,18 +421,27 @@ fn memory(opts: &Opts) {
 fn validate(opts: &Opts) {
     use wsn::experiments::validation::{render_validation_csv, run_validation};
     let horizon = if opts.quick { 200.0 } else { 900.0 };
+    let exec = opts.exec();
+    let open_rule = opts.open_rule();
     for (name, workload) in [
         ("closed", Workload::Closed { interval: 1.0 }),
         ("open", Workload::Open { rate: 1.0 }),
     ] {
-        let rows = run_validation(workload, &FIG14_15_PDT_GRID, horizon, 0xDE5, opts.threads);
+        // The closed model is deterministic: one run per point is exact.
+        // The open model averages adaptively unless --fixed-reps.
+        let rule = match workload {
+            Workload::Closed { .. } => None,
+            Workload::Open { .. } => open_rule.as_ref(),
+        };
+        let rows = run_validation(workload, &FIG14_15_PDT_GRID, horizon, 0xDE5, &exec, rule);
         let worst = rows.iter().map(|r| r.rel_diff).fold(0.0f64, f64::max);
+        let reps: u64 = rows.iter().map(|r| r.replications).sum();
         match write_artifact(
             &format!("validate_{name}.csv"),
             &render_validation_csv(&rows),
         ) {
             Ok(path) => println!(
-                "[validate] {name}: worst petri-vs-des relative energy gap {worst:.4} -> {path}"
+                "[validate] {name}: worst petri-vs-des relative energy gap {worst:.4} ({reps} replications) -> {path}"
             ),
             Err(e) => eprintln!("[validate] {name}: {e}"),
         }
@@ -442,7 +551,7 @@ fn seeds(opts: &Opts) {
         "replications", "mean standby", "CI half-width"
     );
     let params = CpuModelParams::paper_defaults(0.3, 0.3);
-    for row in seed_ablation(&params, horizon, counts, 0xCAFE, opts.threads) {
+    for row in seed_ablation(&params, horizon, counts, 0xCAFE, &opts.exec()) {
         println!(
             "{:>14} {:>14.5} {:>16.5}",
             row.replications, row.mean_standby, row.ci_half_width

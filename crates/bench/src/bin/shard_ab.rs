@@ -1,0 +1,233 @@
+//! Paired A/B of the in-process executor backend against the sharded
+//! multi-process backend on the `repro fig14 --quick` workload (24-point
+//! closed node sweep, 200 s horizon, one deterministic replication per
+//! point).
+//!
+//! Three measurements:
+//!
+//! 1. **Byte identity** (asserted before any timing): the sharded gather at
+//!    1, 2 and 4 shards must reproduce the in-process slot bytes exactly.
+//! 2. **Wall clock + per-task IPC overhead** (paired adjacent blocks,
+//!    median — robust on noisy shared hosts): the whole manifest through
+//!    each backend. On this 1-CPU container the sharded run adds only its
+//!    IPC cost (spawn + frame round-trip, amortized over 24 tasks); the
+//!    binary asserts that the per-task overhead stays below
+//!    [`OVERHEAD_BUDGET`] of the in-process wall clock.
+//! 3. **Modeled multi-host makespan**: per-task costs are measured
+//!    serially, then replayed through the sharded schedule — contiguous
+//!    manifest chunks per host, greedy claim order inside each host, plus
+//!    the *measured* per-worker spawn overhead — at hypothetical host
+//!    counts. This is how the same manifest lands on a real cluster.
+//!
+//! ```text
+//! cargo run --release -p bench --bin shard_ab [--pairs K]
+//! ```
+
+use des::Workload;
+use sim_runtime::{Exec, PortableJob};
+use std::time::Instant;
+use wsn::experiments::jobs::NodeSweepJob;
+use wsn::sweep::FIG14_15_PDT_GRID;
+
+const HORIZON: f64 = 200.0; // fig14 --quick
+const SEED: u64 = 0xF14;
+
+/// Maximum tolerated per-task IPC overhead, as a fraction of the
+/// in-process wall clock of the whole sweep ("a few percent").
+const OVERHEAD_BUDGET: f64 = 0.04;
+
+fn job() -> NodeSweepJob {
+    NodeSweepJob {
+        workload: Workload::Closed { interval: 1.0 },
+        horizon: HORIZON,
+        grid: FIG14_15_PDT_GRID.to_vec(),
+    }
+}
+
+fn seed_of(_p: usize, r: u64) -> u64 {
+    petri_core::rng::SimRng::child_seed(SEED, r)
+}
+
+/// The sibling `repro` binary doubles as the worker.
+fn worker_cmd() -> Vec<String> {
+    let exe = std::env::current_exe().expect("current_exe");
+    let repro = exe.parent().expect("target dir").join("repro");
+    assert!(
+        repro.exists(),
+        "worker binary {repro:?} missing — build with `cargo build --release -p bench`"
+    );
+    vec![repro.to_string_lossy().into_owned(), "--worker".into()]
+}
+
+fn run(exec: &Exec) -> Vec<Vec<Vec<u8>>> {
+    let reps = vec![1u64; FIG14_15_PDT_GRID.len()];
+    exec.runner()
+        .run_job(&job(), &reps, &seed_of)
+        .expect("fig14 sweep runs")
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(|x, y| x.total_cmp(y));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let mut pairs = 9usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pairs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => pairs = n,
+                _ => {
+                    eprintln!("--pairs needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown arg: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let tasks = FIG14_15_PDT_GRID.len();
+    let in_process = Exec::in_process(1);
+    let sharded = |shards: usize| Exec::sharded(1, shards).with_worker_cmd(worker_cmd());
+
+    // Correctness first: byte-identical gathers at every shard count.
+    let baseline = run(&in_process);
+    for shards in [1usize, 2, 4] {
+        assert_eq!(
+            baseline,
+            run(&sharded(shards)),
+            "sharded({shards}) diverged from in-process bytes"
+        );
+    }
+    eprintln!("byte-identity: in-process == sharded(1|2|4) on {tasks} slots");
+
+    // Paired wall clock: in-process vs sharded(2), alternating order.
+    let timed = |exec: &Exec| {
+        let t0 = Instant::now();
+        std::hint::black_box(run(exec));
+        t0.elapsed().as_secs_f64()
+    };
+    let shard2 = sharded(2);
+    let mut in_ms = Vec::new();
+    let mut sh_ms = Vec::new();
+    for p in 0..pairs {
+        if p % 2 == 0 {
+            in_ms.push(timed(&in_process) * 1e3);
+            sh_ms.push(timed(&shard2) * 1e3);
+        } else {
+            sh_ms.push(timed(&shard2) * 1e3);
+            in_ms.push(timed(&in_process) * 1e3);
+        }
+    }
+    let wall_in = median(&mut in_ms);
+    let wall_sh = median(&mut sh_ms);
+    let per_task_overhead_ms = (wall_sh - wall_in) / tasks as f64;
+
+    // Spawn + protocol round-trip in isolation: a 1-slot trivial manifest.
+    let mut spawn_ms = Vec::new();
+    for _ in 0..pairs.max(5) {
+        let tiny = Exec::sharded(1, 1).with_worker_cmd(worker_cmd());
+        let t0 = Instant::now();
+        let out = tiny
+            .runner()
+            .run_job(
+                &bench::shard::FailJob {
+                    fail_point: 99,
+                    fail_rep: 0,
+                },
+                &[1],
+                &|_, _| 0,
+            )
+            .expect("trivial manifest runs");
+        std::hint::black_box(out);
+        spawn_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let spawn_overhead_ms = median(&mut spawn_ms);
+
+    // Modeled multi-host makespan over serially measured per-task costs.
+    let j = job();
+    let mut costs = Vec::with_capacity(tasks);
+    for (p, _) in FIG14_15_PDT_GRID.iter().enumerate() {
+        let t0 = Instant::now();
+        std::hint::black_box(j.run_slot(p, 0, seed_of(p, 0)).expect("slot runs"));
+        costs.push(t0.elapsed().as_secs_f64());
+    }
+    // Contiguous chunks per host (the ShardedBackend split), greedy claim
+    // order inside each host's worker pool, plus the measured spawn cost.
+    let makespan = |hosts: usize, workers: usize| -> f64 {
+        let total = costs.len();
+        let mut start = 0usize;
+        let mut worst = 0.0f64;
+        for h in 0..hosts.min(total) {
+            let size = total / hosts + usize::from(h < total % hosts);
+            let chunk = &costs[start..start + size];
+            start += size;
+            let mut free_at = vec![0.0f64; workers.max(1)];
+            for &c in chunk {
+                let w = free_at
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .expect("worker");
+                free_at[w] += c;
+            }
+            let host_span = spawn_overhead_ms / 1e3 + free_at.iter().fold(0.0f64, |m, &t| m.max(t));
+            worst = worst.max(host_span);
+        }
+        worst
+    };
+
+    println!("{{");
+    println!(
+        "  \"workload\": \"fig14 --quick: {tasks}-point closed node sweep, {HORIZON} s horizon, 1 replication/point\","
+    );
+    println!("  \"byte_identity\": \"in-process == sharded(1|2|4), asserted on raw slot bytes before timing\",");
+    println!("  \"wall_clock\": {{");
+    println!("    \"pairs\": {pairs},");
+    println!("    \"in_process_ms\": {wall_in:.2},");
+    println!("    \"sharded_2_ms\": {wall_sh:.2},");
+    println!("    \"per_task_ipc_overhead_ms\": {per_task_overhead_ms:.4},");
+    println!(
+        "    \"per_task_overhead_vs_wall\": {:.4},",
+        per_task_overhead_ms / wall_in
+    );
+    println!("    \"worker_spawn_roundtrip_ms\": {spawn_overhead_ms:.2}");
+    println!("  }},");
+    print!("  \"modeled_multi_host_makespan\": [");
+    let single = makespan(1, 8);
+    let mut first = true;
+    for hosts in [1usize, 2, 4, 8] {
+        let m = makespan(hosts, 8);
+        if !first {
+            print!(", ");
+        }
+        first = false;
+        print!(
+            "{{\"hosts\": {hosts}, \"workers_per_host\": 8, \"makespan_ms\": {:.2}, \"speedup_vs_1_host\": {:.3}}}",
+            m * 1e3,
+            single / m
+        );
+    }
+    println!("],");
+    println!(
+        "  \"note\": \"modeled makespan replays serially measured per-task costs through the contiguous-chunk shard split + greedy claim order, plus the measured worker spawn round-trip\""
+    );
+    println!("}}");
+
+    // The acceptance bound: per-task IPC overhead under a few percent of
+    // the whole sweep's in-process wall clock.
+    assert!(
+        per_task_overhead_ms <= OVERHEAD_BUDGET * wall_in,
+        "per-task IPC overhead {per_task_overhead_ms:.3} ms exceeds {OVERHEAD_BUDGET:.0}% of the {wall_in:.1} ms in-process sweep",
+        OVERHEAD_BUDGET = OVERHEAD_BUDGET * 100.0
+    );
+    eprintln!(
+        "per-task IPC overhead {per_task_overhead_ms:.3} ms <= {:.0}% of {wall_in:.1} ms: ok",
+        OVERHEAD_BUDGET * 100.0
+    );
+}

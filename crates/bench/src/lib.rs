@@ -1,5 +1,7 @@
 //! Shared helpers for the benchmark harness and the `repro` binary.
 
+pub mod shard;
+
 /// Directory where `repro` writes CSV artifacts (created on demand).
 pub const RESULTS_DIR: &str = "results";
 

@@ -1,0 +1,243 @@
+//! Worker-side wiring for the sharded executor, plus self-test jobs.
+//!
+//! The `repro` binary doubles as the worker subprocess of
+//! `sim_runtime::ShardedBackend` (`repro --worker`): this module builds its
+//! [`JobRegistry`] — every portable experiment job from `wsn` plus a few
+//! self-test jobs the shard-determinism and error-propagation suites need
+//! (a plain uncolored M/M/1 net, deliberate task failures, and a
+//! worker-killing crash job).
+
+use petri_core::prelude::*;
+use sim_runtime::wire::{self, Reader, WireError};
+use sim_runtime::{JobRegistry, PortableJob};
+
+/// The registry a `repro --worker` process serves manifests against:
+/// every wsn experiment job plus the self-test jobs below.
+pub fn worker_registry() -> JobRegistry {
+    let mut reg = JobRegistry::new();
+    wsn::experiments::jobs::register(&mut reg);
+    reg.register(Mm1ReplicationJob::KIND, Mm1ReplicationJob::decode_boxed);
+    reg.register(FailJob::KIND, FailJob::decode_boxed);
+    reg.register(CrashJob::KIND, CrashJob::decode_boxed);
+    reg
+}
+
+/// Self-test job: one replication of an uncolored M/M/1 net (`point`
+/// selects the service rate from a small grid, so multi-point grids are
+/// exercised too). Observations: `[E[N], throughput]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mm1ReplicationJob {
+    /// Simulated horizon (s).
+    pub horizon: f64,
+    /// Warm-up truncation (s).
+    pub warmup: f64,
+    /// Service rates; `point` indexes into it.
+    pub mu_grid: Vec<f64>,
+}
+
+impl Mm1ReplicationJob {
+    /// Registry key.
+    pub const KIND: &'static str = "selftest/mm1";
+
+    fn decode_boxed(payload: &[u8]) -> Result<Box<dyn PortableJob>, WireError> {
+        let mut r = Reader::new(payload);
+        let job = Mm1ReplicationJob {
+            horizon: r.get_f64()?,
+            warmup: r.get_f64()?,
+            mu_grid: r.get_f64s()?,
+        };
+        r.finish()?;
+        Ok(Box::new(job))
+    }
+}
+
+impl PortableJob for Mm1ReplicationJob {
+    fn kind(&self) -> &'static str {
+        Self::KIND
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        wire::put_f64(buf, self.horizon);
+        wire::put_f64(buf, self.warmup);
+        wire::put_f64s(buf, &self.mu_grid);
+    }
+
+    fn run_slot(&self, point: usize, _rep: u64, seed: u64) -> Result<Vec<u8>, String> {
+        let mu = *self
+            .mu_grid
+            .get(point)
+            .ok_or_else(|| format!("point {point} outside the {}-rate grid", self.mu_grid.len()))?;
+        let mut b = NetBuilder::new("selftest-mm1");
+        let q = b.place("q").build();
+        b.transition("arrive", Timing::exponential(1.0))
+            .output(q, 1)
+            .build();
+        let serve = b
+            .transition("serve", Timing::exponential(mu))
+            .input(q, 1)
+            .build();
+        let net = b.build().map_err(|e| e.to_string())?;
+        let mut sim = Simulator::new(
+            &net,
+            SimConfig::for_horizon(self.horizon).with_warmup(self.warmup),
+        );
+        let r_q = sim.reward_place(net.place_by_name("q").expect("q exists"));
+        let r_served = sim.reward_firings(serve);
+        let out = sim.run(seed).map_err(|e| e.to_string())?;
+        let mut bytes = Vec::with_capacity(2 * 8 + 4);
+        wire::put_f64s(&mut bytes, &[out.reward(r_q), out.reward(r_served)]);
+        Ok(bytes)
+    }
+}
+
+/// Self-test job: every slot at or after `(fail_point, fail_rep)` (in
+/// lexicographic point/replication order) returns a task error — so
+/// *multiple shards* fail and the gather must still surface exactly the
+/// boundary slot, exercising in-band `E`-frame propagation and
+/// lowest-flat-index selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailJob {
+    /// First failing point.
+    pub fail_point: u64,
+    /// First failing replication within `fail_point`.
+    pub fail_rep: u64,
+}
+
+impl FailJob {
+    /// Registry key.
+    pub const KIND: &'static str = "selftest/fail";
+
+    fn decode_boxed(payload: &[u8]) -> Result<Box<dyn PortableJob>, WireError> {
+        let mut r = Reader::new(payload);
+        let job = FailJob {
+            fail_point: r.get_u64()?,
+            fail_rep: r.get_u64()?,
+        };
+        r.finish()?;
+        Ok(Box::new(job))
+    }
+}
+
+impl PortableJob for FailJob {
+    fn kind(&self) -> &'static str {
+        Self::KIND
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        wire::put_u64(buf, self.fail_point);
+        wire::put_u64(buf, self.fail_rep);
+    }
+
+    fn run_slot(&self, point: usize, rep: u64, seed: u64) -> Result<Vec<u8>, String> {
+        if (point as u64, rep) >= (self.fail_point, self.fail_rep) {
+            return Err(format!("selftest failure at ({point}, {rep})"));
+        }
+        let mut bytes = Vec::new();
+        wire::put_f64s(&mut bytes, &[seed as f64]);
+        Ok(bytes)
+    }
+}
+
+/// Self-test job: **kills its own process** at one `(point, replication)`
+/// slot — the "kill one worker" scenario. Only ever dispatch this through a
+/// sharded backend; in-process it would take the caller down with it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashJob {
+    /// Crashing point.
+    pub crash_point: u64,
+    /// Crashing replication.
+    pub crash_rep: u64,
+}
+
+impl CrashJob {
+    /// Registry key.
+    pub const KIND: &'static str = "selftest/crash";
+
+    fn decode_boxed(payload: &[u8]) -> Result<Box<dyn PortableJob>, WireError> {
+        let mut r = Reader::new(payload);
+        let job = CrashJob {
+            crash_point: r.get_u64()?,
+            crash_rep: r.get_u64()?,
+        };
+        r.finish()?;
+        Ok(Box::new(job))
+    }
+}
+
+impl PortableJob for CrashJob {
+    fn kind(&self) -> &'static str {
+        Self::KIND
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        wire::put_u64(buf, self.crash_point);
+        wire::put_u64(buf, self.crash_rep);
+    }
+
+    fn run_slot(&self, point: usize, rep: u64, seed: u64) -> Result<Vec<u8>, String> {
+        if point as u64 == self.crash_point && rep == self.crash_rep {
+            eprintln!("[selftest] crashing worker at ({point}, {rep}) as requested");
+            std::process::exit(3);
+        }
+        let mut bytes = Vec::new();
+        wire::put_f64s(&mut bytes, &[seed as f64]);
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_experiment_and_selftest_jobs() {
+        let reg = worker_registry();
+        let kinds: Vec<&str> = reg.kinds().collect();
+        for k in [
+            "wsn/cpu-comparison",
+            "wsn/node-sweep",
+            "wsn/validation",
+            "wsn/seed-ablation",
+            Mm1ReplicationJob::KIND,
+            FailJob::KIND,
+            CrashJob::KIND,
+        ] {
+            assert!(kinds.contains(&k), "missing {k} in {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn mm1_job_round_trips_and_is_seed_deterministic() {
+        let job = Mm1ReplicationJob {
+            horizon: 500.0,
+            warmup: 50.0,
+            mu_grid: vec![2.0, 4.0],
+        };
+        let mut payload = Vec::new();
+        job.encode_payload(&mut payload);
+        let back = worker_registry()
+            .decode(Mm1ReplicationJob::KIND, &payload)
+            .unwrap();
+        assert_eq!(
+            job.run_slot(1, 0, 42).unwrap(),
+            back.run_slot(1, 0, 42).unwrap()
+        );
+        assert_ne!(
+            job.run_slot(1, 0, 42).unwrap(),
+            job.run_slot(1, 0, 43).unwrap()
+        );
+    }
+
+    #[test]
+    fn fail_job_fails_from_its_boundary_on() {
+        let job = FailJob {
+            fail_point: 1,
+            fail_rep: 2,
+        };
+        assert!(job.run_slot(0, 2, 0).is_ok());
+        assert!(job.run_slot(1, 1, 0).is_ok());
+        assert!(job.run_slot(1, 2, 0).is_err());
+        assert!(job.run_slot(1, 3, 0).is_err());
+        assert!(job.run_slot(2, 0, 0).is_err());
+    }
+}

@@ -7,6 +7,13 @@
 //! flattens the `(point × replication)` grid into one work-stealing task
 //! stream; this module is the replication-level entry point over a single
 //! simulator.
+//!
+//! These entry points take closures over a **borrowed** `&Simulator`, so
+//! they always run on the executor's in-process backend (a closure cannot
+//! cross the process boundary). Experiment drivers that describe their
+//! tasks as data instead — `sim_runtime::PortableJob` — run the identical
+//! schedule on the sharded multi-process backend with byte-identical
+//! results; see `wsn::experiments::jobs`.
 
 use crate::error::SimError;
 use crate::sim::Simulator;

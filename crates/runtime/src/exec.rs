@@ -1,0 +1,1125 @@
+//! The executor backend seam: portable task manifests and the backends
+//! that run them.
+//!
+//! Closure grids ([`crate::Runner::grid`]) are bound to one address space.
+//! To spread the same flat task stream over worker **subprocesses** (and,
+//! eventually, remote hosts), a grid must be *described as data*:
+//!
+//! * a [`PortableJob`] is the task family — a named, self-encoding recipe
+//!   that turns `(point, replication, seed)` into an encoded result;
+//! * a [`TaskManifest`] pins down one concrete grid: the job's identity and
+//!   payload, the contiguous flat-index [`Segment`]s to run, and one seed
+//!   per slot;
+//! * an [`ExecBackend`] executes a manifest and hands back per-slot result
+//!   bytes in flat-index order.
+//!
+//! Two backends ship today: [`InProcessBackend`] (the scoped thread pool —
+//! the same scheduling core behind `Runner::grid`) and [`ShardedBackend`],
+//! which partitions the manifest into contiguous shards, spawns one worker
+//! subprocess per shard (`<exe> --worker`, speaking length-prefixed frames
+//! over stdin/stdout — see [`crate::worker`]), and gathers per-slot
+//! results. Because every fold downstream consumes slots in flat-index
+//! order, **any shard count × thread count yields byte-identical
+//! results**. `ExecBackend::run_segments` is deliberately the single seam
+//! where an async or remote-host backend would plug in.
+
+use crate::grid::{run_segments_core, GridPlan, Progress, ProgressFn, Segment};
+use crate::wire::{self, Reader, WireError};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Protocol version byte carried by every worker request frame.
+pub const WIRE_VERSION: u8 = 1;
+
+// --- errors --------------------------------------------------------------
+
+/// An executor failure: a task error, a worker-process failure, or a
+/// protocol/spawn problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A task reported an error. `flat_index` is the task's global flat
+    /// index in the manifest; when several tasks fail, the lowest flat
+    /// index wins (matching `Runner::try_grid`).
+    Task {
+        /// Global flat index of the failing slot.
+        flat_index: usize,
+        /// Sweep-point index of the failing slot.
+        point: usize,
+        /// Replication index of the failing slot.
+        replication: u64,
+        /// The task's error message.
+        message: String,
+    },
+    /// A worker subprocess died (crash, kill, bad exit) before delivering
+    /// its shard. `flat_index` is the first slot of the undelivered range.
+    Worker {
+        /// First global flat index the dead worker still owed.
+        flat_index: usize,
+        /// What happened to the worker.
+        message: String,
+    },
+    /// Manifest/frame decode failures, spawn failures, registry misses.
+    Protocol(String),
+}
+
+impl ExecError {
+    /// The global flat index this error is attributed to, for
+    /// lowest-index-wins selection across shards.
+    pub fn flat_index(&self) -> usize {
+        match self {
+            ExecError::Task { flat_index, .. } | ExecError::Worker { flat_index, .. } => {
+                *flat_index
+            }
+            ExecError::Protocol(_) => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Task {
+                flat_index,
+                point,
+                replication,
+                message,
+            } => write!(
+                f,
+                "task {flat_index} (point {point}, replication {replication}) failed: {message}"
+            ),
+            ExecError::Worker {
+                flat_index,
+                message,
+            } => write!(f, "worker owning flat index {flat_index} failed: {message}"),
+            ExecError::Protocol(m) => write!(f, "executor protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<WireError> for ExecError {
+    fn from(e: WireError) -> Self {
+        ExecError::Protocol(e.to_string())
+    }
+}
+
+// --- portable jobs -------------------------------------------------------
+
+/// A task family that can be executed outside the caller's address space.
+///
+/// A portable job must be reconstructible from `(kind, payload)` alone: the
+/// worker subprocess looks `kind` up in its [`JobRegistry`] and decodes the
+/// payload, so the closure-free triple `(point, replication, seed)` fully
+/// determines each slot. Results are returned as encoded bytes; since the
+/// caller's fold decodes the same bytes whether the slot ran in-process or
+/// in a worker, results are **byte-identical across backends** by
+/// construction.
+pub trait PortableJob: Sync {
+    /// Registry key identifying this job family (stable across the
+    /// parent/worker process boundary).
+    fn kind(&self) -> &'static str;
+
+    /// Encode the job's parameters; the worker's registry decoder must be
+    /// able to rebuild an equivalent job from exactly these bytes.
+    fn encode_payload(&self, buf: &mut Vec<u8>);
+
+    /// Run one slot, returning the encoded result. `seed` is the slot's
+    /// entry from the manifest's seed table.
+    fn run_slot(&self, point: usize, replication: u64, seed: u64) -> Result<Vec<u8>, String>;
+}
+
+/// Decoder for one job kind: payload bytes back to a runnable job.
+pub type JobDecoder = fn(&[u8]) -> Result<Box<dyn PortableJob>, WireError>;
+
+/// The worker-side table mapping job kinds to payload decoders.
+///
+/// A worker process builds one registry at startup (covering every job its
+/// binary can run) and serves manifests against it; see
+/// [`crate::worker::serve`].
+#[derive(Default)]
+pub struct JobRegistry {
+    decoders: BTreeMap<&'static str, JobDecoder>,
+}
+
+impl std::fmt::Debug for JobRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobRegistry")
+            .field("kinds", &self.kinds().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl JobRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a decoder for `kind`; panics on duplicate registration
+    /// (two decoders for one kind is always a wiring bug).
+    pub fn register(&mut self, kind: &'static str, decoder: JobDecoder) {
+        let prev = self.decoders.insert(kind, decoder);
+        assert!(prev.is_none(), "job kind {kind:?} registered twice");
+    }
+
+    /// Decode a job of the given kind from its payload.
+    pub fn decode(&self, kind: &str, payload: &[u8]) -> Result<Box<dyn PortableJob>, WireError> {
+        let decoder = self
+            .decoders
+            .get(kind)
+            .ok_or_else(|| WireError::new(format!("unknown job kind {kind:?}")))?;
+        decoder(payload)
+    }
+
+    /// The registered kinds, in sorted order.
+    pub fn kinds(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.decoders.keys().copied()
+    }
+}
+
+// --- manifest ------------------------------------------------------------
+
+/// A fully serialized description of one grid run: which job, which
+/// contiguous flat-index segments, and the seed of every slot.
+///
+/// The manifest is the unit the sharded backend partitions and ships to
+/// workers; its compact encoding is hand-rolled (see [`crate::wire`])
+/// because the offline build's `serde` is a no-op shim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskManifest {
+    /// Job-family key for the worker's [`JobRegistry`].
+    pub kind: String,
+    /// Job parameters, encoded by [`PortableJob::encode_payload`].
+    pub payload: Vec<u8>,
+    /// Contiguous replication runs, in flat-index order. Point indices are
+    /// global: a shard's sub-manifest keeps the parent's numbering.
+    pub segments: Vec<Segment>,
+    /// One RNG seed per flat slot, in flat-index order
+    /// (`seeds.len() == total_slots()`).
+    pub seeds: Vec<u64>,
+}
+
+impl TaskManifest {
+    /// Build the manifest for `job` over explicit segments, seeding slot
+    /// `(point, rep)` with `seed_of(point, rep)`.
+    pub fn for_job(
+        job: &dyn PortableJob,
+        segments: Vec<Segment>,
+        seed_of: &dyn Fn(usize, u64) -> u64,
+    ) -> Self {
+        let mut payload = Vec::new();
+        job.encode_payload(&mut payload);
+        let seeds = segments
+            .iter()
+            .flat_map(|seg| (0..seg.count as u64).map(|i| seed_of(seg.point, seg.base_rep + i)))
+            .collect();
+        TaskManifest {
+            kind: job.kind().to_string(),
+            payload,
+            segments,
+            seeds,
+        }
+    }
+
+    /// Total number of slots across all segments.
+    pub fn total_slots(&self) -> usize {
+        self.segments.iter().map(|s| s.count).sum()
+    }
+
+    /// `(point, replication, seed)` of every slot, in flat-index order.
+    pub fn slots(&self) -> Vec<(usize, u64, u64)> {
+        self.segments
+            .iter()
+            .flat_map(|seg| (0..seg.count as u64).map(|i| (seg.point, seg.base_rep + i)))
+            .zip(self.seeds.iter())
+            .map(|((point, rep), &seed)| (point, rep, seed))
+            .collect()
+    }
+
+    /// Fail unless the seed table covers every slot exactly.
+    pub fn validate(&self) -> Result<(), WireError> {
+        let total = self.total_slots();
+        if self.seeds.len() != total {
+            return Err(WireError::new(format!(
+                "manifest has {total} slot(s) but {} seed(s)",
+                self.seeds.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Partition into at most `shards` contiguous flat-index chunks of
+    /// near-equal size, splitting segments at chunk boundaries. Returns
+    /// `(first global flat index, sub-manifest)` per non-empty chunk;
+    /// concatenating the chunks' slots in order reproduces `self` exactly.
+    pub fn split(&self, shards: usize) -> Vec<(usize, TaskManifest)> {
+        let total = self.total_slots();
+        if total == 0 {
+            return Vec::new();
+        }
+        let shards = shards.clamp(1, total);
+        let plan = GridPlan::new(&self.segments);
+        let mut out = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for i in 0..shards {
+            let size = total / shards + usize::from(i < total % shards);
+            let end = start + size;
+            // Collect the segments overlapping [start, end).
+            let mut segments = Vec::new();
+            let (mut seg_idx, mut offset) = plan.locate(start);
+            let mut remaining = size;
+            while remaining > 0 {
+                let seg = self.segments[seg_idx];
+                let take = (seg.count - offset).min(remaining);
+                segments.push(Segment {
+                    point: seg.point,
+                    base_rep: seg.base_rep + offset as u64,
+                    count: take,
+                });
+                remaining -= take;
+                seg_idx += 1;
+                // Skip zero-count segments between chunks.
+                while seg_idx < self.segments.len() && self.segments[seg_idx].count == 0 {
+                    seg_idx += 1;
+                }
+                offset = 0;
+            }
+            out.push((
+                start,
+                TaskManifest {
+                    kind: self.kind.clone(),
+                    payload: self.payload.clone(),
+                    segments,
+                    seeds: self.seeds[start..end].to_vec(),
+                },
+            ));
+            start = end;
+        }
+        out
+    }
+
+    /// Append the compact encoding of this manifest.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        wire::put_str(buf, &self.kind);
+        wire::put_bytes(buf, &self.payload);
+        wire::put_u32(buf, self.segments.len() as u32);
+        for seg in &self.segments {
+            wire::put_u64(buf, seg.point as u64);
+            wire::put_u64(buf, seg.base_rep);
+            wire::put_u64(buf, seg.count as u64);
+        }
+        wire::put_u32(buf, self.seeds.len() as u32);
+        for &s in &self.seeds {
+            wire::put_u64(buf, s);
+        }
+    }
+
+    /// Decode a manifest from a [`Reader`] positioned at its first byte.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let kind = r.get_str()?.to_string();
+        let payload = r.get_bytes()?.to_vec();
+        let nsegs = r.get_u32()? as usize;
+        let mut segments = Vec::with_capacity(nsegs.min(1 << 20));
+        for _ in 0..nsegs {
+            let point = r.get_u64()? as usize;
+            let base_rep = r.get_u64()?;
+            let count = r.get_u64()? as usize;
+            segments.push(Segment {
+                point,
+                base_rep,
+                count,
+            });
+        }
+        let nseeds = r.get_u32()? as usize;
+        let mut seeds = Vec::with_capacity(nseeds.min(1 << 20));
+        for _ in 0..nseeds {
+            seeds.push(r.get_u64()?);
+        }
+        let m = TaskManifest {
+            kind,
+            payload,
+            segments,
+            seeds,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+}
+
+// --- the seam ------------------------------------------------------------
+
+/// An executor backend: turns a [`TaskManifest`] into per-slot result
+/// bytes, in flat-index order.
+///
+/// This is the single seam future backends (async pools, remote hosts, GPU
+/// queues) implement; everything above it — `Runner`, the adaptive
+/// stopping rounds, every experiment driver — is backend-agnostic.
+pub trait ExecBackend {
+    /// Execute every slot of `manifest`, returning one encoded result per
+    /// slot in flat-index order. `job` is the already-decoded job for
+    /// backends that execute locally; process-crossing backends re-decode
+    /// it from the manifest on the far side. On failure, the error with the
+    /// lowest flat index is returned.
+    fn run_segments(
+        &self,
+        job: &dyn PortableJob,
+        manifest: &TaskManifest,
+        progress: Option<&ProgressFn>,
+    ) -> Result<Vec<Vec<u8>>, ExecError>;
+
+    /// Human-readable backend description (for logs and benches).
+    fn label(&self) -> String;
+}
+
+/// The scoped-thread-pool backend: the exact scheduling core behind
+/// `Runner::grid`, applied to a portable job.
+#[derive(Debug, Clone, Copy)]
+pub struct InProcessBackend {
+    /// Worker threads to schedule onto.
+    pub threads: usize,
+}
+
+impl InProcessBackend {
+    /// A backend with the given worker-thread count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        InProcessBackend {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl ExecBackend for InProcessBackend {
+    fn run_segments(
+        &self,
+        job: &dyn PortableJob,
+        manifest: &TaskManifest,
+        progress: Option<&ProgressFn>,
+    ) -> Result<Vec<Vec<u8>>, ExecError> {
+        manifest.validate()?;
+        let per_segment = run_segments_core(
+            self.threads,
+            progress,
+            &manifest.segments,
+            &|flat, point, rep| job.run_slot(point, rep, manifest.seeds[flat]),
+        )
+        .map_err(|(flat, message)| {
+            let plan = GridPlan::new(&manifest.segments);
+            let (seg_idx, offset) = plan.locate(flat);
+            let seg = manifest.segments[seg_idx];
+            ExecError::Task {
+                flat_index: flat,
+                point: seg.point,
+                replication: seg.base_rep + offset as u64,
+                message,
+            }
+        })?;
+        // Concatenating per-segment results in segment order IS flat order.
+        Ok(per_segment
+            .into_iter()
+            .flat_map(|(_seg, results)| results)
+            .collect())
+    }
+
+    fn label(&self) -> String {
+        format!("in-process(threads={})", self.threads)
+    }
+}
+
+// --- sharded backend -----------------------------------------------------
+
+/// Response-frame tags of the worker protocol (worker → parent).
+pub(crate) mod frame {
+    /// One slot's result: `u64` shard-local slot index + result bytes.
+    pub const RESULT: u8 = b'R';
+    /// The shard failed: `u64` shard-local slot index + error string.
+    pub const ERROR: u8 = b'E';
+    /// Shard complete: `u64` result-frame count (sanity check).
+    pub const DONE: u8 = b'D';
+}
+
+/// The multi-process backend: contiguous manifest shards fanned out to
+/// worker subprocesses.
+///
+/// Each worker is spawned as `worker_cmd` (default: the current executable
+/// with a single `--worker` argument), receives one length-prefixed request
+/// frame on stdin — protocol version, thread count, and its sub-manifest —
+/// and answers on stdout with one `R` frame per slot, terminated by `D`
+/// (or `E` carrying its lowest-flat-index task error). stderr passes
+/// through for diagnostics. Gather re-assembles shard results in flat-index
+/// order, so the downstream fold is byte-identical to [`InProcessBackend`]
+/// at any shard count; on failure the lowest-global-flat-index error wins,
+/// whether it arrived in-band (`E`) or as a dead worker.
+#[derive(Debug, Clone)]
+pub struct ShardedBackend {
+    /// Worker subprocesses to partition the manifest across.
+    pub shards: usize,
+    /// Worker threads *per subprocess* (total parallelism is
+    /// `shards × worker_threads`).
+    pub worker_threads: usize,
+    /// Override of the worker command line; `None` spawns
+    /// `current_exe --worker`.
+    pub worker_cmd: Option<Vec<String>>,
+}
+
+impl ShardedBackend {
+    /// A sharded backend re-entering the current executable with
+    /// `--worker`.
+    pub fn new(shards: usize, worker_threads: usize) -> Self {
+        ShardedBackend {
+            shards: shards.max(1),
+            worker_threads: worker_threads.max(1),
+            worker_cmd: None,
+        }
+    }
+
+    /// Use an explicit worker command line (argv; must speak the worker
+    /// protocol on stdin/stdout).
+    pub fn with_worker_cmd(mut self, cmd: Vec<String>) -> Self {
+        assert!(!cmd.is_empty(), "worker command must have an argv[0]");
+        self.worker_cmd = Some(cmd);
+        self
+    }
+
+    fn resolve_cmd(&self) -> Result<Vec<String>, ExecError> {
+        if let Some(cmd) = &self.worker_cmd {
+            return Ok(cmd.clone());
+        }
+        let exe = std::env::current_exe()
+            .map_err(|e| ExecError::Protocol(format!("cannot resolve current_exe: {e}")))?;
+        Ok(vec![exe.to_string_lossy().into_owned(), "--worker".into()])
+    }
+
+    /// Drive one worker subprocess through one shard; returns the shard's
+    /// per-slot results in shard-local flat order.
+    fn run_shard(
+        &self,
+        cmd: &[String],
+        start: usize,
+        chunk: &TaskManifest,
+        completed: &AtomicUsize,
+        grand_total: usize,
+        progress: Option<&ProgressFn>,
+    ) -> Result<Vec<Vec<u8>>, ExecError> {
+        let spawn_err = |e: std::io::Error| ExecError::Worker {
+            flat_index: start,
+            message: format!("failed to spawn worker {:?}: {e}", cmd[0]),
+        };
+        let mut child: Child = Command::new(&cmd[0])
+            .args(&cmd[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(spawn_err)?;
+
+        let died = |child: &mut Child, context: String| {
+            // Kill before waiting: a worker that is still alive (e.g. one
+            // that wrote garbage frames and is now blocked writing into
+            // the pipe we stopped draining) must not hang the gather.
+            let _ = child.kill();
+            let status = child
+                .wait()
+                .map(|s| s.to_string())
+                .unwrap_or_else(|e| format!("unwaitable: {e}"));
+            ExecError::Worker {
+                flat_index: start,
+                message: format!("{context} (worker {status})"),
+            }
+        };
+
+        // Ship the request frame, then close stdin so a worker that never
+        // reads cannot deadlock us.
+        let mut request = Vec::new();
+        wire::put_u8(&mut request, WIRE_VERSION);
+        wire::put_u32(&mut request, self.worker_threads as u32);
+        chunk.encode_into(&mut request);
+        {
+            let mut stdin = child.stdin.take().expect("stdin piped");
+            if let Err(e) = wire::write_frame(&mut stdin, &request).and_then(|_| stdin.flush()) {
+                return Err(died(&mut child, format!("request write failed: {e}")));
+            }
+        }
+
+        let slots = chunk.slots();
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; slots.len()];
+        let mut stdout = child.stdout.take().expect("stdout piped");
+        let mut task_error: Option<ExecError> = None;
+        let mut done = false;
+        while !done {
+            let body = match wire::read_frame(&mut stdout) {
+                Ok(Some(b)) => b,
+                Ok(None) => break, // EOF — worker exited
+                Err(e) => return Err(died(&mut child, format!("frame read failed: {e}"))),
+            };
+            let mut r = Reader::new(&body);
+            let decode = (|| -> Result<(), WireError> {
+                match r.get_u8()? {
+                    frame::RESULT => {
+                        let local = r.get_u64()? as usize;
+                        let bytes = r.get_bytes()?.to_vec();
+                        if local >= slots.len() {
+                            return Err(WireError::new(format!(
+                                "result slot {local} out of range ({} slots)",
+                                slots.len()
+                            )));
+                        }
+                        if results[local].replace(bytes).is_some() {
+                            return Err(WireError::new(format!("slot {local} delivered twice")));
+                        }
+                        if let Some(cb) = progress {
+                            let (point, rep, _seed) = slots[local];
+                            let done_now = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                            cb(Progress {
+                                point,
+                                replication: rep,
+                                completed: done_now,
+                                total: grand_total,
+                            });
+                        }
+                    }
+                    frame::ERROR => {
+                        let local = r.get_u64()? as usize;
+                        let message = r.get_str()?.to_string();
+                        let (point, rep) = slots
+                            .get(local)
+                            .map(|&(p, rp, _)| (p, rp))
+                            .unwrap_or((usize::MAX, u64::MAX));
+                        task_error = Some(ExecError::Task {
+                            flat_index: start + local.min(slots.len().saturating_sub(1)),
+                            point,
+                            replication: rep,
+                            message,
+                        });
+                    }
+                    frame::DONE => {
+                        let delivered = r.get_u64()? as usize;
+                        let have = results.iter().filter(|r| r.is_some()).count();
+                        if delivered != have {
+                            return Err(WireError::new(format!(
+                                "worker claims {delivered} result(s), received {have}"
+                            )));
+                        }
+                        done = true;
+                    }
+                    tag => return Err(WireError::new(format!("unknown frame tag {tag:#x}"))),
+                }
+                r.finish()
+            })();
+            if let Err(e) = decode {
+                return Err(died(&mut child, format!("protocol violation: {e}")));
+            }
+        }
+
+        let status = child.wait().map_err(|e| ExecError::Worker {
+            flat_index: start,
+            message: format!("worker unwaitable: {e}"),
+        })?;
+        if let Some(err) = task_error {
+            return Err(err);
+        }
+        if !done || !status.success() {
+            return Err(ExecError::Worker {
+                flat_index: start,
+                message: format!(
+                    "worker exited {}without completing its shard ({status})",
+                    if done { "after DONE " } else { "" }
+                ),
+            });
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(local, r)| {
+                r.ok_or(ExecError::Worker {
+                    flat_index: start + local,
+                    message: "worker finished without delivering this slot".into(),
+                })
+            })
+            .collect()
+    }
+}
+
+impl ExecBackend for ShardedBackend {
+    fn run_segments(
+        &self,
+        _job: &dyn PortableJob,
+        manifest: &TaskManifest,
+        progress: Option<&ProgressFn>,
+    ) -> Result<Vec<Vec<u8>>, ExecError> {
+        manifest.validate()?;
+        let total = manifest.total_slots();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        let cmd = self.resolve_cmd()?;
+        let chunks = manifest.split(self.shards);
+        let completed = AtomicUsize::new(0);
+
+        // One drain thread per shard: workers stream concurrently, so a
+        // full pipe on shard k can never stall the gather of shard j.
+        //
+        // Deliberately NO cross-shard cancellation on first error: there is
+        // no global claim order across processes, so killing sibling
+        // workers could discard a *lower*-flat-index failure that had not
+        // been reported yet, making the surfaced error timing-dependent.
+        // Letting every shard drain keeps the lowest-index-wins selection
+        // below deterministic — the same contract as `Runner::try_grid` —
+        // at the cost of finishing in-flight shards on the error path.
+        let outcomes: Vec<Result<Vec<Vec<u8>>, ExecError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|(start, chunk)| {
+                    let cmd = &cmd;
+                    let completed = &completed;
+                    scope.spawn(move || {
+                        self.run_shard(cmd, *start, chunk, completed, total, progress)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard drain thread never panics"))
+                .collect()
+        });
+
+        let mut flat = Vec::with_capacity(total);
+        let mut first_error: Option<ExecError> = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(slots) => flat.extend(slots),
+                Err(e) => match &first_error {
+                    Some(cur) if cur.flat_index() <= e.flat_index() => {}
+                    _ => first_error = Some(e),
+                },
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        debug_assert_eq!(flat.len(), total);
+        Ok(flat)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "sharded(shards={}, threads/worker={})",
+            self.shards, self.worker_threads
+        )
+    }
+}
+
+// --- execution configuration --------------------------------------------
+
+/// Which backend a [`Runner`](crate::Runner) dispatches portable jobs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum BackendSel {
+    /// Scoped thread pool in this process.
+    InProcess,
+    /// Worker subprocesses; `worker_cmd: None` re-enters
+    /// `current_exe --worker`.
+    Sharded {
+        shards: usize,
+        worker_cmd: Option<Vec<String>>,
+    },
+}
+
+/// Resolved execution parameters, threaded through every experiment
+/// driver: worker threads, shard count, and (for sharded runs) the worker
+/// command.
+///
+/// `shards == 0` means "in-process"; `shards >= 1` fans out to that many
+/// worker subprocesses, each running `threads` worker threads. Results are
+/// identical either way — the setting only chooses *where* slots execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exec {
+    /// Worker threads (per process).
+    pub threads: usize,
+    /// Worker subprocesses; 0 = run in-process.
+    pub shards: usize,
+    /// Worker argv override for sharded runs (`None`:
+    /// `current_exe --worker`).
+    pub worker_cmd: Option<Vec<String>>,
+}
+
+impl Default for Exec {
+    fn default() -> Self {
+        Exec::in_process(crate::grid::default_threads())
+    }
+}
+
+impl Exec {
+    /// Execute on the in-process scoped thread pool.
+    pub fn in_process(threads: usize) -> Self {
+        Exec {
+            threads: threads.max(1),
+            shards: 0,
+            worker_cmd: None,
+        }
+    }
+
+    /// Fan portable jobs out to `shards` worker subprocesses of `threads`
+    /// threads each.
+    pub fn sharded(threads: usize, shards: usize) -> Self {
+        Exec {
+            threads: threads.max(1),
+            shards: shards.max(1),
+            worker_cmd: None,
+        }
+    }
+
+    /// Override the worker command line for sharded runs.
+    pub fn with_worker_cmd(mut self, cmd: Vec<String>) -> Self {
+        assert!(!cmd.is_empty(), "worker command must have an argv[0]");
+        self.worker_cmd = Some(cmd);
+        self
+    }
+
+    /// Whether portable jobs run in worker subprocesses.
+    pub fn is_sharded(&self) -> bool {
+        self.shards >= 1
+    }
+
+    /// A [`Runner`](crate::Runner) on this configuration.
+    pub fn runner(&self) -> crate::Runner {
+        let mut r = crate::Runner::new(self.threads);
+        if self.shards >= 1 {
+            r.backend = BackendSel::Sharded {
+                shards: self.shards,
+                worker_cmd: self.worker_cmd.clone(),
+            };
+        }
+        r
+    }
+
+    /// Short description for logs.
+    pub fn label(&self) -> String {
+        if self.shards >= 1 {
+            format!("sharded(shards={}, threads={})", self.shards, self.threads)
+        } else {
+            format!("in-process(threads={})", self.threads)
+        }
+    }
+}
+
+impl crate::Runner {
+    /// The backend this runner dispatches portable jobs to.
+    pub(crate) fn backend_impl(&self) -> Box<dyn ExecBackend> {
+        match &self.backend {
+            BackendSel::InProcess => Box::new(InProcessBackend::new(self.threads)),
+            BackendSel::Sharded { shards, worker_cmd } => {
+                let mut b = ShardedBackend::new(*shards, self.threads);
+                if let Some(cmd) = worker_cmd {
+                    b = b.with_worker_cmd(cmd.clone());
+                }
+                Box::new(b)
+            }
+        }
+    }
+
+    /// Execute a manifest on this runner's backend (single dispatch site
+    /// for fixed grids and adaptive rounds).
+    pub(crate) fn dispatch(
+        &self,
+        job: &dyn PortableJob,
+        manifest: &TaskManifest,
+    ) -> Result<Vec<Vec<u8>>, ExecError> {
+        self.backend_impl()
+            .run_segments(job, manifest, self.progress.as_deref())
+    }
+
+    /// Run a portable `(point × replication)` grid on the configured
+    /// backend: `reps[p]` slots for point `p`, slot `(p, r)` seeded with
+    /// `seed_of(p, r)`. Returns each point's encoded slot results in
+    /// replication order — the portable analogue of
+    /// [`Runner::grid`](crate::Runner::grid), byte-identical across
+    /// backends and shard/thread counts.
+    pub fn run_job(
+        &self,
+        job: &dyn PortableJob,
+        reps: &[u64],
+        seed_of: &dyn Fn(usize, u64) -> u64,
+    ) -> Result<Vec<Vec<Vec<u8>>>, ExecError> {
+        let segments: Vec<Segment> = reps
+            .iter()
+            .enumerate()
+            .map(|(point, &n)| Segment {
+                point,
+                base_rep: 0,
+                count: n as usize,
+            })
+            .collect();
+        let manifest = TaskManifest::for_job(job, segments, seed_of);
+        let flat = self.dispatch(job, &manifest)?;
+        let mut flat = flat.into_iter();
+        Ok(reps
+            .iter()
+            .map(|&n| flat.by_ref().take(n as usize).collect())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::Runner;
+
+    /// Trivial arithmetic job used by the unit tests (registered by the
+    /// in-crate worker tests too).
+    pub(crate) struct MulJob {
+        pub factor: u64,
+    }
+
+    impl PortableJob for MulJob {
+        fn kind(&self) -> &'static str {
+            "test-mul"
+        }
+        fn encode_payload(&self, buf: &mut Vec<u8>) {
+            wire::put_u64(buf, self.factor);
+        }
+        fn run_slot(&self, point: usize, rep: u64, seed: u64) -> Result<Vec<u8>, String> {
+            let mut out = Vec::new();
+            wire::put_u64(
+                &mut out,
+                self.factor * (point as u64 + 1) * 1000 + rep + seed,
+            );
+            Ok(out)
+        }
+    }
+
+    pub(crate) fn decode_mul(payload: &[u8]) -> Result<Box<dyn PortableJob>, WireError> {
+        let mut r = Reader::new(payload);
+        let factor = r.get_u64()?;
+        r.finish()?;
+        Ok(Box::new(MulJob { factor }))
+    }
+
+    fn manifest_for(reps: &[u64]) -> TaskManifest {
+        let job = MulJob { factor: 3 };
+        let segments = reps
+            .iter()
+            .enumerate()
+            .map(|(point, &n)| Segment {
+                point,
+                base_rep: 0,
+                count: n as usize,
+            })
+            .collect();
+        TaskManifest::for_job(&job, segments, &|p, r| (p as u64) << 32 | r)
+    }
+
+    #[test]
+    fn manifest_round_trips_through_wire() {
+        let m = manifest_for(&[2, 0, 5, 1]);
+        let mut buf = Vec::new();
+        m.encode_into(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = TaskManifest::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn manifest_split_covers_all_slots_contiguously() {
+        let m = manifest_for(&[3, 0, 7, 1, 4]);
+        let total = m.total_slots();
+        assert_eq!(total, 15);
+        for shards in [1, 2, 3, 4, 15, 99] {
+            let chunks = m.split(shards);
+            assert_eq!(chunks.len(), shards.min(total));
+            let mut expect_start = 0usize;
+            let mut all_slots = Vec::new();
+            for (start, chunk) in &chunks {
+                assert_eq!(*start, expect_start);
+                chunk.validate().unwrap();
+                assert!(chunk.total_slots() > 0, "empty chunk at {start}");
+                expect_start += chunk.total_slots();
+                all_slots.extend(chunk.slots());
+            }
+            assert_eq!(expect_start, total);
+            assert_eq!(all_slots, m.slots(), "shards={shards}");
+            // Near-equal sizes: max - min <= 1.
+            let sizes: Vec<usize> = chunks.iter().map(|(_, c)| c.total_slots()).collect();
+            let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(mx - mn <= 1, "uneven split {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn manifest_seed_table_is_per_slot() {
+        let m = manifest_for(&[2, 1]);
+        let slots = m.slots();
+        assert_eq!(
+            slots,
+            vec![(0, 0, 0), (0, 1, 1), (1, 0, 1 << 32)]
+                .into_iter()
+                .map(|(p, r, s): (usize, u64, u64)| (p, r, s))
+                .collect::<Vec<_>>()
+        );
+        let mut bad = m.clone();
+        bad.seeds.pop();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn in_process_backend_matches_direct_execution() {
+        let job = MulJob { factor: 3 };
+        let m = manifest_for(&[3, 2, 4]);
+        for threads in [1, 2, 8] {
+            let flat = InProcessBackend::new(threads)
+                .run_segments(&job, &m, None)
+                .unwrap();
+            let expect: Vec<Vec<u8>> = m
+                .slots()
+                .iter()
+                .map(|&(p, r, s)| job.run_slot(p, r, s).unwrap())
+                .collect();
+            assert_eq!(flat, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_job_groups_per_point() {
+        let job = MulJob { factor: 2 };
+        let reps = [2u64, 0, 3];
+        let out = Runner::new(4)
+            .run_job(&job, &reps, &|p, r| (p as u64) * 10 + r)
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].len(), 2);
+        assert!(out[1].is_empty());
+        assert_eq!(out[2].len(), 3);
+        let mut r = Reader::new(&out[2][1]);
+        // point 2, rep 1, seed 21: 2*3*1000 + 1 + 21.
+        assert_eq!(r.get_u64().unwrap(), 6022);
+    }
+
+    struct FailAt {
+        fail_flat: std::collections::BTreeSet<(usize, u64)>,
+    }
+    impl PortableJob for FailAt {
+        fn kind(&self) -> &'static str {
+            "test-fail"
+        }
+        fn encode_payload(&self, _buf: &mut Vec<u8>) {}
+        fn run_slot(&self, point: usize, rep: u64, _seed: u64) -> Result<Vec<u8>, String> {
+            if self.fail_flat.contains(&(point, rep)) {
+                Err(format!("slot ({point},{rep}) refused"))
+            } else {
+                Ok(vec![1])
+            }
+        }
+    }
+
+    #[test]
+    fn in_process_backend_reports_task_error_with_indices() {
+        let job = FailAt {
+            fail_flat: [(1usize, 2u64)].into_iter().collect(),
+        };
+        let m = TaskManifest::for_job(
+            &job,
+            vec![
+                Segment {
+                    point: 0,
+                    base_rep: 0,
+                    count: 2,
+                },
+                Segment {
+                    point: 1,
+                    base_rep: 0,
+                    count: 4,
+                },
+            ],
+            &|_, _| 0,
+        );
+        let err = InProcessBackend::new(1)
+            .run_segments(&job, &m, None)
+            .unwrap_err();
+        match err {
+            ExecError::Task {
+                flat_index,
+                point,
+                replication,
+                ..
+            } => {
+                assert_eq!((flat_index, point, replication), (4, 1, 2));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_round_trip_and_unknown_kind() {
+        let mut reg = JobRegistry::new();
+        reg.register("test-mul", decode_mul);
+        let job = MulJob { factor: 7 };
+        let mut payload = Vec::new();
+        job.encode_payload(&mut payload);
+        let back = reg.decode("test-mul", &payload).unwrap();
+        assert_eq!(back.kind(), "test-mul");
+        assert_eq!(
+            back.run_slot(0, 0, 0).unwrap(),
+            job.run_slot(0, 0, 0).unwrap()
+        );
+        assert!(reg.decode("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn exec_config_builds_matching_runner() {
+        let e = Exec::in_process(3);
+        assert!(!e.is_sharded());
+        assert_eq!(e.runner().threads(), 3);
+        let s = Exec::sharded(2, 4);
+        assert!(s.is_sharded());
+        assert!(s.label().contains("shards=4"));
+        // Runner built from a sharded Exec dispatches to ShardedBackend.
+        assert!(s.runner().backend_impl().label().contains("sharded"));
+    }
+
+    #[test]
+    fn sharded_backend_reports_dead_worker() {
+        // `false` exits immediately without speaking the protocol: every
+        // shard fails, and the lowest flat index (0) is reported.
+        let job = MulJob { factor: 1 };
+        let m = manifest_for(&[4, 4]);
+        let backend = ShardedBackend::new(2, 1).with_worker_cmd(vec!["/bin/false".into()]);
+        let err = backend.run_segments(&job, &m, None).unwrap_err();
+        match err {
+            ExecError::Worker { flat_index, .. } => assert_eq!(flat_index, 0),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_spewing_worker_is_killed_not_awaited() {
+        // A "worker" that writes a bogus oversized frame length and then
+        // stalls forever: the gather must kill it and report promptly
+        // instead of blocking in wait() behind a process that never exits.
+        let job = MulJob { factor: 1 };
+        let m = manifest_for(&[2]);
+        let backend = ShardedBackend::new(1, 1).with_worker_cmd(vec![
+            "/bin/sh".into(),
+            "-c".into(),
+            r"printf '\377\377\377\377'; exec sleep 600".into(),
+        ]);
+        let t0 = std::time::Instant::now();
+        let err = backend.run_segments(&job, &m, None).unwrap_err();
+        assert!(matches!(err, ExecError::Worker { .. }), "{err:?}");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(30),
+            "gather hung on a stalled worker"
+        );
+    }
+
+    #[test]
+    fn sharded_backend_reports_unspawnable_worker() {
+        let job = MulJob { factor: 1 };
+        let m = manifest_for(&[2]);
+        let backend =
+            ShardedBackend::new(1, 1).with_worker_cmd(vec!["/nonexistent/worker-binary".into()]);
+        let err = backend.run_segments(&job, &m, None).unwrap_err();
+        assert!(matches!(err, ExecError::Worker { .. }), "{err:?}");
+    }
+}

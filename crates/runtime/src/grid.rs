@@ -1,4 +1,4 @@
-//! The two-level task grid and its work-stealing executor.
+//! The two-level task grid and its in-process work-stealing executor.
 //!
 //! Every experiment in this workspace has the same shape: a *sweep* over
 //! parameter points, each point estimated from some number of independent
@@ -17,7 +17,13 @@
 //!   reduce deterministically: the aggregate is bit-identical at any
 //!   thread count;
 //! * the first task error flips a cancellation flag; in-flight tasks finish
-//!   but no new ones are claimed, and the error surfaces to the caller.
+//!   but no new ones are claimed, and the lowest-flat-index error surfaces
+//!   to the caller.
+//!
+//! The scoped thread pool here is *one backend* of the executor seam: the
+//! same claim/fold discipline runs behind [`crate::exec::ExecBackend`], so
+//! portable jobs can also be spread over worker subprocesses (see
+//! [`crate::exec::ShardedBackend`]) with bit-identical results.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -49,16 +55,21 @@ pub struct Progress {
     pub replication: u64,
     /// Tasks finished so far across the whole grid (including this one).
     pub completed: usize,
-    /// Total tasks in the grid.
+    /// Total tasks in the grid (computed once when the grid is planned,
+    /// never re-derived per tick).
     pub total: usize,
 }
 
-/// One contiguous run of replications for one point: used internally to
-/// describe both whole grids and the incremental rounds of the adaptive
-/// stopping rule.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Segment {
-    /// Sweep-point index.
+/// One contiguous run of replications for one point.
+///
+/// Segments describe whole grids, the incremental rounds of the adaptive
+/// stopping rule, and — serialized inside a
+/// [`crate::exec::TaskManifest`] — the shard assignments of worker
+/// subprocesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Sweep-point index (global across the whole grid, even inside a
+    /// shard's sub-manifest).
     pub point: usize,
     /// First replication index of this segment.
     pub base_rep: u64,
@@ -66,33 +77,215 @@ pub(crate) struct Segment {
     pub count: usize,
 }
 
-type ProgressFn = dyn Fn(Progress) + Send + Sync;
+/// The flat-index layout of a segment list, computed **once** per run:
+/// prefix sums plus the grand total. All claim-to-segment mapping and every
+/// progress tick reads totals from here instead of re-deriving them.
+#[derive(Debug)]
+pub(crate) struct GridPlan {
+    /// `prefix[s]` = flat index of segment `s`'s first slot;
+    /// `prefix[len]` = total.
+    prefix: Vec<usize>,
+    /// Total task count across all segments.
+    total: usize,
+}
 
-/// The shared executor: a thread count plus an optional progress callback.
+impl GridPlan {
+    pub(crate) fn new(segments: &[Segment]) -> Self {
+        let mut prefix = Vec::with_capacity(segments.len() + 1);
+        let mut total = 0usize;
+        for seg in segments {
+            prefix.push(total);
+            total += seg.count;
+        }
+        prefix.push(total);
+        GridPlan { prefix, total }
+    }
+
+    pub(crate) fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Map a flat task index to `(segment index, offset within segment)`.
+    pub(crate) fn locate(&self, flat: usize) -> (usize, usize) {
+        debug_assert!(flat < self.total);
+        // prefix is sorted; the partition point is the first entry > flat.
+        let seg = self.prefix.partition_point(|&p| p <= flat) - 1;
+        (seg, flat - self.prefix[seg])
+    }
+}
+
+pub(crate) type ProgressFn = dyn Fn(Progress) + Send + Sync;
+
+/// Per-segment results in replication order, as produced by
+/// [`run_segments_core`].
+pub(crate) type SegmentResults<R> = Vec<(Segment, Vec<R>)>;
+
+/// Execute `segments` as one flat task stream over a scoped thread pool;
+/// returns each segment's results in replication order.
 ///
-/// `Runner` is cheap to construct; all state lives on the stack of each
-/// call. Worker threads are scoped (`std::thread::scope`), so borrowed
-/// tasks — closures capturing `&Simulator`, slices, etc. — need no `Arc`
-/// and no `'static` bounds.
-pub struct Runner {
+/// This free function is the single in-process scheduling core: it sits
+/// under [`Runner::map`], [`Runner::try_grid`], the adaptive rounds in
+/// [`crate::stopping`], **and** [`crate::exec::InProcessBackend`] (which is
+/// how worker subprocesses of the sharded backend execute their shard).
+///
+/// The task receives `(flat_index, point, replication)`. On error the
+/// lowest-flat-index failure is returned together with that index, so
+/// callers (and remote gathers) can compare failures deterministically.
+pub(crate) fn run_segments_core<R, E, F>(
     threads: usize,
-    progress: Option<Box<ProgressFn>>,
+    progress: Option<&ProgressFn>,
+    segments: &[Segment],
+    task: &F,
+) -> Result<SegmentResults<R>, (usize, E)>
+where
+    R: Send + Sync,
+    E: Send,
+    F: Fn(usize, usize, u64) -> Result<R, E> + Sync,
+{
+    let plan = GridPlan::new(segments);
+    let total = plan.total();
+
+    if total == 0 {
+        return Ok(segments.iter().map(|&s| (s, Vec::new())).collect());
+    }
+
+    let threads = threads.max(1).min(total);
+    if threads == 1 {
+        // Sequential fast path: same claim order, no thread overhead.
+        let mut out: Vec<(Segment, Vec<R>)> = segments
+            .iter()
+            .map(|&s| (s, Vec::with_capacity(s.count)))
+            .collect();
+        let mut flat = 0usize;
+        for (seg, results) in out.iter_mut() {
+            for local in 0..seg.count {
+                let rep = seg.base_rep + local as u64;
+                results.push(task(flat, seg.point, rep).map_err(|e| (flat, e))?);
+                flat += 1;
+                if let Some(cb) = progress {
+                    cb(Progress {
+                        point: seg.point,
+                        replication: rep,
+                        completed: flat,
+                        total,
+                    });
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    // Lowest-flat-index error wins, so the surfaced error does not depend
+    // on which worker happened to trip first.
+    let first_error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+    let slots: Vec<OnceLock<R>> = (0..total).map(|_| OnceLock::new()).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if cancelled.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let (seg_idx, offset) = plan.locate(i);
+                let seg = &segments[seg_idx];
+                let rep = seg.base_rep + offset as u64;
+                match task(i, seg.point, rep) {
+                    Ok(r) => {
+                        // Each flat index is claimed exactly once, so the
+                        // slot is guaranteed empty.
+                        let _ = slots[i].set(r);
+                        if let Some(cb) = progress {
+                            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                            cb(Progress {
+                                point: seg.point,
+                                replication: rep,
+                                completed: done,
+                                total,
+                            });
+                        }
+                    }
+                    Err(e) => {
+                        let mut guard = first_error.lock().expect("error mutex never poisoned");
+                        match &*guard {
+                            Some((j, _)) if *j <= i => {}
+                            _ => *guard = Some((i, e)),
+                        }
+                        drop(guard);
+                        cancelled.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((i, e)) = first_error
+        .into_inner()
+        .expect("error mutex never poisoned")
+    {
+        return Err((i, e));
+    }
+
+    // Drain the slots back into per-segment, replication-ordered Vecs.
+    let mut iter = slots.into_iter();
+    let out = segments
+        .iter()
+        .map(|&seg| {
+            let results: Vec<R> = iter
+                .by_ref()
+                .take(seg.count)
+                .map(|s| s.into_inner().expect("every slot filled"))
+                .collect();
+            (seg, results)
+        })
+        .collect();
+    Ok(out)
+}
+
+/// The shared executor: a worker-thread count, a backend selection, and an
+/// optional progress callback.
+///
+/// `Runner` is cheap to construct; all execution state lives on the stack
+/// of each call. With the default in-process backend, worker threads are
+/// scoped (`std::thread::scope`), so borrowed tasks — closures capturing
+/// `&Simulator`, slices, etc. — need no `Arc` and no `'static` bounds.
+///
+/// Closure-based grids ([`Runner::map`], [`Runner::grid`],
+/// [`Runner::try_grid`]) always execute in-process: a closure is bound to
+/// this address space. Portable jobs ([`Runner::run_job`],
+/// [`Runner::run_adaptive_job`]) go through whichever
+/// [`crate::exec::ExecBackend`] the runner was configured with, including
+/// the multi-process [`crate::exec::ShardedBackend`].
+pub struct Runner {
+    pub(crate) threads: usize,
+    pub(crate) backend: crate::exec::BackendSel,
+    pub(crate) progress: Option<Box<ProgressFn>>,
 }
 
 impl std::fmt::Debug for Runner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runner")
             .field("threads", &self.threads)
+            .field("backend", &self.backend)
             .field("progress", &self.progress.is_some())
             .finish()
     }
 }
 
 impl Runner {
-    /// A runner with an explicit worker-thread count (clamped to ≥ 1).
+    /// A runner with an explicit worker-thread count (clamped to ≥ 1) on
+    /// the in-process backend.
     pub fn new(threads: usize) -> Self {
         Runner {
             threads: threads.max(1),
+            backend: crate::exec::BackendSel::InProcess,
             progress: None,
         }
     }
@@ -102,13 +295,15 @@ impl Runner {
         Runner::new(default_threads())
     }
 
-    /// The worker-thread count this runner schedules onto.
+    /// The worker-thread count this runner schedules onto (per process:
+    /// the sharded backend runs this many threads *in each* worker).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
     /// Install a progress callback, invoked after every finished task (from
-    /// worker threads; keep it cheap and thread-safe).
+    /// worker threads; keep it cheap and thread-safe). The grid total it
+    /// reports is computed once up front when the grid is planned.
     pub fn on_progress(mut self, f: impl Fn(Progress) + Send + Sync + 'static) -> Self {
         self.progress = Some(Box::new(f));
         self
@@ -149,7 +344,7 @@ impl Runner {
     /// order** regardless of completion order — fold them left-to-right and
     /// the reduction is bit-identical at any thread count. On the first
     /// task error, in-flight work is cancelled (no new tasks start) and the
-    /// lowest-indexed error observed is returned.
+    /// lowest-flat-indexed error observed is returned.
     pub fn try_grid<R, E, F>(&self, reps: &[u64], task: F) -> Result<Vec<Vec<R>>, E>
     where
         R: Send + Sync,
@@ -173,10 +368,9 @@ impl Runner {
         Ok(out)
     }
 
-    /// Execute a list of segments as one flat task stream; returns each
-    /// segment's results in replication order. This is the single scheduling
-    /// core under [`Runner::map`], [`Runner::try_grid`] and the adaptive
-    /// rounds in [`crate::stopping`].
+    /// Execute a list of segments as one flat in-process task stream;
+    /// returns each segment's results in replication order. Thin adapter
+    /// over [`run_segments_core`] for closure-based callers.
     pub(crate) fn run_segments<R, E, F>(
         &self,
         segments: &[Segment],
@@ -187,120 +381,13 @@ impl Runner {
         E: Send,
         F: Fn(usize, u64) -> Result<R, E> + Sync,
     {
-        // Prefix sums: flat index i belongs to the segment s with
-        // prefix[s] <= i < prefix[s + 1].
-        let mut prefix = Vec::with_capacity(segments.len() + 1);
-        let mut total = 0usize;
-        for seg in segments {
-            prefix.push(total);
-            total += seg.count;
-        }
-        prefix.push(total);
-
-        if total == 0 {
-            return Ok(segments.iter().map(|&s| (s, Vec::new())).collect());
-        }
-
-        let threads = self.threads.min(total);
-        if threads == 1 {
-            // Sequential fast path: same claim order, no thread overhead.
-            let mut out: Vec<(Segment, Vec<R>)> = segments
-                .iter()
-                .map(|&s| (s, Vec::with_capacity(s.count)))
-                .collect();
-            let mut done = 0usize;
-            for (seg, results) in out.iter_mut() {
-                for local in 0..seg.count {
-                    let rep = seg.base_rep + local as u64;
-                    results.push(task(seg.point, rep)?);
-                    done += 1;
-                    if let Some(cb) = &self.progress {
-                        cb(Progress {
-                            point: seg.point,
-                            replication: rep,
-                            completed: done,
-                            total,
-                        });
-                    }
-                }
-            }
-            return Ok(out);
-        }
-
-        let next = AtomicUsize::new(0);
-        let completed = AtomicUsize::new(0);
-        let cancelled = AtomicBool::new(false);
-        // Lowest-flat-index error wins, so the surfaced error does not
-        // depend on which worker happened to trip first.
-        let first_error: Mutex<Option<(usize, E)>> = Mutex::new(None);
-        let slots: Vec<OnceLock<R>> = (0..total).map(|_| OnceLock::new()).collect();
-
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    if cancelled.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    // Locate the owning segment (prefix is sorted; the
-                    // partition point is the first entry > i).
-                    let seg_idx = prefix.partition_point(|&p| p <= i) - 1;
-                    let seg = &segments[seg_idx];
-                    let rep = seg.base_rep + (i - prefix[seg_idx]) as u64;
-                    match task(seg.point, rep) {
-                        Ok(r) => {
-                            // Each flat index is claimed exactly once, so
-                            // the slot is guaranteed empty.
-                            let _ = slots[i].set(r);
-                            if let Some(cb) = &self.progress {
-                                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                                cb(Progress {
-                                    point: seg.point,
-                                    replication: rep,
-                                    completed: done,
-                                    total,
-                                });
-                            }
-                        }
-                        Err(e) => {
-                            let mut guard = first_error.lock().expect("error mutex never poisoned");
-                            match &*guard {
-                                Some((j, _)) if *j <= i => {}
-                                _ => *guard = Some((i, e)),
-                            }
-                            drop(guard);
-                            cancelled.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                });
-            }
-        });
-
-        if let Some((_, e)) = first_error
-            .into_inner()
-            .expect("error mutex never poisoned")
-        {
-            return Err(e);
-        }
-
-        // Drain the slots back into per-segment, replication-ordered Vecs.
-        let mut iter = slots.into_iter();
-        let out = segments
-            .iter()
-            .map(|&seg| {
-                let results: Vec<R> = iter
-                    .by_ref()
-                    .take(seg.count)
-                    .map(|s| s.into_inner().expect("every slot filled"))
-                    .collect();
-                (seg, results)
-            })
-            .collect();
-        Ok(out)
+        run_segments_core(
+            self.threads,
+            self.progress.as_deref(),
+            segments,
+            &|_flat, point, rep| task(point, rep),
+        )
+        .map_err(|(_flat, e)| e)
     }
 }
 
@@ -443,5 +530,66 @@ mod tests {
             x
         });
         assert_eq!(out, inputs);
+    }
+
+    #[test]
+    fn core_reports_flat_error_index() {
+        // Two points × 3 reps; rep 1 of point 1 (flat index 4) and rep 2 of
+        // point 0 (flat index 2) both fail — the flat-lower one wins.
+        let segs = [
+            Segment {
+                point: 0,
+                base_rep: 0,
+                count: 3,
+            },
+            Segment {
+                point: 1,
+                base_rep: 0,
+                count: 3,
+            },
+        ];
+        for threads in [1, 4] {
+            let err =
+                run_segments_core::<u64, _, _>(threads, None, &segs, &|_flat, point, rep| match (
+                    point, rep,
+                ) {
+                    (0, 2) | (1, 1) => Err("bad slot"),
+                    _ => Ok(rep),
+                })
+                .unwrap_err();
+            assert_eq!(err.1, "bad slot");
+            assert!(err.0 == 2 || err.0 == 4, "flat index {}", err.0);
+            if threads == 1 {
+                // Sequential claim order guarantees the lowest index.
+                assert_eq!(err.0, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_plan_locates_every_slot() {
+        let segs = [
+            Segment {
+                point: 3,
+                base_rep: 10,
+                count: 2,
+            },
+            Segment {
+                point: 0,
+                base_rep: 0,
+                count: 0,
+            },
+            Segment {
+                point: 1,
+                base_rep: 5,
+                count: 3,
+            },
+        ];
+        let plan = GridPlan::new(&segs);
+        assert_eq!(plan.total(), 5);
+        assert_eq!(plan.locate(0), (0, 0));
+        assert_eq!(plan.locate(1), (0, 1));
+        assert_eq!(plan.locate(2), (2, 0));
+        assert_eq!(plan.locate(4), (2, 2));
     }
 }

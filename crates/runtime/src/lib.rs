@@ -17,17 +17,31 @@
 //!   probability values were obtained" as a first-class, budget-aware mode:
 //!   per point, replications run in rounds until the Student-t CI
 //!   half-width of watched metrics meets a target.
+//! * [`exec`] — the **executor backend seam**: grids described as
+//!   serializable [`exec::TaskManifest`]s over [`exec::PortableJob`]s,
+//!   executed by an [`exec::ExecBackend`]. The scoped thread pool is one
+//!   backend ([`exec::InProcessBackend`]); [`exec::ShardedBackend`]
+//!   partitions the manifest across worker subprocesses
+//!   (`<exe> --worker`, see [`worker`]) with **byte-identical** gathers at
+//!   any shard × thread count.
 //! * [`stats`] — Welford moments, Student-t confidence intervals and batch
 //!   means (re-exported by `petri_core::stats` for compatibility).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod exec;
 pub mod grid;
 pub mod stats;
 pub mod stopping;
+pub mod wire;
+pub mod worker;
 
-pub use grid::{default_threads, env_threads, Progress, Runner};
+pub use exec::{
+    Exec, ExecBackend, ExecError, InProcessBackend, JobRegistry, PortableJob, ShardedBackend,
+    TaskManifest,
+};
+pub use grid::{default_threads, env_threads, Progress, Runner, Segment};
 pub use stats::{
     describe, student_t_critical, BatchMeans, ConfidenceInterval, ConfidenceLevel, Welford,
 };

@@ -114,6 +114,79 @@ pub struct AdaptivePoint {
     pub converged: bool,
 }
 
+impl AdaptivePoint {
+    fn empty() -> Self {
+        AdaptivePoint {
+            stats: Vec::new(),
+            replications: 0,
+            converged: false,
+        }
+    }
+}
+
+/// Plan the next adaptive round: one segment of additional replications per
+/// still-unsettled point. An empty plan means every point is done (settled
+/// or out of budget).
+fn plan_round(out: &[AdaptivePoint], rule: &StoppingRule, round: u64) -> Vec<Segment> {
+    out.iter()
+        .enumerate()
+        .filter(|(_, p)| !p.converged && p.replications < rule.max_replications)
+        .map(|(point, p)| {
+            let want = if p.replications < rule.min_replications {
+                rule.min_replications - p.replications
+            } else {
+                round
+            };
+            let budget = rule.max_replications - p.replications;
+            Segment {
+                point,
+                base_rep: p.replications,
+                count: want.min(budget) as usize,
+            }
+        })
+        .collect()
+}
+
+/// Fold one segment's observation vectors into its point and re-test the
+/// stopping rule. Pushes are in replication-index order, so the outcome is
+/// bit-identical at any thread/shard count.
+fn fold_segment(
+    p: &mut AdaptivePoint,
+    observations: Vec<Vec<f64>>,
+    rule: &StoppingRule,
+    watch: &[usize],
+) {
+    for obs in observations {
+        if p.stats.is_empty() {
+            p.stats = vec![Welford::new(); obs.len()];
+            for &w in watch {
+                assert!(
+                    w < obs.len(),
+                    "watch index {w} out of range: tasks return {} metric(s)",
+                    obs.len()
+                );
+            }
+        }
+        assert_eq!(
+            p.stats.len(),
+            obs.len(),
+            "observation vectors must have a fixed length"
+        );
+        for (w, x) in p.stats.iter_mut().zip(obs) {
+            w.push(x);
+        }
+        p.replications += 1;
+    }
+    let watched_settled = if watch.is_empty() {
+        p.stats.iter().all(|w| rule.settled(w))
+    } else {
+        watch.iter().all(|&i| rule.settled(&p.stats[i]))
+    };
+    if p.replications >= rule.min_replications && watched_settled {
+        p.converged = true;
+    }
+}
+
 impl Runner {
     /// Run an adaptive `(point × replication)` grid: each of `points`
     /// points runs rounds of replications until `rule` declares the watched
@@ -124,6 +197,8 @@ impl Runner {
     /// `watch` lists the metric indices the rule tests (empty = all).
     /// Rounds are scheduled as one flattened task stream across all still
     /// unsettled points, so late-converging points keep every core busy.
+    /// Closures always run in-process; the portable analogue is
+    /// [`Runner::run_adaptive_job`].
     pub fn run_adaptive<E, F>(
         &self,
         points: usize,
@@ -139,69 +214,61 @@ impl Runner {
         // `with_budget` asserts may have been bypassed: a zero round size
         // would plan empty rounds forever. Clamp rather than hang.
         let round = rule.round.max(1);
-        let mut out: Vec<AdaptivePoint> = (0..points)
-            .map(|_| AdaptivePoint {
-                stats: Vec::new(),
-                replications: 0,
-                converged: false,
-            })
-            .collect();
+        let mut out: Vec<AdaptivePoint> = (0..points).map(|_| AdaptivePoint::empty()).collect();
         loop {
-            // Plan the next round: how many more replications each
-            // unsettled point gets.
-            let segments: Vec<Segment> = out
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| !p.converged && p.replications < rule.max_replications)
-                .map(|(point, p)| {
-                    let want = if p.replications < rule.min_replications {
-                        rule.min_replications - p.replications
-                    } else {
-                        round
-                    };
-                    let budget = rule.max_replications - p.replications;
-                    Segment {
-                        point,
-                        base_rep: p.replications,
-                        count: want.min(budget) as usize,
-                    }
-                })
-                .collect();
+            let segments = plan_round(&out, rule, round);
             if segments.is_empty() {
                 return Ok(out);
             }
             for (seg, observations) in self.run_segments(&segments, &task)? {
-                let p = &mut out[seg.point];
-                for obs in observations {
-                    if p.stats.is_empty() {
-                        p.stats = vec![Welford::new(); obs.len()];
-                        for &w in watch {
-                            assert!(
-                                w < obs.len(),
-                                "watch index {w} out of range: tasks return {} metric(s)",
-                                obs.len()
-                            );
-                        }
-                    }
-                    assert_eq!(
-                        p.stats.len(),
-                        obs.len(),
-                        "observation vectors must have a fixed length"
-                    );
-                    // Index-ordered push: deterministic at any thread count.
-                    for (w, x) in p.stats.iter_mut().zip(obs) {
-                        w.push(x);
-                    }
-                    p.replications += 1;
-                }
-                let watched_settled = if watch.is_empty() {
-                    p.stats.iter().all(|w| rule.settled(w))
-                } else {
-                    watch.iter().all(|&i| rule.settled(&p.stats[i]))
-                };
-                if p.replications >= rule.min_replications && watched_settled {
-                    p.converged = true;
-                }
+                fold_segment(&mut out[seg.point], observations, rule, watch);
+            }
+        }
+    }
+
+    /// Adaptive rounds of a *portable* job on the configured backend: the
+    /// sharded analogue of [`Runner::run_adaptive`].
+    ///
+    /// Each slot of `job` must return its observation vector encoded with
+    /// [`crate::wire::put_f64s`]. Every round is planned from the folded
+    /// statistics (deterministic), described as a [`crate::exec::TaskManifest`]
+    /// and dispatched to the backend — so a run with 4 worker subprocesses
+    /// spends its replication budget, point by point, bit-identically to an
+    /// in-process run.
+    pub fn run_adaptive_job(
+        &self,
+        job: &dyn crate::exec::PortableJob,
+        points: usize,
+        rule: &StoppingRule,
+        watch: &[usize],
+        seed_of: &dyn Fn(usize, u64) -> u64,
+    ) -> Result<Vec<AdaptivePoint>, crate::exec::ExecError> {
+        use crate::exec::{ExecError, TaskManifest};
+        let round = rule.round.max(1);
+        let mut out: Vec<AdaptivePoint> = (0..points).map(|_| AdaptivePoint::empty()).collect();
+        loop {
+            let segments = plan_round(&out, rule, round);
+            if segments.is_empty() {
+                return Ok(out);
+            }
+            let manifest = TaskManifest::for_job(job, segments.clone(), seed_of);
+            let flat = self.dispatch(job, &manifest)?;
+            debug_assert_eq!(flat.len(), manifest.total_slots());
+            let mut slots = flat.into_iter();
+            for seg in &segments {
+                let observations: Vec<Vec<f64>> = slots
+                    .by_ref()
+                    .take(seg.count)
+                    .map(|bytes| {
+                        crate::wire::decode_f64s(&bytes).map_err(|e| {
+                            ExecError::Protocol(format!(
+                                "point {} observation vector: {e}",
+                                seg.point
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                fold_segment(&mut out[seg.point], observations, rule, watch);
             }
         }
     }
@@ -349,6 +416,47 @@ mod tests {
             .unwrap();
         assert!(!out[0].converged);
         assert_eq!(out[0].replications, 7);
+    }
+
+    #[test]
+    fn adaptive_job_matches_adaptive_closure_bit_for_bit() {
+        // The portable path (observation vectors through the wire codec)
+        // must spend the budget and fold the moments exactly like the
+        // closure path.
+        struct NoiseJob;
+        impl crate::exec::PortableJob for NoiseJob {
+            fn kind(&self) -> &'static str {
+                "test-noise"
+            }
+            fn encode_payload(&self, _buf: &mut Vec<u8>) {}
+            fn run_slot(&self, point: usize, rep: u64, _seed: u64) -> Result<Vec<u8>, String> {
+                let mut out = Vec::new();
+                crate::wire::put_f64s(
+                    &mut out,
+                    &[1.0 + noise(point, rep), 100.0 + noise(point, rep + 1000)],
+                );
+                Ok(out)
+            }
+        }
+        let rule = StoppingRule::relative(0.05).with_budget(4, 128, 8);
+        let by_closure = Runner::new(2)
+            .run_adaptive(3, &rule, &[], |p, r| {
+                Ok::<_, std::convert::Infallible>(vec![
+                    1.0 + noise(p, r),
+                    100.0 + noise(p, r + 1000),
+                ])
+            })
+            .unwrap();
+        for threads in [1, 4] {
+            let by_job = Runner::new(threads)
+                .run_adaptive_job(&NoiseJob, 3, &rule, &[], &|_, _| 0)
+                .unwrap();
+            for (a, b) in by_closure.iter().zip(by_job.iter()) {
+                assert_eq!(a.replications, b.replications);
+                assert_eq!(a.converged, b.converged);
+                assert_eq!(a.stats, b.stats);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! The worker half of the sharded executor protocol.
+//!
+//! A worker subprocess (`<exe> --worker`) reads **one** request frame from
+//! stdin — protocol version, worker-thread count, and a
+//! [`TaskManifest`] — decodes the job through its [`JobRegistry`], executes
+//! the manifest on the in-process scheduling core, and answers on stdout
+//! with one `R` frame **per completed slot, as it completes** (so the
+//! parent's progress callback ticks live and the worker never buffers its
+//! shard), followed by `D` — or a single `E` frame carrying the
+//! lowest-flat-index task error. All framing is length-prefixed; see
+//! [`crate::wire`]. The worker writes nothing else to stdout — diagnostics
+//! belong on stderr.
+
+use crate::exec::{frame, JobRegistry, TaskManifest, WIRE_VERSION};
+use crate::grid::run_segments_core;
+use crate::wire::{self, Reader, WireError};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Why a slot could not be delivered: the task itself failed (reported
+/// in-band) vs. the response stream broke (fatal).
+enum SlotFailure {
+    Task(String),
+    Io(String),
+}
+
+/// Serve exactly one shard request from `input`, answering on `output`.
+///
+/// Task errors travel in-band (`E` frame) and yield `Ok(())` — the worker
+/// process should still exit 0, since the parent learned everything it
+/// needs. `Err` is reserved for protocol-level failures (garbage frames,
+/// unknown job kinds, I/O errors), after which the process should exit
+/// non-zero.
+pub fn serve(
+    registry: &JobRegistry,
+    input: &mut dyn Read,
+    output: &mut (dyn Write + Send),
+) -> Result<(), WireError> {
+    let request = wire::read_frame(input)
+        .map_err(|e| WireError::new(format!("request read failed: {e}")))?
+        .ok_or_else(|| WireError::new("EOF before request frame"))?;
+    let mut r = Reader::new(&request);
+    let version = r.get_u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::new(format!(
+            "protocol version {version} (worker speaks {WIRE_VERSION})"
+        )));
+    }
+    let threads = (r.get_u32()? as usize).max(1);
+    let manifest = TaskManifest::decode(&mut r)?;
+    r.finish()?;
+
+    let job = registry.decode(&manifest.kind, &manifest.payload)?;
+
+    // Run the shard on the shared scheduling core, streaming each slot's
+    // `R` frame the moment it completes: results are never buffered
+    // worker-side, and the parent can tick progress while the shard runs.
+    // Frames may interleave in any completion order — they carry the slot
+    // index, and the parent stores by index.
+    let out = Mutex::new(output);
+    let delivered = AtomicU64::new(0);
+    let outcome = run_segments_core(
+        threads,
+        None,
+        &manifest.segments,
+        &|flat, point, rep| match job.run_slot(point, rep, manifest.seeds[flat]) {
+            Ok(bytes) => {
+                let mut body = Vec::with_capacity(bytes.len() + 16);
+                wire::put_u8(&mut body, frame::RESULT);
+                wire::put_u64(&mut body, flat as u64);
+                wire::put_bytes(&mut body, &bytes);
+                let mut w = out.lock().expect("output mutex never poisoned");
+                wire::write_frame(*w, &body)
+                    .map_err(|e| SlotFailure::Io(format!("response write failed: {e}")))?;
+                delivered.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(message) => Err(SlotFailure::Task(message)),
+        },
+    );
+
+    let io_err = |e: std::io::Error| WireError::new(format!("response write failed: {e}"));
+    let w = out.into_inner().expect("output mutex never poisoned");
+    match outcome {
+        Ok(_) => {
+            let mut done = Vec::new();
+            wire::put_u8(&mut done, frame::DONE);
+            wire::put_u64(&mut done, delivered.load(Ordering::Relaxed));
+            wire::write_frame(w, &done).map_err(io_err)?;
+        }
+        Err((flat, SlotFailure::Task(message))) => {
+            // The parent discards any `R` frames it already received for
+            // this shard once the error arrives.
+            let mut body = Vec::new();
+            wire::put_u8(&mut body, frame::ERROR);
+            wire::put_u64(&mut body, flat as u64);
+            wire::put_str(&mut body, &message);
+            wire::write_frame(w, &body).map_err(io_err)?;
+        }
+        Err((_flat, SlotFailure::Io(message))) => return Err(WireError::new(message)),
+    }
+    w.flush().map_err(io_err)
+}
+
+/// [`serve`] over this process's stdin/stdout: the canonical body of a
+/// binary's `--worker` mode. The caller maps the outcome to its exit code
+/// (0 on `Ok` — in-band task errors included — non-zero on protocol
+/// failures).
+pub fn serve_stdio(registry: &JobRegistry) -> Result<(), WireError> {
+    let stdin = std::io::stdin();
+    // `Stdout` (not the non-`Send` lock guard): `serve` writes from worker
+    // threads under its own mutex.
+    let mut stdout = std::io::stdout();
+    serve(registry, &mut stdin.lock(), &mut stdout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::tests::{decode_mul, MulJob};
+    use crate::exec::{PortableJob, TaskManifest};
+    use crate::grid::Segment;
+
+    fn registry() -> JobRegistry {
+        let mut reg = JobRegistry::new();
+        reg.register("test-mul", decode_mul);
+        reg
+    }
+
+    fn request_bytes(threads: u32, manifest: &TaskManifest) -> Vec<u8> {
+        let mut body = Vec::new();
+        wire::put_u8(&mut body, WIRE_VERSION);
+        wire::put_u32(&mut body, threads);
+        manifest.encode_into(&mut body);
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &body).unwrap();
+        framed
+    }
+
+    fn mul_manifest(reps: &[u64]) -> TaskManifest {
+        let job = MulJob { factor: 5 };
+        let segments = reps
+            .iter()
+            .enumerate()
+            .map(|(point, &n)| Segment {
+                point,
+                base_rep: 0,
+                count: n as usize,
+            })
+            .collect();
+        TaskManifest::for_job(&job, segments, &|p, r| 100 * p as u64 + r)
+    }
+
+    #[test]
+    fn serve_round_trips_results_in_memory() {
+        let m = mul_manifest(&[2, 3]);
+        let req = request_bytes(2, &m);
+        let mut out = Vec::new();
+        serve(&registry(), &mut &req[..], &mut out).unwrap();
+
+        // Parse the response stream: 5 R frames (any slot order) + D.
+        let job = MulJob { factor: 5 };
+        let expect: Vec<Vec<u8>> = m
+            .slots()
+            .iter()
+            .map(|&(p, r, s)| job.run_slot(p, r, s).unwrap())
+            .collect();
+        let mut seen = vec![None; expect.len()];
+        let mut stream = &out[..];
+        let mut done = false;
+        while let Some(body) = wire::read_frame(&mut stream).unwrap() {
+            let mut r = Reader::new(&body);
+            match r.get_u8().unwrap() {
+                frame::RESULT => {
+                    let local = r.get_u64().unwrap() as usize;
+                    seen[local] = Some(r.get_bytes().unwrap().to_vec());
+                }
+                frame::DONE => {
+                    assert_eq!(r.get_u64().unwrap(), 5);
+                    done = true;
+                }
+                tag => panic!("unexpected tag {tag}"),
+            }
+        }
+        assert!(done);
+        let seen: Vec<Vec<u8>> = seen.into_iter().map(|s| s.unwrap()).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn serve_reports_task_error_in_band() {
+        struct Boom;
+        impl PortableJob for Boom {
+            fn kind(&self) -> &'static str {
+                "test-boom"
+            }
+            fn encode_payload(&self, _buf: &mut Vec<u8>) {}
+            fn run_slot(&self, point: usize, rep: u64, _seed: u64) -> Result<Vec<u8>, String> {
+                if point == 0 && rep == 1 {
+                    Err("kaboom".into())
+                } else {
+                    Ok(vec![0])
+                }
+            }
+        }
+        let mut reg = JobRegistry::new();
+        reg.register("test-boom", |_p| Ok(Box::new(Boom)));
+        let m = TaskManifest::for_job(
+            &Boom,
+            vec![Segment {
+                point: 0,
+                base_rep: 0,
+                count: 3,
+            }],
+            &|_, _| 0,
+        );
+        let req = request_bytes(1, &m);
+        let mut out = Vec::new();
+        serve(&reg, &mut &req[..], &mut out).unwrap();
+        // Completed slots stream their `R` frames before the error is
+        // known (slot 0 here); the stream must then end with exactly one
+        // `E` frame and no `D`.
+        let mut stream = &out[..];
+        let mut error_seen = false;
+        while let Some(body) = wire::read_frame(&mut stream).unwrap() {
+            let mut r = Reader::new(&body);
+            match r.get_u8().unwrap() {
+                frame::RESULT => {
+                    assert!(!error_seen, "R frame after E");
+                    assert_eq!(r.get_u64().unwrap(), 0);
+                }
+                frame::ERROR => {
+                    assert_eq!(r.get_u64().unwrap(), 1); // lowest failing flat index
+                    assert_eq!(r.get_str().unwrap(), "kaboom");
+                    error_seen = true;
+                }
+                tag => panic!("unexpected tag {tag}"),
+            }
+        }
+        assert!(error_seen);
+    }
+
+    #[test]
+    fn serve_rejects_unknown_kind_and_bad_version() {
+        let m = mul_manifest(&[1]);
+        // Unknown job kind.
+        let mut other = m.clone();
+        other.kind = "never-registered".into();
+        let req = request_bytes(1, &other);
+        let mut out = Vec::new();
+        assert!(serve(&registry(), &mut &req[..], &mut out).is_err());
+        // Wrong protocol version.
+        let mut body = Vec::new();
+        wire::put_u8(&mut body, WIRE_VERSION + 1);
+        wire::put_u32(&mut body, 1);
+        m.encode_into(&mut body);
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &body).unwrap();
+        assert!(serve(&registry(), &mut &framed[..], &mut Vec::new()).is_err());
+        // Empty stdin.
+        assert!(serve(&registry(), &mut &[][..], &mut Vec::new()).is_err());
+    }
+}

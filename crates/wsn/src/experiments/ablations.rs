@@ -11,13 +11,14 @@
 //!   (periodic) arrivals, the operating-mode comparison of Jung et al.
 //!   \[12\] whose power table the paper adopts.
 
+use super::jobs::{decode_obs, SeedAblationJob};
 use crate::cpu_model::{build_cpu_model_with_arrival, build_cpu_model_with_memory, CpuModelParams};
 use des::{simulate_cpu, CpuSimParams};
 use markov::phase::{solve_phase_cpu, PhaseCpuConfig};
 use markov::supplementary::CpuMarkovParams;
 use petri_core::prelude::*;
 use serde::{Deserialize, Serialize};
-use sim_runtime::Runner;
+use sim_runtime::Exec;
 
 /// One row of the Erlang ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -129,26 +130,36 @@ pub struct SeedRow {
 ///
 /// Row `n` uses replications seeded `child_seed(base_seed, 0..n)`, so every
 /// row is a prefix of the longest one: simulate `max(counts)` replications
-/// once on the shared executor and fold each row over its prefix — the
-/// same bits as running each row independently, at a fraction of the work.
+/// once on the executor seam (in-process or sharded — same bytes) and fold
+/// each row over its prefix — the same bits as running each row
+/// independently, at a fraction of the work.
 pub fn seed_ablation(
     params: &CpuModelParams,
     horizon: f64,
     replication_counts: &[u64],
     base_seed: u64,
-    threads: usize,
+    exec: &Exec,
 ) -> Vec<SeedRow> {
-    let model = crate::cpu_model::build_cpu_model(params);
-    let mut sim = Simulator::new(&model.net, SimConfig::for_horizon(horizon));
-    let r_standby = sim.reward_place(model.places.stand_by);
     let max_reps = replication_counts.iter().copied().max().unwrap_or(0);
-    let mut per_point = Runner::new(threads)
-        .try_grid(&[max_reps], |_point, i| {
-            let seed = petri_core::rng::SimRng::child_seed(base_seed, i);
-            sim.run(seed).map(|out| out.reward(r_standby))
+    let job = SeedAblationJob {
+        params: *params,
+        horizon,
+    };
+    let mut per_point = exec
+        .runner()
+        .run_job(&job, &[max_reps], &|_point, i| {
+            petri_core::rng::SimRng::child_seed(base_seed, i)
         })
-        .expect("CPU net runs");
-    let observations = per_point.pop().expect("one point scheduled");
+        .unwrap_or_else(|e| panic!("seed ablation grid failed: {e}"));
+    let observations: Vec<f64> = per_point
+        .pop()
+        .expect("one point scheduled")
+        .iter()
+        .map(|bytes| {
+            let obs = decode_obs(bytes, "seed-ablation slot").unwrap_or_else(|e| panic!("{e}"));
+            obs[0]
+        })
+        .collect();
     replication_counts
         .iter()
         .map(|&n| {
@@ -288,7 +299,7 @@ mod tests {
     #[test]
     fn seed_ci_narrows_with_replications() {
         let params = CpuModelParams::paper_defaults(0.3, 0.3);
-        let rows = seed_ablation(&params, 500.0, &[4, 16], 7, 2);
+        let rows = seed_ablation(&params, 500.0, &[4, 16], 7, &Exec::in_process(2));
         assert_eq!(rows.len(), 2);
         assert!(
             rows[1].ci_half_width < rows[0].ci_half_width,

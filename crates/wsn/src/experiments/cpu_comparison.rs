@@ -5,13 +5,11 @@
 //! Figs. 7–9 (energy vs threshold) and Tables IV–VI (Δ-energy statistics)
 //! for the three published Power-Up Delays (0.001 s, 0.3 s, 10 s).
 
-use crate::cpu_model::{simulate_cpu_model, CpuModelParams};
+use super::jobs::{decode_obs, CpuComparisonJob, RepOutput};
 use crate::metrics::DeltaEnergyTable;
-use des::{simulate_cpu, CpuSimParams};
-use energy::PXA271_CPU;
 use markov::supplementary::{CpuMarkovParams, CpuPowerRates};
 use serde::{Deserialize, Serialize};
-use sim_runtime::Runner;
+use sim_runtime::Exec;
 
 /// One sweep point of the comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,8 +57,8 @@ pub struct CpuComparisonConfig {
     pub replications: u32,
     /// Base RNG seed.
     pub seed: u64,
-    /// Worker threads for the sweep.
-    pub threads: usize,
+    /// Execution backend (threads / shards) for the sweep.
+    pub exec: Exec,
 }
 
 impl Default for CpuComparisonConfig {
@@ -71,27 +69,20 @@ impl Default for CpuComparisonConfig {
             horizon: 1000.0,
             replications: 8,
             seed: 0x5EED,
-            threads: crate::sweep::default_threads(),
+            exec: Exec::default(),
         }
     }
 }
 
-/// One replication's worth of stochastic output at one sweep point (the
-/// DES and Petri runs share a task so the grid stays dense).
-struct RepOutput {
-    sim_probs: [f64; 4],
-    sim_energy_j: f64,
-    petri_probs: [f64; 4],
-    petri_energy_j: f64,
-}
-
 /// Run the comparison for one Power-Up Delay over the given threshold grid.
 ///
-/// The whole `(threshold × replication)` grid is flattened into one task
-/// stream on the shared executor — a 21-point sweep with 8 replications
-/// schedules 168 concurrent tasks instead of 21 — and per-point outputs
-/// fold in replication order, so results are bit-identical at any thread
-/// count. The Markov column is a closed form and computed once per point.
+/// The whole `(threshold × replication)` grid is described as a portable
+/// [`CpuComparisonJob`] and scheduled on the configured executor backend —
+/// a 21-point sweep with 8 replications is 168 flat slots, spread over the
+/// in-process pool or over `--shards` worker subprocesses — and per-point
+/// outputs fold in replication order, so results are **byte-identical** at
+/// any thread and shard count. The Markov column is a closed form and
+/// computed once per point.
 pub fn run_cpu_comparison(
     power_up_delay: f64,
     grid: &[f64],
@@ -100,39 +91,34 @@ pub fn run_cpu_comparison(
     let rates = CpuPowerRates::PXA271;
     let reps = cfg.replications.max(1);
     let reps_per_point = vec![reps as u64; grid.len()];
-    let per_point = Runner::new(cfg.threads).grid(&reps_per_point, |point, r| {
-        let pdt = grid[point];
-        // Ground truth: one DES replication.
-        let seed = petri_core::rng::SimRng::child_seed(cfg.seed, r);
-        let sim_r = simulate_cpu(
-            &CpuSimParams {
-                lambda: cfg.lambda,
-                mu: cfg.mu,
-                power_down_threshold: pdt,
-                power_up_delay,
-                horizon: cfg.horizon,
-            },
-            seed,
-        );
-        // One Petri-net replication of the same point.
-        let seed = petri_core::rng::SimRng::child_seed(cfg.seed ^ 0xA5A5, r);
-        let petri_r = simulate_cpu_model(
-            &CpuModelParams {
-                lambda: cfg.lambda,
-                mu: cfg.mu,
-                power_down_threshold: pdt,
-                power_up_delay,
-            },
-            cfg.horizon,
-            seed,
-        );
-        RepOutput {
-            sim_probs: sim_r.probabilities(),
-            sim_energy_j: sim_r.energy(&PXA271_CPU).joules(),
-            petri_probs: petri_r.probabilities,
-            petri_energy_j: petri_r.energy(&PXA271_CPU, cfg.horizon).joules(),
-        }
-    });
+    let job = CpuComparisonJob {
+        lambda: cfg.lambda,
+        mu: cfg.mu,
+        horizon: cfg.horizon,
+        power_up_delay,
+        seed: cfg.seed,
+        grid: grid.to_vec(),
+    };
+    let per_point = cfg
+        .exec
+        .runner()
+        .run_job(&job, &reps_per_point, &|_point, r| {
+            petri_core::rng::SimRng::child_seed(cfg.seed, r)
+        })
+        .unwrap_or_else(|e| panic!("CPU comparison grid failed: {e}"));
+    let per_point: Vec<Vec<RepOutput>> = per_point
+        .into_iter()
+        .map(|slots| {
+            slots
+                .iter()
+                .map(|bytes| {
+                    let obs =
+                        decode_obs(bytes, "cpu-comparison slot").unwrap_or_else(|e| panic!("{e}"));
+                    RepOutput::from_obs(&obs).unwrap_or_else(|e| panic!("{e}"))
+                })
+                .collect()
+        })
+        .collect();
 
     let n = reps as f64;
     let points = grid
@@ -211,7 +197,7 @@ mod tests {
     fn quick_cfg() -> CpuComparisonConfig {
         CpuComparisonConfig {
             horizon: 2000.0,
-            threads: 2,
+            exec: Exec::in_process(2),
             ..Default::default()
         }
     }

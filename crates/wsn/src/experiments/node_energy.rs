@@ -2,11 +2,12 @@
 //! energy breakdowns, plus the paper's optimum-threshold analysis
 //! (Sec. VII).
 
-use crate::node::simulate_node_model;
-use des::{NodeSimParams, Workload};
+use super::jobs::{decode_obs, NodeSweepJob, NODE_SWEEP_WATCH_TOTAL_J};
+use crate::node::NodePetriResult;
+use des::Workload;
 use energy::{NodeBreakdown, CC2420_RADIO, PXA271_CPU};
 use serde::{Deserialize, Serialize};
-use sim_runtime::Runner;
+use sim_runtime::{Exec, StoppingRule};
 
 /// One sweep point: threshold, energy breakdown, and wake-up counts.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -21,6 +22,12 @@ pub struct NodeSweepPoint {
     pub radio_wakeups: f64,
     /// Completed cycles.
     pub cycles: f64,
+    /// Replications actually averaged into this point (fixed mode: the
+    /// configured count; adaptive mode: whatever the stopping rule spent).
+    pub replications: u64,
+    /// Whether the point's watched metric settled (always `true` in fixed
+    /// mode; in adaptive mode, `false` means the budget ran out first).
+    pub converged: bool,
 }
 
 impl NodeSweepPoint {
@@ -68,12 +75,20 @@ pub struct OptimumAnalysis {
 pub struct NodeSweepConfig {
     /// Horizon (s).
     pub horizon: f64,
-    /// Replications per point (averaged; use > 1 for the open model).
+    /// Fixed replications per point (averaged; use > 1 for the open
+    /// model). Ignored for the open model when `open_rule` is set.
     pub replications: u32,
     /// Base seed.
     pub seed: u64,
-    /// Worker threads.
-    pub threads: usize,
+    /// Execution backend (threads / shards).
+    pub exec: Exec,
+    /// Adaptive replication budget for the *open* (stochastic) model:
+    /// when set, each point runs replications until the 95 % CI of its
+    /// total energy satisfies the rule instead of a fixed count. `None`
+    /// (and the deterministic closed model always) uses
+    /// `replications` — the exact-repro escape hatch behind
+    /// `repro --fixed-reps`.
+    pub open_rule: Option<StoppingRule>,
 }
 
 impl Default for NodeSweepConfig {
@@ -82,85 +97,154 @@ impl Default for NodeSweepConfig {
             horizon: 900.0,
             replications: 1,
             seed: 0xF14,
-            threads: crate::sweep::default_threads(),
+            exec: Exec::default(),
+            open_rule: None,
         }
     }
 }
 
 /// Run a Fig. 14/15 sweep over `grid` thresholds.
 ///
-/// The `(threshold × replication)` grid — heterogeneous, since the
-/// deterministic closed model needs exactly one replication per point
-/// while the open model averages `cfg.replications` — is flattened into
-/// one task stream on the shared executor; per-point averages fold in
-/// replication order, so the sweep is bit-identical at any thread count.
+/// The `(threshold × replication)` grid is described as a portable
+/// [`NodeSweepJob`] and scheduled on the configured executor backend —
+/// in-process threads or `--shards` worker subprocesses, byte-identical
+/// either way since per-point averages fold in replication order.
+///
+/// Replications per point are heterogeneous: the deterministic closed
+/// model needs exactly one, the open model averages `cfg.replications` —
+/// or, with `cfg.open_rule` set, runs adaptive rounds until each point's
+/// total-energy CI settles (spending replications only where the noise
+/// is).
 pub fn run_node_sweep(workload: Workload, grid: &[f64], cfg: &NodeSweepConfig) -> NodeSweep {
     assert!(cfg.replications >= 1, "need at least one replication");
-    // The closed model is deterministic, so one replication is exact.
-    let reps = match workload {
-        Workload::Closed { .. } => 1,
-        Workload::Open { .. } => cfg.replications,
+    let job = NodeSweepJob {
+        workload,
+        horizon: cfg.horizon,
+        grid: grid.to_vec(),
     };
-    let reps_per_point = vec![reps as u64; grid.len()];
-    let per_point = Runner::new(cfg.threads).grid(&reps_per_point, |point, r| {
-        let mut params = NodeSimParams::paper_defaults(workload, grid[point]);
-        params.horizon = cfg.horizon;
-        let seed = petri_core::rng::SimRng::child_seed(cfg.seed, r);
-        simulate_node_model(&params, seed)
-    });
-    let points = grid
-        .iter()
-        .zip(per_point)
-        .map(|(&pdt, outputs)| {
-            // Replication-index-ordered fold (deterministic aggregation).
-            let mut acc = NodeBreakdown::default();
-            let mut cpu_wakeups = 0.0;
-            let mut radio_wakeups = 0.0;
-            let mut cycles = 0.0;
-            for out in outputs {
-                let b = out.breakdown(&PXA271_CPU, &CC2420_RADIO);
-                acc.cpu.sleep += b.cpu.sleep;
-                acc.cpu.wakeup += b.cpu.wakeup;
-                acc.cpu.idle += b.cpu.idle;
-                acc.cpu.active += b.cpu.active;
-                acc.radio.sleep += b.radio.sleep;
-                acc.radio.wakeup += b.radio.wakeup;
-                acc.radio.idle += b.radio.idle;
-                acc.radio.active += b.radio.active;
-                cpu_wakeups += out.cpu_wakeups;
-                radio_wakeups += out.radio_wakeups;
-                cycles += out.cycles_completed;
-            }
-            let n = reps as f64;
-            let scale = 1.0 / n;
-            let avg = NodeBreakdown {
-                cpu: energy::ComponentBreakdown {
-                    sleep: acc.cpu.sleep * scale,
-                    wakeup: acc.cpu.wakeup * scale,
-                    idle: acc.cpu.idle * scale,
-                    active: acc.cpu.active * scale,
-                },
-                radio: energy::ComponentBreakdown {
-                    sleep: acc.radio.sleep * scale,
-                    wakeup: acc.radio.wakeup * scale,
-                    idle: acc.radio.idle * scale,
-                    active: acc.radio.active * scale,
-                },
+    let seed_of = |_point: usize, r: u64| petri_core::rng::SimRng::child_seed(cfg.seed, r);
+    let points = match (workload, &cfg.open_rule) {
+        (Workload::Open { .. }, Some(rule)) => {
+            let adaptive = cfg
+                .exec
+                .runner()
+                .run_adaptive_job(
+                    &job,
+                    grid.len(),
+                    rule,
+                    &[NODE_SWEEP_WATCH_TOTAL_J],
+                    &seed_of,
+                )
+                .unwrap_or_else(|e| panic!("adaptive node sweep failed: {e}"));
+            grid.iter()
+                .zip(adaptive)
+                .map(|(&pdt, p)| {
+                    // Means of the per-replication observations, folded in
+                    // index order by the adaptive runner.
+                    let res = NodePetriResult {
+                        cpu_probabilities: std::array::from_fn(|i| p.stats[1 + i].mean()),
+                        radio_probabilities: std::array::from_fn(|i| p.stats[5 + i].mean()),
+                        cpu_wakeups: p.stats[9].mean(),
+                        radio_wakeups: p.stats[10].mean(),
+                        cycles_completed: p.stats[11].mean(),
+                        horizon: cfg.horizon,
+                    };
+                    point_from_mean(pdt, &res, p.replications, p.converged)
+                })
+                .collect()
+        }
+        _ => {
+            // The closed model is deterministic, so one replication is
+            // exact.
+            let reps = match workload {
+                Workload::Closed { .. } => 1,
+                Workload::Open { .. } => cfg.replications,
             };
-            NodeSweepPoint {
-                pdt,
-                breakdown: avg,
-                cpu_wakeups: cpu_wakeups / n,
-                radio_wakeups: radio_wakeups / n,
-                cycles: cycles / n,
-            }
-        })
-        .collect();
+            let reps_per_point = vec![reps as u64; grid.len()];
+            let per_point = cfg
+                .exec
+                .runner()
+                .run_job(&job, &reps_per_point, &seed_of)
+                .unwrap_or_else(|e| panic!("node sweep grid failed: {e}"));
+            grid.iter()
+                .zip(per_point)
+                .map(|(&pdt, slots)| {
+                    // Replication-index-ordered fold (deterministic
+                    // aggregation).
+                    let mut acc = NodeBreakdown::default();
+                    let mut cpu_wakeups = 0.0;
+                    let mut radio_wakeups = 0.0;
+                    let mut cycles = 0.0;
+                    for bytes in &slots {
+                        let obs =
+                            decode_obs(bytes, "node-sweep slot").unwrap_or_else(|e| panic!("{e}"));
+                        let out = job.result_from_obs(&obs).unwrap_or_else(|e| panic!("{e}"));
+                        let b = out.breakdown(&PXA271_CPU, &CC2420_RADIO);
+                        acc.cpu.sleep += b.cpu.sleep;
+                        acc.cpu.wakeup += b.cpu.wakeup;
+                        acc.cpu.idle += b.cpu.idle;
+                        acc.cpu.active += b.cpu.active;
+                        acc.radio.sleep += b.radio.sleep;
+                        acc.radio.wakeup += b.radio.wakeup;
+                        acc.radio.idle += b.radio.idle;
+                        acc.radio.active += b.radio.active;
+                        cpu_wakeups += out.cpu_wakeups;
+                        radio_wakeups += out.radio_wakeups;
+                        cycles += out.cycles_completed;
+                    }
+                    let n = reps as f64;
+                    let scale = 1.0 / n;
+                    let avg = NodeBreakdown {
+                        cpu: energy::ComponentBreakdown {
+                            sleep: acc.cpu.sleep * scale,
+                            wakeup: acc.cpu.wakeup * scale,
+                            idle: acc.cpu.idle * scale,
+                            active: acc.cpu.active * scale,
+                        },
+                        radio: energy::ComponentBreakdown {
+                            sleep: acc.radio.sleep * scale,
+                            wakeup: acc.radio.wakeup * scale,
+                            idle: acc.radio.idle * scale,
+                            active: acc.radio.active * scale,
+                        },
+                    };
+                    NodeSweepPoint {
+                        pdt,
+                        breakdown: avg,
+                        cpu_wakeups: cpu_wakeups / n,
+                        radio_wakeups: radio_wakeups / n,
+                        cycles: cycles / n,
+                        replications: reps as u64,
+                        converged: true,
+                    }
+                })
+                .collect()
+        }
+    };
     NodeSweep {
         workload,
         horizon: cfg.horizon,
         replications: cfg.replications,
         points,
+    }
+}
+
+/// Build a sweep point from the mean per-replication result of the
+/// adaptive mode.
+fn point_from_mean(
+    pdt: f64,
+    res: &NodePetriResult,
+    replications: u64,
+    converged: bool,
+) -> NodeSweepPoint {
+    NodeSweepPoint {
+        pdt,
+        breakdown: res.breakdown(&PXA271_CPU, &CC2420_RADIO),
+        cpu_wakeups: res.cpu_wakeups,
+        radio_wakeups: res.radio_wakeups,
+        cycles: res.cycles_completed,
+        replications,
+        converged,
     }
 }
 
@@ -198,7 +282,7 @@ mod tests {
         NodeSweepConfig {
             horizon: 300.0,
             replications: 2,
-            threads: 2,
+            exec: Exec::in_process(2),
             ..Default::default()
         }
     }
@@ -238,6 +322,42 @@ mod tests {
         let a = sweep.optimum_analysis();
         assert!(a.savings_vs_immediate_pct > 0.0, "{a:?}");
         assert!(a.savings_vs_never_pct > 0.0, "{a:?}");
+        for p in &sweep.points {
+            assert_eq!(p.replications, 2);
+            assert!(p.converged);
+        }
+    }
+
+    #[test]
+    fn open_sweep_adaptive_spends_replications_per_point() {
+        let grid = [1e-9, 0.01, 1.0];
+        let cfg = NodeSweepConfig {
+            horizon: 150.0,
+            open_rule: Some(StoppingRule::relative(0.08).with_budget(3, 24, 3)),
+            ..quick_cfg()
+        };
+        let sweep = run_node_sweep(Workload::Open { rate: 1.0 }, &grid, &cfg);
+        for p in &sweep.points {
+            assert!(p.replications >= 3, "{p:?}");
+            assert!(p.replications <= 24, "{p:?}");
+            assert!(p.breakdown.total().joules() > 0.0);
+        }
+        // Bit-identical at any thread count, budget decisions included.
+        let a = run_node_sweep(Workload::Open { rate: 1.0 }, &grid, &cfg);
+        let mut cfg1 = cfg.clone();
+        cfg1.exec = Exec::in_process(1);
+        let b = run_node_sweep(Workload::Open { rate: 1.0 }, &grid, &cfg1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn closed_sweep_ignores_open_rule() {
+        let grid = [1e-9, 0.01];
+        let mut cfg = quick_cfg();
+        let plain = run_node_sweep(Workload::Closed { interval: 1.0 }, &grid, &cfg);
+        cfg.open_rule = Some(StoppingRule::relative(0.01).with_budget(4, 64, 4));
+        let ruled = run_node_sweep(Workload::Closed { interval: 1.0 }, &grid, &cfg);
+        assert_eq!(plain, ruled);
     }
 
     #[test]

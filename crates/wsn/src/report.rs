@@ -192,7 +192,7 @@ mod tests {
             &[0.001, 0.5],
             &CpuComparisonConfig {
                 horizon: 100.0,
-                threads: 1,
+                exec: sim_runtime::Exec::in_process(1),
                 ..Default::default()
             },
         )
@@ -224,7 +224,7 @@ mod tests {
             &[0.001, 0.01],
             &NodeSweepConfig {
                 horizon: 100.0,
-                threads: 1,
+                exec: sim_runtime::Exec::in_process(1),
                 ..Default::default()
             },
         );

@@ -2,11 +2,15 @@
 //!
 //! Every figure in the paper is a sweep over the Power-Down Threshold. A
 //! single simulation trajectory is inherently sequential, so the right
-//! parallel axes are across sweep points *and* replications — and since
-//! this PR both levels are one flattened task stream on the
-//! [`sim_runtime`] executor (see `sim_runtime::Runner`). This module keeps
-//! the published PDT grids and a thin order-preserving `parallel_map`
-//! compatibility wrapper for single-level sweeps.
+//! parallel axes are across sweep points *and* replications — both levels
+//! are one flattened task stream on the [`sim_runtime`] executor (see
+//! `sim_runtime::Runner`), whose backend seam (`sim_runtime::exec`) runs
+//! the same stream in-process or across `repro --worker` subprocesses.
+//! This module keeps the published PDT grids and a thin order-preserving
+//! `parallel_map` compatibility wrapper for single-level closure sweeps
+//! (closures are address-space-bound, so `parallel_map` is always
+//! in-process; the portable experiment drivers in [`crate::experiments`]
+//! shard).
 
 pub use sim_runtime::default_threads;
 

@@ -2,8 +2,13 @@
 //! output at 1, 2 and 8 worker threads — the acceptance bar for the
 //! flattened `(point × replication)` grid. The result structs all derive
 //! `PartialEq` over raw `f64`s, so `assert_eq!` is an exact bits check.
+//!
+//! (Shard-count invariance — the same drivers across worker subprocesses —
+//! is covered by `crates/bench/tests/shard_determinism.rs`, which owns the
+//! `repro` worker binary.)
 
 use des::Workload;
+use sim_runtime::{Exec, StoppingRule};
 use wsn::experiments::ablations::seed_ablation;
 use wsn::experiments::cpu_comparison::{run_cpu_comparison, CpuComparisonConfig};
 use wsn::experiments::node_energy::{run_node_sweep, NodeSweepConfig};
@@ -20,7 +25,7 @@ fn cpu_comparison_identical_across_thread_counts() {
             &CpuComparisonConfig {
                 horizon: 300.0,
                 replications: 3,
-                threads,
+                exec: Exec::in_process(threads),
                 ..Default::default()
             },
         )
@@ -42,7 +47,7 @@ fn node_sweep_identical_across_thread_counts_open() {
             &NodeSweepConfig {
                 horizon: 150.0,
                 replications: 4,
-                threads,
+                exec: Exec::in_process(threads),
                 ..Default::default()
             },
         )
@@ -62,7 +67,29 @@ fn node_sweep_identical_across_thread_counts_closed() {
             &NodeSweepConfig {
                 horizon: 150.0,
                 replications: 1,
-                threads,
+                exec: Exec::in_process(threads),
+                ..Default::default()
+            },
+        )
+    };
+    let base = run(1);
+    assert_eq!(base, run(2));
+    assert_eq!(base, run(8));
+}
+
+#[test]
+fn node_sweep_adaptive_identical_across_thread_counts() {
+    // The adaptive budget itself (how many replications each point gets)
+    // must also be thread-count-invariant.
+    let grid = [1e-9, 0.01, 1.0];
+    let run = |threads| {
+        run_node_sweep(
+            Workload::Open { rate: 1.0 },
+            &grid,
+            &NodeSweepConfig {
+                horizon: 120.0,
+                exec: Exec::in_process(threads),
+                open_rule: Some(StoppingRule::relative(0.08).with_budget(3, 18, 3)),
                 ..Default::default()
             },
         )
@@ -75,8 +102,35 @@ fn node_sweep_identical_across_thread_counts_closed() {
 #[test]
 fn validation_identical_across_thread_counts() {
     let grid = [1e-9, 0.01, 1.0, 100.0];
-    let run =
-        |threads| run_validation(Workload::Closed { interval: 1.0 }, &grid, 120.0, 9, threads);
+    let run = |threads| {
+        run_validation(
+            Workload::Closed { interval: 1.0 },
+            &grid,
+            120.0,
+            9,
+            &Exec::in_process(threads),
+            None,
+        )
+    };
+    let base = run(1);
+    assert_eq!(base, run(2));
+    assert_eq!(base, run(8));
+}
+
+#[test]
+fn validation_adaptive_identical_across_thread_counts() {
+    let grid = [0.01, 1.0];
+    let rule = StoppingRule::relative(0.1).with_budget(3, 12, 3);
+    let run = |threads| {
+        run_validation(
+            Workload::Open { rate: 1.0 },
+            &grid,
+            150.0,
+            9,
+            &Exec::in_process(threads),
+            Some(&rule),
+        )
+    };
     let base = run(1);
     assert_eq!(base, run(2));
     assert_eq!(base, run(8));
@@ -85,7 +139,7 @@ fn validation_identical_across_thread_counts() {
 #[test]
 fn seed_ablation_identical_across_thread_counts() {
     let params = CpuModelParams::paper_defaults(0.3, 0.3);
-    let run = |threads| seed_ablation(&params, 200.0, &[3, 9], 0xCAFE, threads);
+    let run = |threads| seed_ablation(&params, 200.0, &[3, 9], 0xCAFE, &Exec::in_process(threads));
     let base = run(1);
     assert_eq!(base, run(2));
     assert_eq!(base, run(8));

@@ -27,7 +27,7 @@ fn main() {
         let cfg = NodeSweepConfig {
             horizon: 900.0, // the paper's 15 minutes
             replications: reps,
-            threads,
+            exec: wsn_petri::sim_runtime::Exec::in_process(threads),
             ..Default::default()
         };
         let sweep = run_node_sweep(workload, &FIG14_15_PDT_GRID, &cfg);
