@@ -30,17 +30,23 @@
 //! * `--shards N` (falling back to `REPRO_SHARDS`, falling back to 0 =
 //!   in-process) — worker *subprocesses*: the portable experiment grids
 //!   are partitioned across `N` re-invocations of this binary as
-//!   `repro --worker`, each running `--threads` threads. Results are
-//!   **byte-identical** whatever the thread and shard counts.
-//! * `--fixed-reps` — escape hatch: run the open-workload sweeps (fig15,
-//!   validate/open) with the historical fixed replication counts instead
-//!   of the default adaptive `StoppingRule` budgets, reproducing the seed
-//!   numbers exactly.
+//!   `repro --worker`, each running `--threads` threads;
+//! * `--hosts a:p,b:p,…` (falling back to `REPRO_HOSTS`) — **remote TCP
+//!   workers**: the grids are partitioned across peers running
+//!   `repro --worker --listen <addr>` (takes precedence over `--shards`).
+//!   Results are **byte-identical** whatever the thread, shard and host
+//!   counts — and after a dead peer's chunk is re-dispatched.
+//! * `--fixed-reps` — escape hatch: run the stochastic sweeps (fig4–9 /
+//!   tables IV–VI, fig15, validate/open) with the historical fixed
+//!   replication counts instead of the default adaptive `StoppingRule`
+//!   budgets, reproducing the seed numbers exactly.
 //!
-//! `repro --worker` is not a user-facing mode: it reads one task-manifest
-//! frame from stdin, executes it against the job registry
-//! (`bench::shard::worker_registry`), and streams per-slot results back on
-//! stdout.
+//! `repro --worker [--listen ADDR]` is not a user-facing mode: it serves
+//! task-manifest frames against the job registry
+//! (`bench::shard::worker_registry`) — over stdin/stdout by default, or
+//! over accepted TCP connections with `--listen` (binding port 0 announces
+//! the ephemeral port as `listening <addr>` on stdout; the process exits
+//! on an explicit shutdown frame).
 
 use bench::write_artifact;
 use des::Workload;
@@ -65,7 +71,10 @@ struct Opts {
     threads: usize,
     /// Worker subprocesses (`--shards` > `REPRO_SHARDS` > 0 = in-process).
     shards: usize,
-    /// Fixed replication counts for the open-workload sweeps instead of
+    /// Remote TCP workers (`--hosts` > `REPRO_HOSTS` > none); takes
+    /// precedence over `shards`.
+    hosts: Vec<String>,
+    /// Fixed replication counts for the stochastic sweeps instead of
     /// the default adaptive budgets.
     fixed_reps: bool,
 }
@@ -73,17 +82,23 @@ struct Opts {
 impl Opts {
     /// The execution backend every experiment runs on.
     fn exec(&self) -> Exec {
-        if self.shards >= 1 {
+        if !self.hosts.is_empty() {
+            Exec::remote(self.threads, self.hosts.clone())
+        } else if self.shards >= 1 {
             Exec::sharded(self.threads, self.shards)
         } else {
             Exec::in_process(self.threads)
         }
     }
 
-    /// Adaptive budget for the open-workload sweeps (fig15 and
-    /// validate/open), sized down under `--quick`; `None` under
-    /// `--fixed-reps`.
-    fn open_rule(&self) -> Option<StoppingRule> {
+    /// The one adaptive replication budget shared by every stochastic
+    /// sweep — the open-workload sweeps (fig15, validate/open, watching
+    /// their energy estimates) and the CPU comparison (figs 4–9 / tables
+    /// IV–VI, watching whichever of the DES/Petri energy CIs is widest).
+    /// Sized down under `--quick`; `None` under `--fixed-reps` reproduces
+    /// every historical fixed count (8/point for the CPU comparison)
+    /// exactly.
+    fn adaptive_rule(&self) -> Option<StoppingRule> {
         if self.fixed_reps {
             None
         } else if self.quick {
@@ -96,10 +111,33 @@ impl Opts {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // Worker mode first: stdout is the protocol channel, so nothing else
-    // may print to it.
+    // Worker mode first: stdout is the protocol channel (stdio mode) or
+    // the address announcement (listen mode), so nothing else may print
+    // to it.
     if args.first().map(String::as_str) == Some("--worker") {
-        match sim_runtime::worker::serve_stdio(&bench::shard::worker_registry()) {
+        let mut listen: Option<String> = None;
+        let mut it = args.iter().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--listen" => match it.next() {
+                    Some(addr) => listen = Some(addr.clone()),
+                    None => {
+                        eprintln!("--listen needs an address (host:port; port 0 = ephemeral)");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!("unknown worker flag: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        let registry = bench::shard::worker_registry();
+        let served = match listen {
+            Some(addr) => sim_runtime::remote::serve_listener(std::sync::Arc::new(registry), &addr),
+            None => sim_runtime::worker::serve_stdio(&registry),
+        };
+        match served {
             Ok(()) => std::process::exit(0),
             Err(e) => {
                 eprintln!("[worker] {e}");
@@ -111,6 +149,7 @@ fn main() {
     let mut fixed_reps = false;
     let mut threads: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut hosts: Option<Vec<String>> = None;
     let mut targets: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -131,6 +170,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--hosts" => match it.next().map(|v| parse_hosts(v)) {
+                Some(list) if !list.is_empty() => hosts = Some(list),
+                _ => {
+                    eprintln!("--hosts needs a comma-separated host:port list");
+                    std::process::exit(2);
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -148,16 +194,25 @@ fn main() {
                 .and_then(|v| v.parse::<usize>().ok())
         })
         .unwrap_or(0);
+    let hosts = hosts
+        .or_else(|| {
+            std::env::var("REPRO_HOSTS")
+                .ok()
+                .map(|v| parse_hosts(&v))
+                .filter(|l| !l.is_empty())
+        })
+        .unwrap_or_default();
     let opts = Opts {
         quick,
         threads,
         shards,
+        hosts,
         fixed_reps,
     };
 
     if targets.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--threads N] [--shards N] [--fixed-reps] <target>...   (try: repro all)"
+            "usage: repro [--quick] [--threads N] [--shards N] [--hosts a:p,b:p] [--fixed-reps] <target>...   (try: repro all)"
         );
         std::process::exit(2);
     }
@@ -195,6 +250,41 @@ fn main() {
     }
 }
 
+/// Print one sweep's replication spend: total, per-point cap hits, and
+/// the rule that governed it (or the `--fixed-reps` escape hatch).
+fn report_budget(
+    points: impl Iterator<Item = (u64, bool)>,
+    rule: Option<&StoppingRule>,
+    watch: &str,
+) {
+    let (mut total, mut count, mut unconverged) = (0u64, 0usize, 0usize);
+    for (reps, converged) in points {
+        total += reps;
+        count += 1;
+        unconverged += usize::from(!converged);
+    }
+    match rule {
+        Some(rule) => println!(
+            "  adaptive budget: {total} replications over {count} points (rule: {:.0}% CI on {watch}, {}..{}; {unconverged} point(s) hit the cap)",
+            rule.relative.unwrap_or_default() * 100.0,
+            rule.min_replications,
+            rule.max_replications,
+        ),
+        None => {
+            println!("  fixed budget: {total} replications over {count} points (--fixed-reps)")
+        }
+    }
+}
+
+/// Split a comma-separated `host:port` list, dropping empty entries.
+fn parse_hosts(v: &str) -> Vec<String> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect()
+}
+
 fn run_all(opts: &Opts) {
     params();
     for pud in [0.001, 0.3, 10.0] {
@@ -221,6 +311,7 @@ fn cpu_cfg(opts: &Opts) -> CpuComparisonConfig {
     CpuComparisonConfig {
         horizon: if opts.quick { 300.0 } else { 5000.0 },
         exec: opts.exec(),
+        rule: opts.adaptive_rule(),
         ..Default::default()
     }
 }
@@ -243,6 +334,13 @@ fn cpu_figs(opts: &Opts, pud: f64, states: bool) {
     match write_artifact(&format!("{fig}_{kind}.csv"), &csv) {
         Ok(path) => println!("[{fig}] PUD={pud}s {kind} -> {path}"),
         Err(e) => eprintln!("[{fig}] failed to write artifact: {e}"),
+    }
+    if states {
+        report_budget(
+            c.points.iter().map(|p| (p.replications, p.converged)),
+            opts.adaptive_rule().as_ref(),
+            "the widest energy curve",
+        );
     }
     if !states {
         // Quick textual read of the curve shape.
@@ -292,7 +390,7 @@ fn node_fig(opts: &Opts, workload: Workload, fig: &str) {
             1
         },
         exec: opts.exec(),
-        open_rule: opts.open_rule(),
+        open_rule: opts.adaptive_rule(),
         ..Default::default()
     };
     let sweep = run_node_sweep(workload, &FIG14_15_PDT_GRID, &cfg);
@@ -302,22 +400,11 @@ fn node_fig(opts: &Opts, workload: Workload, fig: &str) {
         Err(e) => eprintln!("[{fig}] failed to write artifact: {e}"),
     }
     if open {
-        let total: u64 = sweep.points.iter().map(|p| p.replications).sum();
-        let unconverged = sweep.points.iter().filter(|p| !p.converged).count();
-        match &cfg.open_rule {
-            Some(rule) => println!(
-                "  adaptive budget: {total} replications over {} points (rule: {:.0}% CI, {}..{}; {} point(s) hit the cap)",
-                sweep.points.len(),
-                rule.relative.unwrap_or_default() * 100.0,
-                rule.min_replications,
-                rule.max_replications,
-                unconverged,
-            ),
-            None => println!(
-                "  fixed budget: {total} replications over {} points (--fixed-reps)",
-                sweep.points.len()
-            ),
-        }
+        report_budget(
+            sweep.points.iter().map(|p| (p.replications, p.converged)),
+            cfg.open_rule.as_ref(),
+            "total energy",
+        );
     }
     let a = sweep.optimum_analysis();
     println!(
@@ -422,7 +509,7 @@ fn validate(opts: &Opts) {
     use wsn::experiments::validation::{render_validation_csv, run_validation};
     let horizon = if opts.quick { 200.0 } else { 900.0 };
     let exec = opts.exec();
-    let open_rule = opts.open_rule();
+    let open_rule = opts.adaptive_rule();
     for (name, workload) in [
         ("closed", Workload::Closed { interval: 1.0 }),
         ("open", Workload::Open { rate: 1.0 }),

@@ -1,5 +1,6 @@
 //! Shared helpers for the benchmark harness and the `repro` binary.
 
+pub mod remote;
 pub mod shard;
 
 /// Directory where `repro` writes CSV artifacts (created on demand).

@@ -1,0 +1,129 @@
+//! Local cluster harness: real `repro --worker --listen` processes on
+//! loopback ephemeral ports, for the remote determinism suite, the
+//! `remote_ab` bench and ad-hoc experiments.
+//!
+//! A [`LocalCluster`] is the smallest honest stand-in for a multi-host
+//! deployment: every worker is a separate OS process speaking the real TCP
+//! protocol end to end (manifest frame in, per-slot result frames out), so
+//! everything except the physical network hop is exercised. Workers bind
+//! port 0 and announce their bound address on stdout (`listening <addr>`),
+//! which is how the harness learns the ephemeral ports.
+
+use sim_runtime::remote::TcpTransport;
+use sim_runtime::Exec;
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// One spawned worker process and its bound address.
+struct ClusterWorker {
+    child: Child,
+    addr: String,
+}
+
+/// A set of loopback TCP workers backing [`Exec::remote`] runs.
+///
+/// Dropping the cluster kills any worker still running; prefer
+/// [`LocalCluster::shutdown`] for a graceful end (shutdown frame, then
+/// wait) when the workers are healthy.
+pub struct LocalCluster {
+    workers: Vec<ClusterWorker>,
+}
+
+impl LocalCluster {
+    /// Spawn `n` workers of `worker_bin` (`<bin> --worker --listen
+    /// 127.0.0.1:0`), waiting for each to announce its address.
+    pub fn spawn(worker_bin: &str, n: usize) -> std::io::Result<Self> {
+        Self::spawn_with_env(worker_bin, n, |_| Vec::new())
+    }
+
+    /// [`LocalCluster::spawn`] with extra environment variables per worker
+    /// index — how the failure suite arms exactly one worker with an
+    /// [`EnvCrashJob`](crate::shard::EnvCrashJob) trigger.
+    pub fn spawn_with_env(
+        worker_bin: &str,
+        n: usize,
+        env_of: impl Fn(usize) -> Vec<(String, String)>,
+    ) -> std::io::Result<Self> {
+        assert!(n >= 1, "a cluster needs at least one worker");
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut cmd = Command::new(worker_bin);
+            cmd.args(["--worker", "--listen", "127.0.0.1:0"])
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit());
+            for (k, v) in env_of(i) {
+                cmd.env(k, v);
+            }
+            let mut child = cmd.spawn()?;
+            let stdout = child.stdout.take().expect("stdout piped");
+            let mut line = String::new();
+            BufReader::new(stdout).read_line(&mut line)?;
+            let addr = match line.trim().strip_prefix("listening ") {
+                Some(a) if !a.is_empty() => a.to_string(),
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(std::io::Error::other(format!(
+                        "worker {i} announced {line:?} instead of its address"
+                    )));
+                }
+            };
+            workers.push(ClusterWorker { child, addr });
+        }
+        Ok(LocalCluster { workers })
+    }
+
+    /// The workers' `host:port` addresses, in spawn order.
+    pub fn hosts(&self) -> Vec<String> {
+        self.workers.iter().map(|w| w.addr.clone()).collect()
+    }
+
+    /// An [`Exec`] dispatching to the first `hosts` workers with `threads`
+    /// worker threads per peer.
+    pub fn exec(&self, threads: usize, hosts: usize) -> Exec {
+        Exec::remote(
+            threads,
+            self.hosts().into_iter().take(hosts.max(1)).collect(),
+        )
+    }
+
+    /// Hard-kill worker `i` (the external peer-death probe). Idempotent.
+    pub fn kill(&mut self, i: usize) {
+        let w = &mut self.workers[i];
+        let _ = w.child.kill();
+        let _ = w.child.wait();
+    }
+
+    /// Gracefully stop every worker: send each a shutdown frame, then wait
+    /// for it to exit on its own. Workers that no longer accept (e.g.
+    /// already crashed) are reaped by the `Drop` kill instead.
+    pub fn shutdown(mut self) {
+        for w in &mut self.workers {
+            if let Ok(addr) = w.addr.parse::<std::net::SocketAddr>() {
+                if let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(1000)) {
+                    let mut t = TcpTransport::new(stream);
+                    if sim_runtime::remote::send_shutdown(&mut t).is_ok() {
+                        let _ = w.child.wait();
+                    }
+                }
+            }
+        }
+        // Drop reaps whatever did not exit gracefully.
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+        }
+    }
+}
+
+// Spawning real workers needs the repro binary (`CARGO_BIN_EXE_repro`),
+// which cargo only provides to integration tests — the harness is
+// exercised end to end by `tests/remote_determinism.rs`.

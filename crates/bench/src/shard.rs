@@ -19,6 +19,7 @@ pub fn worker_registry() -> JobRegistry {
     reg.register(Mm1ReplicationJob::KIND, Mm1ReplicationJob::decode_boxed);
     reg.register(FailJob::KIND, FailJob::decode_boxed);
     reg.register(CrashJob::KIND, CrashJob::decode_boxed);
+    reg.register(EnvCrashJob::KIND, EnvCrashJob::decode_boxed);
     reg
 }
 
@@ -185,6 +186,72 @@ impl PortableJob for CrashJob {
     }
 }
 
+/// Self-test job: kills its own process at any slot at or after
+/// `(crash_point, crash_rep)` (lexicographic order, like [`FailJob`]) —
+/// but **only when `env_var` is set in the executing process**. Unarmed,
+/// every slot succeeds with the same bytes [`CrashJob`] would produce.
+///
+/// This is the kill-one-peer-mid-run probe of the remote suite: a
+/// `bench::remote::LocalCluster` starts exactly one worker with the
+/// environment variable set, so that worker dies on whichever chunk it
+/// claims, the remote backend re-dispatches the undelivered slots to the
+/// survivors (which do *not* have the variable), and the gathered bytes
+/// must equal an in-process run bit for bit. The boundary semantics (not
+/// a single slot) make the crash independent of which peer happens to
+/// claim which chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvCrashJob {
+    /// First crashing point.
+    pub crash_point: u64,
+    /// First crashing replication within `crash_point`.
+    pub crash_rep: u64,
+    /// Environment variable arming the crash.
+    pub env_var: String,
+}
+
+impl EnvCrashJob {
+    /// Registry key.
+    pub const KIND: &'static str = "selftest/env-crash";
+
+    fn decode_boxed(payload: &[u8]) -> Result<Box<dyn PortableJob>, WireError> {
+        let mut r = Reader::new(payload);
+        let job = EnvCrashJob {
+            crash_point: r.get_u64()?,
+            crash_rep: r.get_u64()?,
+            env_var: r.get_str()?.to_string(),
+        };
+        r.finish()?;
+        Ok(Box::new(job))
+    }
+}
+
+impl PortableJob for EnvCrashJob {
+    fn kind(&self) -> &'static str {
+        Self::KIND
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        wire::put_u64(buf, self.crash_point);
+        wire::put_u64(buf, self.crash_rep);
+        wire::put_str(buf, &self.env_var);
+    }
+
+    fn run_slot(&self, point: usize, rep: u64, seed: u64) -> Result<Vec<u8>, String> {
+        if (point as u64, rep) >= (self.crash_point, self.crash_rep)
+            && std::env::var_os(&self.env_var).is_some()
+        {
+            eprintln!(
+                "[selftest] {} armed: crashing worker at ({point}, {rep})",
+                self.env_var
+            );
+            std::process::exit(3);
+        }
+        let mut bytes = Vec::new();
+        wire::put_f64s(&mut bytes, &[seed as f64]);
+        Ok(bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,9 +268,32 @@ mod tests {
             Mm1ReplicationJob::KIND,
             FailJob::KIND,
             CrashJob::KIND,
+            EnvCrashJob::KIND,
         ] {
             assert!(kinds.contains(&k), "missing {k} in {kinds:?}");
         }
+    }
+
+    #[test]
+    fn env_crash_job_is_inert_without_its_variable() {
+        let job = EnvCrashJob {
+            crash_point: 0,
+            crash_rep: 0,
+            env_var: "BENCH_SELFTEST_CRASH_NEVER_SET".into(),
+        };
+        // Would exit(3) if armed; unarmed it must produce normal bytes.
+        let bytes = job.run_slot(0, 0, 42).unwrap();
+        assert_eq!(sim_runtime::wire::decode_f64s(&bytes).unwrap(), vec![42.0]);
+        // Round-trips through the registry.
+        let mut payload = Vec::new();
+        job.encode_payload(&mut payload);
+        let back = worker_registry()
+            .decode(EnvCrashJob::KIND, &payload)
+            .unwrap();
+        assert_eq!(
+            back.run_slot(1, 1, 7).unwrap(),
+            job.run_slot(1, 1, 7).unwrap()
+        );
     }
 
     #[test]

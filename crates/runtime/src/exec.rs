@@ -23,15 +23,22 @@
 //! results**. `ExecBackend::run_segments` is deliberately the single seam
 //! where an async or remote-host backend would plug in.
 
-use crate::grid::{run_segments_core, GridPlan, Progress, ProgressFn, Segment};
+use crate::grid::{run_segments_core, GridPlan, ProgressFn, Segment};
+use crate::remote::protocol::{
+    collect_results, drain_chunk, encode_manifest_request, encode_shutdown_request,
+    first_undelivered, keep_lowest_error, ChunkSink, Drained,
+};
+use crate::remote::transport::{FrameTransport as _, PipeTransport};
 use crate::wire::{self, Reader, WireError};
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
+use std::sync::OnceLock;
 
-/// Protocol version byte carried by every worker request frame.
-pub const WIRE_VERSION: u8 = 1;
+/// Protocol version byte carried by every manifest request frame.
+/// Version 2 introduced tagged requests (manifest vs graceful shutdown)
+/// and multi-manifest serve loops for the remote TCP subsystem.
+pub const WIRE_VERSION: u8 = 2;
 
 // --- errors --------------------------------------------------------------
 
@@ -430,14 +437,28 @@ impl ExecBackend for InProcessBackend {
 
 // --- sharded backend -----------------------------------------------------
 
-/// Response-frame tags of the worker protocol (worker → parent).
+/// Frame tags of the worker protocol.
 pub(crate) mod frame {
-    /// One slot's result: `u64` shard-local slot index + result bytes.
+    // Requests (parent → worker).
+    /// Run a manifest: version `u8`, worker-thread count `u32`, manifest.
+    pub const MANIFEST: u8 = b'M';
+    /// Graceful shutdown: end the serve loop (and, for a listening
+    /// worker, the process) instead of relying on EOF or a kill.
+    pub const SHUTDOWN: u8 = b'Q';
+
+    // Responses (worker → parent).
+    /// One slot's result: `u64` chunk-local slot index + result bytes.
     pub const RESULT: u8 = b'R';
-    /// The shard failed: `u64` shard-local slot index + error string.
+    /// The chunk failed: `u64` chunk-local slot index + error string.
     pub const ERROR: u8 = b'E';
-    /// Shard complete: `u64` result-frame count (sanity check).
+    /// Chunk complete: `u64` result-frame count (sanity check).
     pub const DONE: u8 = b'D';
+    /// Liveness heartbeat (no payload), streamed while a manifest
+    /// executes so a remote parent's read timeout can distinguish "slots
+    /// are slow" from "the peer's machine silently vanished" (a dead TCP
+    /// peer that never sent FIN/RST is otherwise indistinguishable from a
+    /// long computation).
+    pub const HEARTBEAT: u8 = b'H';
 }
 
 /// The multi-process backend: contiguous manifest shards fanned out to
@@ -492,17 +513,19 @@ impl ShardedBackend {
         Ok(vec![exe.to_string_lossy().into_owned(), "--worker".into()])
     }
 
-    /// Drive one worker subprocess through one shard; returns the shard's
-    /// per-slot results in shard-local flat order.
+    /// Drive one worker subprocess through one shard, draining its
+    /// responses into the manifest-wide `results` table.
+    #[allow(clippy::too_many_arguments)]
     fn run_shard(
         &self,
         cmd: &[String],
         start: usize,
         chunk: &TaskManifest,
+        results: &[OnceLock<Vec<u8>>],
         completed: &AtomicUsize,
         grand_total: usize,
         progress: Option<&ProgressFn>,
-    ) -> Result<Vec<Vec<u8>>, ExecError> {
+    ) -> Result<(), ExecError> {
         let spawn_err = |e: std::io::Error| ExecError::Worker {
             flat_index: start,
             message: format!("failed to spawn worker {:?}: {e}", cmd[0]),
@@ -530,115 +553,69 @@ impl ShardedBackend {
             }
         };
 
-        // Ship the request frame, then close stdin so a worker that never
-        // reads cannot deadlock us.
-        let mut request = Vec::new();
-        wire::put_u8(&mut request, WIRE_VERSION);
-        wire::put_u32(&mut request, self.worker_threads as u32);
-        chunk.encode_into(&mut request);
-        {
-            let mut stdin = child.stdin.take().expect("stdin piped");
-            if let Err(e) = wire::write_frame(&mut stdin, &request).and_then(|_| stdin.flush()) {
-                return Err(died(&mut child, format!("request write failed: {e}")));
-            }
+        // Ship the manifest request plus the graceful-shutdown frame, then
+        // close stdin: the worker executes the manifest, answers, reads the
+        // shutdown frame and exits 0 on its own — no EOF guessing, no kill
+        // on the happy path. Closing the write half also means a worker
+        // stuck mid-read sees EOF instead of deadlocking us.
+        let mut transport = PipeTransport::new(
+            child.stdin.take().expect("stdin piped"),
+            child.stdout.take().expect("stdout piped"),
+        );
+        let request = encode_manifest_request(self.worker_threads, chunk);
+        let shipped = transport
+            .send(&request)
+            .and_then(|_| transport.send(&encode_shutdown_request()))
+            .and_then(|_| transport.flush());
+        if let Err(e) = shipped {
+            return Err(died(&mut child, format!("request write failed: {e}")));
         }
+        transport.close_write();
 
         let slots = chunk.slots();
-        let mut results: Vec<Option<Vec<u8>>> = vec![None; slots.len()];
-        let mut stdout = child.stdout.take().expect("stdout piped");
-        let mut task_error: Option<ExecError> = None;
-        let mut done = false;
-        while !done {
-            let body = match wire::read_frame(&mut stdout) {
-                Ok(Some(b)) => b,
-                Ok(None) => break, // EOF — worker exited
-                Err(e) => return Err(died(&mut child, format!("frame read failed: {e}"))),
-            };
-            let mut r = Reader::new(&body);
-            let decode = (|| -> Result<(), WireError> {
-                match r.get_u8()? {
-                    frame::RESULT => {
-                        let local = r.get_u64()? as usize;
-                        let bytes = r.get_bytes()?.to_vec();
-                        if local >= slots.len() {
-                            return Err(WireError::new(format!(
-                                "result slot {local} out of range ({} slots)",
-                                slots.len()
-                            )));
-                        }
-                        if results[local].replace(bytes).is_some() {
-                            return Err(WireError::new(format!("slot {local} delivered twice")));
-                        }
-                        if let Some(cb) = progress {
-                            let (point, rep, _seed) = slots[local];
-                            let done_now = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                            cb(Progress {
-                                point,
-                                replication: rep,
-                                completed: done_now,
-                                total: grand_total,
-                            });
-                        }
-                    }
-                    frame::ERROR => {
-                        let local = r.get_u64()? as usize;
-                        let message = r.get_str()?.to_string();
-                        let (point, rep) = slots
-                            .get(local)
-                            .map(|&(p, rp, _)| (p, rp))
-                            .unwrap_or((usize::MAX, u64::MAX));
-                        task_error = Some(ExecError::Task {
-                            flat_index: start + local.min(slots.len().saturating_sub(1)),
-                            point,
-                            replication: rep,
-                            message,
-                        });
-                    }
-                    frame::DONE => {
-                        let delivered = r.get_u64()? as usize;
-                        let have = results.iter().filter(|r| r.is_some()).count();
-                        if delivered != have {
-                            return Err(WireError::new(format!(
-                                "worker claims {delivered} result(s), received {have}"
-                            )));
-                        }
-                        done = true;
-                    }
-                    tag => return Err(WireError::new(format!("unknown frame tag {tag:#x}"))),
+        let global_flat: Vec<usize> = (start..start + slots.len()).collect();
+        let mut delivered = vec![false; slots.len()];
+        let outcome = drain_chunk(
+            &mut transport,
+            ChunkSink {
+                slots: &slots,
+                global_flat: &global_flat,
+                results,
+                delivered: &mut delivered,
+                completed,
+                grand_total,
+                progress,
+            },
+        );
+        match outcome {
+            Drained::Complete => {
+                let status = child.wait().map_err(|e| ExecError::Worker {
+                    flat_index: start,
+                    message: format!("worker unwaitable: {e}"),
+                })?;
+                if !status.success() {
+                    return Err(ExecError::Worker {
+                        flat_index: start,
+                        message: format!("worker exited after DONE without success ({status})"),
+                    });
                 }
-                r.finish()
-            })();
-            if let Err(e) = decode {
-                return Err(died(&mut child, format!("protocol violation: {e}")));
+                Ok(())
+            }
+            Drained::TaskError(e) => {
+                // In-band failure: the worker is healthy and exits on the
+                // shutdown frame already in its pipe.
+                let _ = child.wait();
+                Err(e)
+            }
+            Drained::Broken(context) => {
+                let flat = first_undelivered(&global_flat, &delivered).unwrap_or(start);
+                let mut err = died(&mut child, context);
+                if let ExecError::Worker { flat_index, .. } = &mut err {
+                    *flat_index = flat;
+                }
+                Err(err)
             }
         }
-
-        let status = child.wait().map_err(|e| ExecError::Worker {
-            flat_index: start,
-            message: format!("worker unwaitable: {e}"),
-        })?;
-        if let Some(err) = task_error {
-            return Err(err);
-        }
-        if !done || !status.success() {
-            return Err(ExecError::Worker {
-                flat_index: start,
-                message: format!(
-                    "worker exited {}without completing its shard ({status})",
-                    if done { "after DONE " } else { "" }
-                ),
-            });
-        }
-        results
-            .into_iter()
-            .enumerate()
-            .map(|(local, r)| {
-                r.ok_or(ExecError::Worker {
-                    flat_index: start + local,
-                    message: "worker finished without delivering this slot".into(),
-                })
-            })
-            .collect()
     }
 }
 
@@ -656,6 +633,7 @@ impl ExecBackend for ShardedBackend {
         }
         let cmd = self.resolve_cmd()?;
         let chunks = manifest.split(self.shards);
+        let results: Vec<OnceLock<Vec<u8>>> = (0..total).map(|_| OnceLock::new()).collect();
         let completed = AtomicUsize::new(0);
 
         // One drain thread per shard: workers stream concurrently, so a
@@ -668,14 +646,15 @@ impl ExecBackend for ShardedBackend {
         // Letting every shard drain keeps the lowest-index-wins selection
         // below deterministic — the same contract as `Runner::try_grid` —
         // at the cost of finishing in-flight shards on the error path.
-        let outcomes: Vec<Result<Vec<Vec<u8>>, ExecError>> = std::thread::scope(|scope| {
+        let outcomes: Vec<Result<(), ExecError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|(start, chunk)| {
                     let cmd = &cmd;
                     let completed = &completed;
+                    let results = &results;
                     scope.spawn(move || {
-                        self.run_shard(cmd, *start, chunk, completed, total, progress)
+                        self.run_shard(cmd, *start, chunk, results, completed, total, progress)
                     })
                 })
                 .collect();
@@ -685,22 +664,18 @@ impl ExecBackend for ShardedBackend {
                 .collect()
         });
 
-        let mut flat = Vec::with_capacity(total);
         let mut first_error: Option<ExecError> = None;
         for outcome in outcomes {
-            match outcome {
-                Ok(slots) => flat.extend(slots),
-                Err(e) => match &first_error {
-                    Some(cur) if cur.flat_index() <= e.flat_index() => {}
-                    _ => first_error = Some(e),
-                },
+            if let Err(e) = outcome {
+                keep_lowest_error(&mut first_error, e);
             }
         }
         if let Some(e) = first_error {
             return Err(e);
         }
-        debug_assert_eq!(flat.len(), total);
-        Ok(flat)
+        // Every shard drained clean, so every slot landed; concatenating
+        // the table in flat order IS the in-process slot order.
+        collect_results(results)
     }
 
     fn label(&self) -> String {
@@ -724,24 +699,32 @@ pub(crate) enum BackendSel {
         shards: usize,
         worker_cmd: Option<Vec<String>>,
     },
+    /// Remote TCP peers (`<exe> --worker --listen <addr>`).
+    Remote { hosts: Vec<String> },
 }
 
 /// Resolved execution parameters, threaded through every experiment
-/// driver: worker threads, shard count, and (for sharded runs) the worker
-/// command.
+/// driver: worker threads, shard count, remote hosts, and (for sharded
+/// runs) the worker command.
 ///
-/// `shards == 0` means "in-process"; `shards >= 1` fans out to that many
-/// worker subprocesses, each running `threads` worker threads. Results are
-/// identical either way — the setting only chooses *where* slots execute.
+/// `shards == 0` and empty `hosts` means "in-process"; `shards >= 1` fans
+/// out to that many worker subprocesses, each running `threads` worker
+/// threads; a non-empty `hosts` list (which takes precedence over shards)
+/// dispatches to remote TCP workers instead. Results are identical in
+/// every case — the setting only chooses *where* slots execute.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Exec {
-    /// Worker threads (per process).
+    /// Worker threads (per process — local, per subprocess, or per remote
+    /// peer).
     pub threads: usize,
     /// Worker subprocesses; 0 = run in-process.
     pub shards: usize,
     /// Worker argv override for sharded runs (`None`:
     /// `current_exe --worker`).
     pub worker_cmd: Option<Vec<String>>,
+    /// Remote worker addresses (`host:port`); non-empty selects the
+    /// remote TCP backend.
+    pub hosts: Vec<String>,
 }
 
 impl Default for Exec {
@@ -757,6 +740,7 @@ impl Exec {
             threads: threads.max(1),
             shards: 0,
             worker_cmd: None,
+            hosts: Vec::new(),
         }
     }
 
@@ -767,6 +751,23 @@ impl Exec {
             threads: threads.max(1),
             shards: shards.max(1),
             worker_cmd: None,
+            hosts: Vec::new(),
+        }
+    }
+
+    /// Dispatch portable jobs to remote TCP workers
+    /// (`<exe> --worker --listen <addr>`), `threads` worker threads per
+    /// peer.
+    pub fn remote(threads: usize, hosts: Vec<String>) -> Self {
+        assert!(
+            !hosts.is_empty(),
+            "remote execution needs at least one host"
+        );
+        Exec {
+            threads: threads.max(1),
+            shards: 0,
+            worker_cmd: None,
+            hosts,
         }
     }
 
@@ -782,10 +783,19 @@ impl Exec {
         self.shards >= 1
     }
 
+    /// Whether portable jobs run on remote TCP workers.
+    pub fn is_remote(&self) -> bool {
+        !self.hosts.is_empty()
+    }
+
     /// A [`Runner`](crate::Runner) on this configuration.
     pub fn runner(&self) -> crate::Runner {
         let mut r = crate::Runner::new(self.threads);
-        if self.shards >= 1 {
+        if !self.hosts.is_empty() {
+            r.backend = BackendSel::Remote {
+                hosts: self.hosts.clone(),
+            };
+        } else if self.shards >= 1 {
             r.backend = BackendSel::Sharded {
                 shards: self.shards,
                 worker_cmd: self.worker_cmd.clone(),
@@ -796,7 +806,13 @@ impl Exec {
 
     /// Short description for logs.
     pub fn label(&self) -> String {
-        if self.shards >= 1 {
+        if !self.hosts.is_empty() {
+            format!(
+                "remote(hosts={}, threads={})",
+                self.hosts.len(),
+                self.threads
+            )
+        } else if self.shards >= 1 {
             format!("sharded(shards={}, threads={})", self.shards, self.threads)
         } else {
             format!("in-process(threads={})", self.threads)
@@ -816,6 +832,10 @@ impl crate::Runner {
                 }
                 Box::new(b)
             }
+            BackendSel::Remote { hosts } => Box::new(crate::remote::RemoteBackend::new(
+                hosts.clone(),
+                self.threads,
+            )),
         }
     }
 

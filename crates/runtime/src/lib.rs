@@ -24,6 +24,13 @@
 //!   partitions the manifest across worker subprocesses
 //!   (`<exe> --worker`, see [`worker`]) with **byte-identical** gathers at
 //!   any shard × thread count.
+//! * [`remote`] — the same seam **across machines**:
+//!   [`remote::RemoteBackend`] dispatches manifests to
+//!   `<exe> --worker --listen <addr>` TCP peers (one drain thread per
+//!   peer, re-dispatch of a dead peer's undelivered slots, byte-identical
+//!   gather), over the [`remote::FrameTransport`] trait shared with the
+//!   pipe and stdio endpoints; [`remote::AsyncBackend`] overlaps I/O-bound
+//!   work without an async runtime.
 //! * [`stats`] — Welford moments, Student-t confidence intervals and batch
 //!   means (re-exported by `petri_core::stats` for compatibility).
 
@@ -32,6 +39,7 @@
 
 pub mod exec;
 pub mod grid;
+pub mod remote;
 pub mod stats;
 pub mod stopping;
 pub mod wire;
@@ -42,6 +50,7 @@ pub use exec::{
     TaskManifest,
 };
 pub use grid::{default_threads, env_threads, Progress, Runner, Segment};
+pub use remote::{AsyncBackend, FrameTransport, RemoteBackend};
 pub use stats::{
     describe, student_t_critical, BatchMeans, ConfidenceInterval, ConfidenceLevel, Welford,
 };

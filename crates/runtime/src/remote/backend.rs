@@ -1,0 +1,418 @@
+//! The multi-host executor backend: manifests over TCP to `--worker
+//! --listen` peers.
+
+use crate::exec::{ExecBackend, ExecError, PortableJob, TaskManifest};
+use crate::grid::{ProgressFn, Segment};
+use crate::remote::async_backend::{probe_live, AsyncBackend};
+use crate::remote::protocol::{
+    collect_results, drain_chunk, encode_manifest_request, first_undelivered, keep_lowest_error,
+    ChunkSink, Drained,
+};
+use crate::remote::transport::{FrameTransport, TcpTransport};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::AtomicUsize;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// The remote-host backend: partitions a [`TaskManifest`] across N TCP
+/// peers (`<exe> --worker --listen <addr>`), streams per-slot results with
+/// one drain thread per peer, and gathers in global flat-index order — so
+/// the fold downstream is **byte-identical** to [`crate::exec::InProcessBackend`]
+/// at any host × thread count.
+///
+/// **Failure semantics.** A task error travels in-band (`E` frame) and is
+/// deterministic, so it is never retried; across peers the lowest global
+/// flat index wins, exactly as in `Runner::try_grid` and the sharded
+/// backend. A *peer death* (dropped connection, protocol violation) is
+/// different: slots are seeded and pure, so the dead peer's undelivered
+/// slots are re-dispatched to surviving peers — retry cannot change a
+/// single output byte — up to `retry_budget` times per chunk before the
+/// failure surfaces as [`ExecError::Worker`]. Peers are liveness-probed
+/// (see [`probe_live`]) after connect and before every chunk dispatch, so
+/// a peer that died while idle never gets work committed to it.
+///
+/// Connections are per-dispatch: each `run_segments` call connects (all
+/// peers concurrently, via [`AsyncBackend::overlap`]), runs the manifest,
+/// and drops the connections; listen-mode workers simply accept the next
+/// connection. Workers therefore survive any number of dispatches —
+/// adaptive stopping rounds included — until an explicit shutdown frame.
+#[derive(Debug, Clone)]
+pub struct RemoteBackend {
+    /// Peer addresses (`host:port`).
+    pub hosts: Vec<String>,
+    /// Worker threads *per peer*, carried in every request frame.
+    pub worker_threads: usize,
+    /// Re-dispatches allowed per chunk after a peer dies mid-chunk
+    /// (dispatch attempts = `retry_budget + 1`).
+    pub retry_budget: usize,
+    /// Per-peer connection timeout.
+    pub connect_timeout: Duration,
+    /// Read timeout while draining a chunk. Executing workers stream a
+    /// heartbeat frame every ~500 ms, so a peer silent for this long is
+    /// not "slow" — its machine vanished without FIN/RST (power loss,
+    /// network partition) and its chunk must re-dispatch rather than
+    /// block the gather forever. `None` disables the bound.
+    pub io_timeout: Option<Duration>,
+}
+
+impl RemoteBackend {
+    /// A backend over the given peers (must be non-empty), with the
+    /// default retry budget of 2 re-dispatches per chunk.
+    pub fn new(hosts: Vec<String>, worker_threads: usize) -> Self {
+        assert!(!hosts.is_empty(), "remote backend needs at least one host");
+        RemoteBackend {
+            hosts,
+            worker_threads: worker_threads.max(1),
+            retry_budget: 2,
+            connect_timeout: Duration::from_secs(10),
+            io_timeout: Some(Duration::from_secs(15)),
+        }
+    }
+
+    /// Override the per-chunk re-dispatch budget.
+    pub fn with_retry_budget(mut self, retries: usize) -> Self {
+        self.retry_budget = retries;
+        self
+    }
+
+    /// Override the silent-peer read timeout (`None` disables it).
+    pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// Connect to every configured host concurrently; returns the live
+    /// transports. Unreachable peers are reported on stderr and skipped —
+    /// results are byte-identical however many peers survive — but zero
+    /// reachable peers is an error.
+    fn connect_all(&self) -> Result<Vec<TcpTransport>, ExecError> {
+        let connector = AsyncBackend::new(self.hosts.len());
+        let attempts: Vec<Result<TcpStream, String>> = connector.overlap(
+            self.hosts
+                .iter()
+                .map(|host| {
+                    let timeout = self.connect_timeout;
+                    move || -> Result<TcpStream, String> {
+                        let addr = host
+                            .to_socket_addrs()
+                            .map_err(|e| format!("{host}: cannot resolve: {e}"))?
+                            .next()
+                            .ok_or_else(|| format!("{host}: resolves to no address"))?;
+                        TcpStream::connect_timeout(&addr, timeout)
+                            .map_err(|e| format!("{host}: connect failed: {e}"))
+                    }
+                })
+                .collect(),
+        );
+        let mut peers = Vec::with_capacity(attempts.len());
+        let mut failures = Vec::new();
+        for attempt in attempts {
+            match attempt {
+                Ok(stream) => {
+                    let t = TcpTransport::new(stream);
+                    if probe_live(t.stream()) {
+                        // Reads are bounded because workers heartbeat;
+                        // writes are bounded because a healthy worker
+                        // drains its request promptly — either timeout
+                        // firing means the peer is gone, and Broken
+                        // re-dispatches its chunk.
+                        let _ = t.set_read_timeout(self.io_timeout);
+                        let _ = t.set_write_timeout(self.io_timeout);
+                        peers.push(t);
+                    } else {
+                        failures.push(format!("{}: dead right after connect", t.peer()));
+                    }
+                }
+                Err(msg) => failures.push(msg),
+            }
+        }
+        for f in &failures {
+            eprintln!("[remote] peer unavailable: {f}");
+        }
+        if peers.is_empty() {
+            return Err(ExecError::Protocol(format!(
+                "no reachable remote peer among {:?}: {}",
+                self.hosts,
+                failures.join("; ")
+            )));
+        }
+        Ok(peers)
+    }
+
+    /// Dispatch one chunk over one peer connection and drain its
+    /// responses into the shared gather state.
+    fn run_chunk(
+        &self,
+        transport: &mut TcpTransport,
+        chunk: &Pending,
+        results: &[OnceLock<Vec<u8>>],
+        completed: &AtomicUsize,
+        grand_total: usize,
+        progress: Option<&ProgressFn>,
+    ) -> (Drained, Vec<bool>) {
+        let slots = chunk.manifest.slots();
+        let mut delivered = vec![false; slots.len()];
+        let request = encode_manifest_request(self.worker_threads, &chunk.manifest);
+        if let Err(e) = transport.send(&request).and_then(|_| transport.flush()) {
+            return (
+                Drained::Broken(format!("request write failed: {e}")),
+                delivered,
+            );
+        }
+        let outcome = drain_chunk(
+            transport,
+            ChunkSink {
+                slots: &slots,
+                global_flat: &chunk.global_flat,
+                results,
+                delivered: &mut delivered,
+                completed,
+                grand_total,
+                progress,
+            },
+        );
+        (outcome, delivered)
+    }
+}
+
+/// One unit of dispatchable work: a sub-manifest plus the global flat
+/// index of each of its slots (contiguous for the initial split; possibly
+/// gappy for a re-dispatched remainder).
+struct Pending {
+    manifest: TaskManifest,
+    global_flat: Vec<usize>,
+    /// Dispatch attempts already burnt on this work.
+    retries: usize,
+}
+
+impl Pending {
+    /// The remainder of `self` after a partial drain: every undelivered
+    /// slot, re-packed into merged segments. `None` if everything landed.
+    fn remainder(&self, delivered: &[bool]) -> Option<Pending> {
+        let slots = self.manifest.slots();
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut seeds = Vec::new();
+        let mut global_flat = Vec::new();
+        for (local, &(point, rep, seed)) in slots.iter().enumerate() {
+            if delivered[local] {
+                continue;
+            }
+            match segments.last_mut() {
+                Some(seg) if seg.point == point && seg.base_rep + seg.count as u64 == rep => {
+                    seg.count += 1;
+                }
+                _ => segments.push(Segment {
+                    point,
+                    base_rep: rep,
+                    count: 1,
+                }),
+            }
+            seeds.push(seed);
+            global_flat.push(self.global_flat[local]);
+        }
+        if seeds.is_empty() {
+            return None;
+        }
+        Some(Pending {
+            manifest: TaskManifest {
+                kind: self.manifest.kind.clone(),
+                payload: self.manifest.payload.clone(),
+                segments,
+                seeds,
+            },
+            global_flat,
+            retries: self.retries,
+        })
+    }
+}
+
+/// Gather state shared by the per-peer drain threads.
+struct GatherState {
+    queue: Vec<Pending>,
+    /// Chunks currently being driven by some peer.
+    in_flight: usize,
+    /// Error candidates; the lowest global flat index wins at the end.
+    errors: Vec<ExecError>,
+}
+
+struct Gather {
+    state: Mutex<GatherState>,
+    work: Condvar,
+}
+
+impl Gather {
+    /// Block until a chunk is available or all work is finished; `None`
+    /// means the gather is complete (or failed) and the peer may retire.
+    fn claim(&self) -> Option<Pending> {
+        let mut st = self.state.lock().expect("gather mutex never poisoned");
+        loop {
+            if let Some(chunk) = st.queue.pop() {
+                st.in_flight += 1;
+                return Some(chunk);
+            }
+            if st.in_flight == 0 {
+                self.work.notify_all();
+                return None;
+            }
+            st = self.work.wait(st).expect("gather mutex never poisoned");
+        }
+    }
+
+    /// Mark a claimed chunk finished, optionally pushing follow-up work
+    /// (a retry remainder) and/or an error candidate.
+    fn settle(&self, requeue: Option<Pending>, error: Option<ExecError>) {
+        let mut st = self.state.lock().expect("gather mutex never poisoned");
+        st.in_flight -= 1;
+        if let Some(chunk) = requeue {
+            st.queue.push(chunk);
+        }
+        if let Some(e) = error {
+            st.errors.push(e);
+        }
+        self.work.notify_all();
+    }
+}
+
+impl ExecBackend for RemoteBackend {
+    fn run_segments(
+        &self,
+        _job: &dyn PortableJob,
+        manifest: &TaskManifest,
+        progress: Option<&ProgressFn>,
+    ) -> Result<Vec<Vec<u8>>, ExecError> {
+        manifest.validate()?;
+        let total = manifest.total_slots();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        let mut peers = self.connect_all()?;
+        let chunks: Vec<Pending> = manifest
+            .split(peers.len())
+            .into_iter()
+            .map(|(start, m)| {
+                let n = m.total_slots();
+                Pending {
+                    manifest: m,
+                    global_flat: (start..start + n).collect(),
+                    retries: 0,
+                }
+            })
+            .collect();
+
+        let results: Vec<OnceLock<Vec<u8>>> = (0..total).map(|_| OnceLock::new()).collect();
+        let completed = AtomicUsize::new(0);
+        let gather = Gather {
+            state: Mutex::new(GatherState {
+                queue: chunks,
+                in_flight: 0,
+                errors: Vec::new(),
+            }),
+            work: Condvar::new(),
+        };
+
+        // One drain thread per peer. A peer claims chunks until the queue
+        // drains; a peer that dies re-queues its chunk's undelivered
+        // remainder (retry budget permitting) and retires, leaving the
+        // remainder to the survivors. Like the sharded backend, there is
+        // no cross-peer cancellation on task errors: every chunk drains,
+        // so lowest-flat-index error selection stays deterministic.
+        std::thread::scope(|scope| {
+            for transport in peers.iter_mut() {
+                let gather = &gather;
+                let results = &results;
+                let completed = &completed;
+                scope.spawn(move || {
+                    while let Some(chunk) = gather.claim() {
+                        // Heartbeat: never commit work to a peer that died
+                        // while idle. Not counted against the chunk's
+                        // budget — it was never dispatched.
+                        if !probe_live(transport.stream()) {
+                            gather.settle(Some(chunk), None);
+                            return;
+                        }
+                        let (outcome, delivered) =
+                            self.run_chunk(transport, &chunk, results, completed, total, progress);
+                        match outcome {
+                            Drained::Complete => gather.settle(None, None),
+                            Drained::TaskError(e) => gather.settle(None, Some(e)),
+                            Drained::Broken(message) => {
+                                let flat = first_undelivered(&chunk.global_flat, &delivered)
+                                    .unwrap_or_else(|| {
+                                        chunk.global_flat.first().copied().unwrap_or(0)
+                                    });
+                                let remainder = chunk.remainder(&delivered);
+                                match remainder {
+                                    Some(mut rest) if rest.retries < self.retry_budget => {
+                                        eprintln!(
+                                            "[remote] peer {} died mid-chunk ({message}); \
+                                             re-dispatching {} slot(s) (attempt {} of {})",
+                                            transport.peer(),
+                                            rest.global_flat.len(),
+                                            rest.retries + 2,
+                                            self.retry_budget + 1,
+                                        );
+                                        rest.retries += 1;
+                                        gather.settle(Some(rest), None);
+                                    }
+                                    Some(rest) => gather.settle(
+                                        None,
+                                        Some(ExecError::Worker {
+                                            flat_index: flat,
+                                            message: format!(
+                                                "peer {}: {message} ({} slot(s) undelivered \
+                                                 after {} dispatch attempt(s))",
+                                                transport.peer(),
+                                                rest.global_flat.len(),
+                                                rest.retries + 1,
+                                            ),
+                                        }),
+                                    ),
+                                    // Every slot landed before the break
+                                    // (e.g. the stream died after the last
+                                    // R frame but before D).
+                                    None => gather.settle(None, None),
+                                }
+                                return; // this peer is dead
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let st = gather
+            .state
+            .into_inner()
+            .expect("gather mutex never poisoned");
+        let mut first_error: Option<ExecError> = None;
+        for e in st.errors {
+            keep_lowest_error(&mut first_error, e);
+        }
+        // Chunks stranded because every peer died.
+        for chunk in st.queue {
+            keep_lowest_error(
+                &mut first_error,
+                ExecError::Worker {
+                    flat_index: chunk.global_flat.first().copied().unwrap_or(0),
+                    message: format!(
+                        "no surviving remote peer for {} queued slot(s) (hosts {:?})",
+                        chunk.global_flat.len(),
+                        self.hosts
+                    ),
+                },
+            );
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        collect_results(results)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "remote(hosts={}, threads/peer={})",
+            self.hosts.len(),
+            self.worker_threads
+        )
+    }
+}

@@ -1,0 +1,210 @@
+//! The parent half of the worker protocol, transport-agnostic.
+//!
+//! Request framing (manifest dispatch, graceful shutdown) and the response
+//! drain — the loop that turns a worker's `R`/`E`/`D` frame stream back
+//! into ordered slot results — live here once, shared by
+//! [`crate::exec::ShardedBackend`] (pipes) and
+//! [`crate::remote::RemoteBackend`] (TCP). Before this module both
+//! endpoints inlined their own copy of the frame loop.
+
+use crate::exec::{frame, ExecError, TaskManifest, WIRE_VERSION};
+use crate::grid::{Progress, ProgressFn};
+use crate::remote::transport::FrameTransport;
+use crate::wire::{self, Reader, WireError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Encode a manifest-dispatch request: tag, protocol version, worker
+/// thread count, then the manifest itself.
+pub(crate) fn encode_manifest_request(threads: usize, manifest: &TaskManifest) -> Vec<u8> {
+    let mut body = Vec::new();
+    wire::put_u8(&mut body, frame::MANIFEST);
+    wire::put_u8(&mut body, WIRE_VERSION);
+    wire::put_u32(&mut body, threads as u32);
+    manifest.encode_into(&mut body);
+    body
+}
+
+/// Encode a graceful-shutdown request (no payload).
+pub(crate) fn encode_shutdown_request() -> Vec<u8> {
+    vec![frame::SHUTDOWN]
+}
+
+/// How one chunk's response stream ended.
+#[derive(Debug)]
+pub(crate) enum Drained {
+    /// `D` received and every slot of the chunk was delivered; the
+    /// transport is clean and reusable.
+    Complete,
+    /// The worker reported a task error in-band (`E`): the chunk's
+    /// lowest-flat-index failure. The transport is clean and reusable —
+    /// the error is deterministic, so re-dispatching would fail again.
+    TaskError(ExecError),
+    /// The stream broke: EOF mid-chunk, I/O failure, or a protocol
+    /// violation. The transport is unusable; `sink.delivered` records which
+    /// slots were salvaged before the break (re-dispatch material for
+    /// backends that retry).
+    Broken(String),
+}
+
+/// Where one chunk's results land while its response stream drains.
+///
+/// Results go straight into the **global** flat-index table (`results`,
+/// sized for the whole manifest) so gathers need no per-chunk reshuffle;
+/// `delivered` is the chunk-local bitmap retry logic consumes.
+pub(crate) struct ChunkSink<'a> {
+    /// `(point, replication, seed)` of each chunk-local slot.
+    pub slots: &'a [(usize, u64, u64)],
+    /// Chunk-local slot index → global flat index.
+    pub global_flat: &'a [usize],
+    /// The whole manifest's result table, indexed by global flat index.
+    pub results: &'a [OnceLock<Vec<u8>>],
+    /// Chunk-local delivery bitmap (same length as `slots`).
+    pub delivered: &'a mut [bool],
+    /// Grand-total completion counter shared across all chunks.
+    pub completed: &'a AtomicUsize,
+    /// Total slots in the whole manifest (for progress ticks).
+    pub grand_total: usize,
+    /// Progress callback, if any.
+    pub progress: Option<&'a ProgressFn>,
+}
+
+/// Drain one chunk's response frames from `transport` into `sink`.
+///
+/// Reads until `D` (complete), `E` (in-band task error) or a stream
+/// failure. Never returns early on a decode problem without classifying the
+/// transport as broken — a worker that emits garbage cannot be trusted with
+/// further chunks.
+pub(crate) fn drain_chunk(transport: &mut dyn FrameTransport, sink: ChunkSink<'_>) -> Drained {
+    debug_assert_eq!(sink.slots.len(), sink.global_flat.len());
+    debug_assert_eq!(sink.slots.len(), sink.delivered.len());
+    loop {
+        let body = match transport.recv() {
+            Ok(Some(b)) => b,
+            Ok(None) => return Drained::Broken("EOF before chunk completed".into()),
+            Err(e) => return Drained::Broken(format!("frame read failed: {e}")),
+        };
+        let mut r = Reader::new(&body);
+        let step = (|| -> Result<Option<Drained>, WireError> {
+            match r.get_u8()? {
+                frame::RESULT => {
+                    let local = r.get_u64()? as usize;
+                    let bytes = r.get_bytes()?.to_vec();
+                    r.finish()?;
+                    if local >= sink.slots.len() {
+                        return Err(WireError::new(format!(
+                            "result slot {local} out of range ({} slots)",
+                            sink.slots.len()
+                        )));
+                    }
+                    if sink.delivered[local]
+                        || sink.results[sink.global_flat[local]].set(bytes).is_err()
+                    {
+                        return Err(WireError::new(format!("slot {local} delivered twice")));
+                    }
+                    sink.delivered[local] = true;
+                    let done_now = sink.completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(cb) = sink.progress {
+                        let (point, rep, _seed) = sink.slots[local];
+                        cb(Progress {
+                            point,
+                            replication: rep,
+                            completed: done_now,
+                            total: sink.grand_total,
+                        });
+                    }
+                    Ok(None)
+                }
+                frame::ERROR => {
+                    let local = r.get_u64()? as usize;
+                    let message = r.get_str()?.to_string();
+                    r.finish()?;
+                    // Same trust boundary as the RESULT arm: an
+                    // out-of-range slot is a protocol violation, not an
+                    // error report — a worker that garbles indices gets
+                    // its transport abandoned, never a fabricated Task
+                    // error that could win lowest-index selection.
+                    let &(point, rep, _seed) = sink.slots.get(local).ok_or_else(|| {
+                        WireError::new(format!(
+                            "error slot {local} out of range ({} slots)",
+                            sink.slots.len()
+                        ))
+                    })?;
+                    Ok(Some(Drained::TaskError(ExecError::Task {
+                        flat_index: sink.global_flat[local],
+                        point,
+                        replication: rep,
+                        message,
+                    })))
+                }
+                frame::HEARTBEAT => {
+                    // Liveness tick from an executing worker: resets the
+                    // transport's read timeout simply by having arrived.
+                    r.finish()?;
+                    Ok(None)
+                }
+                frame::DONE => {
+                    let claimed = r.get_u64()? as usize;
+                    r.finish()?;
+                    let have = sink.delivered.iter().filter(|d| **d).count();
+                    if claimed != have {
+                        return Err(WireError::new(format!(
+                            "worker claims {claimed} result(s), received {have}"
+                        )));
+                    }
+                    if have != sink.slots.len() {
+                        return Err(WireError::new(format!(
+                            "worker completed with {have} of {} slot(s) delivered",
+                            sink.slots.len()
+                        )));
+                    }
+                    Ok(Some(Drained::Complete))
+                }
+                tag => Err(WireError::new(format!("unknown frame tag {tag:#x}"))),
+            }
+        })();
+        match step {
+            Ok(None) => continue,
+            Ok(Some(outcome)) => return outcome,
+            Err(e) => return Drained::Broken(format!("protocol violation: {e}")),
+        }
+    }
+}
+
+/// First undelivered slot's global flat index, if any — the attribution
+/// point for a worker that died owing part of its chunk.
+pub(crate) fn first_undelivered(global_flat: &[usize], delivered: &[bool]) -> Option<usize> {
+    delivered
+        .iter()
+        .zip(global_flat)
+        .filter(|(d, _)| !**d)
+        .map(|(_, &g)| g)
+        .min()
+}
+
+/// Keep whichever error has the lower attributed flat index — the
+/// deterministic cross-chunk selection both multi-worker backends share
+/// (matching `Runner::try_grid`).
+pub(crate) fn keep_lowest_error(slot: &mut Option<ExecError>, e: ExecError) {
+    match slot {
+        Some(cur) if cur.flat_index() <= e.flat_index() => {}
+        _ => *slot = Some(e),
+    }
+}
+
+/// Collapse a completed gather table into flat-order result bytes. A
+/// missing slot is impossible after every chunk drained clean; it is
+/// reported as a worker error rather than a panic because the table was
+/// filled by untrusted peers.
+pub(crate) fn collect_results(results: Vec<OnceLock<Vec<u8>>>) -> Result<Vec<Vec<u8>>, ExecError> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(flat, slot)| {
+            slot.into_inner().ok_or(ExecError::Worker {
+                flat_index: flat,
+                message: "gather finished without delivering this slot".into(),
+            })
+        })
+        .collect()
+}

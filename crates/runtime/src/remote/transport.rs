@@ -1,0 +1,282 @@
+//! Framed transports: one trait, every byte stream the executor speaks.
+//!
+//! The worker protocol (length-prefixed request/response frames, see
+//! [`crate::wire`]) used to be read and written with code inlined at each
+//! endpoint — the worker's stdin/stdout loop in [`crate::worker`] and the
+//! shard drain loop in [`crate::exec`]. [`FrameTransport`] is the one seam
+//! those endpoints now share, so the same serve loop and the same response
+//! drain run over:
+//!
+//! * [`StdioTransport`] — this process's stdin/stdout (the classic
+//!   `<exe> --worker` subprocess mode);
+//! * [`PipeTransport`] — the parent's half of a worker subprocess's
+//!   stdin/stdout pipes;
+//! * [`TcpTransport`] — a connected socket (the remote backend and
+//!   `--worker --listen` mode), crossing the machine boundary.
+//!
+//! Transports are `Send` (the worker streams result frames from its pool
+//! threads under a mutex) but deliberately **not** `Sync`: callers decide
+//! how to serialize access.
+
+use crate::wire;
+use std::io::{self, Write};
+use std::net::TcpStream;
+
+/// A bidirectional, length-prefixed frame channel.
+///
+/// `send` writes one frame; `recv` blocks for the next one, returning
+/// `Ok(None)` on clean end-of-stream (peer closed before a length prefix).
+/// Implementations must make a `send`ed frame visible to the peer after
+/// `flush` at the latest.
+pub trait FrameTransport: Send {
+    /// Write one frame (length prefix + body).
+    fn send(&mut self, body: &[u8]) -> io::Result<()>;
+
+    /// Read the next frame; `Ok(None)` on clean EOF before a frame starts.
+    /// EOF *inside* a frame is an error (the peer died mid-write).
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>>;
+
+    /// Flush buffered writes through to the peer.
+    fn flush(&mut self) -> io::Result<()>;
+
+    /// Human-readable peer description for diagnostics.
+    fn peer(&self) -> String;
+}
+
+// --- stdio (worker side) -------------------------------------------------
+
+/// The worker half of the subprocess protocol: frames over this process's
+/// own stdin/stdout. Diagnostics belong on stderr — stdout carries nothing
+/// but frames.
+pub struct StdioTransport {
+    stdin: io::Stdin,
+    stdout: io::Stdout,
+}
+
+impl StdioTransport {
+    /// A transport over this process's stdin/stdout.
+    pub fn new() -> Self {
+        StdioTransport {
+            stdin: io::stdin(),
+            stdout: io::stdout(),
+        }
+    }
+}
+
+impl Default for StdioTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameTransport for StdioTransport {
+    fn send(&mut self, body: &[u8]) -> io::Result<()> {
+        wire::write_frame(&mut self.stdout, body)
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        wire::read_frame(&mut self.stdin)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stdout.flush()
+    }
+
+    fn peer(&self) -> String {
+        "stdio".into()
+    }
+}
+
+// --- pipes (parent side) -------------------------------------------------
+
+/// The parent half of a worker subprocess's pipes: requests down the
+/// child's stdin, responses up its stdout.
+///
+/// [`PipeTransport::close_write`] drops the write half early so a worker
+/// blocked mid-read sees EOF instead of waiting forever — the parent has
+/// nothing more to say once the manifest and the shutdown frame are out.
+pub struct PipeTransport {
+    writer: Option<std::process::ChildStdin>,
+    reader: std::process::ChildStdout,
+}
+
+impl PipeTransport {
+    /// A transport over a spawned child's piped stdin/stdout.
+    pub fn new(writer: std::process::ChildStdin, reader: std::process::ChildStdout) -> Self {
+        PipeTransport {
+            writer: Some(writer),
+            reader,
+        }
+    }
+
+    /// Close the write half (the child's stdin). Further `send`s error.
+    pub fn close_write(&mut self) {
+        self.writer = None;
+    }
+}
+
+impl FrameTransport for PipeTransport {
+    fn send(&mut self, body: &[u8]) -> io::Result<()> {
+        let w = self.writer.as_mut().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::BrokenPipe, "worker stdin already closed")
+        })?;
+        wire::write_frame(w, body)
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        wire::read_frame(&mut self.reader)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self.writer.as_mut() {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+
+    fn peer(&self) -> String {
+        "worker subprocess".into()
+    }
+}
+
+// --- TCP -----------------------------------------------------------------
+
+/// Frames over a connected TCP socket — the transport that leaves the
+/// machine. Used on both sides: the remote backend's connection to a
+/// `--worker --listen` peer, and that worker's accepted connection back.
+pub struct TcpTransport {
+    stream: TcpStream,
+    peer: String,
+}
+
+impl TcpTransport {
+    /// Wrap a connected stream. Sets `TCP_NODELAY` (frames are small and
+    /// latency-sensitive; Nagle would batch the per-slot result stream).
+    pub fn new(stream: TcpStream) -> Self {
+        let _ = stream.set_nodelay(true);
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown peer>".into());
+        TcpTransport { stream, peer }
+    }
+
+    /// The underlying socket (for liveness probes — see
+    /// [`crate::remote::probe_live`]).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Bound every blocking `recv` by `timeout`: a peer silent for longer
+    /// fails the read instead of blocking forever. Executing workers
+    /// stream heartbeat frames well inside any sane bound (see the worker
+    /// protocol), so only a genuinely vanished peer trips it.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Bound every blocking `send` by `timeout`: a peer that stops
+    /// reading (vanished between the liveness probe and the request
+    /// write, with the request larger than the socket buffer) fails the
+    /// write instead of blocking the dispatcher forever.
+    pub fn set_write_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.stream.set_write_timeout(timeout)
+    }
+}
+
+impl FrameTransport for TcpTransport {
+    fn send(&mut self, body: &[u8]) -> io::Result<()> {
+        wire::write_frame(&mut self.stream, body)
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        wire::read_frame(&mut self.stream)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+// --- in-memory (tests) ---------------------------------------------------
+
+/// Test transport: frames decoded from a pre-filled input buffer, responses
+/// appended to an output buffer.
+#[cfg(test)]
+pub(crate) struct MemTransport {
+    pub input: io::Cursor<Vec<u8>>,
+    pub output: Vec<u8>,
+}
+
+#[cfg(test)]
+impl MemTransport {
+    pub fn new(input: Vec<u8>) -> Self {
+        MemTransport {
+            input: io::Cursor::new(input),
+            output: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+impl FrameTransport for MemTransport {
+    fn send(&mut self, body: &[u8]) -> io::Result<()> {
+        wire::write_frame(&mut self.output, body)
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        wire::read_frame(&mut self.input)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn peer(&self) -> String {
+        "memory".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn mem_transport_round_trips_frames() {
+        let mut staged = Vec::new();
+        wire::write_frame(&mut staged, b"one").unwrap();
+        wire::write_frame(&mut staged, b"").unwrap();
+        let mut t = MemTransport::new(staged);
+        assert_eq!(t.recv().unwrap().unwrap(), b"one");
+        assert_eq!(t.recv().unwrap().unwrap(), b"");
+        assert!(t.recv().unwrap().is_none());
+        t.send(b"reply").unwrap();
+        let mut r = &t.output[..];
+        assert_eq!(wire::read_frame(&mut r).unwrap().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn tcp_transport_round_trips_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream);
+            let got = t.recv().unwrap().unwrap();
+            t.send(&got).unwrap();
+            t.flush().unwrap();
+            // Clean close → client sees Ok(None).
+        });
+        let mut t = TcpTransport::new(TcpStream::connect(addr).unwrap());
+        t.send(b"ping").unwrap();
+        t.flush().unwrap();
+        assert_eq!(t.recv().unwrap().unwrap(), b"ping");
+        assert!(t.recv().unwrap().is_none());
+        server.join().unwrap();
+    }
+}

@@ -1,20 +1,27 @@
-//! The worker half of the sharded executor protocol.
+//! The worker half of the executor protocol, over any
+//! [`FrameTransport`](crate::remote::FrameTransport).
 //!
-//! A worker subprocess (`<exe> --worker`) reads **one** request frame from
-//! stdin — protocol version, worker-thread count, and a
-//! [`TaskManifest`] — decodes the job through its [`JobRegistry`], executes
-//! the manifest on the in-process scheduling core, and answers on stdout
-//! with one `R` frame **per completed slot, as it completes** (so the
-//! parent's progress callback ticks live and the worker never buffers its
-//! shard), followed by `D` — or a single `E` frame carrying the
-//! lowest-flat-index task error. All framing is length-prefixed; see
-//! [`crate::wire`]. The worker writes nothing else to stdout — diagnostics
-//! belong on stderr.
+//! A worker serves **manifest requests** from its transport in a loop: each
+//! `M` request frame carries the protocol version, a worker-thread count,
+//! and a [`TaskManifest`]; the worker decodes the job through its
+//! [`JobRegistry`], executes the manifest on the in-process scheduling
+//! core, and answers with one `R` frame **per completed slot, as it
+//! completes** (so the parent's progress callback ticks live and the worker
+//! never buffers its shard), followed by `D` — or a single `E` frame
+//! carrying the lowest-flat-index task error. The loop ends on a graceful
+//! shutdown frame (`Q`) or clean EOF; serving several manifests per
+//! connection is what lets remote peers survive adaptive stopping rounds
+//! and chunk re-dispatch without reconnecting.
+//!
+//! Two deployments share this loop: `<exe> --worker` over stdin/stdout
+//! ([`serve_stdio`]) and `<exe> --worker --listen <addr>` over accepted TCP
+//! connections ([`crate::remote::serve_listener`]). Diagnostics belong on
+//! stderr in both.
 
 use crate::exec::{frame, JobRegistry, TaskManifest, WIRE_VERSION};
 use crate::grid::run_segments_core;
+use crate::remote::transport::{FrameTransport, StdioTransport};
 use crate::wire::{self, Reader, WireError};
-use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -25,82 +32,157 @@ enum SlotFailure {
     Io(String),
 }
 
-/// Serve exactly one shard request from `input`, answering on `output`.
+/// How a serve loop ended (both are clean exits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The peer closed the stream without a shutdown frame. In listen
+    /// mode the worker simply accepts the next connection.
+    Eof,
+    /// An explicit shutdown frame: the worker process should exit.
+    Shutdown,
+}
+
+/// Serve manifest requests from `transport` until shutdown or EOF.
 ///
-/// Task errors travel in-band (`E` frame) and yield `Ok(())` — the worker
-/// process should still exit 0, since the parent learned everything it
-/// needs. `Err` is reserved for protocol-level failures (garbage frames,
-/// unknown job kinds, I/O errors), after which the process should exit
-/// non-zero.
+/// Task errors travel in-band (`E` frame) and the loop continues — the
+/// worker stays healthy, since the parent learned everything it needs.
+/// `Err` is reserved for protocol-level failures (garbage frames, unknown
+/// job kinds, I/O errors), after which the transport must be abandoned.
 pub fn serve(
     registry: &JobRegistry,
-    input: &mut dyn Read,
-    output: &mut (dyn Write + Send),
-) -> Result<(), WireError> {
-    let request = wire::read_frame(input)
-        .map_err(|e| WireError::new(format!("request read failed: {e}")))?
-        .ok_or_else(|| WireError::new("EOF before request frame"))?;
-    let mut r = Reader::new(&request);
-    let version = r.get_u8()?;
-    if version != WIRE_VERSION {
-        return Err(WireError::new(format!(
-            "protocol version {version} (worker speaks {WIRE_VERSION})"
-        )));
+    transport: &mut dyn FrameTransport,
+) -> Result<ServeOutcome, WireError> {
+    loop {
+        let request = match transport
+            .recv()
+            .map_err(|e| WireError::new(format!("request read failed: {e}")))?
+        {
+            Some(body) => body,
+            None => return Ok(ServeOutcome::Eof),
+        };
+        let mut r = Reader::new(&request);
+        match r.get_u8()? {
+            frame::SHUTDOWN => {
+                r.finish()?;
+                return Ok(ServeOutcome::Shutdown);
+            }
+            frame::MANIFEST => {
+                let version = r.get_u8()?;
+                if version != WIRE_VERSION {
+                    return Err(WireError::new(format!(
+                        "protocol version {version} (worker speaks {WIRE_VERSION})"
+                    )));
+                }
+                let threads = (r.get_u32()? as usize).max(1);
+                let manifest = TaskManifest::decode(&mut r)?;
+                r.finish()?;
+                serve_manifest(registry, threads, &manifest, transport)?;
+            }
+            tag => {
+                return Err(WireError::new(format!(
+                    "unknown request frame tag {tag:#x}"
+                )))
+            }
+        }
     }
-    let threads = (r.get_u32()? as usize).max(1);
-    let manifest = TaskManifest::decode(&mut r)?;
-    r.finish()?;
+}
 
+/// How often an executing worker streams a liveness heartbeat (`H`
+/// frame). Remote parents set their read timeout to a comfortable
+/// multiple of this (see
+/// [`RemoteBackend::io_timeout`](crate::remote::RemoteBackend)), so a
+/// silently vanished peer is detected without ever mistaking a slow slot
+/// for a dead one.
+pub(crate) const HEARTBEAT_INTERVAL: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// Execute one manifest and stream its response frames.
+fn serve_manifest(
+    registry: &JobRegistry,
+    threads: usize,
+    manifest: &TaskManifest,
+    transport: &mut dyn FrameTransport,
+) -> Result<(), WireError> {
     let job = registry.decode(&manifest.kind, &manifest.payload)?;
 
-    // Run the shard on the shared scheduling core, streaming each slot's
-    // `R` frame the moment it completes: results are never buffered
-    // worker-side, and the parent can tick progress while the shard runs.
+    // Run the manifest on the shared scheduling core, streaming each
+    // slot's `R` frame the moment it completes: results are never buffered
+    // worker-side, and the parent can tick progress while the chunk runs.
     // Frames may interleave in any completion order — they carry the slot
-    // index, and the parent stores by index.
-    let out = Mutex::new(output);
+    // index, and the parent stores by index. A heartbeat thread ticks `H`
+    // frames throughout, so remote parents can bound their read timeouts
+    // without false-killing long slots (send failures are ignored here —
+    // the result path surfaces a broken transport on its own).
+    let out = Mutex::new(transport);
     let delivered = AtomicU64::new(0);
-    let outcome = run_segments_core(
-        threads,
-        None,
-        &manifest.segments,
-        &|flat, point, rep| match job.run_slot(point, rep, manifest.seeds[flat]) {
-            Ok(bytes) => {
-                let mut body = Vec::with_capacity(bytes.len() + 16);
-                wire::put_u8(&mut body, frame::RESULT);
-                wire::put_u64(&mut body, flat as u64);
-                wire::put_bytes(&mut body, &bytes);
-                let mut w = out.lock().expect("output mutex never poisoned");
-                wire::write_frame(*w, &body)
-                    .map_err(|e| SlotFailure::Io(format!("response write failed: {e}")))?;
-                delivered.fetch_add(1, Ordering::Relaxed);
-                Ok(())
+    let finished = Mutex::new(false);
+    let finished_cv = std::sync::Condvar::new();
+    let outcome = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut done = finished.lock().expect("heartbeat mutex never poisoned");
+            loop {
+                // Predicate before wait: a manifest that finishes before
+                // this thread first parks must not cost a lost
+                // notification (= one full interval of latency on the
+                // `D` frame).
+                if *done {
+                    return;
+                }
+                let (guard, timeout) = finished_cv
+                    .wait_timeout(done, HEARTBEAT_INTERVAL)
+                    .expect("heartbeat mutex never poisoned");
+                done = guard;
+                if timeout.timed_out() && !*done {
+                    let mut t = out.lock().expect("output mutex never poisoned");
+                    let _ = t.send(&[frame::HEARTBEAT]).and_then(|_| t.flush());
+                }
             }
-            Err(message) => Err(SlotFailure::Task(message)),
-        },
-    );
+        });
+        let outcome =
+            run_segments_core(
+                threads,
+                None,
+                &manifest.segments,
+                &|flat, point, rep| match job.run_slot(point, rep, manifest.seeds[flat]) {
+                    Ok(bytes) => {
+                        let mut body = Vec::with_capacity(bytes.len() + 16);
+                        wire::put_u8(&mut body, frame::RESULT);
+                        wire::put_u64(&mut body, flat as u64);
+                        wire::put_bytes(&mut body, &bytes);
+                        let mut t = out.lock().expect("output mutex never poisoned");
+                        t.send(&body)
+                            .map_err(|e| SlotFailure::Io(format!("response write failed: {e}")))?;
+                        delivered.fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    }
+                    Err(message) => Err(SlotFailure::Task(message)),
+                },
+            );
+        *finished.lock().expect("heartbeat mutex never poisoned") = true;
+        finished_cv.notify_all();
+        outcome
+    });
 
     let io_err = |e: std::io::Error| WireError::new(format!("response write failed: {e}"));
-    let w = out.into_inner().expect("output mutex never poisoned");
+    let t = out.into_inner().expect("output mutex never poisoned");
     match outcome {
         Ok(_) => {
             let mut done = Vec::new();
             wire::put_u8(&mut done, frame::DONE);
             wire::put_u64(&mut done, delivered.load(Ordering::Relaxed));
-            wire::write_frame(w, &done).map_err(io_err)?;
+            t.send(&done).map_err(io_err)?;
         }
         Err((flat, SlotFailure::Task(message))) => {
             // The parent discards any `R` frames it already received for
-            // this shard once the error arrives.
+            // this chunk once the error arrives.
             let mut body = Vec::new();
             wire::put_u8(&mut body, frame::ERROR);
             wire::put_u64(&mut body, flat as u64);
             wire::put_str(&mut body, &message);
-            wire::write_frame(w, &body).map_err(io_err)?;
+            t.send(&body).map_err(io_err)?;
         }
         Err((_flat, SlotFailure::Io(message))) => return Err(WireError::new(message)),
     }
-    w.flush().map_err(io_err)
+    t.flush().map_err(io_err)
 }
 
 /// [`serve`] over this process's stdin/stdout: the canonical body of a
@@ -108,11 +190,8 @@ pub fn serve(
 /// (0 on `Ok` — in-band task errors included — non-zero on protocol
 /// failures).
 pub fn serve_stdio(registry: &JobRegistry) -> Result<(), WireError> {
-    let stdin = std::io::stdin();
-    // `Stdout` (not the non-`Send` lock guard): `serve` writes from worker
-    // threads under its own mutex.
-    let mut stdout = std::io::stdout();
-    serve(registry, &mut stdin.lock(), &mut stdout)
+    let mut transport = StdioTransport::new();
+    serve(registry, &mut transport).map(|_| ())
 }
 
 #[cfg(test)]
@@ -121,6 +200,7 @@ mod tests {
     use crate::exec::tests::{decode_mul, MulJob};
     use crate::exec::{PortableJob, TaskManifest};
     use crate::grid::Segment;
+    use crate::remote::transport::MemTransport;
 
     fn registry() -> JobRegistry {
         let mut reg = JobRegistry::new();
@@ -128,13 +208,23 @@ mod tests {
         reg
     }
 
-    fn request_bytes(threads: u32, manifest: &TaskManifest) -> Vec<u8> {
-        let mut body = Vec::new();
-        wire::put_u8(&mut body, WIRE_VERSION);
-        wire::put_u32(&mut body, threads);
-        manifest.encode_into(&mut body);
+    fn manifest_request(threads: usize, manifest: &TaskManifest) -> Vec<u8> {
         let mut framed = Vec::new();
-        wire::write_frame(&mut framed, &body).unwrap();
+        wire::write_frame(
+            &mut framed,
+            &crate::remote::protocol::encode_manifest_request(threads, manifest),
+        )
+        .unwrap();
+        framed
+    }
+
+    fn shutdown_request() -> Vec<u8> {
+        let mut framed = Vec::new();
+        wire::write_frame(
+            &mut framed,
+            &crate::remote::protocol::encode_shutdown_request(),
+        )
+        .unwrap();
         framed
     }
 
@@ -155,9 +245,8 @@ mod tests {
     #[test]
     fn serve_round_trips_results_in_memory() {
         let m = mul_manifest(&[2, 3]);
-        let req = request_bytes(2, &m);
-        let mut out = Vec::new();
-        serve(&registry(), &mut &req[..], &mut out).unwrap();
+        let mut t = MemTransport::new(manifest_request(2, &m));
+        assert_eq!(serve(&registry(), &mut t).unwrap(), ServeOutcome::Eof);
 
         // Parse the response stream: 5 R frames (any slot order) + D.
         let job = MulJob { factor: 5 };
@@ -167,7 +256,7 @@ mod tests {
             .map(|&(p, r, s)| job.run_slot(p, r, s).unwrap())
             .collect();
         let mut seen = vec![None; expect.len()];
-        let mut stream = &out[..];
+        let mut stream = &t.output[..];
         let mut done = false;
         while let Some(body) = wire::read_frame(&mut stream).unwrap() {
             let mut r = Reader::new(&body);
@@ -180,6 +269,7 @@ mod tests {
                     assert_eq!(r.get_u64().unwrap(), 5);
                     done = true;
                 }
+                frame::HEARTBEAT => {}
                 tag => panic!("unexpected tag {tag}"),
             }
         }
@@ -189,7 +279,34 @@ mod tests {
     }
 
     #[test]
-    fn serve_reports_task_error_in_band() {
+    fn serve_handles_multiple_manifests_then_shutdown() {
+        // Two manifests back to back, then an explicit shutdown frame:
+        // exactly the shape a remote peer sees across adaptive rounds.
+        let m1 = mul_manifest(&[2]);
+        let m2 = mul_manifest(&[1, 1]);
+        let mut input = manifest_request(1, &m1);
+        input.extend(manifest_request(1, &m2));
+        input.extend(shutdown_request());
+        let mut t = MemTransport::new(input);
+        assert_eq!(serve(&registry(), &mut t).unwrap(), ServeOutcome::Shutdown);
+
+        // Response stream: 2 R + D for m1, then 2 R + D for m2.
+        let mut stream = &t.output[..];
+        let mut dones = 0;
+        let mut results = 0;
+        while let Some(body) = wire::read_frame(&mut stream).unwrap() {
+            match body[0] {
+                frame::RESULT => results += 1,
+                frame::DONE => dones += 1,
+                frame::HEARTBEAT => {}
+                tag => panic!("unexpected tag {tag}"),
+            }
+        }
+        assert_eq!((results, dones), (4, 2));
+    }
+
+    #[test]
+    fn serve_reports_task_error_in_band_and_keeps_serving() {
         struct Boom;
         impl PortableJob for Boom {
             fn kind(&self) -> &'static str {
@@ -215,13 +332,16 @@ mod tests {
             }],
             &|_, _| 0,
         );
-        let req = request_bytes(1, &m);
-        let mut out = Vec::new();
-        serve(&reg, &mut &req[..], &mut out).unwrap();
+        let mut input = manifest_request(1, &m);
+        input.extend(shutdown_request());
+        let mut t = MemTransport::new(input);
+        // The task error is in-band; the loop continues to the shutdown
+        // frame and exits cleanly.
+        assert_eq!(serve(&reg, &mut t).unwrap(), ServeOutcome::Shutdown);
         // Completed slots stream their `R` frames before the error is
         // known (slot 0 here); the stream must then end with exactly one
         // `E` frame and no `D`.
-        let mut stream = &out[..];
+        let mut stream = &t.output[..];
         let mut error_seen = false;
         while let Some(body) = wire::read_frame(&mut stream).unwrap() {
             let mut r = Reader::new(&body);
@@ -235,6 +355,7 @@ mod tests {
                     assert_eq!(r.get_str().unwrap(), "kaboom");
                     error_seen = true;
                 }
+                frame::HEARTBEAT => {}
                 tag => panic!("unexpected tag {tag}"),
             }
         }
@@ -242,23 +363,30 @@ mod tests {
     }
 
     #[test]
-    fn serve_rejects_unknown_kind_and_bad_version() {
+    fn serve_rejects_unknown_kind_bad_version_and_bad_tag() {
         let m = mul_manifest(&[1]);
         // Unknown job kind.
         let mut other = m.clone();
         other.kind = "never-registered".into();
-        let req = request_bytes(1, &other);
-        let mut out = Vec::new();
-        assert!(serve(&registry(), &mut &req[..], &mut out).is_err());
+        let mut t = MemTransport::new(manifest_request(1, &other));
+        assert!(serve(&registry(), &mut t).is_err());
         // Wrong protocol version.
         let mut body = Vec::new();
+        wire::put_u8(&mut body, frame::MANIFEST);
         wire::put_u8(&mut body, WIRE_VERSION + 1);
         wire::put_u32(&mut body, 1);
         m.encode_into(&mut body);
         let mut framed = Vec::new();
         wire::write_frame(&mut framed, &body).unwrap();
-        assert!(serve(&registry(), &mut &framed[..], &mut Vec::new()).is_err());
-        // Empty stdin.
-        assert!(serve(&registry(), &mut &[][..], &mut Vec::new()).is_err());
+        let mut t = MemTransport::new(framed);
+        assert!(serve(&registry(), &mut t).is_err());
+        // Unknown request tag.
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &[0xFF]).unwrap();
+        let mut t = MemTransport::new(framed);
+        assert!(serve(&registry(), &mut t).is_err());
+        // Empty stream is a clean EOF, not an error.
+        let mut t = MemTransport::new(Vec::new());
+        assert_eq!(serve(&registry(), &mut t).unwrap(), ServeOutcome::Eof);
     }
 }

@@ -76,9 +76,9 @@ impl RepOutput {
     }
 
     pub(crate) fn from_obs(obs: &[f64]) -> Result<Self, WireError> {
-        if obs.len() != 10 {
+        if obs.len() != CPU_COMPARISON_OBS_LEN {
             return Err(WireError::new(format!(
-                "cpu-comparison slot has {} metric(s), expected 10",
+                "cpu-comparison slot has {} metric(s), expected {CPU_COMPARISON_OBS_LEN}",
                 obs.len()
             )));
         }
@@ -90,6 +90,17 @@ impl RepOutput {
         })
     }
 }
+
+/// Observation length of a [`CpuComparisonJob`] slot: 4 DES state
+/// fractions, DES energy, 4 Petri state fractions, Petri energy.
+pub const CPU_COMPARISON_OBS_LEN: usize = 10;
+
+/// Watch indices for adaptive CPU-comparison budgets: the DES and Petri
+/// energy curves. Of the three curves the figures plot, the Markov column
+/// is a closed form with zero variance; requiring *both* stochastic
+/// curves' CIs to settle means the stopping decision always tracks
+/// whichever of them is currently the widest — the variance-aware pick.
+pub const CPU_COMPARISON_WATCH: [usize; 2] = [4, 9];
 
 /// The unit task of `run_cpu_comparison`: one DES + one Petri replication
 /// of one threshold point.
