@@ -56,15 +56,9 @@ fn seed_of(_p: usize, r: u64) -> u64 {
     petri_core::rng::SimRng::child_seed(SEED, r)
 }
 
-/// The sibling `repro` binary doubles as the worker.
+/// The sibling `repro` binary (shared harness helper).
 fn repro_bin() -> String {
-    let exe = std::env::current_exe().expect("current_exe");
-    let repro = exe.parent().expect("target dir").join("repro");
-    assert!(
-        repro.exists(),
-        "worker binary {repro:?} missing — build with `cargo build --release -p bench`"
-    );
-    repro.to_string_lossy().into_owned()
+    bench::remote::sibling_repro_bin()
 }
 
 fn run(exec: &Exec) -> Vec<Vec<Vec<u8>>> {

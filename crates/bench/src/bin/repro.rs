@@ -33,13 +33,36 @@
 //!   `repro --worker`, each running `--threads` threads;
 //! * `--hosts a:p,b:p,…` (falling back to `REPRO_HOSTS`) — **remote TCP
 //!   workers**: the grids are partitioned across peers running
-//!   `repro --worker --listen <addr>` (takes precedence over `--shards`).
-//!   Results are **byte-identical** whatever the thread, shard and host
-//!   counts — and after a dead peer's chunk is re-dispatched.
+//!   `repro --worker --listen <addr>`;
+//! * `--service a:p` (falling back to `REPRO_SERVICE`) — route every grid
+//!   dispatch through an **experiment service daemon** (`repro serve`):
+//!   its bounded job queue, single-flight dedup and content-addressed
+//!   result cache. Results are **byte-identical** whatever the executor —
+//!   threads, shards, hosts, or served (cached or fresh).
+//!
+//!   Giving more than one of `--shards`/`--hosts`/`--service` explicitly
+//!   is an error; when one comes from the environment instead, precedence
+//!   is `service > hosts > shards` (warned on stderr).
 //! * `--fixed-reps` — escape hatch: run the stochastic sweeps (fig4–9 /
 //!   tables IV–VI, fig15, validate/open) with the historical fixed
 //!   replication counts instead of the default adaptive `StoppingRule`
 //!   budgets, reproducing the seed numbers exactly.
+//!
+//! Service modes (first argument selects them):
+//!
+//! ```text
+//! repro serve --listen ADDR [--threads N|--shards N|--hosts ...]
+//!             [--queue-capacity N] [--dispatchers N] [--mem-cache N]
+//!             [--cache-dir DIR|--no-disk-cache]
+//!                                 # daemon; announces "serving <addr>"
+//! repro submit --service a:p mm1 [--horizon S] [--warmup S] [--reps N]
+//!              [--seed N]        # submit one job, print id + disposition
+//! repro status --service a:p ID  # one job's state
+//! repro fetch  --service a:p ID [--out FILE]  # block, then result bytes
+//! repro cancel --service a:p ID  # cancel a queued job
+//! repro stats  --service a:p     # daemon counters (cache hits, ...)
+//! repro stop   --service a:p     # graceful daemon shutdown
+//! ```
 //!
 //! `repro --worker [--listen ADDR]` is not a user-facing mode: it serves
 //! task-manifest frames against the job registry
@@ -50,7 +73,7 @@
 
 use bench::write_artifact;
 use des::Workload;
-use sim_runtime::{Exec, StoppingRule};
+use sim_runtime::{Exec, ServiceClient, ServiceConfig, ServiceHandle, StoppingRule};
 use wsn::experiments::ablations::{
     erlang_ablation, memory_ablation, seed_ablation, trigger_ablation,
 };
@@ -74,6 +97,9 @@ struct Opts {
     /// Remote TCP workers (`--hosts` > `REPRO_HOSTS` > none); takes
     /// precedence over `shards`.
     hosts: Vec<String>,
+    /// Experiment service daemon (`--service` > `REPRO_SERVICE` > none);
+    /// takes precedence over `hosts` and `shards`.
+    service: Option<String>,
     /// Fixed replication counts for the stochastic sweeps instead of
     /// the default adaptive budgets.
     fixed_reps: bool,
@@ -82,7 +108,9 @@ struct Opts {
 impl Opts {
     /// The execution backend every experiment runs on.
     fn exec(&self) -> Exec {
-        if !self.hosts.is_empty() {
+        if let Some(addr) = &self.service {
+            Exec::service(self.threads, addr.clone())
+        } else if !self.hosts.is_empty() {
             Exec::remote(self.threads, self.hosts.clone())
         } else if self.shards >= 1 {
             Exec::sharded(self.threads, self.shards)
@@ -145,11 +173,23 @@ fn main() {
             }
         }
     }
+    // Service modes: the first argument selects daemon or client verbs.
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_mode(&args[1..]),
+        Some("submit") => return submit_mode(&args[1..]),
+        Some("status") => return job_verb_mode(&args[1..], JobVerb::Status),
+        Some("fetch") => return job_verb_mode(&args[1..], JobVerb::Fetch),
+        Some("cancel") => return job_verb_mode(&args[1..], JobVerb::Cancel),
+        Some("stats") => return daemon_verb_mode(&args[1..], DaemonVerb::Stats),
+        Some("stop") => return daemon_verb_mode(&args[1..], DaemonVerb::Stop),
+        _ => {}
+    }
     let mut quick = false;
     let mut fixed_reps = false;
     let mut threads: Option<usize> = None;
     let mut shards: Option<usize> = None;
     let mut hosts: Option<Vec<String>> = None;
+    let mut service: Option<String> = None;
     let mut targets: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -177,6 +217,7 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--service" => service = Some(take_service_value(&mut it)),
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -184,35 +225,45 @@ fn main() {
             target => targets.push(target),
         }
     }
+    // Conflicting *explicit* executor selections are an error; mixing an
+    // explicit flag with environment fallbacks resolves by the documented
+    // precedence (service > hosts > shards) with a warning — see
+    // `resolve_executor`.
+    let mut explicit: Vec<&str> = Vec::new();
+    if shards.is_some_and(|n| n >= 1) {
+        explicit.push("--shards");
+    }
+    if hosts.is_some() {
+        explicit.push("--hosts");
+    }
+    if service.is_some() {
+        explicit.push("--service");
+    }
+    if explicit.len() > 1 {
+        eprintln!(
+            "conflicting executor flags: {} select different backends; pass at most one \
+             (when mixed with REPRO_SHARDS/REPRO_HOSTS/REPRO_SERVICE, precedence is \
+             service > hosts > shards)",
+            explicit.join(" and ")
+        );
+        std::process::exit(2);
+    }
     let threads = threads
         .or_else(|| sim_runtime::env_threads("REPRO_THREADS"))
         .unwrap_or_else(sim_runtime::default_threads);
-    let shards = shards
-        .or_else(|| {
-            std::env::var("REPRO_SHARDS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-        })
-        .unwrap_or(0);
-    let hosts = hosts
-        .or_else(|| {
-            std::env::var("REPRO_HOSTS")
-                .ok()
-                .map(|v| parse_hosts(&v))
-                .filter(|l| !l.is_empty())
-        })
-        .unwrap_or_default();
+    let (shards, hosts, service) = resolve_executor(shards, hosts, service, true);
     let opts = Opts {
         quick,
         threads,
         shards,
         hosts,
+        service,
         fixed_reps,
     };
 
     if targets.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--threads N] [--shards N] [--hosts a:p,b:p] [--fixed-reps] <target>...   (try: repro all)"
+            "usage: repro [--quick] [--threads N] [--shards N] [--hosts a:p,b:p] [--service a:p] [--fixed-reps] <target>...   (try: repro all)\n       repro serve --listen a:p | repro submit|status|fetch|cancel|stats|stop --service a:p ..."
         );
         std::process::exit(2);
     }
@@ -250,30 +301,18 @@ fn main() {
     }
 }
 
-/// Print one sweep's replication spend: total, per-point cap hits, and
-/// the rule that governed it (or the `--fixed-reps` escape hatch).
+/// Print one sweep's replication spend (see
+/// [`wsn::report::render_budget_summary`] — shared with the test suite so
+/// the cap-hit accounting itself is covered).
 fn report_budget(
     points: impl Iterator<Item = (u64, bool)>,
     rule: Option<&StoppingRule>,
     watch: &str,
 ) {
-    let (mut total, mut count, mut unconverged) = (0u64, 0usize, 0usize);
-    for (reps, converged) in points {
-        total += reps;
-        count += 1;
-        unconverged += usize::from(!converged);
-    }
-    match rule {
-        Some(rule) => println!(
-            "  adaptive budget: {total} replications over {count} points (rule: {:.0}% CI on {watch}, {}..{}; {unconverged} point(s) hit the cap)",
-            rule.relative.unwrap_or_default() * 100.0,
-            rule.min_replications,
-            rule.max_replications,
-        ),
-        None => {
-            println!("  fixed budget: {total} replications over {count} points (--fixed-reps)")
-        }
-    }
+    println!(
+        "{}",
+        wsn::report::render_budget_summary(points, rule, watch)
+    );
 }
 
 /// Split a comma-separated `host:port` list, dropping empty entries.
@@ -283,6 +322,411 @@ fn parse_hosts(v: &str) -> Vec<String> {
         .filter(|s| !s.is_empty())
         .map(String::from)
         .collect()
+}
+
+/// Apply the environment fallbacks (`REPRO_SHARDS`/`REPRO_HOSTS`/
+/// `REPRO_SERVICE`) and the documented executor precedence
+/// `service > hosts > shards`. Conflicts between *explicit* flags were
+/// already rejected at parse time; a cross-source conflict (flag +
+/// environment, or environment + environment) resolves by precedence with
+/// a warning naming the loser.
+fn resolve_executor(
+    cli_shards: Option<usize>,
+    cli_hosts: Option<Vec<String>>,
+    cli_service: Option<String>,
+    consult_service_env: bool,
+) -> (usize, Vec<String>, Option<String>) {
+    let shards = cli_shards
+        .or_else(|| {
+            std::env::var("REPRO_SHARDS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .unwrap_or(0);
+    let hosts = cli_hosts
+        .or_else(|| {
+            std::env::var("REPRO_HOSTS")
+                .ok()
+                .map(|v| parse_hosts(&v))
+                .filter(|l| !l.is_empty())
+        })
+        .unwrap_or_default();
+    // The daemon's own backend selection (`repro serve`) never consults
+    // REPRO_SERVICE: that variable addresses *clients* at a daemon, and a
+    // daemon cannot dispatch onto a service anyway.
+    let service = cli_service.or_else(|| {
+        if consult_service_env {
+            std::env::var("REPRO_SERVICE")
+                .ok()
+                .filter(|s| !s.is_empty())
+        } else {
+            None
+        }
+    });
+    let mut active: Vec<&str> = Vec::new();
+    if service.is_some() {
+        active.push("service");
+    }
+    if !hosts.is_empty() {
+        active.push("hosts");
+    }
+    if shards >= 1 {
+        active.push("shards");
+    }
+    if active.len() > 1 {
+        eprintln!(
+            "[repro] warning: multiple executors configured ({}) via flags + environment; \
+             using {} (precedence service > hosts > shards)",
+            active.join(", "),
+            active[0]
+        );
+    }
+    if service.is_some() {
+        (0, Vec::new(), service)
+    } else if !hosts.is_empty() {
+        (0, hosts, None)
+    } else {
+        (shards, Vec::new(), None)
+    }
+}
+
+// --- service modes -------------------------------------------------------
+
+/// `repro serve --listen ADDR [...]`: run the experiment service daemon.
+fn serve_mode(args: &[String]) {
+    let mut listen: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut hosts: Option<Vec<String>> = None;
+    let mut queue_capacity = 256usize;
+    let mut dispatchers = 1usize;
+    let mut mem_cache = 64usize;
+    let mut cache_dir: Option<std::path::PathBuf> = Some("results/cache".into());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => match it.next() {
+                Some(addr) if !addr.is_empty() => listen = Some(addr.clone()),
+                _ => flag_err("--listen", "an address (host:port; port 0 = ephemeral)"),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => flag_err("--threads", "a positive integer"),
+            },
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => shards = Some(n),
+                _ => flag_err("--shards", "a non-negative integer (0 = in-process)"),
+            },
+            "--hosts" => match it.next().map(|v| parse_hosts(v)) {
+                Some(list) if !list.is_empty() => hosts = Some(list),
+                _ => flag_err("--hosts", "a comma-separated host:port list"),
+            },
+            "--queue-capacity" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => queue_capacity = n,
+                _ => flag_err("--queue-capacity", "a positive integer"),
+            },
+            "--dispatchers" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => dispatchers = n,
+                _ => flag_err("--dispatchers", "a positive integer"),
+            },
+            "--mem-cache" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => mem_cache = n,
+                _ => flag_err("--mem-cache", "a non-negative entry count (0 disables)"),
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) if !d.is_empty() => cache_dir = Some(d.into()),
+                _ => flag_err("--cache-dir", "a directory path"),
+            },
+            "--no-disk-cache" => cache_dir = None,
+            other => {
+                eprintln!("unknown serve flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if shards.is_some_and(|n| n >= 1) && hosts.is_some() {
+        eprintln!(
+            "conflicting executor flags: --shards and --hosts select different backends; \
+             pass at most one (precedence with environment variables is hosts > shards)"
+        );
+        std::process::exit(2);
+    }
+    let Some(addr) = listen else {
+        eprintln!("usage: repro serve --listen ADDR [--threads N] [--shards N | --hosts a:p,b:p] [--queue-capacity N] [--dispatchers N] [--mem-cache N] [--cache-dir DIR | --no-disk-cache]");
+        std::process::exit(2);
+    };
+    let threads = threads
+        .or_else(|| sim_runtime::env_threads("REPRO_THREADS"))
+        .unwrap_or_else(sim_runtime::default_threads);
+    let (shards, hosts, _) = resolve_executor(shards, hosts, None, false);
+    let exec = if !hosts.is_empty() {
+        Exec::remote(threads, hosts)
+    } else if shards >= 1 {
+        Exec::sharded(threads, shards)
+    } else {
+        Exec::in_process(threads)
+    };
+    eprintln!(
+        "[serve] backend: {}; queue capacity {queue_capacity}; {dispatchers} dispatcher(s); \
+         mem cache {mem_cache} entries; disk cache {}",
+        exec.label(),
+        cache_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "disabled".into()),
+    );
+    let cfg = ServiceConfig {
+        exec,
+        queue_capacity,
+        dispatchers,
+        mem_cache_entries: mem_cache,
+        cache_dir,
+        ..Default::default()
+    };
+    let handle = ServiceHandle::start(cfg, std::sync::Arc::new(bench::shard::worker_registry()));
+    match sim_runtime::service::serve(handle.service(), &addr) {
+        Ok(()) => {
+            eprintln!("[serve] shutdown requested; stopping dispatchers");
+            handle.stop();
+        }
+        Err(e) => {
+            eprintln!("[serve] {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Exit 2 with a uniform "flag needs X" usage error.
+fn flag_err(flag: &str, what: &str) -> ! {
+    eprintln!("{flag} needs {what}");
+    std::process::exit(2);
+}
+
+/// Parse the value of a `--service` flag from the argument stream.
+fn take_service_value(it: &mut std::slice::Iter<'_, String>) -> String {
+    match it.next() {
+        Some(addr) if !addr.is_empty() => addr.clone(),
+        _ => flag_err("--service", "a daemon address (host:port)"),
+    }
+}
+
+/// Resolve the client-side daemon address (`--service` or `REPRO_SERVICE`).
+fn require_service(addr: Option<String>) -> String {
+    match addr.or_else(|| {
+        std::env::var("REPRO_SERVICE")
+            .ok()
+            .filter(|s| !s.is_empty())
+    }) {
+        Some(a) => a,
+        None => {
+            eprintln!("this mode needs --service HOST:PORT (or REPRO_SERVICE)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn connect_service(addr: &str) -> ServiceClient {
+    match ServiceClient::connect(addr, std::time::Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("[repro] cannot reach service {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro submit --service a:p mm1 [...]`: submit one job, print its id
+/// and disposition (queued / cache-hit / coalesced).
+fn submit_mode(args: &[String]) {
+    let mut service: Option<String> = None;
+    let mut spec: Option<String> = None;
+    let mut horizon = 200.0f64;
+    let mut warmup = 20.0f64;
+    let mut reps = 2u64;
+    let mut seed = 0xCAFEu64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--service" => service = Some(take_service_value(&mut it)),
+            "--horizon" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(h) if h > 0.0 => horizon = h,
+                _ => flag_err("--horizon", "a positive number of seconds"),
+            },
+            "--warmup" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(w) if w >= 0.0 => warmup = w,
+                _ => flag_err("--warmup", "a non-negative number of seconds"),
+            },
+            "--reps" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => reps = n,
+                _ => flag_err("--reps", "a positive integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => seed = s,
+                _ => flag_err("--seed", "an integer"),
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown submit flag: {other}");
+                std::process::exit(2);
+            }
+            name => spec = Some(name.to_string()),
+        }
+    }
+    let addr = require_service(service);
+    let manifest = match spec.as_deref() {
+        Some("mm1") => {
+            let job = bench::shard::Mm1ReplicationJob {
+                horizon,
+                warmup,
+                mu_grid: vec![2.0, 5.0, 10.0],
+            };
+            let segments = (0..job.mu_grid.len())
+                .map(|point| sim_runtime::Segment {
+                    point,
+                    base_rep: 0,
+                    count: reps as usize,
+                })
+                .collect();
+            sim_runtime::TaskManifest::for_job(&job, segments, &|p, r| {
+                petri_core::rng::SimRng::child_seed(seed, ((p as u64) << 32) | r)
+            })
+        }
+        Some(other) => {
+            eprintln!("unknown job spec {other:?} (available: mm1)");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("usage: repro submit --service a:p mm1 [--horizon S] [--warmup S] [--reps N] [--seed N]");
+            std::process::exit(2);
+        }
+    };
+    match connect_service(&addr).submit(&manifest, 1) {
+        Ok((job, disposition)) => println!("submitted {job} ({disposition})"),
+        Err(e) => {
+            eprintln!("[submit] {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+enum JobVerb {
+    Status,
+    Fetch,
+    Cancel,
+}
+
+/// `repro status|fetch|cancel --service a:p ID [--out FILE]`.
+fn job_verb_mode(args: &[String], verb: JobVerb) {
+    let mut service: Option<String> = None;
+    let mut id: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--service" => service = Some(take_service_value(&mut it)),
+            "--out" => match it.next() {
+                Some(path) if !path.is_empty() => out = Some(path.clone()),
+                _ => {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+            n => match n.parse::<u64>() {
+                Ok(v) => id = Some(v),
+                Err(_) => {
+                    eprintln!("job id must be an integer, got {n:?}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    let addr = require_service(service);
+    let Some(id) = id else {
+        eprintln!("this mode needs a job id (as printed by `repro submit`)");
+        std::process::exit(2);
+    };
+    if out.is_some() && !matches!(verb, JobVerb::Fetch) {
+        eprintln!("--out only applies to `repro fetch`");
+        std::process::exit(2);
+    }
+    let job = sim_runtime::JobId(id);
+    let mut client = connect_service(&addr);
+    let outcome = match verb {
+        JobVerb::Status => client.status(job).map(|state| println!("{job}: {state}")),
+        JobVerb::Cancel => client.cancel(job).map(|()| println!("{job}: cancelled")),
+        JobVerb::Fetch => client.fetch_blob(job).map(|blob| {
+            // An undecodable blob is corruption or version skew — report
+            // it, never pass it off as a legitimately empty result.
+            let slots = match sim_runtime::service::cache::decode_blob(&blob) {
+                Ok(s) => s.len(),
+                Err(e) => {
+                    eprintln!("[fetch] {job}: result blob does not decode: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!("{job}: {slots} slot(s), {} bytes", blob.len());
+            if let Some(path) = &out {
+                match std::fs::write(path, &blob) {
+                    Ok(()) => println!("wrote {path}"),
+                    Err(e) => {
+                        eprintln!("[fetch] cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }),
+    };
+    if let Err(e) = outcome {
+        eprintln!("[repro] {e}");
+        std::process::exit(1);
+    }
+}
+
+enum DaemonVerb {
+    Stats,
+    Stop,
+}
+
+/// `repro stats|stop --service a:p`.
+fn daemon_verb_mode(args: &[String], verb: DaemonVerb) {
+    let mut service: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--service" => service = Some(take_service_value(&mut it)),
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let addr = require_service(service);
+    let mut client = connect_service(&addr);
+    let outcome = match verb {
+        DaemonVerb::Stats => client.stats().map(|s| {
+            println!("submitted {}", s.submitted);
+            println!(
+                "hits {} (mem {}, disk {})",
+                s.hits(),
+                s.hits_mem,
+                s.hits_disk
+            );
+            println!("coalesced {}", s.coalesced);
+            println!("executed {} (failed {})", s.executed, s.failed);
+            println!("rejected {}", s.rejected);
+            println!("cancelled {}", s.cancelled);
+        }),
+        DaemonVerb::Stop => client
+            .shutdown()
+            .map(|()| println!("daemon at {addr} stopped")),
+    };
+    if let Err(e) = outcome {
+        eprintln!("[repro] {e}");
+        std::process::exit(1);
+    }
 }
 
 fn run_all(opts: &Opts) {

@@ -1,0 +1,216 @@
+//! Paired A/B of the experiment service daemon on the `repro fig14
+//! --quick` workload (24-point closed node sweep, 200 s horizon, one
+//! deterministic replication per point), against a real `repro serve`
+//! process on loopback.
+//!
+//! Three measurements:
+//!
+//! 1. **Byte identity** (asserted before any timing): the served gather —
+//!    fresh *and* cache-hit — must reproduce the in-process slot bytes
+//!    exactly.
+//! 2. **Cache-hit speedup**: cold submit+fetch (a genuine miss — the
+//!    daemon simulates the whole sweep) vs warm submit+fetch of the same
+//!    manifest (answered from the content-addressed cache). Distinct seeds
+//!    per pair keep every cold run a real miss; medians over `--pairs`
+//!    pairs. The binary asserts the warm path is at least
+//!    [`MIN_HIT_SPEEDUP`]× faster — the service's reason to exist.
+//! 3. **Submission throughput**: trivial 1-slot jobs (distinct seeds, so
+//!    every one is a miss) submitted + fetched sequentially over one
+//!    connection, and pipelined (all submits first, then all fetches) —
+//!    the queue/protocol overhead floor in jobs/second.
+//!
+//! ```text
+//! cargo run --release -p bench --bin service_ab [--pairs K]
+//! ```
+
+use bench::remote::LocalService;
+use bench::shard::FailJob;
+use des::Workload;
+use sim_runtime::service::protocol::{ServiceRequest, ServiceResponse};
+use sim_runtime::{Exec, TaskManifest};
+use std::time::Instant;
+use wsn::experiments::jobs::NodeSweepJob;
+use wsn::sweep::FIG14_15_PDT_GRID;
+
+const HORIZON: f64 = 200.0; // fig14 --quick
+const SEED: u64 = 0xF14;
+
+/// Minimum accepted cold/warm speedup: a cache hit skips the whole
+/// simulation, so even with protocol overhead it must be far faster than
+/// re-simulating the sweep.
+const MIN_HIT_SPEEDUP: f64 = 2.0;
+
+fn job() -> NodeSweepJob {
+    NodeSweepJob {
+        workload: Workload::Closed { interval: 1.0 },
+        horizon: HORIZON,
+        grid: FIG14_15_PDT_GRID.to_vec(),
+    }
+}
+
+fn seed_of(base: u64) -> impl Fn(usize, u64) -> u64 {
+    move |_p, r| petri_core::rng::SimRng::child_seed(base, r)
+}
+
+fn run(exec: &Exec, base_seed: u64) -> Vec<Vec<Vec<u8>>> {
+    let reps = vec![1u64; FIG14_15_PDT_GRID.len()];
+    exec.runner()
+        .run_job(&job(), &reps, &seed_of(base_seed))
+        .expect("fig14 sweep runs")
+}
+
+/// The sibling `repro` binary (shared harness helper).
+fn repro_bin() -> String {
+    bench::remote::sibling_repro_bin()
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(|x, y| x.total_cmp(y));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let mut pairs = 9usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pairs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => pairs = n,
+                _ => {
+                    eprintln!("--pairs needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown arg: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let tasks = FIG14_15_PDT_GRID.len();
+    // The pipelined phase bursts every submission before fetching any, so
+    // the daemon's queue must hold the whole burst — size it explicitly
+    // instead of relying on the default 256 staying ahead of --pairs.
+    let n_jobs = (pairs * 10).max(30) as u64;
+    let queue_capacity = (2 * n_jobs + 16).to_string();
+    let cache_dir = std::env::temp_dir().join(format!("service-ab-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let daemon = LocalService::spawn(
+        &repro_bin(),
+        &[
+            "--threads",
+            "1",
+            "--queue-capacity",
+            &queue_capacity,
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ],
+    )
+    .expect("daemon spawns");
+    let served = daemon.exec(1);
+    let in_process = Exec::in_process(1);
+
+    // Correctness first: byte identity fresh and from cache.
+    let baseline = run(&in_process, SEED);
+    assert_eq!(baseline, run(&served, SEED), "served sweep diverged");
+    assert_eq!(
+        baseline,
+        run(&served, SEED),
+        "cache-hit sweep diverged from in-process bytes"
+    );
+    eprintln!("byte-identity: in-process == served (miss) == served (hit) on {tasks} slots");
+
+    // Cache-hit speedup: distinct seed per pair → cold is a genuine miss.
+    let timed = |base_seed: u64| {
+        let t0 = Instant::now();
+        std::hint::black_box(run(&served, base_seed));
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let mut cold_ms = Vec::new();
+    let mut warm_ms = Vec::new();
+    for p in 0..pairs {
+        let base = SEED ^ (0x1000 + p as u64);
+        cold_ms.push(timed(base));
+        warm_ms.push(timed(base));
+    }
+    let cold = median(&mut cold_ms);
+    let warm = median(&mut warm_ms);
+    let speedup = cold / warm;
+
+    // Submission throughput on trivial jobs (protocol + queue floor).
+    // FailJob with an unreachable boundary is the cheapest success.
+    let trivial = |i: u64| {
+        TaskManifest::for_job(
+            &FailJob {
+                fail_point: 99,
+                fail_rep: 0,
+            },
+            vec![sim_runtime::Segment {
+                point: 0,
+                base_rep: 0,
+                count: 1,
+            }],
+            &|_, _| i,
+        )
+    };
+    let mut client = daemon.client();
+    let t0 = Instant::now();
+    for i in 0..n_jobs {
+        let (id, _) = client.submit(&trivial(i), 1).expect("submit");
+        std::hint::black_box(client.fetch_blob(id).expect("fetch"));
+    }
+    let sequential_jobs_per_s = n_jobs as f64 / t0.elapsed().as_secs_f64();
+
+    // Pipelined: burst all submits, then all fetches, on one connection.
+    let t0 = Instant::now();
+    for i in 0..n_jobs {
+        client
+            .send(&ServiceRequest::Submit {
+                threads: 1,
+                manifest: trivial(0x10_0000 + i),
+            })
+            .expect("pipelined submit");
+    }
+    let mut ids = Vec::with_capacity(n_jobs as usize);
+    for _ in 0..n_jobs {
+        match client.recv().expect("pipelined response") {
+            ServiceResponse::Submitted { job, .. } => ids.push(job),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    for id in ids {
+        std::hint::black_box(client.fetch_blob(id).expect("pipelined fetch"));
+    }
+    let pipelined_jobs_per_s = n_jobs as f64 / t0.elapsed().as_secs_f64();
+
+    println!("{{");
+    println!(
+        "  \"workload\": \"fig14 --quick: {tasks}-point closed node sweep, {HORIZON} s horizon, 1 replication/point\","
+    );
+    println!("  \"byte_identity\": \"in-process == served fresh == served cache-hit, asserted on raw slot bytes before timing\",");
+    println!("  \"cache\": {{");
+    println!("    \"pairs\": {pairs},");
+    println!("    \"cold_submit_fetch_ms\": {cold:.2},");
+    println!("    \"warm_submit_fetch_ms\": {warm:.2},");
+    println!("    \"cache_hit_speedup\": {speedup:.1}");
+    println!("  }},");
+    println!("  \"submission_throughput\": {{");
+    println!("    \"jobs\": {n_jobs},");
+    println!("    \"sequential_jobs_per_s\": {sequential_jobs_per_s:.0},");
+    println!("    \"pipelined_jobs_per_s\": {pipelined_jobs_per_s:.0}");
+    println!("  }},");
+    println!(
+        "  \"note\": \"cold = submit+fetch of a fresh manifest (daemon simulates the sweep); warm = identical resubmission answered from the content-addressed cache; throughput jobs are trivial 1-slot manifests, so the figure is the protocol+queue floor, not simulation speed; 1-CPU container — daemon and client share the core\""
+    );
+    println!("}}");
+
+    assert!(
+        speedup >= MIN_HIT_SPEEDUP,
+        "cache-hit speedup {speedup:.1}x below the {MIN_HIT_SPEEDUP}x floor \
+         (cold {cold:.1} ms vs warm {warm:.1} ms)"
+    );
+    eprintln!("cache-hit speedup {speedup:.1}x >= {MIN_HIT_SPEEDUP}x: ok");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

@@ -1,34 +1,121 @@
-//! Local cluster harness: real `repro --worker --listen` processes on
-//! loopback ephemeral ports, for the remote determinism suite, the
-//! `remote_ab` bench and ad-hoc experiments.
+//! Process harnesses for the distributed suites: real `repro` daemon and
+//! worker processes on loopback ephemeral ports.
 //!
-//! A [`LocalCluster`] is the smallest honest stand-in for a multi-host
-//! deployment: every worker is a separate OS process speaking the real TCP
-//! protocol end to end (manifest frame in, per-slot result frames out), so
-//! everything except the physical network hop is exercised. Workers bind
-//! port 0 and announce their bound address on stdout (`listening <addr>`),
-//! which is how the harness learns the ephemeral ports.
+//! Three consumers share the spawn/announce/teardown machinery here:
+//! [`LocalCluster`] (a set of `repro --worker --listen` TCP workers — the
+//! remote determinism suite and `remote_ab`), [`LocalService`] (one
+//! `repro serve --listen` experiment-service daemon — the service suite
+//! and `service_ab`), and ad-hoc experiments. The shared core is
+//! [`AnnouncedProc`]: spawn a child with piped stdout, wait for its
+//! one-line `<prefix> <addr>` announcement (how a process bound to port 0
+//! publishes its ephemeral port — no fixed-port races, no sleep
+//! guessing), and kill + reap it on drop so a failing test never leaks
+//! daemons.
 
 use sim_runtime::remote::TcpTransport;
-use sim_runtime::Exec;
+use sim_runtime::{Exec, ServiceClient};
 use std::io::{BufRead, BufReader};
 use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
-/// One spawned worker process and its bound address.
-struct ClusterWorker {
+/// Resolve the sibling `repro` binary next to the current executable —
+/// how the `*_ab` bench binaries find their worker/daemon. Panics with a
+/// build hint when it is missing.
+pub fn sibling_repro_bin() -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let repro = exe.parent().expect("target dir").join("repro");
+    assert!(
+        repro.exists(),
+        "worker/daemon binary {repro:?} missing — build with `cargo build --release -p bench`"
+    );
+    repro.to_string_lossy().into_owned()
+}
+
+/// A spawned child process that announced its bound address on stdout.
+///
+/// Dropping kills and reaps the child (the un-graceful fallback); harness
+/// types layer their protocol-level shutdown on top.
+pub struct AnnouncedProc {
     child: Child,
     addr: String,
 }
 
-/// A set of loopback TCP workers backing [`Exec::remote`] runs.
+impl AnnouncedProc {
+    /// Spawn `bin args...` with the given extra environment, piped stdout
+    /// and inherited stderr, then block until it prints a line of the form
+    /// `<announce_prefix> <addr>`; anything else is an error (and the
+    /// child is reaped).
+    pub fn spawn(
+        bin: &str,
+        args: &[&str],
+        env: &[(String, String)],
+        announce_prefix: &str,
+    ) -> std::io::Result<Self> {
+        let mut cmd = Command::new(bin);
+        cmd.args(args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn()?;
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line)?;
+        // Require the full "<prefix> " word boundary: a line that merely
+        // starts with the prefix (e.g. "listening-error: ...") is a
+        // malformed announcement, not an address.
+        let expected = format!("{announce_prefix} ");
+        let addr = match line.trim().strip_prefix(&expected) {
+            Some(a) if !a.trim().is_empty() => a.trim().to_string(),
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(std::io::Error::other(format!(
+                    "process announced {line:?} instead of {announce_prefix:?} + address"
+                )));
+            }
+        };
+        Ok(AnnouncedProc { child, addr })
+    }
+
+    /// The announced `host:port`.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Hard-kill the child (idempotent).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Reap the child after a graceful protocol-level shutdown.
+    pub fn wait(&mut self) {
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for AnnouncedProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+// --- worker cluster ------------------------------------------------------
+
+/// A set of loopback TCP workers backing [`Exec::remote`] runs — the
+/// smallest honest stand-in for a multi-host deployment: every worker is
+/// a separate OS process speaking the real protocol end to end, so
+/// everything except the physical network hop is exercised.
 ///
 /// Dropping the cluster kills any worker still running; prefer
 /// [`LocalCluster::shutdown`] for a graceful end (shutdown frame, then
 /// wait) when the workers are healthy.
 pub struct LocalCluster {
-    workers: Vec<ClusterWorker>,
+    workers: Vec<AnnouncedProc>,
 }
 
 impl LocalCluster {
@@ -49,36 +136,19 @@ impl LocalCluster {
         assert!(n >= 1, "a cluster needs at least one worker");
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
-            let mut cmd = Command::new(worker_bin);
-            cmd.args(["--worker", "--listen", "127.0.0.1:0"])
-                .stdin(Stdio::null())
-                .stdout(Stdio::piped())
-                .stderr(Stdio::inherit());
-            for (k, v) in env_of(i) {
-                cmd.env(k, v);
-            }
-            let mut child = cmd.spawn()?;
-            let stdout = child.stdout.take().expect("stdout piped");
-            let mut line = String::new();
-            BufReader::new(stdout).read_line(&mut line)?;
-            let addr = match line.trim().strip_prefix("listening ") {
-                Some(a) if !a.is_empty() => a.to_string(),
-                _ => {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    return Err(std::io::Error::other(format!(
-                        "worker {i} announced {line:?} instead of its address"
-                    )));
-                }
-            };
-            workers.push(ClusterWorker { child, addr });
+            workers.push(AnnouncedProc::spawn(
+                worker_bin,
+                &["--worker", "--listen", "127.0.0.1:0"],
+                &env_of(i),
+                "listening",
+            )?);
         }
         Ok(LocalCluster { workers })
     }
 
     /// The workers' `host:port` addresses, in spawn order.
     pub fn hosts(&self) -> Vec<String> {
-        self.workers.iter().map(|w| w.addr.clone()).collect()
+        self.workers.iter().map(|w| w.addr().to_string()).collect()
     }
 
     /// An [`Exec`] dispatching to the first `hosts` workers with `threads`
@@ -92,9 +162,7 @@ impl LocalCluster {
 
     /// Hard-kill worker `i` (the external peer-death probe). Idempotent.
     pub fn kill(&mut self, i: usize) {
-        let w = &mut self.workers[i];
-        let _ = w.child.kill();
-        let _ = w.child.wait();
+        self.workers[i].kill();
     }
 
     /// Gracefully stop every worker: send each a shutdown frame, then wait
@@ -102,11 +170,11 @@ impl LocalCluster {
     /// already crashed) are reaped by the `Drop` kill instead.
     pub fn shutdown(mut self) {
         for w in &mut self.workers {
-            if let Ok(addr) = w.addr.parse::<std::net::SocketAddr>() {
+            if let Ok(addr) = w.addr().parse::<std::net::SocketAddr>() {
                 if let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(1000)) {
                     let mut t = TcpTransport::new(stream);
                     if sim_runtime::remote::send_shutdown(&mut t).is_ok() {
-                        let _ = w.child.wait();
+                        w.wait();
                     }
                 }
             }
@@ -115,15 +183,66 @@ impl LocalCluster {
     }
 }
 
-impl Drop for LocalCluster {
-    fn drop(&mut self) {
-        for w in &mut self.workers {
-            let _ = w.child.kill();
-            let _ = w.child.wait();
+// --- service daemon ------------------------------------------------------
+
+/// One real `repro serve --listen 127.0.0.1:0` experiment-service daemon
+/// on an ephemeral loopback port — the harness behind the service
+/// determinism/caching suite and the `service_ab` bench.
+///
+/// Dropping kills the daemon; prefer [`LocalService::shutdown`] (the
+/// protocol stop verb, then wait) when it is healthy.
+pub struct LocalService {
+    proc: AnnouncedProc,
+}
+
+impl LocalService {
+    /// Spawn a daemon with extra `repro serve` flags (backend selection,
+    /// queue capacity, cache directory, ...) and wait for its
+    /// `serving <addr>` announcement.
+    ///
+    /// Tests should always pass an explicit `--cache-dir` under a unique
+    /// temp directory (or `--no-disk-cache`): the daemon's default cache
+    /// location is relative to its working directory, and concurrent
+    /// tests must not share entries.
+    pub fn spawn(repro_bin: &str, extra_args: &[&str]) -> std::io::Result<Self> {
+        let mut args = vec!["serve", "--listen", "127.0.0.1:0"];
+        args.extend_from_slice(extra_args);
+        Ok(LocalService {
+            proc: AnnouncedProc::spawn(repro_bin, &args, &[], "serving")?,
+        })
+    }
+
+    /// The daemon's `host:port`.
+    pub fn addr(&self) -> &str {
+        self.proc.addr()
+    }
+
+    /// An [`Exec`] routing every dispatch through this daemon.
+    pub fn exec(&self, threads: usize) -> Exec {
+        Exec::service(threads, self.addr().to_string())
+    }
+
+    /// A fresh client connection to the daemon.
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient::connect(self.addr(), Duration::from_secs(10))
+            .expect("service daemon accepts connections")
+    }
+
+    /// Gracefully stop the daemon (protocol stop verb, then reap). A
+    /// daemon that no longer accepts connections (e.g. it already
+    /// crashed — the interesting failure a test wants surfaced) is left
+    /// for the `Drop` kill instead of panicking here and masking it.
+    pub fn shutdown(mut self) {
+        if let Ok(mut client) = ServiceClient::connect(self.addr(), Duration::from_secs(10)) {
+            if client.shutdown().is_ok() {
+                self.proc.wait();
+            }
         }
+        // Drop reaps a daemon that refused (or never saw) the verb.
     }
 }
 
-// Spawning real workers needs the repro binary (`CARGO_BIN_EXE_repro`),
-// which cargo only provides to integration tests — the harness is
-// exercised end to end by `tests/remote_determinism.rs`.
+// Spawning real workers/daemons needs the repro binary
+// (`CARGO_BIN_EXE_repro`), which cargo only provides to integration
+// tests — the harnesses are exercised end to end by
+// `tests/remote_determinism.rs` and `tests/service.rs`.

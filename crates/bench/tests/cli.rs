@@ -1,0 +1,161 @@
+//! CLI contract tests for the `repro` binary: conflicting executor flags
+//! are an explicit error, environment-derived conflicts resolve by the
+//! documented precedence with a warning, and the service verbs validate
+//! their arguments before touching the network.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    // Isolate from any ambient executor configuration.
+    cmd.env_remove("REPRO_SHARDS")
+        .env_remove("REPRO_HOSTS")
+        .env_remove("REPRO_SERVICE")
+        .env_remove("REPRO_THREADS");
+    cmd
+}
+
+fn run(cmd: &mut Command) -> (i32, String, String) {
+    let out = cmd.output().expect("repro runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn conflicting_executor_flags_are_an_explicit_error() {
+    for flags in [
+        vec!["--shards", "2", "--hosts", "127.0.0.1:1"],
+        vec!["--shards", "2", "--service", "127.0.0.1:1"],
+        vec!["--hosts", "127.0.0.1:1", "--service", "127.0.0.1:2"],
+    ] {
+        let (code, _out, err) = run(repro().args(&flags).arg("params"));
+        assert_eq!(code, 2, "flags {flags:?} must be rejected: {err}");
+        assert!(
+            err.contains("conflicting executor flags"),
+            "flags {flags:?}: {err}"
+        );
+        assert!(
+            err.contains("service > hosts > shards"),
+            "the precedence must be documented in the error: {err}"
+        );
+    }
+}
+
+#[test]
+fn explicit_inprocess_shards_zero_conflicts_with_nothing() {
+    // `--shards 0` explicitly selects in-process execution; pairing it
+    // with `--hosts` is not a conflict (`params` makes no dispatch, so
+    // the unreachable host is never contacted).
+    let (code, _out, err) = run(repro()
+        .args(["--shards", "0", "--hosts", "127.0.0.1:1"])
+        .arg("params"));
+    assert_eq!(code, 0, "{err}");
+}
+
+#[test]
+fn env_derived_conflict_warns_and_applies_precedence() {
+    // REPRO_SHARDS from the environment + --hosts on the CLI: hosts win,
+    // loudly. `params` performs no grid dispatch, so nothing connects.
+    let (code, _out, err) = run(repro()
+        .env("REPRO_SHARDS", "2")
+        .args(["--hosts", "127.0.0.1:9"])
+        .arg("params"));
+    assert_eq!(code, 0, "{err}");
+    assert!(
+        err.contains("warning: multiple executors configured"),
+        "{err}"
+    );
+    assert!(err.contains("precedence service > hosts > shards"), "{err}");
+    assert!(
+        err.contains("executor: remote(hosts=1"),
+        "hosts must win over env shards: {err}"
+    );
+
+    // Same thing with a service address from the environment: it beats
+    // both.
+    let (code, _out, err) = run(repro()
+        .env("REPRO_SHARDS", "2")
+        .env("REPRO_SERVICE", "127.0.0.1:9")
+        .arg("params"));
+    assert_eq!(code, 0, "{err}");
+    assert!(err.contains("executor: service("), "{err}");
+}
+
+#[test]
+fn no_conflict_single_selector_stays_quiet() {
+    let (code, _out, err) = run(repro().args(["--shards", "2"]).arg("params"));
+    assert_eq!(code, 0, "{err}");
+    assert!(!err.contains("warning: multiple executors"), "{err}");
+    assert!(err.contains("executor: sharded(shards=2"), "{err}");
+}
+
+#[test]
+fn service_verbs_validate_arguments_before_connecting() {
+    // Missing --service.
+    let (code, _out, err) = run(repro().args(["status", "1"]));
+    assert_eq!(code, 2);
+    assert!(err.contains("--service"), "{err}");
+    // Missing job id.
+    let (code, _out, err) = run(repro().args(["fetch", "--service", "127.0.0.1:1"]));
+    assert_eq!(code, 2);
+    assert!(err.contains("job id"), "{err}");
+    // Unknown submit spec.
+    let (code, _out, err) = run(repro().args(["submit", "--service", "127.0.0.1:1", "mm2"]));
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown job spec"), "{err}");
+    // serve without --listen.
+    let (code, _out, err) = run(repro().arg("serve"));
+    assert_eq!(code, 2);
+    assert!(err.contains("--listen"), "{err}");
+    // serve with conflicting backend flags.
+    let (code, _out, err) = run(repro().args([
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--shards",
+        "2",
+        "--hosts",
+        "127.0.0.1:1",
+    ]));
+    assert_eq!(code, 2);
+    assert!(err.contains("conflicting executor flags"), "{err}");
+}
+
+#[test]
+fn serve_mode_ignores_the_client_service_env_var() {
+    // Regression: REPRO_SERVICE addresses clients at a daemon; a daemon
+    // being started in the same shell must keep its explicit --shards
+    // backend rather than having it silently discarded by the env var.
+    use std::io::{BufRead, BufReader};
+    let mut child = repro()
+        .env("REPRO_SERVICE", "127.0.0.1:9")
+        .args(["serve", "--listen", "127.0.0.1:0", "--shards", "2"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    // The backend line is announced on stderr before the daemon binds.
+    let mut line = String::new();
+    BufReader::new(child.stderr.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(
+        line.contains("backend: sharded(shards=2"),
+        "daemon must keep its explicit backend: {line}"
+    );
+    assert!(!line.contains("service"), "{line}");
+}
+
+#[test]
+fn unreachable_service_fails_fast_with_a_clear_error() {
+    // Nothing listens on port 1: the client verb must fail with exit 1
+    // and a reachability message, not hang.
+    let (code, _out, err) = run(repro().args(["stats", "--service", "127.0.0.1:1"]));
+    assert_eq!(code, 1);
+    assert!(err.contains("cannot reach service"), "{err}");
+}

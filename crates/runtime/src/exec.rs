@@ -701,6 +701,10 @@ pub(crate) enum BackendSel {
     },
     /// Remote TCP peers (`<exe> --worker --listen <addr>`).
     Remote { hosts: Vec<String> },
+    /// An experiment service daemon (`<exe> serve --listen <addr>`):
+    /// dispatches become submit + fetch against its job queue and
+    /// content-addressed result cache.
+    Service { addr: String },
 }
 
 /// Resolved execution parameters, threaded through every experiment
@@ -710,8 +714,11 @@ pub(crate) enum BackendSel {
 /// `shards == 0` and empty `hosts` means "in-process"; `shards >= 1` fans
 /// out to that many worker subprocesses, each running `threads` worker
 /// threads; a non-empty `hosts` list (which takes precedence over shards)
-/// dispatches to remote TCP workers instead. Results are identical in
-/// every case — the setting only chooses *where* slots execute.
+/// dispatches to remote TCP workers instead; a `service` address (highest
+/// precedence) routes dispatches through an experiment service daemon —
+/// its job queue, single-flight dedup and content-addressed result cache.
+/// Results are identical in every case — the setting only chooses *where*
+/// (and, on a cache hit, whether) slots execute.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Exec {
     /// Worker threads (per process — local, per subprocess, or per remote
@@ -725,6 +732,9 @@ pub struct Exec {
     /// Remote worker addresses (`host:port`); non-empty selects the
     /// remote TCP backend.
     pub hosts: Vec<String>,
+    /// Experiment service daemon address (`host:port`); `Some` selects
+    /// the service backend (precedence over `hosts` and `shards`).
+    pub service: Option<String>,
 }
 
 impl Default for Exec {
@@ -741,6 +751,7 @@ impl Exec {
             shards: 0,
             worker_cmd: None,
             hosts: Vec::new(),
+            service: None,
         }
     }
 
@@ -752,6 +763,7 @@ impl Exec {
             shards: shards.max(1),
             worker_cmd: None,
             hosts: Vec::new(),
+            service: None,
         }
     }
 
@@ -768,6 +780,23 @@ impl Exec {
             shards: 0,
             worker_cmd: None,
             hosts,
+            service: None,
+        }
+    }
+
+    /// Route portable jobs through an experiment service daemon
+    /// (`<exe> serve --listen <addr>`): dispatches become submit + fetch
+    /// against its bounded queue, single-flight dedup and two-tier result
+    /// cache. `threads` is carried as an advisory hint; the daemon's own
+    /// backend configuration governs execution resources.
+    pub fn service(threads: usize, addr: String) -> Self {
+        assert!(!addr.is_empty(), "service execution needs a daemon address");
+        Exec {
+            threads: threads.max(1),
+            shards: 0,
+            worker_cmd: None,
+            hosts: Vec::new(),
+            service: Some(addr),
         }
     }
 
@@ -788,10 +817,17 @@ impl Exec {
         !self.hosts.is_empty()
     }
 
+    /// Whether portable jobs are routed through a service daemon.
+    pub fn is_service(&self) -> bool {
+        self.service.is_some()
+    }
+
     /// A [`Runner`](crate::Runner) on this configuration.
     pub fn runner(&self) -> crate::Runner {
         let mut r = crate::Runner::new(self.threads);
-        if !self.hosts.is_empty() {
+        if let Some(addr) = &self.service {
+            r.backend = BackendSel::Service { addr: addr.clone() };
+        } else if !self.hosts.is_empty() {
             r.backend = BackendSel::Remote {
                 hosts: self.hosts.clone(),
             };
@@ -806,7 +842,9 @@ impl Exec {
 
     /// Short description for logs.
     pub fn label(&self) -> String {
-        if !self.hosts.is_empty() {
+        if let Some(addr) = &self.service {
+            format!("service(addr={addr}, threads={})", self.threads)
+        } else if !self.hosts.is_empty() {
             format!(
                 "remote(hosts={}, threads={})",
                 self.hosts.len(),
@@ -834,6 +872,10 @@ impl crate::Runner {
             }
             BackendSel::Remote { hosts } => Box::new(crate::remote::RemoteBackend::new(
                 hosts.clone(),
+                self.threads,
+            )),
+            BackendSel::Service { addr } => Box::new(crate::service::client::ServiceBackend::new(
+                addr.clone(),
                 self.threads,
             )),
         }

@@ -31,6 +31,15 @@
 //!   gather), over the [`remote::FrameTransport`] trait shared with the
 //!   pipe and stdio endpoints; [`remote::AsyncBackend`] overlaps I/O-bound
 //!   work without an async runtime.
+//! * [`service`] — the **experiment service daemon** over the same seam:
+//!   a bounded job queue and scheduler dispatching onto any backend, a
+//!   two-tier content-addressed result cache (in-memory LRU over a disk
+//!   store, keyed by a SHA-256 of the wire-encoded manifest — a hit is
+//!   byte-identical to a fresh run by construction), single-flight
+//!   deduplication of identical in-flight requests, a versioned
+//!   submit/status/fetch/cancel protocol, and
+//!   [`service::ServiceBackend`], which routes any driver's dispatches
+//!   through a daemon (`Exec::service`).
 //! * [`stats`] — Welford moments, Student-t confidence intervals and batch
 //!   means (re-exported by `petri_core::stats` for compatibility).
 
@@ -40,6 +49,7 @@
 pub mod exec;
 pub mod grid;
 pub mod remote;
+pub mod service;
 pub mod stats;
 pub mod stopping;
 pub mod wire;
@@ -51,6 +61,10 @@ pub use exec::{
 };
 pub use grid::{default_threads, env_threads, Progress, Runner, Segment};
 pub use remote::{AsyncBackend, FrameTransport, RemoteBackend};
+pub use service::{
+    Disposition, JobId, JobState, Service, ServiceBackend, ServiceClient, ServiceConfig,
+    ServiceError, ServiceHandle, ServiceStats,
+};
 pub use stats::{
     describe, student_t_critical, BatchMeans, ConfidenceInterval, ConfidenceLevel, Welford,
 };

@@ -1,0 +1,54 @@
+//! The scheduler half of the service: dispatcher threads that claim
+//! queued jobs and execute them on the configured
+//! [`ExecBackend`](crate::exec::ExecBackend).
+//!
+//! Dispatchers are plain threads (no async runtime in the offline vendor
+//! tree): each one blocks on the service's work condvar, claims the oldest
+//! queued job, executes it **outside** the service lock — a dispatch may
+//! run for minutes across shards or remote peers — and publishes the
+//! terminal state. Parallelism *within* a job comes from the backend
+//! (threads, worker subprocesses, TCP peers); parallelism *across* jobs
+//! comes from running several dispatchers.
+
+use super::cache::{encode_blob, CacheKey};
+use super::protocol::JobId;
+use super::Service;
+use crate::exec::TaskManifest;
+use std::sync::Arc;
+
+/// One claimed unit of work.
+pub(crate) struct Claimed {
+    pub(crate) job: JobId,
+    pub(crate) manifest: TaskManifest,
+    pub(crate) key: CacheKey,
+}
+
+/// The dispatcher thread body: claim → execute → publish, until the
+/// service stops.
+pub(super) fn dispatcher_loop(service: &Service) {
+    while let Some(claimed) = service.next_claim() {
+        execute(service, claimed);
+    }
+}
+
+/// Execute one claimed job on the service's backend and publish the
+/// outcome (result blob into both cache tiers, or the executor error).
+pub(super) fn execute(service: &Service, claimed: Claimed) {
+    let Claimed { job, manifest, key } = claimed;
+    let outcome = service
+        .registry()
+        .decode(&manifest.kind, &manifest.payload)
+        .map_err(crate::exec::ExecError::from)
+        .and_then(|decoded| {
+            service
+                .backend()
+                .run_segments(decoded.as_ref(), &manifest, None)
+        });
+    match outcome {
+        Ok(slots) => {
+            let blob = Arc::new(encode_blob(&slots));
+            service.publish_done(job, key, blob);
+        }
+        Err(e) => service.publish_failed(job, e),
+    }
+}

@@ -94,6 +94,38 @@ pub fn render_node_sweep_csv(sweep: &NodeSweep) -> String {
     s
 }
 
+/// Render one sweep's replication spend as a single summary line: total
+/// replications, point count, the governing rule (or the `--fixed-reps`
+/// escape hatch), and — crucially — how many points **hit the budget cap
+/// without converging**, so an under-resolved sweep is visible in the
+/// report instead of silently passing as converged.
+///
+/// `points` yields each point's `(replications, converged)`; `watch`
+/// names the metric the rule watched (for the human reader).
+pub fn render_budget_summary(
+    points: impl Iterator<Item = (u64, bool)>,
+    rule: Option<&sim_runtime::StoppingRule>,
+    watch: &str,
+) -> String {
+    let (mut total, mut count, mut unconverged) = (0u64, 0usize, 0usize);
+    for (reps, converged) in points {
+        total += reps;
+        count += 1;
+        unconverged += usize::from(!converged);
+    }
+    match rule {
+        Some(rule) => format!(
+            "  adaptive budget: {total} replications over {count} points (rule: {:.0}% CI on {watch}, {}..{}; {unconverged} point(s) hit the cap)",
+            rule.relative.unwrap_or_default() * 100.0,
+            rule.min_replications,
+            rule.max_replications,
+        ),
+        None => {
+            format!("  fixed budget: {total} replications over {count} points (--fixed-reps)")
+        }
+    }
+}
+
 /// Render Tables VIII/IX.
 pub fn render_simple_system(r: &SimpleSystemReport) -> String {
     let mut s = String::new();
