@@ -43,10 +43,25 @@
 //!   Giving more than one of `--shards`/`--hosts`/`--service` explicitly
 //!   is an error; when one comes from the environment instead, precedence
 //!   is `service > hosts > shards` (warned on stderr).
+//! * `--retry N` / `--io-timeout SECS` / `--pool on|off` (falling back to
+//!   `REPRO_RETRY` / `REPRO_IO_TIMEOUT` / `REPRO_POOL`) — the unified
+//!   fault policy of the multi-process executors: per-chunk re-dispatch
+//!   budget (default 2), the silent-peer IO timeout in seconds (default
+//!   15; 0 disables), and whether workers/connections stay warm in the
+//!   process-global pool across dispatches (default on). An explicit flag
+//!   wins over a differing environment value with a warning.
 //! * `--fixed-reps` — escape hatch: run the stochastic sweeps (fig4–9 /
 //!   tables IV–VI, fig15, validate/open) with the historical fixed
 //!   replication counts instead of the default adaptive `StoppingRule`
 //!   budgets, reproducing the seed numbers exactly.
+//!
+//! Chaos (robustness testing) is armed purely from the environment:
+//! setting `REPRO_CHAOS_SEED` (with `REPRO_CHAOS_DROP`/`GARBLE`/`DELAY`
+//! per-mille frame-fault rates, `REPRO_CHAOS_KILL_AFTER`, and
+//! `REPRO_CHAOS_WORKER_CRASH`/`STALL` worker-side rates) makes every
+//! transport deterministically faulty; the in-process fallback is enabled
+//! automatically so armed runs still complete (loudly) even if the whole
+//! fleet dies. Results stay byte-identical under any armed schedule.
 //!
 //! Service modes (first argument selects them):
 //!
@@ -60,8 +75,12 @@
 //! repro status --service a:p ID  # one job's state
 //! repro fetch  --service a:p ID [--out FILE]  # block, then result bytes
 //! repro cancel --service a:p ID  # cancel a queued job
-//! repro stats  --service a:p     # daemon counters (cache hits, ...)
+//! repro stats  --service a:p     # daemon counters (cache hits, fleet
+//!                                #   restarts/quarantines/fallbacks, ...)
 //! repro stop   --service a:p     # graceful daemon shutdown
+//! repro cache gc [--cache-dir DIR] [--budget BYTES]
+//!                                # sweep the disk result cache: delete
+//!                                #   corrupt entries, evict LRU over budget
 //! ```
 //!
 //! `repro --worker [--listen ADDR]` is not a user-facing mode: it serves
@@ -73,7 +92,9 @@
 
 use bench::write_artifact;
 use des::Workload;
-use sim_runtime::{Exec, ServiceClient, ServiceConfig, ServiceHandle, StoppingRule};
+use sim_runtime::{
+    ChaosConfig, Exec, FaultPolicy, ServiceClient, ServiceConfig, ServiceHandle, StoppingRule,
+};
 use wsn::experiments::ablations::{
     erlang_ablation, memory_ablation, seed_ablation, trigger_ablation,
 };
@@ -103,12 +124,19 @@ struct Opts {
     /// Fixed replication counts for the stochastic sweeps instead of
     /// the default adaptive budgets.
     fixed_reps: bool,
+    /// Unified fault policy (`--retry`/`--io-timeout` > `REPRO_RETRY`/
+    /// `REPRO_IO_TIMEOUT` > defaults), threaded into every backend.
+    fault: FaultPolicy,
+    /// Warm worker/peer pooling (`--pool` > `REPRO_POOL` > on).
+    pool: bool,
+    /// Deterministic chaos injection, armed from `REPRO_CHAOS_*`.
+    chaos: Option<ChaosConfig>,
 }
 
 impl Opts {
     /// The execution backend every experiment runs on.
     fn exec(&self) -> Exec {
-        if let Some(addr) = &self.service {
+        let base = if let Some(addr) = &self.service {
             Exec::service(self.threads, addr.clone())
         } else if !self.hosts.is_empty() {
             Exec::remote(self.threads, self.hosts.clone())
@@ -116,7 +144,10 @@ impl Opts {
             Exec::sharded(self.threads, self.shards)
         } else {
             Exec::in_process(self.threads)
-        }
+        };
+        base.with_fault(self.fault)
+            .with_pool(self.pool)
+            .with_chaos(self.chaos)
     }
 
     /// The one adaptive replication budget shared by every stochastic
@@ -182,6 +213,7 @@ fn main() {
         Some("cancel") => return job_verb_mode(&args[1..], JobVerb::Cancel),
         Some("stats") => return daemon_verb_mode(&args[1..], DaemonVerb::Stats),
         Some("stop") => return daemon_verb_mode(&args[1..], DaemonVerb::Stop),
+        Some("cache") => return cache_mode(&args[1..]),
         _ => {}
     }
     let mut quick = false;
@@ -190,12 +222,27 @@ fn main() {
     let mut shards: Option<usize> = None;
     let mut hosts: Option<Vec<String>> = None;
     let mut service: Option<String> = None;
+    let mut retry: Option<usize> = None;
+    let mut io_timeout: Option<f64> = None;
+    let mut pool: Option<bool> = None;
     let mut targets: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--fixed-reps" => fixed_reps = true,
+            "--retry" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => retry = Some(n),
+                _ => flag_err("--retry", "a non-negative re-dispatch count"),
+            },
+            "--io-timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s >= 0.0 && s.is_finite() => io_timeout = Some(s),
+                _ => flag_err("--io-timeout", "seconds (0 disables the timeout)"),
+            },
+            "--pool" => match it.next().and_then(|v| parse_on_off(v)) {
+                Some(b) => pool = Some(b),
+                _ => flag_err("--pool", "on or off"),
+            },
             "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => threads = Some(n),
                 _ => {
@@ -252,6 +299,7 @@ fn main() {
         .or_else(|| sim_runtime::env_threads("REPRO_THREADS"))
         .unwrap_or_else(sim_runtime::default_threads);
     let (shards, hosts, service) = resolve_executor(shards, hosts, service, true);
+    let (fault, pool, chaos) = resolve_fault(retry, io_timeout, pool);
     let opts = Opts {
         quick,
         threads,
@@ -259,11 +307,14 @@ fn main() {
         hosts,
         service,
         fixed_reps,
+        fault,
+        pool,
+        chaos,
     };
 
     if targets.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--threads N] [--shards N] [--hosts a:p,b:p] [--service a:p] [--fixed-reps] <target>...   (try: repro all)\n       repro serve --listen a:p | repro submit|status|fetch|cancel|stats|stop --service a:p ..."
+            "usage: repro [--quick] [--threads N] [--shards N] [--hosts a:p,b:p] [--service a:p] [--retry N] [--io-timeout SECS] [--pool on|off] [--fixed-reps] <target>...   (try: repro all)\n       repro serve --listen a:p | repro submit|status|fetch|cancel|stats|stop --service a:p ... | repro cache gc [--cache-dir DIR] [--budget BYTES]"
         );
         std::process::exit(2);
     }
@@ -390,6 +441,105 @@ fn resolve_executor(
     }
 }
 
+/// Resolve the unified fault-policy knobs shared by every multi-process
+/// backend: flag > environment (`REPRO_RETRY`/`REPRO_IO_TIMEOUT`/
+/// `REPRO_POOL`) > default, with an explicit flag winning over a differing
+/// environment value with a warning — mirroring `resolve_executor`. Also
+/// arms deterministic chaos from `REPRO_CHAOS_*`; an armed run auto-enables
+/// the in-process fallback so injected fleet death degrades loudly instead
+/// of failing the run.
+fn resolve_fault(
+    retry: Option<usize>,
+    io_timeout: Option<f64>,
+    pool: Option<bool>,
+) -> (FaultPolicy, bool, Option<ChaosConfig>) {
+    let mut fault = FaultPolicy::default();
+    fault.retry_budget = pick_knob(
+        "REPRO_RETRY",
+        retry,
+        env_knob::<usize>("REPRO_RETRY"),
+        fault.retry_budget,
+    );
+    let default_secs = fault.io_timeout.map_or(0.0, |d| d.as_secs_f64());
+    let secs = pick_knob(
+        "REPRO_IO_TIMEOUT",
+        io_timeout,
+        env_knob::<f64>("REPRO_IO_TIMEOUT").filter(|s| *s >= 0.0 && s.is_finite()),
+        default_secs,
+    );
+    fault.io_timeout = (secs > 0.0).then(|| std::time::Duration::from_secs_f64(secs));
+    let pool = pick_knob(
+        "REPRO_POOL",
+        pool,
+        std::env::var("REPRO_POOL")
+            .ok()
+            .as_deref()
+            .and_then(parse_on_off),
+        true,
+    );
+    let chaos = ChaosConfig::from_env();
+    if let Some(c) = &chaos {
+        eprintln!(
+            "[repro] chaos armed (seed {}): drop {}‰, garble {}‰, delay {}‰; \
+             enabling in-process fallback",
+            c.seed, c.drop_per_mille, c.garble_per_mille, c.delay_per_mille
+        );
+        fault.fallback = true;
+    }
+    (fault, pool, chaos)
+}
+
+/// One fault knob: flag > environment > default, warning when an explicit
+/// flag overrides a differing environment value.
+fn pick_knob<T: PartialEq + Copy + std::fmt::Display>(
+    var: &str,
+    flag: Option<T>,
+    env: Option<T>,
+    default: T,
+) -> T {
+    match (flag, env) {
+        (Some(f), Some(e)) if f != e => {
+            eprintln!("[repro] warning: {var}={e} overridden by explicit flag ({f})");
+            f
+        }
+        (Some(f), _) => f,
+        (None, Some(e)) => e,
+        (None, None) => default,
+    }
+}
+
+/// Parse an environment variable with `FromStr`, ignoring unset or
+/// unparseable values (the same leniency as `REPRO_SHARDS`).
+fn env_knob<T: std::str::FromStr>(var: &str) -> Option<T> {
+    std::env::var(var).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// Parse an `on`/`off` switch value (also accepting `true`/`false`/`1`/`0`).
+fn parse_on_off(v: &str) -> Option<bool> {
+    match v.trim() {
+        "on" | "true" | "1" => Some(true),
+        "off" | "false" | "0" => Some(false),
+        _ => None,
+    }
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` (binary) suffix.
+fn parse_bytes(v: &str) -> Option<u64> {
+    let v = v.trim().to_ascii_lowercase();
+    let (num, mult) = match v.strip_suffix(['k', 'm', 'g']) {
+        Some(n) => {
+            let mult = match v.as_bytes()[v.len() - 1] {
+                b'k' => 1u64 << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            };
+            (n, mult)
+        }
+        None => (v.as_str(), 1),
+    };
+    num.trim().parse::<u64>().ok()?.checked_mul(mult)
+}
+
 // --- service modes -------------------------------------------------------
 
 /// `repro serve --listen ADDR [...]`: run the experiment service daemon.
@@ -402,6 +552,11 @@ fn serve_mode(args: &[String]) {
     let mut dispatchers = 1usize;
     let mut mem_cache = 64usize;
     let mut cache_dir: Option<std::path::PathBuf> = Some("results/cache".into());
+    let mut cache_budget: Option<u64> = None;
+    let mut retry: Option<usize> = None;
+    let mut io_timeout: Option<f64> = None;
+    let mut pool_flag: Option<bool> = None;
+    let mut fallback = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -438,6 +593,23 @@ fn serve_mode(args: &[String]) {
                 _ => flag_err("--cache-dir", "a directory path"),
             },
             "--no-disk-cache" => cache_dir = None,
+            "--cache-budget" => match it.next().and_then(|v| parse_bytes(v)) {
+                Some(n) if n >= 1 => cache_budget = Some(n),
+                _ => flag_err("--cache-budget", "a positive byte count (suffix k/m/g ok)"),
+            },
+            "--retry" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => retry = Some(n),
+                _ => flag_err("--retry", "a non-negative re-dispatch count"),
+            },
+            "--io-timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s >= 0.0 && s.is_finite() => io_timeout = Some(s),
+                _ => flag_err("--io-timeout", "seconds (0 disables the timeout)"),
+            },
+            "--pool" => match it.next().and_then(|v| parse_on_off(v)) {
+                Some(b) => pool_flag = Some(b),
+                _ => flag_err("--pool", "on or off"),
+            },
+            "--fallback" => fallback = true,
             other => {
                 eprintln!("unknown serve flag: {other}");
                 std::process::exit(2);
@@ -452,13 +624,17 @@ fn serve_mode(args: &[String]) {
         std::process::exit(2);
     }
     let Some(addr) = listen else {
-        eprintln!("usage: repro serve --listen ADDR [--threads N] [--shards N | --hosts a:p,b:p] [--queue-capacity N] [--dispatchers N] [--mem-cache N] [--cache-dir DIR | --no-disk-cache]");
+        eprintln!("usage: repro serve --listen ADDR [--threads N] [--shards N | --hosts a:p,b:p] [--queue-capacity N] [--dispatchers N] [--mem-cache N] [--cache-dir DIR | --no-disk-cache] [--cache-budget BYTES] [--retry N] [--io-timeout SECS] [--pool on|off] [--fallback]");
         std::process::exit(2);
     };
     let threads = threads
         .or_else(|| sim_runtime::env_threads("REPRO_THREADS"))
         .unwrap_or_else(sim_runtime::default_threads);
     let (shards, hosts, _) = resolve_executor(shards, hosts, None, false);
+    let (mut fault, pool, chaos) = resolve_fault(retry, io_timeout, pool_flag);
+    if fallback {
+        fault.fallback = true;
+    }
     let exec = if !hosts.is_empty() {
         Exec::remote(threads, hosts)
     } else if shards >= 1 {
@@ -466,14 +642,18 @@ fn serve_mode(args: &[String]) {
     } else {
         Exec::in_process(threads)
     };
+    let exec = exec.with_fault(fault).with_pool(pool).with_chaos(chaos);
     eprintln!(
         "[serve] backend: {}; queue capacity {queue_capacity}; {dispatchers} dispatcher(s); \
-         mem cache {mem_cache} entries; disk cache {}",
+         mem cache {mem_cache} entries; disk cache {}{}",
         exec.label(),
         cache_dir
             .as_ref()
             .map(|d| d.display().to_string())
             .unwrap_or_else(|| "disabled".into()),
+        cache_budget
+            .map(|b| format!(" (budget {b} bytes)"))
+            .unwrap_or_default(),
     );
     let cfg = ServiceConfig {
         exec,
@@ -481,6 +661,7 @@ fn serve_mode(args: &[String]) {
         dispatchers,
         mem_cache_entries: mem_cache,
         cache_dir,
+        cache_budget,
         ..Default::default()
     };
     let handle = ServiceHandle::start(cfg, std::sync::Arc::new(bench::shard::worker_registry()));
@@ -718,6 +899,14 @@ fn daemon_verb_mode(args: &[String], verb: DaemonVerb) {
             println!("executed {} (failed {})", s.executed, s.failed);
             println!("rejected {}", s.rejected);
             println!("cancelled {}", s.cancelled);
+            println!(
+                "fleet restarts {}, quarantined {}, fallbacks {}",
+                s.restarts, s.quarantined, s.fallbacks
+            );
+            println!(
+                "cache evicted {}, corrupt deleted {}",
+                s.cache_evicted, s.cache_corrupt
+            );
         }),
         DaemonVerb::Stop => client
             .shutdown()
@@ -726,6 +915,56 @@ fn daemon_verb_mode(args: &[String], verb: DaemonVerb) {
     if let Err(e) = outcome {
         eprintln!("[repro] {e}");
         std::process::exit(1);
+    }
+}
+
+/// `repro cache gc [--cache-dir DIR] [--budget BYTES]`: sweep the disk
+/// result cache — delete corrupt entries, then evict least-recently-used
+/// entries until the total fits the budget (no budget = hygiene only).
+fn cache_mode(args: &[String]) {
+    let mut dir: std::path::PathBuf = "results/cache".into();
+    let mut budget: Option<u64> = None;
+    let mut verb: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-dir" => match it.next() {
+                Some(d) if !d.is_empty() => dir = d.into(),
+                _ => flag_err("--cache-dir", "a directory path"),
+            },
+            "--budget" => match it.next().and_then(|v| parse_bytes(v)) {
+                Some(n) => budget = Some(n),
+                _ => flag_err("--budget", "a byte count (suffix k/m/g ok)"),
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown cache flag: {other}");
+                std::process::exit(2);
+            }
+            v if verb.is_none() => verb = Some(v.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    match verb.as_deref() {
+        Some("gc") => {
+            let store = sim_runtime::service::cache::DiskStore::new(&dir).with_budget(budget);
+            let r = store.gc();
+            println!(
+                "{}: scanned {}, deleted {} corrupt, evicted {} over budget, {} -> {} bytes",
+                dir.display(),
+                r.scanned,
+                r.corrupt_deleted,
+                r.evicted,
+                r.bytes_before,
+                r.bytes_after
+            );
+        }
+        _ => {
+            eprintln!("usage: repro cache gc [--cache-dir DIR] [--budget BYTES]");
+            std::process::exit(2);
+        }
     }
 }
 

@@ -18,6 +18,12 @@
 //!    every one is a miss) submitted + fetched sequentially over one
 //!    connection, and pipelined (all submits first, then all fetches) —
 //!    the queue/protocol overhead floor in jobs/second.
+//! 4. **Warm vs cold fleet**: the same sustained small-job flood against
+//!    a `--shards 1` daemon with the worker pool off (every dispatch
+//!    spawns a fresh worker subprocess) and on (workers stay warm across
+//!    dispatches). Per-job p50/p99 latencies; the binary asserts the warm
+//!    fleet beats per-job spawning at the median — the pool's reason to
+//!    exist.
 //!
 //! ```text
 //! cargo run --release -p bench --bin service_ab [--pairs K]
@@ -67,6 +73,11 @@ fn repro_bin() -> String {
 fn median(v: &mut [f64]) -> f64 {
     v.sort_by(|x, y| x.total_cmp(y));
     v[v.len() / 2]
+}
+
+fn percentile(v: &mut [f64], q: f64) -> f64 {
+    v.sort_by(|x, y| x.total_cmp(y));
+    v[(((v.len() - 1) as f64) * q).round() as usize]
 }
 
 fn main() {
@@ -183,6 +194,50 @@ fn main() {
         std::hint::black_box(client.fetch_blob(id).expect("pipelined fetch"));
     }
     let pipelined_jobs_per_s = n_jobs as f64 / t0.elapsed().as_secs_f64();
+    drop(client);
+    daemon.shutdown();
+
+    // Warm vs cold fleet: the same flood of trivial distinct jobs through
+    // a sharded daemon, with and without the worker pool. Caches are off
+    // so every submission is a real dispatch (a worker spawn when cold, a
+    // pool checkout when warm).
+    let n_flood = (pairs * 8).max(30) as u64;
+    let flood = |pool: &str, tag: u64| -> Vec<f64> {
+        let daemon = LocalService::spawn(
+            &repro_bin(),
+            &[
+                "--threads",
+                "1",
+                "--shards",
+                "1",
+                "--pool",
+                pool,
+                "--mem-cache",
+                "0",
+                "--no-disk-cache",
+                "--queue-capacity",
+                &queue_capacity,
+            ],
+        )
+        .expect("fleet daemon spawns");
+        let mut client = daemon.client();
+        let mut lat = Vec::with_capacity(n_flood as usize);
+        for i in 0..n_flood {
+            let t0 = Instant::now();
+            let (id, _) = client.submit(&trivial(tag + i), 1).expect("flood submit");
+            std::hint::black_box(client.fetch_blob(id).expect("flood fetch"));
+            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        drop(client);
+        daemon.shutdown();
+        lat
+    };
+    let mut cold_fleet = flood("off", 0x20_0000);
+    let mut warm_fleet = flood("on", 0x30_0000);
+    let cold_p50 = percentile(&mut cold_fleet, 0.5);
+    let cold_p99 = percentile(&mut cold_fleet, 0.99);
+    let warm_p50 = percentile(&mut warm_fleet, 0.5);
+    let warm_p99 = percentile(&mut warm_fleet, 0.99);
 
     println!("{{");
     println!(
@@ -200,8 +255,16 @@ fn main() {
     println!("    \"sequential_jobs_per_s\": {sequential_jobs_per_s:.0},");
     println!("    \"pipelined_jobs_per_s\": {pipelined_jobs_per_s:.0}");
     println!("  }},");
+    println!("  \"fleet\": {{");
+    println!("    \"flood_jobs\": {n_flood},");
+    println!("    \"cold_spawn_p50_ms\": {cold_p50:.2},");
+    println!("    \"cold_spawn_p99_ms\": {cold_p99:.2},");
+    println!("    \"warm_pool_p50_ms\": {warm_p50:.2},");
+    println!("    \"warm_pool_p99_ms\": {warm_p99:.2},");
+    println!("    \"warm_pool_p50_speedup\": {:.1}", cold_p50 / warm_p50);
+    println!("  }},");
     println!(
-        "  \"note\": \"cold = submit+fetch of a fresh manifest (daemon simulates the sweep); warm = identical resubmission answered from the content-addressed cache; throughput jobs are trivial 1-slot manifests, so the figure is the protocol+queue floor, not simulation speed; 1-CPU container — daemon and client share the core\""
+        "  \"note\": \"cold = submit+fetch of a fresh manifest (daemon simulates the sweep); warm = identical resubmission answered from the content-addressed cache; throughput jobs are trivial 1-slot manifests, so the figure is the protocol+queue floor, not simulation speed; fleet = the same flood through a --shards 1 daemon with the worker pool off (fresh subprocess per dispatch) vs on (workers stay warm); 1-CPU container — daemon and client share the core\""
     );
     println!("}}");
 
@@ -211,6 +274,10 @@ fn main() {
          (cold {cold:.1} ms vs warm {warm:.1} ms)"
     );
     eprintln!("cache-hit speedup {speedup:.1}x >= {MIN_HIT_SPEEDUP}x: ok");
-    daemon.shutdown();
+    assert!(
+        warm_p50 < cold_p50,
+        "warm fleet p50 {warm_p50:.2} ms must beat per-job spawning p50 {cold_p50:.2} ms"
+    );
+    eprintln!("warm fleet p50 {warm_p50:.2} ms < cold spawn p50 {cold_p50:.2} ms: ok");
     let _ = std::fs::remove_dir_all(&cache_dir);
 }

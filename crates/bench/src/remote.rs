@@ -205,10 +205,21 @@ impl LocalService {
     /// location is relative to its working directory, and concurrent
     /// tests must not share entries.
     pub fn spawn(repro_bin: &str, extra_args: &[&str]) -> std::io::Result<Self> {
+        Self::spawn_with_env(repro_bin, extra_args, &[])
+    }
+
+    /// [`LocalService::spawn`] with extra environment variables — how the
+    /// chaos suite arms a daemon's transports (`REPRO_CHAOS_*`) without
+    /// leaking the variables into the spawning test process.
+    pub fn spawn_with_env(
+        repro_bin: &str,
+        extra_args: &[&str],
+        env: &[(String, String)],
+    ) -> std::io::Result<Self> {
         let mut args = vec!["serve", "--listen", "127.0.0.1:0"];
         args.extend_from_slice(extra_args);
         Ok(LocalService {
-            proc: AnnouncedProc::spawn(repro_bin, &args, &[], "serving")?,
+            proc: AnnouncedProc::spawn(repro_bin, &args, env, "serving")?,
         })
     }
 

@@ -7,11 +7,16 @@ use std::process::Command;
 
 fn repro() -> Command {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
-    // Isolate from any ambient executor configuration.
+    // Isolate from any ambient executor / fault-policy / chaos
+    // configuration.
     cmd.env_remove("REPRO_SHARDS")
         .env_remove("REPRO_HOSTS")
         .env_remove("REPRO_SERVICE")
-        .env_remove("REPRO_THREADS");
+        .env_remove("REPRO_THREADS")
+        .env_remove("REPRO_RETRY")
+        .env_remove("REPRO_IO_TIMEOUT")
+        .env_remove("REPRO_POOL")
+        .env_remove("REPRO_CHAOS_SEED");
     cmd
 }
 
@@ -149,6 +154,77 @@ fn serve_mode_ignores_the_client_service_env_var() {
         "daemon must keep its explicit backend: {line}"
     );
     assert!(!line.contains("service"), "{line}");
+}
+
+#[test]
+fn fault_flags_reject_garbage_values() {
+    for (flags, needle) in [
+        (vec!["--retry", "many"], "--retry needs"),
+        (vec!["--retry"], "--retry needs"),
+        (vec!["--io-timeout", "-1"], "--io-timeout needs"),
+        (vec!["--io-timeout", "soon"], "--io-timeout needs"),
+        (vec!["--pool", "maybe"], "--pool needs"),
+    ] {
+        let (code, _out, err) = run(repro().args(&flags).arg("params"));
+        assert_eq!(code, 2, "flags {flags:?} must be rejected: {err}");
+        assert!(err.contains(needle), "flags {flags:?}: {err}");
+    }
+    // The same validation applies to serve mode.
+    let (code, _out, err) =
+        run(repro().args(["serve", "--listen", "127.0.0.1:0", "--cache-budget", "lots"]));
+    assert_eq!(code, 2);
+    assert!(err.contains("--cache-budget needs"), "{err}");
+}
+
+#[test]
+fn fault_env_vars_apply_and_flags_override_with_a_warning() {
+    // Environment alone applies silently.
+    let (code, _out, err) = run(repro().env("REPRO_RETRY", "5").arg("params"));
+    assert_eq!(code, 0, "{err}");
+    assert!(!err.contains("warning: REPRO_RETRY"), "{err}");
+    // A differing explicit flag wins, loudly.
+    let (code, _out, err) = run(repro()
+        .env("REPRO_RETRY", "5")
+        .args(["--retry", "0"])
+        .arg("params"));
+    assert_eq!(code, 0, "{err}");
+    assert!(
+        err.contains("REPRO_RETRY=5 overridden by explicit flag (0)"),
+        "{err}"
+    );
+    // Agreeing sources stay quiet.
+    let (code, _out, err) = run(repro()
+        .env("REPRO_IO_TIMEOUT", "30")
+        .args(["--io-timeout", "30"])
+        .arg("params"));
+    assert_eq!(code, 0, "{err}");
+    assert!(!err.contains("overridden"), "{err}");
+}
+
+#[test]
+fn cache_gc_deletes_corrupt_entries_and_reports() {
+    let dir = std::env::temp_dir().join(format!("repro-cli-cache-gc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("deadbeef.res"), b"not a cache entry").unwrap();
+    let (code, out, err) = run(repro().args([
+        "cache",
+        "gc",
+        "--cache-dir",
+        dir.to_str().unwrap(),
+        "--budget",
+        "1m",
+    ]));
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("deleted 1 corrupt"), "{out}");
+    assert!(
+        !dir.join("deadbeef.res").exists(),
+        "corrupt entry must be deleted"
+    );
+    // A verb other than gc (or none) is a usage error.
+    let (code, _out, err) = run(repro().arg("cache"));
+    assert_eq!(code, 2);
+    assert!(err.contains("usage: repro cache gc"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

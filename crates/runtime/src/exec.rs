@@ -23,16 +23,19 @@
 //! results**. `ExecBackend::run_segments` is deliberately the single seam
 //! where an async or remote-host backend would plug in.
 
-use crate::grid::{run_segments_core, GridPlan, ProgressFn, Segment};
+use crate::fleet::chaos::{ChaosConfig, FaultInjector};
+use crate::fleet::pool::pool;
+use crate::fleet::{fleet_stats, FaultPolicy, FleetStats};
+use crate::grid::{run_segments_core, GridPlan, Progress, ProgressFn, Segment};
 use crate::remote::protocol::{
     collect_results, drain_chunk, encode_manifest_request, encode_shutdown_request,
-    first_undelivered, keep_lowest_error, ChunkSink, Drained,
+    first_undelivered, keep_lowest_error, undelivered_remainder, ChunkSink, Drained,
 };
 use crate::remote::transport::{FrameTransport as _, PipeTransport};
 use crate::wire::{self, Reader, WireError};
 use std::collections::BTreeMap;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Protocol version byte carried by every manifest request frame.
@@ -69,6 +72,11 @@ pub enum ExecError {
     },
     /// Manifest/frame decode failures, spawn failures, registry misses.
     Protocol(String),
+    /// The execution fleet is permanently unavailable for this dispatch
+    /// — every peer quarantined or the pool exhausted — and in-process
+    /// fallback was not enabled. Queued service jobs surface this
+    /// instead of aging out silently.
+    BackendUnavailable(String),
 }
 
 impl ExecError {
@@ -79,7 +87,7 @@ impl ExecError {
             ExecError::Task { flat_index, .. } | ExecError::Worker { flat_index, .. } => {
                 *flat_index
             }
-            ExecError::Protocol(_) => 0,
+            ExecError::Protocol(_) | ExecError::BackendUnavailable(_) => 0,
         }
     }
 }
@@ -101,6 +109,7 @@ impl std::fmt::Display for ExecError {
                 message,
             } => write!(f, "worker owning flat index {flat_index} failed: {message}"),
             ExecError::Protocol(m) => write!(f, "executor protocol error: {m}"),
+            ExecError::BackendUnavailable(m) => write!(f, "backend unavailable: {m}"),
         }
     }
 }
@@ -483,6 +492,17 @@ pub struct ShardedBackend {
     /// Override of the worker command line; `None` spawns
     /// `current_exe --worker`.
     pub worker_cmd: Option<Vec<String>>,
+    /// Unified fault policy: retry budget, backoff, and the opt-in
+    /// shrink-to-zero in-process fallback.
+    pub fault: FaultPolicy,
+    /// Keep workers warm in the process-global
+    /// [`WorkerPool`](crate::fleet::pool::WorkerPool) across dispatches
+    /// (checkout/return instead of spawn-per-dispatch). On by default;
+    /// `false` restores the legacy cold spawn-per-shard path.
+    pub pool: bool,
+    /// Deterministic frame-fault injection on the worker pipes (chaos
+    /// testing); `None` is a passthrough.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl ShardedBackend {
@@ -493,6 +513,9 @@ impl ShardedBackend {
             shards: shards.max(1),
             worker_threads: worker_threads.max(1),
             worker_cmd: None,
+            fault: FaultPolicy::default(),
+            pool: true,
+            chaos: None,
         }
     }
 
@@ -501,6 +524,24 @@ impl ShardedBackend {
     pub fn with_worker_cmd(mut self, cmd: Vec<String>) -> Self {
         assert!(!cmd.is_empty(), "worker command must have an argv[0]");
         self.worker_cmd = Some(cmd);
+        self
+    }
+
+    /// Replace the fault policy.
+    pub fn with_fault(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Enable or disable the warm worker pool.
+    pub fn with_pool(mut self, pool: bool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Arm (or disarm) deterministic chaos injection.
+    pub fn with_chaos(mut self, chaos: Option<ChaosConfig>) -> Self {
+        self.chaos = chaos;
         self
     }
 
@@ -617,12 +658,180 @@ impl ShardedBackend {
             }
         }
     }
+
+    /// The supervised (pooled) shard path: check a warm worker out of
+    /// the process-global pool, dispatch the chunk, and return the
+    /// worker for the next dispatch. A worker that breaks mid-chunk is
+    /// discarded and the undelivered remainder re-dispatched onto a
+    /// fresh checkout, with the policy's capped backoff between
+    /// attempts; once the retry budget is spent the remainder either
+    /// degrades to in-process execution (`fault.fallback`) or surfaces
+    /// as [`ExecError::Worker`]. Retries cannot change result bytes —
+    /// slots are seeded pure functions and delivered slots are never
+    /// re-run.
+    #[allow(clippy::too_many_arguments)]
+    fn run_shard_supervised(
+        &self,
+        job: &dyn PortableJob,
+        cmd: &[String],
+        start: usize,
+        chunk: &TaskManifest,
+        results: &[OnceLock<Vec<u8>>],
+        completed: &AtomicUsize,
+        grand_total: usize,
+        progress: Option<&ProgressFn>,
+    ) -> Result<(), ExecError> {
+        let mut pending_manifest = chunk.clone();
+        let mut pending_flat: Vec<usize> = (start..start + chunk.total_slots()).collect();
+        let mut last_failure = String::from("no dispatch attempted");
+        let attempts = self.fault.retry_budget + 1;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.fault.backoff_delay(attempt - 1, start as u64));
+            }
+            let mut worker = match pool().checkout_worker(cmd) {
+                Ok(w) => w,
+                Err(e) => {
+                    last_failure = format!("failed to spawn worker {:?}: {e}", cmd[0]);
+                    continue;
+                }
+            };
+            let slots = pending_manifest.slots();
+            let mut delivered = vec![false; slots.len()];
+            let outcome = {
+                let mut transport = FaultInjector::new(worker.transport(), self.chaos);
+                let request = encode_manifest_request(self.worker_threads, &pending_manifest);
+                match transport.send(&request).and_then(|_| transport.flush()) {
+                    Err(e) => Drained::Broken(format!("request write failed: {e}")),
+                    Ok(()) => drain_chunk(
+                        &mut transport,
+                        ChunkSink {
+                            slots: &slots,
+                            global_flat: &pending_flat,
+                            results,
+                            delivered: &mut delivered,
+                            completed,
+                            grand_total,
+                            progress,
+                        },
+                    ),
+                }
+            };
+            match outcome {
+                Drained::Complete => {
+                    pool().return_worker(cmd, worker);
+                    return Ok(());
+                }
+                Drained::TaskError(e) => {
+                    // Deterministic in-band failure: the worker is
+                    // healthy and a retry would fail identically.
+                    pool().return_worker(cmd, worker);
+                    return Err(e);
+                }
+                Drained::Broken(context) => {
+                    worker.discard();
+                    match undelivered_remainder(&pending_manifest, &pending_flat, &delivered) {
+                        // Every slot landed before the break (e.g. the
+                        // worker died after its last R but before D).
+                        None => return Ok(()),
+                        Some((m, flat)) => {
+                            last_failure = context;
+                            if attempt + 1 < attempts {
+                                FleetStats::bump(&fleet_stats().restarts);
+                                eprintln!(
+                                    "[fleet] shard worker died mid-chunk ({last_failure}); \
+                                     restarting and re-dispatching {} slot(s) \
+                                     (attempt {} of {attempts})",
+                                    flat.len(),
+                                    attempt + 2,
+                                );
+                            }
+                            pending_manifest = m;
+                            pending_flat = flat;
+                        }
+                    }
+                }
+            }
+        }
+        if self.fault.fallback {
+            eprintln!(
+                "[fleet] shard fleet exhausted after {attempts} attempt(s) ({last_failure}); \
+                 degrading: running {} slot(s) in-process",
+                pending_flat.len(),
+            );
+            FleetStats::bump(&fleet_stats().fallbacks);
+            return run_slots_in_process(
+                job,
+                &pending_manifest,
+                &pending_flat,
+                results,
+                completed,
+                grand_total,
+                progress,
+            );
+        }
+        Err(ExecError::Worker {
+            flat_index: pending_flat.first().copied().unwrap_or(start),
+            message: format!(
+                "{last_failure} ({} slot(s) undelivered after {attempts} dispatch attempt(s))",
+                pending_flat.len(),
+            ),
+        })
+    }
+}
+
+/// Run a (sub-)manifest's slots sequentially in this process, landing
+/// results in the global gather table — the shrink-to-zero degradation
+/// path shared by the sharded and remote backends. Sequential execution
+/// in flat order means the first task failure is the remainder's
+/// lowest-index failure, preserving the deterministic error-selection
+/// contract.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_slots_in_process(
+    job: &dyn PortableJob,
+    manifest: &TaskManifest,
+    global_flat: &[usize],
+    results: &[OnceLock<Vec<u8>>],
+    completed: &AtomicUsize,
+    grand_total: usize,
+    progress: Option<&ProgressFn>,
+) -> Result<(), ExecError> {
+    for (local, &(point, rep, seed)) in manifest.slots().iter().enumerate() {
+        let flat = global_flat[local];
+        match job.run_slot(point, rep, seed) {
+            Ok(bytes) => {
+                if results[flat].set(bytes).is_err() {
+                    return Err(ExecError::Protocol(format!(
+                        "fallback slot {flat} delivered twice"
+                    )));
+                }
+                let done_now = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(cb) = progress {
+                    cb(Progress {
+                        point,
+                        replication: rep,
+                        completed: done_now,
+                        total: grand_total,
+                    });
+                }
+            }
+            Err(message) => {
+                return Err(ExecError::Task {
+                    flat_index: flat,
+                    point,
+                    replication: rep,
+                    message,
+                })
+            }
+        }
+    }
+    Ok(())
 }
 
 impl ExecBackend for ShardedBackend {
     fn run_segments(
         &self,
-        _job: &dyn PortableJob,
+        job: &dyn PortableJob,
         manifest: &TaskManifest,
         progress: Option<&ProgressFn>,
     ) -> Result<Vec<Vec<u8>>, ExecError> {
@@ -654,7 +863,13 @@ impl ExecBackend for ShardedBackend {
                     let completed = &completed;
                     let results = &results;
                     scope.spawn(move || {
-                        self.run_shard(cmd, *start, chunk, results, completed, total, progress)
+                        if self.pool {
+                            self.run_shard_supervised(
+                                job, cmd, *start, chunk, results, completed, total, progress,
+                            )
+                        } else {
+                            self.run_shard(cmd, *start, chunk, results, completed, total, progress)
+                        }
                     })
                 })
                 .collect();
@@ -698,9 +913,17 @@ pub(crate) enum BackendSel {
     Sharded {
         shards: usize,
         worker_cmd: Option<Vec<String>>,
+        fault: FaultPolicy,
+        pool: bool,
+        chaos: Option<ChaosConfig>,
     },
     /// Remote TCP peers (`<exe> --worker --listen <addr>`).
-    Remote { hosts: Vec<String> },
+    Remote {
+        hosts: Vec<String>,
+        fault: FaultPolicy,
+        pool: bool,
+        chaos: Option<ChaosConfig>,
+    },
     /// An experiment service daemon (`<exe> serve --listen <addr>`):
     /// dispatches become submit + fetch against its job queue and
     /// content-addressed result cache.
@@ -735,6 +958,16 @@ pub struct Exec {
     /// Experiment service daemon address (`host:port`); `Some` selects
     /// the service backend (precedence over `hosts` and `shards`).
     pub service: Option<String>,
+    /// Unified fault policy (retry budget, IO timeout, backoff,
+    /// shrink-to-zero fallback) applied to the sharded and remote
+    /// tiers.
+    pub fault: FaultPolicy,
+    /// Keep workers/peers warm in the process-global pool across
+    /// dispatches (default `true`; `false` restores the legacy cold
+    /// per-dispatch spawn/connect path).
+    pub pool: bool,
+    /// Deterministic chaos injection on worker links (testing only).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for Exec {
@@ -752,6 +985,9 @@ impl Exec {
             worker_cmd: None,
             hosts: Vec::new(),
             service: None,
+            fault: FaultPolicy::default(),
+            pool: true,
+            chaos: None,
         }
     }
 
@@ -764,6 +1000,9 @@ impl Exec {
             worker_cmd: None,
             hosts: Vec::new(),
             service: None,
+            fault: FaultPolicy::default(),
+            pool: true,
+            chaos: None,
         }
     }
 
@@ -781,6 +1020,9 @@ impl Exec {
             worker_cmd: None,
             hosts,
             service: None,
+            fault: FaultPolicy::default(),
+            pool: true,
+            chaos: None,
         }
     }
 
@@ -797,6 +1039,9 @@ impl Exec {
             worker_cmd: None,
             hosts: Vec::new(),
             service: Some(addr),
+            fault: FaultPolicy::default(),
+            pool: true,
+            chaos: None,
         }
     }
 
@@ -804,6 +1049,25 @@ impl Exec {
     pub fn with_worker_cmd(mut self, cmd: Vec<String>) -> Self {
         assert!(!cmd.is_empty(), "worker command must have an argv[0]");
         self.worker_cmd = Some(cmd);
+        self
+    }
+
+    /// Replace the fault policy (retry budget, IO timeout, backoff,
+    /// shrink-to-zero fallback).
+    pub fn with_fault(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Enable or disable the warm worker/peer pool.
+    pub fn with_pool(mut self, pool: bool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Arm (or disarm) deterministic chaos injection on worker links.
+    pub fn with_chaos(mut self, chaos: Option<ChaosConfig>) -> Self {
+        self.chaos = chaos;
         self
     }
 
@@ -830,11 +1094,17 @@ impl Exec {
         } else if !self.hosts.is_empty() {
             r.backend = BackendSel::Remote {
                 hosts: self.hosts.clone(),
+                fault: self.fault,
+                pool: self.pool,
+                chaos: self.chaos,
             };
         } else if self.shards >= 1 {
             r.backend = BackendSel::Sharded {
                 shards: self.shards,
                 worker_cmd: self.worker_cmd.clone(),
+                fault: self.fault,
+                pool: self.pool,
+                chaos: self.chaos,
             };
         }
         r
@@ -863,17 +1133,33 @@ impl crate::Runner {
     pub(crate) fn backend_impl(&self) -> Box<dyn ExecBackend> {
         match &self.backend {
             BackendSel::InProcess => Box::new(InProcessBackend::new(self.threads)),
-            BackendSel::Sharded { shards, worker_cmd } => {
-                let mut b = ShardedBackend::new(*shards, self.threads);
+            BackendSel::Sharded {
+                shards,
+                worker_cmd,
+                fault,
+                pool,
+                chaos,
+            } => {
+                let mut b = ShardedBackend::new(*shards, self.threads)
+                    .with_fault(*fault)
+                    .with_pool(*pool)
+                    .with_chaos(*chaos);
                 if let Some(cmd) = worker_cmd {
                     b = b.with_worker_cmd(cmd.clone());
                 }
                 Box::new(b)
             }
-            BackendSel::Remote { hosts } => Box::new(crate::remote::RemoteBackend::new(
-                hosts.clone(),
-                self.threads,
-            )),
+            BackendSel::Remote {
+                hosts,
+                fault,
+                pool,
+                chaos,
+            } => Box::new(
+                crate::remote::RemoteBackend::new(hosts.clone(), self.threads)
+                    .with_fault(*fault)
+                    .with_pool(*pool)
+                    .with_chaos(*chaos),
+            ),
             BackendSel::Service { addr } => Box::new(crate::service::client::ServiceBackend::new(
                 addr.clone(),
                 self.threads,

@@ -1,0 +1,322 @@
+//! The supervised execution fleet: warm worker/peer pools, a unified
+//! fault policy, and a deterministic chaos harness.
+//!
+//! PRs 3–5 grew three distribution tiers (shard subprocesses, remote TCP
+//! peers, the service daemon) that all treated their fleets as
+//! disposable: every dispatch spawned/connected from scratch, retry and
+//! timeout knobs were hard-coded per backend, and a fleet that lost its
+//! last member failed the job outright. This module centralises the
+//! missing machinery:
+//!
+//! * [`pool`] — a process-global [`WorkerPool`](pool::WorkerPool) that
+//!   keeps `repro --worker` subprocesses and remote TCP connections warm
+//!   across dispatches (checkout/return semantics, health probes on
+//!   checkout, max-dispatch recycling), so a flood of small service jobs
+//!   reuses one fleet instead of respawning it per job.
+//! * [`FaultPolicy`] + [`supervisor`] — one configurable retry budget /
+//!   IO timeout / exponential-backoff-with-jitter policy shared by every
+//!   tier, plus a quarantine table for repeat offenders and the opt-in
+//!   shrink-to-zero fallback that degrades to in-process execution
+//!   (loudly, and counted in [`FleetStats`]) instead of failing.
+//! * [`chaos`] — a seeded [`FaultInjector`](chaos::FaultInjector) that
+//!   wraps any [`FrameTransport`](crate::remote::transport::FrameTransport)
+//!   and drops/delays/garbles frames deterministically, plus env-armable
+//!   crash/stall points in the worker slot loop. The chaos test suite
+//!   uses it to prove byte-identical gathers under every failure mode.
+//!
+//! Determinism note: replication slots are seeded pure functions, so
+//! *which* worker runs a slot (or how many times it is retried) can never
+//! change the bytes it produces. The fleet layer therefore only has to
+//! preserve the existing gather-order invariants (results land by flat
+//! index; the lowest-flat-index error wins) to keep every recovery path
+//! bit-identical to a fault-free run.
+
+pub mod chaos;
+pub mod pool;
+pub mod supervisor;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Unified fault-handling policy shared by every execution tier.
+///
+/// Replaces the per-backend hard-coded defaults (the remote backend's
+/// retry budget of 2 and 15 s IO timeout; the sharded backend's
+/// no-retry behaviour). Backoff between retries is exponential with
+/// deterministic jitter drawn from a seeded [`FleetRng`] — same
+/// construction as `petri-core`'s `SimRng` (xoshiro256++ seeded via
+/// SplitMix64), reimplemented here because `petri-core` depends on this
+/// crate, not the other way around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Read/write timeout on remote sockets; `None` disables timeouts
+    /// (pipes to shard subprocesses have no read timeout either way —
+    /// worker death is detected as EOF).
+    pub io_timeout: Option<Duration>,
+    /// How many times a failed dispatch (worker crash, dead peer,
+    /// unspawnable subprocess) is retried before giving up.
+    pub retry_budget: usize,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub backoff_seed: u64,
+    /// When the fleet shrinks to zero (every retry exhausted, every
+    /// peer quarantined), run the undelivered slots in-process instead
+    /// of failing the job. Off by default: tests and callers that want
+    /// failures surfaced as errors keep them; chaos runs and hardened
+    /// daemons opt in.
+    pub fallback: bool,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            io_timeout: Some(Duration::from_secs(15)),
+            retry_budget: 2,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            backoff_seed: 0x5EED_F1EE7,
+            fallback: false,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// Replace the retry budget.
+    pub fn with_retry_budget(mut self, budget: usize) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Replace the IO timeout (`None` disables).
+    pub fn with_io_timeout(mut self, t: Option<Duration>) -> Self {
+        self.io_timeout = t;
+        self
+    }
+
+    /// Opt in or out of the shrink-to-zero in-process fallback.
+    pub fn with_fallback(mut self, on: bool) -> Self {
+        self.fallback = on;
+        self
+    }
+
+    /// Replace the backoff window.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Replace the jitter seed.
+    pub fn with_backoff_seed(mut self, seed: u64) -> Self {
+        self.backoff_seed = seed;
+        self
+    }
+
+    /// Deterministic backoff delay before retry `attempt` (0-based) of
+    /// the work unit identified by `salt`: exponential growth capped at
+    /// [`backoff_cap`](Self::backoff_cap), with seeded jitter in the
+    /// upper half of the window so concurrent retries de-correlate
+    /// without a wall-clock or OS entropy source.
+    pub fn backoff_delay(&self, attempt: usize, salt: u64) -> Duration {
+        let base = self.backoff_base.as_millis() as u64;
+        let cap = self.backoff_cap.as_millis() as u64;
+        let exp = base
+            .saturating_mul(1u64.checked_shl(attempt.min(32) as u32).unwrap_or(u64::MAX))
+            .min(cap.max(1));
+        let mut rng = FleetRng::seed_from_u64(
+            self.backoff_seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ attempt as u64,
+        );
+        let jitter = rng.next_below(exp / 2 + 1);
+        Duration::from_millis(exp / 2 + jitter)
+    }
+}
+
+// --- deterministic RNG ----------------------------------------------------
+
+/// SplitMix64 step: the seed expander used by both `petri-core`'s
+/// `SimRng` and this mirror.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ seeded via SplitMix64 — the fleet's deterministic RNG
+/// for backoff jitter and chaos-fault scheduling. Mirrors the
+/// construction of `petri_core::rng::SimRng` (which cannot be imported
+/// here without a dependency cycle).
+#[derive(Debug, Clone)]
+pub struct FleetRng {
+    s: [u64; 4],
+}
+
+impl FleetRng {
+    /// Expand one `u64` seed into the full generator state.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        FleetRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform-ish draw in `[0, n)` (`0` when `n == 0`). Modulo bias is
+    /// irrelevant at jitter/chaos granularity.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Bernoulli draw with probability `per_mille / 1000`.
+    pub fn chance(&mut self, per_mille: u32) -> bool {
+        per_mille > 0 && self.next_below(1000) < per_mille as u64
+    }
+}
+
+// --- process-global degradation counters ----------------------------------
+
+/// Process-global fleet health counters, surfaced through the service
+/// `stats` verb so degradation is loud rather than silent.
+#[derive(Debug, Default)]
+pub struct FleetStats {
+    /// Worker subprocesses spawned (cold starts).
+    pub spawned: AtomicU64,
+    /// Dispatches served by a pooled (warm) worker or peer connection.
+    pub pool_hits: AtomicU64,
+    /// Workers restarted after a crash / broken pipe.
+    pub restarts: AtomicU64,
+    /// Remote peers reconnected after a dead connection.
+    pub reconnects: AtomicU64,
+    /// Offenders placed in quarantine after repeated failures.
+    pub quarantined: AtomicU64,
+    /// Jobs (or job remainders) that degraded to in-process execution
+    /// because the fleet shrank to zero.
+    pub fallbacks: AtomicU64,
+    /// Pooled members retired by the max-dispatch / idle-age recycling
+    /// policy.
+    pub recycled: AtomicU64,
+}
+
+/// Plain-value snapshot of [`FleetStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetSnapshot {
+    /// See [`FleetStats::spawned`].
+    pub spawned: u64,
+    /// See [`FleetStats::pool_hits`].
+    pub pool_hits: u64,
+    /// See [`FleetStats::restarts`].
+    pub restarts: u64,
+    /// See [`FleetStats::reconnects`].
+    pub reconnects: u64,
+    /// See [`FleetStats::quarantined`].
+    pub quarantined: u64,
+    /// See [`FleetStats::fallbacks`].
+    pub fallbacks: u64,
+    /// See [`FleetStats::recycled`].
+    pub recycled: u64,
+}
+
+impl FleetStats {
+    /// Atomically read every counter.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            spawned: self.spawned.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The process-global fleet counters.
+pub fn fleet_stats() -> &'static FleetStats {
+    static STATS: OnceLock<FleetStats> = OnceLock::new();
+    STATS.get_or_init(FleetStats::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let p = FaultPolicy::default();
+        let a = p.backoff_delay(0, 7);
+        let b = p.backoff_delay(0, 7);
+        assert_eq!(a, b, "same (seed, salt, attempt) must give same delay");
+        assert_ne!(
+            p.backoff_delay(0, 7),
+            p.backoff_delay(0, 8),
+            "different salts must de-correlate"
+        );
+        // Exponential window: attempt n delay lies in [2^n*base/2, 2^n*base].
+        for attempt in 0..4 {
+            let d = p.backoff_delay(attempt, 1).as_millis() as u64;
+            let window = 100u64 << attempt;
+            assert!(d >= window / 2 && d <= window, "attempt {attempt}: {d}ms");
+        }
+        // Capped far beyond the doubling range.
+        assert!(p.backoff_delay(40, 1) <= p.backoff_cap);
+    }
+
+    #[test]
+    fn fleet_rng_is_reproducible() {
+        let mut a = FleetRng::seed_from_u64(42);
+        let mut b = FleetRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = FleetRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+        // chance(0) never fires; chance(1000) always fires.
+        assert!(!a.chance(0));
+        assert!(a.chance(1000));
+    }
+
+    #[test]
+    fn policy_builders_compose() {
+        let p = FaultPolicy::default()
+            .with_retry_budget(5)
+            .with_io_timeout(None)
+            .with_fallback(true)
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(8))
+            .with_backoff_seed(9);
+        assert_eq!(p.retry_budget, 5);
+        assert_eq!(p.io_timeout, None);
+        assert!(p.fallback);
+        assert!(p.backoff_delay(20, 0) <= Duration::from_millis(8));
+    }
+}

@@ -1,0 +1,338 @@
+//! The process-global warm pool of worker subprocesses and remote peer
+//! connections.
+//!
+//! Every execution tier used to treat its fleet as disposable: the
+//! sharded backend spawned a fresh `repro --worker` subprocess per shard
+//! per dispatch, and the remote backend reconnected to every peer per
+//! dispatch — ruinous for the service tier, where a flood of small jobs
+//! re-paid the whole fleet-startup cost on each one. The pool gives
+//! both tiers checkout/return semantics over long-lived members:
+//!
+//! * **checkout** pops an idle member and health-checks it (`try_wait`
+//!   for subprocesses, a socket liveness probe for TCP peers); dead or
+//!   over-age members are discarded and the next candidate tried. A
+//!   miss spawns/connects cold.
+//! * **return** parks a healthy member for the next dispatch, unless
+//!   the recycling policy retires it (served [`MAX_DISPATCHES`], or the
+//!   idle shelf for its key is full).
+//!
+//! The pool is process-global (a `OnceLock` singleton) because the
+//! service constructs a fresh `ExecBackend` per dispatch — per-backend
+//! pools would never be warm. Pooled workers need no teardown hook: a
+//! worker idles blocked in `recv` on its stdin pipe, so parent exit
+//! closes the pipe, the serve loop sees EOF, and the worker exits 0.
+
+use super::{fleet_stats, FleetStats};
+use crate::remote::probe_live;
+use crate::remote::transport::{PipeTransport, TcpTransport};
+use std::collections::HashMap;
+use std::io;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A pooled member is retired after serving this many dispatches
+/// (max-lifetime recycling bounds leaked state in long-lived workers).
+pub const MAX_DISPATCHES: u64 = 256;
+
+/// Idle members older than this are discarded on checkout instead of
+/// being health-probed and reused.
+pub const MAX_IDLE_AGE: Duration = Duration::from_secs(300);
+
+/// At most this many idle members are parked per key; surplus returns
+/// are discarded.
+pub const MAX_IDLE_PER_KEY: usize = 8;
+
+/// A warm `--worker` subprocess checked out of (or destined for) the
+/// pool.
+pub struct PooledWorker {
+    child: Child,
+    transport: PipeTransport,
+    /// Dispatches this worker has served so far.
+    pub dispatches: u64,
+    parked_at: Instant,
+}
+
+impl PooledWorker {
+    /// The duplex pipe transport to the worker.
+    pub fn transport(&mut self) -> &mut PipeTransport {
+        &mut self.transport
+    }
+
+    /// Kill the subprocess and reap it. Killing is safe even when the
+    /// worker already exited on its own (the wait below reaps either
+    /// way); the pipes close on drop.
+    pub fn discard(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    fn is_alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+}
+
+struct IdlePeer {
+    transport: TcpTransport,
+    dispatches: u64,
+    parked_at: Instant,
+}
+
+/// The warm pool. Worker shelves are keyed by the spawn command line;
+/// peer shelves by `host:port`.
+#[derive(Default)]
+pub struct WorkerPool {
+    workers: Mutex<HashMap<String, Vec<PooledWorker>>>,
+    peers: Mutex<HashMap<String, Vec<IdlePeer>>>,
+}
+
+/// The process-global pool.
+pub fn pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(WorkerPool::default)
+}
+
+fn worker_key(cmd: &[String]) -> String {
+    cmd.join("\u{1f}")
+}
+
+fn spawn_worker(cmd: &[String]) -> io::Result<PooledWorker> {
+    let (exe, args) = cmd
+        .split_first()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "empty worker command"))?;
+    let mut child = Command::new(exe)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    FleetStats::bump(&fleet_stats().spawned);
+    Ok(PooledWorker {
+        child,
+        transport: PipeTransport::new(stdin, stdout),
+        dispatches: 0,
+        parked_at: Instant::now(),
+    })
+}
+
+impl WorkerPool {
+    /// Check out a warm worker for `cmd`, or spawn one cold. Idle
+    /// members that died, aged out, or hit the dispatch cap are
+    /// discarded along the way.
+    pub fn checkout_worker(&self, cmd: &[String]) -> io::Result<PooledWorker> {
+        let key = worker_key(cmd);
+        loop {
+            let candidate = {
+                let mut shelves = self.workers.lock().unwrap();
+                shelves.get_mut(&key).and_then(Vec::pop)
+            };
+            let Some(mut w) = candidate else { break };
+            let stale = w.parked_at.elapsed() > MAX_IDLE_AGE || w.dispatches >= MAX_DISPATCHES;
+            if stale {
+                FleetStats::bump(&fleet_stats().recycled);
+                w.discard();
+                continue;
+            }
+            if !w.is_alive() {
+                w.discard();
+                continue;
+            }
+            FleetStats::bump(&fleet_stats().pool_hits);
+            return Ok(w);
+        }
+        spawn_worker(cmd)
+    }
+
+    /// Park a healthy worker for the next dispatch (or retire it if the
+    /// recycling policy says so).
+    pub fn return_worker(&self, cmd: &[String], mut w: PooledWorker) {
+        w.dispatches += 1;
+        w.parked_at = Instant::now();
+        if w.dispatches >= MAX_DISPATCHES {
+            FleetStats::bump(&fleet_stats().recycled);
+            w.discard();
+            return;
+        }
+        let key = worker_key(cmd);
+        let mut shelves = self.workers.lock().unwrap();
+        let shelf = shelves.entry(key).or_default();
+        if shelf.len() >= MAX_IDLE_PER_KEY {
+            drop(shelves);
+            FleetStats::bump(&fleet_stats().recycled);
+            w.discard();
+        } else {
+            shelf.push(w);
+        }
+    }
+
+    /// Check out a warm, liveness-probed connection to `addr`. `None`
+    /// means no healthy idle connection — the caller connects cold (and
+    /// should count a reconnect if it was replacing a dead one).
+    pub fn checkout_peer(&self, addr: &str) -> Option<(TcpTransport, u64)> {
+        loop {
+            let candidate = {
+                let mut shelves = self.peers.lock().unwrap();
+                shelves.get_mut(addr).and_then(Vec::pop)
+            };
+            let p = candidate?;
+            if p.parked_at.elapsed() > MAX_IDLE_AGE || p.dispatches >= MAX_DISPATCHES {
+                FleetStats::bump(&fleet_stats().recycled);
+                continue;
+            }
+            if !probe_live(p.transport.stream()) {
+                // The peer closed (or died) while the connection idled.
+                continue;
+            }
+            FleetStats::bump(&fleet_stats().pool_hits);
+            return Some((p.transport, p.dispatches));
+        }
+    }
+
+    /// Park a healthy peer connection. `dispatches` counts the jobs
+    /// this connection has served (pass the value from checkout + 1).
+    pub fn return_peer(&self, addr: &str, transport: TcpTransport, dispatches: u64) {
+        if dispatches >= MAX_DISPATCHES {
+            FleetStats::bump(&fleet_stats().recycled);
+            return;
+        }
+        let mut shelves = self.peers.lock().unwrap();
+        let shelf = shelves.entry(addr.to_string()).or_default();
+        if shelf.len() >= MAX_IDLE_PER_KEY {
+            FleetStats::bump(&fleet_stats().recycled);
+        } else {
+            shelf.push(IdlePeer {
+                transport,
+                dispatches,
+                parked_at: Instant::now(),
+            });
+        }
+    }
+
+    /// Discard every pooled member (tests; also useful before fork-like
+    /// operations). Workers are killed and reaped; peer connections
+    /// drop closed.
+    pub fn drain(&self) {
+        let workers: Vec<PooledWorker> = {
+            let mut shelves = self.workers.lock().unwrap();
+            shelves.drain().flat_map(|(_, v)| v).collect()
+        };
+        for w in workers {
+            w.discard();
+        }
+        self.peers.lock().unwrap().clear();
+    }
+
+    /// Number of idle members parked for `cmd` (tests/diagnostics).
+    pub fn idle_workers(&self, cmd: &[String]) -> usize {
+        self.workers
+            .lock()
+            .unwrap()
+            .get(&worker_key(cmd))
+            .map_or(0, Vec::len)
+    }
+
+    /// Number of idle connections parked for `addr` (tests/diagnostics).
+    pub fn idle_peers(&self, addr: &str) -> usize {
+        self.peers.lock().unwrap().get(addr).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn cat_cmd() -> Vec<String> {
+        vec!["/bin/cat".into()]
+    }
+
+    #[test]
+    fn checkout_return_reuses_the_same_subprocess() {
+        let pool = WorkerPool::default();
+        let w = pool.checkout_worker(&cat_cmd()).unwrap();
+        let pid = w.child.id();
+        pool.return_worker(&cat_cmd(), w);
+        assert_eq!(pool.idle_workers(&cat_cmd()), 1);
+        let w2 = pool.checkout_worker(&cat_cmd()).unwrap();
+        assert_eq!(w2.child.id(), pid, "warm checkout must reuse the member");
+        assert_eq!(w2.dispatches, 1);
+        w2.discard();
+        pool.drain();
+    }
+
+    #[test]
+    fn dead_idle_workers_are_skipped_on_checkout() {
+        let pool = WorkerPool::default();
+        let mut dead = pool.checkout_worker(&cat_cmd()).unwrap();
+        let _ = dead.child.kill();
+        let _ = dead.child.wait();
+        let dead_pid = dead.child.id();
+        pool.return_worker(&cat_cmd(), dead);
+        let fresh = pool.checkout_worker(&cat_cmd()).unwrap();
+        assert_ne!(fresh.child.id(), dead_pid, "dead member must be discarded");
+        fresh.discard();
+        pool.drain();
+    }
+
+    #[test]
+    fn dispatch_cap_retires_members() {
+        let pool = WorkerPool::default();
+        let mut w = pool.checkout_worker(&cat_cmd()).unwrap();
+        w.dispatches = MAX_DISPATCHES - 1;
+        pool.return_worker(&cat_cmd(), w);
+        assert_eq!(
+            pool.idle_workers(&cat_cmd()),
+            0,
+            "member at the dispatch cap is retired, not parked"
+        );
+        pool.drain();
+    }
+
+    #[test]
+    fn idle_shelf_is_bounded() {
+        let pool = WorkerPool::default();
+        let members: Vec<_> = (0..MAX_IDLE_PER_KEY + 2)
+            .map(|_| pool.checkout_worker(&cat_cmd()).unwrap())
+            .collect();
+        for w in members {
+            pool.return_worker(&cat_cmd(), w);
+        }
+        assert_eq!(pool.idle_workers(&cat_cmd()), MAX_IDLE_PER_KEY);
+        pool.drain();
+    }
+
+    #[test]
+    fn peer_checkout_probes_liveness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let accepted = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let keep = accepted.clone();
+        let addr2 = addr.clone();
+        let server = std::thread::spawn(move || {
+            for stream in listener.incoming().take(2) {
+                keep.lock().unwrap().push(stream.unwrap());
+            }
+            addr2
+        });
+        let pool = WorkerPool::default();
+        assert!(pool.checkout_peer(&addr).is_none(), "cold pool misses");
+        let t = TcpTransport::new(std::net::TcpStream::connect(&addr).unwrap());
+        pool.return_peer(&addr, t, 1);
+        assert_eq!(pool.idle_peers(&addr), 1);
+        let (live, dispatches) = pool.checkout_peer(&addr).expect("live idle peer");
+        assert_eq!(dispatches, 1);
+        drop(live);
+        // Park a connection, then close the server side: the probe must
+        // reject it on the next checkout.
+        let t = TcpTransport::new(std::net::TcpStream::connect(&addr).unwrap());
+        let _ = server.join().unwrap();
+        accepted.lock().unwrap().clear(); // server-side FIN on both
+        pool.return_peer(&addr, t, 1);
+        assert!(
+            pool.checkout_peer(&addr).is_none(),
+            "dead idle peer must be probed out"
+        );
+    }
+}

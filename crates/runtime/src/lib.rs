@@ -40,6 +40,15 @@
 //!   submit/status/fetch/cancel protocol, and
 //!   [`service::ServiceBackend`], which routes any driver's dispatches
 //!   through a daemon (`Exec::service`).
+//! * [`fleet`] — the **supervised fleet layer** shared by the sharded,
+//!   remote and service tiers: a process-global warm pool of worker
+//!   subprocesses and peer connections (checkout/return, health probes,
+//!   max-lifetime recycling), a unified [`fleet::FaultPolicy`] (retry
+//!   budget, IO timeout, exponential backoff with seeded jitter,
+//!   quarantine of repeat offenders, opt-in shrink-to-zero in-process
+//!   fallback) and a deterministic chaos harness
+//!   ([`fleet::chaos::FaultInjector`]) proving byte-identical gathers
+//!   under injected failure.
 //! * [`stats`] — Welford moments, Student-t confidence intervals and batch
 //!   means (re-exported by `petri_core::stats` for compatibility).
 
@@ -47,6 +56,7 @@
 #![deny(unsafe_code)]
 
 pub mod exec;
+pub mod fleet;
 pub mod grid;
 pub mod remote;
 pub mod service;
@@ -59,6 +69,7 @@ pub use exec::{
     Exec, ExecBackend, ExecError, InProcessBackend, JobRegistry, PortableJob, ShardedBackend,
     TaskManifest,
 };
+pub use fleet::{chaos::ChaosConfig, fleet_stats, FaultPolicy, FleetSnapshot, FleetStats};
 pub use grid::{default_threads, env_threads, Progress, Runner, Segment};
 pub use remote::{AsyncBackend, FrameTransport, RemoteBackend};
 pub use service::{

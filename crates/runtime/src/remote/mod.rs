@@ -122,17 +122,33 @@ mod tests {
     }
 
     /// Spawn an in-process TCP worker on an ephemeral loopback port;
-    /// returns its address. The thread serves until shutdown.
+    /// returns its address. Mirrors `serve_listener`: each connection is
+    /// served on its own thread (the backend's warm pool keeps
+    /// connections open across dispatches, so a sequential accept loop
+    /// would never see the shutdown connection), and the accept loop
+    /// returns once any connection delivers the shutdown frame.
     fn spawn_worker() -> (String, std::thread::JoinHandle<()>) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap().to_string();
-        let handle = std::thread::spawn(move || loop {
-            let (stream, _) = listener.accept().unwrap();
-            let mut t = TcpTransport::new(stream);
-            match serve(&registry(), &mut t) {
-                Ok(ServeOutcome::Shutdown) => return,
-                Ok(ServeOutcome::Eof) => {}
-                Err(_) => {}
+        let local = listener.local_addr().unwrap();
+        let addr = local.to_string();
+        let handle = std::thread::spawn(move || {
+            let shutdown = Arc::new(AtomicBool::new(false));
+            loop {
+                let (stream, _) = listener.accept().unwrap();
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let shutdown = shutdown.clone();
+                std::thread::spawn(move || {
+                    let mut t = TcpTransport::new(stream);
+                    if let Ok(ServeOutcome::Shutdown) = serve(&registry(), &mut t) {
+                        shutdown.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop so it observes the flag.
+                        let _ = TcpStream::connect(local);
+                    }
+                });
             }
         });
         (addr, handle)
@@ -325,13 +341,10 @@ mod tests {
         let job = MulJob { factor: 1 };
         let m = mul_manifest(&[2]);
         // Loopback port 1: nothing listens there, connect is refused.
-        let backend = RemoteBackend {
-            hosts: vec!["127.0.0.1:1".into()],
-            worker_threads: 1,
-            retry_budget: 0,
-            connect_timeout: Duration::from_millis(500),
-            io_timeout: None,
-        };
+        let mut backend = RemoteBackend::new(vec!["127.0.0.1:1".into()], 1)
+            .with_retry_budget(0)
+            .with_io_timeout(None);
+        backend.connect_timeout = Duration::from_millis(500);
         let err = backend.run_segments(&job, &m, None).unwrap_err();
         assert!(matches!(err, ExecError::Protocol(_)), "{err:?}");
     }
@@ -354,23 +367,40 @@ mod tests {
                 }
             }
         }
-        // Worker-side registry including the failing job.
+        // Worker-side registry including the failing job. Per-connection
+        // serve threads, as in `spawn_worker`: the warm pool keeps the
+        // dispatch connection open, so the shutdown frame arrives on a
+        // second connection.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap().to_string();
+        let local = listener.local_addr().unwrap();
+        let addr = local.to_string();
         let handle = std::thread::spawn(move || {
-            let mut reg = JobRegistry::new();
-            reg.register("test-fail-from", |p| {
-                let mut r = wire::Reader::new(p);
-                let from = r.get_u64()? as usize;
-                r.finish()?;
-                Ok(Box::new(FailFrom(from)))
-            });
+            use std::sync::atomic::{AtomicBool, Ordering};
+            use std::sync::Arc;
+            fn reg() -> JobRegistry {
+                let mut reg = JobRegistry::new();
+                reg.register("test-fail-from", |p| {
+                    let mut r = wire::Reader::new(p);
+                    let from = r.get_u64()? as usize;
+                    r.finish()?;
+                    Ok(Box::new(FailFrom(from)))
+                });
+                reg
+            }
+            let shutdown = Arc::new(AtomicBool::new(false));
             loop {
                 let (stream, _) = listener.accept().unwrap();
-                let mut t = TcpTransport::new(stream);
-                if let Ok(ServeOutcome::Shutdown) = serve(&reg, &mut t) {
+                if shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                let shutdown = shutdown.clone();
+                std::thread::spawn(move || {
+                    let mut t = TcpTransport::new(stream);
+                    if let Ok(ServeOutcome::Shutdown) = serve(&reg(), &mut t) {
+                        shutdown.store(true, Ordering::SeqCst);
+                        let _ = TcpStream::connect(local);
+                    }
+                });
             }
         });
         let job = FailFrom(1);

@@ -8,7 +8,7 @@
 //! endpoints inlined their own copy of the frame loop.
 
 use crate::exec::{frame, ExecError, TaskManifest, WIRE_VERSION};
-use crate::grid::{Progress, ProgressFn};
+use crate::grid::{Progress, ProgressFn, Segment};
 use crate::remote::transport::FrameTransport;
 use crate::wire::{self, Reader, WireError};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -169,6 +169,53 @@ pub(crate) fn drain_chunk(transport: &mut dyn FrameTransport, sink: ChunkSink<'_
             Err(e) => return Drained::Broken(format!("protocol violation: {e}")),
         }
     }
+}
+
+/// The undelivered remainder of a partially-drained chunk: every slot
+/// whose `delivered` bit is unset, re-packed into merged contiguous
+/// segments plus the matching global-flat-index map. `None` when every
+/// slot landed. This is the re-dispatch unit shared by the remote
+/// backend's peer-death recovery and the supervised shard path — retried
+/// slots are seeded pure functions, so a remainder re-run is
+/// byte-identical by construction.
+pub(crate) fn undelivered_remainder(
+    manifest: &TaskManifest,
+    global_flat: &[usize],
+    delivered: &[bool],
+) -> Option<(TaskManifest, Vec<usize>)> {
+    let slots = manifest.slots();
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut seeds = Vec::new();
+    let mut flat = Vec::new();
+    for (local, &(point, rep, seed)) in slots.iter().enumerate() {
+        if delivered[local] {
+            continue;
+        }
+        match segments.last_mut() {
+            Some(seg) if seg.point == point && seg.base_rep + seg.count as u64 == rep => {
+                seg.count += 1;
+            }
+            _ => segments.push(Segment {
+                point,
+                base_rep: rep,
+                count: 1,
+            }),
+        }
+        seeds.push(seed);
+        flat.push(global_flat[local]);
+    }
+    if seeds.is_empty() {
+        return None;
+    }
+    Some((
+        TaskManifest {
+            kind: manifest.kind.clone(),
+            payload: manifest.payload.clone(),
+            segments,
+            seeds,
+        },
+        flat,
+    ))
 }
 
 /// First undelivered slot's global flat index, if any — the attribution

@@ -43,6 +43,28 @@ pub trait FrameTransport: Send {
     fn peer(&self) -> String;
 }
 
+/// A mutable borrow of a transport is itself a transport, so pooled
+/// (owned, long-lived) transports can be wrapped per-dispatch — e.g. by
+/// a [`FaultInjector`](crate::fleet::chaos::FaultInjector) — without
+/// giving up ownership.
+impl<T: FrameTransport + ?Sized> FrameTransport for &mut T {
+    fn send(&mut self, body: &[u8]) -> io::Result<()> {
+        (**self).send(body)
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        (**self).recv()
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
+    }
+
+    fn peer(&self) -> String {
+        (**self).peer()
+    }
+}
+
 // --- stdio (worker side) -------------------------------------------------
 
 /// The worker half of the subprocess protocol: frames over this process's

@@ -160,21 +160,53 @@ impl MemCache {
 // --- disk tier -----------------------------------------------------------
 
 /// The persistent cache tier: one `<hex key>.res` file per entry under a
-/// cache directory.
+/// cache directory, optionally held under a byte budget by evicting the
+/// least-recently-used entries (mtime order; a read refreshes the mtime).
 #[derive(Debug)]
 pub struct DiskStore {
     dir: PathBuf,
     /// Distinguishes concurrent writers' temp files within one process.
     temp_seq: AtomicU64,
+    /// Total-entry-bytes budget; `None` means unbounded.
+    budget: Option<u64>,
+    /// Entries evicted to honour the budget (monotonic).
+    evicted: AtomicU64,
+    /// Corrupt entries detected and deleted (monotonic).
+    corrupt_deleted: AtomicU64,
+}
+
+/// What a [`DiskStore::gc`] sweep found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries examined.
+    pub scanned: u64,
+    /// Corrupt/truncated/stale-format entries deleted.
+    pub corrupt_deleted: u64,
+    /// Healthy entries evicted to honour the byte budget (LRU first).
+    pub evicted: u64,
+    /// Entry bytes on disk before the sweep.
+    pub bytes_before: u64,
+    /// Entry bytes on disk after the sweep.
+    pub bytes_after: u64,
 }
 
 impl DiskStore {
-    /// A store rooted at `dir` (created on first write).
+    /// A store rooted at `dir` (created on first write), unbounded.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DiskStore {
             dir: dir.into(),
             temp_seq: AtomicU64::new(0),
+            budget: None,
+            evicted: AtomicU64::new(0),
+            corrupt_deleted: AtomicU64::new(0),
         }
+    }
+
+    /// Set (or clear) the size budget: after every write the store evicts
+    /// least-recently-used entries until total entry bytes fit.
+    pub fn with_budget(mut self, budget: Option<u64>) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The store's root directory.
@@ -182,22 +214,52 @@ impl DiskStore {
         &self.dir
     }
 
+    /// The configured byte budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Entries evicted for the budget since this store was opened.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt entries deleted since this store was opened.
+    pub fn corrupt_deleted(&self) -> u64 {
+        self.corrupt_deleted.load(Ordering::Relaxed)
+    }
+
     fn path_of(&self, key: &CacheKey) -> PathBuf {
         self.dir.join(format!("{}.res", key.hex()))
     }
 
     /// Load the blob stored under `key`. Missing, truncated or corrupt
-    /// entries are a miss (`None`); corrupt files are deleted so they are
-    /// not re-parsed on every request.
+    /// entries are a miss (`None`); corrupt files are deleted (and
+    /// counted) so they are not re-parsed on every request. A hit
+    /// refreshes the entry's mtime, which is the recency signal the
+    /// budget eviction sorts by.
     pub fn get(&self, key: &CacheKey) -> Option<Vec<u8>> {
         let path = self.path_of(key);
         let bytes = std::fs::read(&path).ok()?;
         match Self::parse_entry(&bytes) {
-            Some(blob) => Some(blob),
+            Some(blob) => {
+                Self::touch(&path);
+                Some(blob)
+            }
             None => {
                 let _ = std::fs::remove_file(&path);
+                self.corrupt_deleted.fetch_add(1, Ordering::Relaxed);
                 None
             }
+        }
+    }
+
+    /// Best-effort mtime refresh (LRU recency). Failure is harmless: the
+    /// entry just looks older than it is.
+    fn touch(path: &Path) {
+        if let Ok(f) = std::fs::File::options().append(true).open(path) {
+            let _ =
+                f.set_times(std::fs::FileTimes::new().set_modified(std::time::SystemTime::now()));
         }
     }
 
@@ -232,12 +294,84 @@ impl DiskStore {
         contents.extend_from_slice(blob);
         std::fs::write(&tmp, &contents)?;
         match std::fs::rename(&tmp, self.path_of(key)) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.enforce_budget(Some(key));
+                Ok(())
+            }
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
                 Err(e)
             }
         }
+    }
+
+    /// Every `.res` entry as `(path, mtime, size)`, oldest first.
+    fn entries_by_age(&self) -> Vec<(PathBuf, std::time::SystemTime, u64)> {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut entries: Vec<(PathBuf, std::time::SystemTime, u64)> = dir
+            .filter_map(|e| {
+                let e = e.ok()?;
+                let path = e.path();
+                if path.extension().and_then(|x| x.to_str()) != Some("res") {
+                    return None;
+                }
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((path, mtime, meta.len()))
+            })
+            .collect();
+        entries.sort_by_key(|(_, mtime, _)| *mtime);
+        entries
+    }
+
+    /// Evict least-recently-used entries until total entry bytes fit the
+    /// budget. `protect` (the key just written) is never evicted — a blob
+    /// larger than the whole budget must still land, or a hot oversized
+    /// result would be recomputed forever.
+    fn enforce_budget(&self, protect: Option<&CacheKey>) {
+        let Some(budget) = self.budget else { return };
+        let protect_path = protect.map(|k| self.path_of(k));
+        let entries = self.entries_by_age();
+        let mut total: u64 = entries.iter().map(|(_, _, size)| size).sum();
+        for (path, _, size) in entries {
+            if total <= budget {
+                break;
+            }
+            if protect_path.as_deref() == Some(path.as_path()) {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(size);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Sweep the whole store: delete corrupt/stale-format entries, then
+    /// enforce the byte budget (LRU first). Safe to run while a daemon is
+    /// serving — entries are atomic files and a concurrent reader of a
+    /// just-evicted key simply misses.
+    pub fn gc(&self) -> GcReport {
+        let mut report = GcReport::default();
+        for (path, _, size) in self.entries_by_age() {
+            report.scanned += 1;
+            report.bytes_before += size;
+            let healthy = std::fs::read(&path)
+                .ok()
+                .and_then(|bytes| Self::parse_entry(&bytes))
+                .is_some();
+            if !healthy && std::fs::remove_file(&path).is_ok() {
+                self.corrupt_deleted.fetch_add(1, Ordering::Relaxed);
+                report.corrupt_deleted += 1;
+            }
+        }
+        let evicted_before = self.evicted();
+        self.enforce_budget(None);
+        report.evicted = self.evicted() - evicted_before;
+        report.bytes_after = self.entries_by_age().iter().map(|(_, _, size)| size).sum();
+        report
     }
 }
 
@@ -455,7 +589,77 @@ mod tests {
         stale.extend_from_slice(&blob);
         std::fs::write(&path, &stale).unwrap();
         assert!(store.get(&key).is_none());
+        assert_eq!(store.corrupt_deleted(), 2);
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn set_mtime(path: &Path, secs: u64) {
+        let f = std::fs::File::options().append(true).open(path).unwrap();
+        f.set_times(std::fs::FileTimes::new().set_modified(
+            std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(secs),
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn budget_evicts_lru_entries_and_gc_reports() {
+        let dir = std::env::temp_dir().join(format!("svc-cache-budget-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let blob = encode_blob(&[vec![7u8; 64]]);
+        let entry_size = (5 + blob.len()) as u64;
+        // Fill unbounded, pinning mtimes so LRU order is unambiguous
+        // regardless of filesystem timestamp granularity.
+        let keys: Vec<CacheKey> = (0..3)
+            .map(|i| CacheKey::of_manifest(&manifest(100 + i)))
+            .collect();
+        {
+            let unbounded = DiskStore::new(&dir);
+            for (i, key) in keys.iter().enumerate() {
+                unbounded.put(key, &blob).unwrap();
+                set_mtime(&dir.join(format!("{}.res", key.hex())), 1_000 + i as u64);
+            }
+        }
+        // A corrupt straggler for gc to clean up.
+        let junk = dir.join("deadbeef.res");
+        std::fs::write(&junk, b"not an entry").unwrap();
+
+        let store = DiskStore::new(&dir).with_budget(Some(entry_size * 2));
+        let report = store.gc();
+        assert_eq!(report.scanned, 4);
+        assert_eq!(report.corrupt_deleted, 1);
+        assert_eq!(report.evicted, 1, "one entry over budget");
+        assert_eq!(report.bytes_after, entry_size * 2);
+        assert!(!junk.exists());
+        assert!(
+            store.get(&keys[0]).is_none(),
+            "the least-recently-used entry is the victim"
+        );
+        assert!(store.get(&keys[1]).is_some());
+        assert!(store.get(&keys[2]).is_some());
+
+        // A write over budget evicts, but never the entry just written.
+        let fresh = CacheKey::of_manifest(&manifest(200));
+        store.put(&fresh, &blob).unwrap();
+        assert!(store.get(&fresh).is_some());
+        assert_eq!(store.evicted(), 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_refreshes_mtime_for_lru_recency() {
+        let dir = std::env::temp_dir().join(format!("svc-cache-touch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::new(&dir);
+        let key = CacheKey::of_manifest(&manifest(300));
+        store.put(&key, &encode_blob(&[vec![1]])).unwrap();
+        let path = dir.join(format!("{}.res", key.hex()));
+        set_mtime(&path, 1_000);
+        let stale = std::fs::metadata(&path).unwrap().modified().unwrap();
+        assert!(store.get(&key).is_some());
+        let touched = std::fs::metadata(&path).unwrap().modified().unwrap();
+        assert!(touched > stale, "a hit must refresh the entry's mtime");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -66,6 +66,10 @@ pub struct ServiceConfig {
     /// Disk cache directory (`None` disables the persistent tier). The
     /// daemon defaults to `results/cache/`.
     pub cache_dir: Option<PathBuf>,
+    /// Byte budget for the disk tier: after every write, least-recently-
+    /// used entries are evicted until total entry bytes fit. `None`
+    /// (the default) leaves the tier unbounded.
+    pub cache_budget: Option<u64>,
     /// Terminal job records kept for late `status`/`fetch` callers.
     pub retain_terminal: usize,
     /// Recent terminal records that keep their result blob pinned in
@@ -84,6 +88,7 @@ impl Default for ServiceConfig {
             dispatchers: 1,
             mem_cache_entries: 64,
             cache_dir: Some(PathBuf::from("results/cache")),
+            cache_budget: None,
             retain_terminal: 4096,
             retain_results: 64,
         }
@@ -149,7 +154,10 @@ impl Service {
             !cfg.exec.is_service(),
             "a service cannot dispatch onto another service (backend loop)"
         );
-        let disk = cfg.cache_dir.as_ref().map(DiskStore::new);
+        let disk = cfg
+            .cache_dir
+            .as_ref()
+            .map(|dir| DiskStore::new(dir).with_budget(cfg.cache_budget));
         Service {
             table: Mutex::new(JobTable::new(
                 cfg.queue_capacity,
@@ -361,8 +369,12 @@ impl Service {
         Some(outcome)
     }
 
-    /// Snapshot the daemon counters.
+    /// Snapshot the daemon counters. The fleet-degradation counters come
+    /// from the process-global fleet (restarts, quarantines, in-process
+    /// fallbacks across every backend this daemon dispatched onto); the
+    /// cache-hygiene counters from the disk tier.
     pub fn stats(&self) -> ServiceStats {
+        let fleet = crate::fleet::fleet_stats().snapshot();
         ServiceStats {
             submitted: self.stats.submitted.load(Ordering::Relaxed),
             hits_mem: self.stats.hits_mem.load(Ordering::Relaxed),
@@ -372,6 +384,11 @@ impl Service {
             failed: self.stats.failed.load(Ordering::Relaxed),
             rejected: self.stats.rejected.load(Ordering::Relaxed),
             cancelled: self.stats.cancelled.load(Ordering::Relaxed),
+            restarts: fleet.restarts,
+            quarantined: fleet.quarantined,
+            fallbacks: fleet.fallbacks,
+            cache_evicted: self.disk.as_ref().map_or(0, DiskStore::evicted),
+            cache_corrupt: self.disk.as_ref().map_or(0, DiskStore::corrupt_deleted),
         }
     }
 

@@ -14,9 +14,11 @@
 use crate::exec::{ExecError, TaskManifest};
 use crate::wire::{self, Reader, WireError};
 
-/// Protocol version carried by every request frame. Version 1 is the
-/// initial submit/status/fetch/cancel/stats/shutdown verb set.
-pub const SERVICE_WIRE_VERSION: u8 = 1;
+/// Protocol version carried by every request frame. Version 1 was the
+/// initial submit/status/fetch/cancel/stats/shutdown verb set; version 2
+/// extends the stats snapshot with fleet-degradation and cache-hygiene
+/// counters and adds the `BackendUnavailable` failure kind.
+pub const SERVICE_WIRE_VERSION: u8 = 2;
 
 /// Request frame tags (client → daemon).
 pub mod request_tag {
@@ -201,6 +203,18 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Jobs cancelled while queued.
     pub cancelled: u64,
+    /// Fleet members restarted after a mid-chunk death (see
+    /// [`crate::fleet`]).
+    pub restarts: u64,
+    /// Quarantine transitions: hosts benched after repeated failures.
+    pub quarantined: u64,
+    /// Dispatches (whole or partial) degraded to in-process execution
+    /// because the fleet shrank to zero.
+    pub fallbacks: u64,
+    /// Disk-cache entries evicted to honour the size budget.
+    pub cache_evicted: u64,
+    /// Corrupt disk-cache entries detected and deleted.
+    pub cache_corrupt: u64,
 }
 
 impl ServiceStats {
@@ -382,6 +396,11 @@ impl ServiceResponse {
                     s.failed,
                     s.rejected,
                     s.cancelled,
+                    s.restarts,
+                    s.quarantined,
+                    s.fallbacks,
+                    s.cache_evicted,
+                    s.cache_corrupt,
                 ] {
                     wire::put_u64(&mut buf, v);
                 }
@@ -425,6 +444,11 @@ impl ServiceResponse {
                 failed: r.get_u64()?,
                 rejected: r.get_u64()?,
                 cancelled: r.get_u64()?,
+                restarts: r.get_u64()?,
+                quarantined: r.get_u64()?,
+                fallbacks: r.get_u64()?,
+                cache_evicted: r.get_u64()?,
+                cache_corrupt: r.get_u64()?,
             }),
             response_tag::OK => ServiceResponse::Ok,
             response_tag::ERR => ServiceResponse::Err(r.get_str()?.to_string()),
@@ -468,6 +492,10 @@ pub fn encode_exec_error(buf: &mut Vec<u8>, e: &ExecError) {
             wire::put_u8(buf, 2);
             wire::put_str(buf, message);
         }
+        ExecError::BackendUnavailable(message) => {
+            wire::put_u8(buf, 3);
+            wire::put_str(buf, message);
+        }
     }
 }
 
@@ -485,6 +513,7 @@ pub fn decode_exec_error(r: &mut Reader<'_>) -> Result<ExecError, WireError> {
             message: r.get_str()?.to_string(),
         },
         2 => ExecError::Protocol(r.get_str()?.to_string()),
+        3 => ExecError::BackendUnavailable(r.get_str()?.to_string()),
         other => return Err(WireError::new(format!("unknown exec error tag {other}"))),
     })
 }
@@ -539,6 +568,7 @@ mod tests {
                 message: "died".into(),
             },
             ExecError::Protocol("garbage".into()),
+            ExecError::BackendUnavailable("all peers quarantined".into()),
         ];
         let mut responses = vec![
             ServiceResponse::Submitted {
@@ -562,6 +592,11 @@ mod tests {
                 failed: 5,
                 rejected: 6,
                 cancelled: 7,
+                restarts: 8,
+                quarantined: 9,
+                fallbacks: 10,
+                cache_evicted: 11,
+                cache_corrupt: 12,
             }),
             ServiceResponse::Ok,
             ServiceResponse::Err("queue full".into()),
