@@ -1,0 +1,98 @@
+//! Paired A/B measurement of the cross-replication batched engine vs the
+//! scalar replication loop, on the shared [`bench::ab`] harness: adjacent
+//! interleaved blocks, alternating order, median of per-pair ratios.
+//! Every block runs the same replication set on the same seeds, so the
+//! firings checksum doubles as a bit-identity witness. Writes
+//! `BENCH_engine.json`-ready numbers (the `batch` section) to stdout.
+//!
+//! ```text
+//! cargo run --release -p bench --bin batch_ab [pairs_per_case]
+//! ```
+
+use petri_core::prelude::*;
+use std::time::Instant;
+
+/// Replications per timed block — divisible by every measured width.
+const REPS_PER_BLOCK: u64 = 64;
+
+/// Batch widths to sweep (1 = the batched path at width one, isolating
+/// the SoA engine's per-lane overhead from the batching win).
+const WIDTHS: [usize; 4] = [1, 4, 16, 64];
+
+fn mm1_net() -> Net {
+    let mut b = NetBuilder::new("mm1");
+    let q = b.place("q").build();
+    b.transition("arrive", Timing::exponential(1.0))
+        .output(q, 1)
+        .build();
+    b.transition("serve", Timing::exponential(2.0))
+        .input(q, 1)
+        .build();
+    b.build().unwrap()
+}
+
+/// One scalar block: `runs` independent replications, one at a time.
+fn time_scalar(sim: &Simulator<'_>, seed0: u64, runs: u64) -> (f64, u64) {
+    let t0 = Instant::now();
+    let mut firings = 0u64;
+    for i in 0..runs {
+        firings += sim.run(seed0 + i).unwrap().total_firings();
+    }
+    (t0.elapsed().as_nanos() as f64, firings)
+}
+
+/// One batched block: the same `runs` replications on the same seeds,
+/// advanced `width` lanes at a time.
+fn time_batched(sim: &Simulator<'_>, seed0: u64, runs: u64, width: usize) -> (f64, u64) {
+    let seeds: Vec<u64> = (0..runs).map(|i| seed0 + i).collect();
+    let t0 = Instant::now();
+    let batcher = BatchSimulator::new(sim);
+    let mut firings = 0u64;
+    for chunk in seeds.chunks(width) {
+        for out in batcher.run(chunk) {
+            firings += out.unwrap().total_firings();
+        }
+    }
+    (t0.elapsed().as_nanos() as f64, firings)
+}
+
+fn measure(label: &str, sim: &Simulator<'_>, pairs: usize) {
+    // Events per block (identical across variants and pairs' seeds differ,
+    // so use pair 0's count as the representative denominator).
+    let (_, events) = time_scalar(sim, 1, REPS_PER_BLOCK);
+    for width in WIDTHS {
+        let stats = bench::ab::run_paired(
+            pairs,
+            |p| time_batched(sim, (p as u64) * REPS_PER_BLOCK + 1, REPS_PER_BLOCK, width),
+            |p| time_scalar(sim, (p as u64) * REPS_PER_BLOCK + 1, REPS_PER_BLOCK),
+        );
+        // Both variants fire the same events (checksum-enforced), so the
+        // block-time ratio IS the aggregate events/s ratio.
+        println!(
+            "{label:<16} width {width:>2}: scalar {:6.1} ns/event  batched {:6.1} ns/event  \
+             median paired speedup {:5.2}x",
+            stats.b_ns / events as f64,
+            stats.a_ns / events as f64,
+            stats.speedup,
+        );
+    }
+}
+
+fn main() {
+    let pairs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+    println!(
+        "paired A/B, {pairs} pairs per case, {REPS_PER_BLOCK} replications per block \
+         (median of adjacent-block ratios; batched vs scalar, same seeds)"
+    );
+
+    let net = mm1_net();
+    let sim = Simulator::new(&net, SimConfig::for_horizon(2_000.0));
+    measure("mm1/2k_seconds", &sim, pairs);
+
+    let model = wsn::build_cpu_model(&wsn::CpuModelParams::paper_defaults(0.1, 0.3));
+    let sim = Simulator::new(&model.net, SimConfig::for_horizon(1_000.0));
+    measure("fig3_cpu_1000s", &sim, pairs);
+}

@@ -1,10 +1,8 @@
 //! Paired A/B measurement of the incremental engine vs the reference
-//! engine, designed for noisy shared-CPU hosts: the two engines are timed
-//! in adjacent blocks (interleaved within milliseconds, so machine-speed
-//! phases hit both equally), each pair yields a speedup ratio, and the
-//! median ratio over many pairs is robust to drift that makes separated
-//! minimums incomparable. Writes `BENCH_engine.json`-ready numbers to
-//! stdout.
+//! engine, on the shared [`bench::ab`] harness: adjacent interleaved
+//! blocks, alternating order, median of per-pair ratios — robust to the
+//! drift of noisy shared-CPU hosts. Writes `BENCH_engine.json`-ready
+//! numbers to stdout.
 //!
 //! ```text
 //! cargo run --release -p bench --bin engine_ab [pairs_per_net]
@@ -60,40 +58,16 @@ fn time_block(sim: &Simulator<'_>, seed0: u64, runs: u64, reference: bool) -> (f
 }
 
 fn measure(label: &str, sim: &Simulator<'_>, runs_per_block: u64, pairs: usize) {
-    // Warm both paths.
-    time_block(sim, 0, runs_per_block.min(4), false);
-    time_block(sim, 0, runs_per_block.min(4), true);
-    let mut ratios = Vec::with_capacity(pairs);
-    let mut new_ns = Vec::with_capacity(pairs);
-    let mut ref_ns = Vec::with_capacity(pairs);
-    for p in 0..pairs {
-        let seed0 = (p as u64) * runs_per_block + 1;
-        // Alternate which engine goes first so slow drift cancels.
-        let (a, fa, b, fb) = if p % 2 == 0 {
-            let (a, fa) = time_block(sim, seed0, runs_per_block, false);
-            let (b, fb) = time_block(sim, seed0, runs_per_block, true);
-            (a, fa, b, fb)
-        } else {
-            let (b, fb) = time_block(sim, seed0, runs_per_block, true);
-            let (a, fa) = time_block(sim, seed0, runs_per_block, false);
-            (a, fa, b, fb)
-        };
-        assert_eq!(fa, fb, "engines disagree on total firings");
-        ratios.push(b / a);
-        new_ns.push(a);
-        ref_ns.push(b);
-    }
-    let med = |v: &mut Vec<f64>| -> f64 {
-        v.sort_by(|x, y| x.total_cmp(y));
-        v[v.len() / 2]
-    };
-    let r = med(&mut ratios);
-    let a = med(&mut new_ns);
-    let b = med(&mut ref_ns);
+    let stats = bench::ab::run_paired(
+        pairs,
+        |p| time_block(sim, (p as u64) * runs_per_block + 1, runs_per_block, false),
+        |p| time_block(sim, (p as u64) * runs_per_block + 1, runs_per_block, true),
+    );
     println!(
-        "{label:<20} reference {:9.3} ms  incremental {:9.3} ms  median paired speedup {r:5.2}x",
-        b / 1e6,
-        a / 1e6,
+        "{label:<20} reference {:9.3} ms  incremental {:9.3} ms  median paired speedup {:5.2}x",
+        stats.b_ns / 1e6,
+        stats.a_ns / 1e6,
+        stats.speedup,
     );
 }
 

@@ -1,0 +1,1270 @@
+//! Cross-replication batched execution: R independent replications of one
+//! compiled net advanced together in a structure-of-arrays layout.
+//!
+//! The paper's steady-state experiments always run *many* independent
+//! replications per sweep point. The [`BatchSimulator`] turns that
+//! replication dimension into structure the engine can exploit:
+//!
+//! * **All static structure is shared.** The compiled conditions, guard
+//!   programs, dense firing plans, CSR indices, and timing scalars of the
+//!   borrowed [`Simulator`] are shared by every lane, and the per-batch
+//!   arenas are allocated once per batch instead of once per replication.
+//! * **All dynamic state is striped.** Per-transition scheduling state
+//!   (`fire_at`/`gen`/`remaining`/`sched_state`/`unsat`/`imm_pos`/firing
+//!   counts), per-condition truth bits, reward accumulators, the
+//!   enabled-immediates index, and the xoshiro256++ RNG states live in flat
+//!   arenas of `lanes × stride` — lane `l`'s slice starts at `l * stride`.
+//!   Only the markings and the (dynamically growing) per-lane event heaps
+//!   keep their own allocations.
+//! * **Small nets drop the event heap.** With the per-lane `fire_at` times
+//!   contiguous in the stripe, the next event of a ≤32-transition net is
+//!   found by a linear scan for the minimum `(time, tid)` — which is
+//!   provably the heap's valid-pop order (see [`BatchEngine::scan_next`]) —
+//!   so the push/pop/lazy-invalidation bookkeeping disappears entirely.
+//!   Wider nets keep the scalar engine's 4-ary lazy-deletion heaps.
+//! * **Fully dense nets run a fused hot loop.** When every transition
+//!   compiles to a dense firing plan (all of the paper's nets do), each
+//!   lane runs in [`BatchEngine::run_lane_fast`]: clock, RNG, and
+//!   zero-time counter live in locals, the firing/recheck/immediate helper
+//!   calls are fused into one frame, and the per-firing place-walk plus
+//!   `cond_epoch` dedup collapses into one precomputed
+//!   transition→conditions row. Measured on the benchmark host this is
+//!   where the batched speedup comes from (see BENCH_engine.json's `batch`
+//!   section): interleaving lanes event-by-event to overlap their serial
+//!   `ln()`+schedule chains — the obvious ILP story — was measured and
+//!   *rejected*; the sampling chain is already pipelined, and round-robin
+//!   stepping only thrashed branch history. Lanes therefore advance to
+//!   completion one at a time; a lane with no event before its horizon
+//!   integrates its reward tail and retires without disturbing the others,
+//!   and a lane that errors retires with its error.
+//!
+//! # Determinism
+//!
+//! Lanes never interact: each owns its RNG, marking, schedule, counters,
+//! and accumulators, and the shared scratch buffers are used by exactly one
+//! lane at a time. Every lane therefore performs *exactly* the operation
+//! sequence of the scalar engine ([`super::engine`]) run with the same seed
+//! — the per-lane outputs are **bit-identical** to `Simulator::run`,
+//! regardless of batch width or the order in which lanes retire. The
+//! differential suite (`tests/batch_differential.rs`) proves it per commit,
+//! the same way `run_reference` anchors the scalar engine.
+
+use super::engine::{
+    effective_token_limit, heap_less, CompiledSim, HeapEntry, RewardAcc, SimConfig, SimOutput,
+    Simulator, TimingKind, NOT_QUEUED, ST_ENABLED, ST_RESAMPLE, ST_SCHEDULED,
+};
+use super::rewards::RewardSpec;
+use super::trace::TraceBuffer;
+use crate::error::SimError;
+use crate::expr::CompiledExpr;
+use crate::ids::TransitionId;
+use crate::marking::Marking;
+use crate::net::Net;
+use crate::rng::SimRng;
+use crate::timing::MemoryPolicy;
+use crate::token::Color;
+use crate::transition::Transition;
+
+/// Batched executor over a configured [`Simulator`]: runs many seeds at
+/// once, returning per-seed results bit-identical to [`Simulator::run`].
+///
+/// Construction is free (the compiled structure is borrowed, not rebuilt);
+/// per-run state is allocated per [`BatchSimulator::run`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSimulator<'s, 'a> {
+    sim: &'s Simulator<'a>,
+}
+
+impl<'s, 'a> BatchSimulator<'s, 'a> {
+    /// Wrap a configured simulator for batched execution.
+    pub fn new(sim: &'s Simulator<'a>) -> Self {
+        BatchSimulator { sim }
+    }
+
+    /// Run one independent replication per seed, all at the simulator's
+    /// configured horizon. `result[i]` is bit-identical to
+    /// `sim.run(seeds[i])`.
+    pub fn run(&self, seeds: &[u64]) -> Vec<Result<SimOutput, SimError>> {
+        let horizons = vec![self.sim.cfg.end_time; seeds.len()];
+        self.run_with_horizons(seeds, &horizons)
+    }
+
+    /// Run one replication per seed with a **per-lane horizon**: lane `i`
+    /// behaves exactly as the scalar engine would with `cfg.end_time`
+    /// replaced by `end_times[i]` (shorter lanes retire mid-batch without
+    /// disturbing the rest).
+    ///
+    /// Panics if the two slices differ in length.
+    pub fn run_with_horizons(
+        &self,
+        seeds: &[u64],
+        end_times: &[f64],
+    ) -> Vec<Result<SimOutput, SimError>> {
+        assert_eq!(seeds.len(), end_times.len(), "one horizon per seed");
+        if seeds.is_empty() {
+            return Vec::new();
+        }
+        BatchEngine::new(self.sim, seeds, end_times).run_all()
+    }
+}
+
+/// Transition-count ceiling for the scan scheduler. Below it, the next
+/// event is found by scanning the lane's contiguous `fire_at` stripe (at
+/// 32 transitions the stripe is 256 bytes — four cache lines); above it,
+/// per-lane lazy-deletion heaps take over, like the scalar engine.
+const SCAN_MAX_TRANSITIONS: usize = 32;
+
+/// All per-batch state. Stride-`nt` arenas are indexed `l * nt + ti`,
+/// stride-`nc` arenas `l * nc + ci`; scratch buffers are shared because
+/// exactly one lane steps at a time.
+struct BatchEngine<'e> {
+    net: &'e Net,
+    cfg: &'e SimConfig,
+    /// `cfg.max_tokens_per_place` clamped below the u32 count ceiling.
+    max_tokens: usize,
+    cs: &'e CompiledSim,
+    pred_progs: &'e [Option<CompiledExpr>],
+    /// `firing_hooks[t]` = indices of counter accumulators watching `t`.
+    firing_hooks: &'e [Vec<u32>],
+    lanes: usize,
+    /// Transition count (stride of the per-transition arenas).
+    nt: usize,
+    /// Condition count (stride of the per-condition arenas).
+    nc: usize,
+    /// Reward count (stride of the accumulator arena).
+    nr: usize,
+    /// Immediate-transition count (stride of the enabled-immediates arena).
+    ni: usize,
+    /// Per-lane horizon (uniform `cfg.end_time` unless overridden).
+    end_time: Vec<f64>,
+    /// Per-lane RNG states, contiguous (32 bytes each).
+    rng: Vec<SimRng>,
+    now: Vec<f64>,
+    markings: Vec<Marking>,
+    /// Scan scheduler active (small nets): next event = min `(fire_at,
+    /// tid)` over the lane's stripe; the heaps stay empty and `gen` is
+    /// never bumped.
+    scan: bool,
+    /// Fused fast path active: the whole net compiles to count arithmetic
+    /// (all transitions timed with dense plans, all conditions bare count
+    /// thresholds, no predicate rewards), so each lane runs in a single
+    /// tight loop with its clock and RNG held in locals. Implies `scan`.
+    fast: bool,
+    /// Fast path only: transition → deduplicated condition indices whose
+    /// truth can change when it fires (CSR: `touched_conds_off[ti]..[ti+1]`
+    /// indexes `touched_conds`). Replaces the per-place walk plus the
+    /// `cond_epoch` dedup machinery with one precomputed flat row.
+    touched_conds: Vec<u32>,
+    touched_conds_off: Vec<u32>,
+    /// Per-lane 4-ary event heaps (own allocations: they grow dynamically).
+    /// Empty husks when the scan scheduler is active.
+    heaps: Vec<Vec<HeapEntry>>,
+    /// Pending firing time per (lane, transition); NaN = unscheduled.
+    fire_at: Vec<f64>,
+    /// Heap-entry generation counter per (lane, transition).
+    gen: Vec<u64>,
+    /// Frozen remaining delay (RaceAge only) per (lane, transition).
+    remaining: Vec<f64>,
+    /// Packed (enabled, scheduled, resample) bits per (lane, transition).
+    sched_state: Vec<u8>,
+    /// Current truth of each condition per lane.
+    cond_true: Vec<bool>,
+    /// Firing epoch at which each (lane, condition) was last re-evaluated.
+    cond_epoch: Vec<u64>,
+    epoch: Vec<u64>,
+    /// Count of false conditions per (lane, transition); 0 ⇔ enabled.
+    unsat: Vec<u32>,
+    /// Enabled immediates per lane: `enabled_imm[l*ni..l*ni+imm_len[l]]`.
+    enabled_imm: Vec<u32>,
+    imm_len: Vec<u32>,
+    imm_pos: Vec<u32>,
+    firing_counts: Vec<u64>,
+    /// Reward accumulators per (lane, reward).
+    accs: Vec<RewardAcc>,
+    /// Scratch stack for compiled guard/predicate programs (shared).
+    guard_scratch: Vec<i64>,
+    /// Scratch: colors consumed by the current firing (shared).
+    consumed: Vec<Color>,
+    consumed_offsets: Vec<usize>,
+    /// Scratch for immediate conflict resolution (shared).
+    candidates: Vec<u32>,
+    weights: Vec<f64>,
+    traces: Vec<TraceBuffer>,
+    zero_time_firings: Vec<u64>,
+}
+
+impl<'e> BatchEngine<'e> {
+    fn new(sim: &'e Simulator<'_>, seeds: &[u64], end_times: &[f64]) -> Self {
+        let net = sim.net;
+        let cs = &sim.compiled;
+        let lanes = seeds.len();
+        let nt = net.num_transitions();
+        let nc = cs.conds.len();
+        let nr = sim.rewards.len();
+        let ni = cs.immediates.len();
+
+        // Per-reward accumulator template, cloned into every lane's stripe.
+        let acc_template: Vec<RewardAcc> = sim
+            .rewards
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| match spec {
+                RewardSpec::PlaceTokens(p) => RewardAcc::PlaceTokens {
+                    place: *p,
+                    integral: 0.0,
+                },
+                RewardSpec::Predicate(_) => RewardAcc::Predicate {
+                    prog: i,
+                    integral: 0.0,
+                },
+                RewardSpec::Throughput(_) => RewardAcc::Throughput { count: 0 },
+                RewardSpec::FiringCount(_) => RewardAcc::FiringCount { count: 0 },
+            })
+            .collect();
+        let pred_stack = sim
+            .pred_progs
+            .iter()
+            .flatten()
+            .map(|p| p.stack_needed())
+            .max()
+            .unwrap_or(0);
+        // Scheduling-state template: the Resample bit is static.
+        let mut st_template = vec![0u8; nt];
+        for (ti, h) in cs.hot.iter().enumerate() {
+            if h.kind != TimingKind::Immediate && h.memory == MemoryPolicy::Resample {
+                st_template[ti] = ST_RESAMPLE;
+            }
+        }
+        let mut accs = Vec::with_capacity(lanes * nr);
+        for _ in 0..lanes {
+            accs.extend(acc_template.iter().cloned());
+        }
+
+        let scan = nt <= SCAN_MAX_TRANSITIONS;
+        let fast = scan && cs.plans.iter().all(|p| p.is_some());
+        // Transition → dedup'd affected conditions, in the generic path's
+        // first-touch order (the epoch machinery's visit order).
+        let mut touched_conds = Vec::new();
+        let mut touched_conds_off = Vec::with_capacity(nt + 1);
+        touched_conds_off.push(0u32);
+        if fast {
+            let mut seen = vec![false; nc];
+            for ti in 0..nt {
+                let start = touched_conds.len();
+                for &p in cs.touched.row(ti) {
+                    for &ci in cs.place_conds.row(p as usize) {
+                        if !seen[ci as usize] {
+                            seen[ci as usize] = true;
+                            touched_conds.push(ci);
+                        }
+                    }
+                }
+                for &ci in &touched_conds[start..] {
+                    seen[ci as usize] = false;
+                }
+                touched_conds_off.push(touched_conds.len() as u32);
+            }
+        }
+        let mut eng = BatchEngine {
+            net,
+            cfg: &sim.cfg,
+            max_tokens: effective_token_limit(&sim.cfg),
+            cs,
+            pred_progs: &sim.pred_progs,
+            firing_hooks: &sim.firing_hooks,
+            lanes,
+            nt,
+            nc,
+            nr,
+            ni,
+            end_time: end_times.to_vec(),
+            rng: seeds.iter().map(|&s| SimRng::seed_from_u64(s)).collect(),
+            now: vec![0.0; lanes],
+            markings: (0..lanes).map(|_| net.initial_marking()).collect(),
+            scan,
+            fast,
+            touched_conds,
+            touched_conds_off,
+            heaps: (0..lanes)
+                .map(|_| Vec::with_capacity(if scan { 0 } else { nt * 2 }))
+                .collect(),
+            fire_at: vec![f64::NAN; lanes * nt],
+            gen: vec![0; lanes * nt],
+            remaining: vec![f64::NAN; lanes * nt],
+            sched_state: st_template.repeat(lanes),
+            cond_true: vec![false; lanes * nc],
+            cond_epoch: vec![0; lanes * nc],
+            epoch: vec![0; lanes],
+            unsat: vec![0; lanes * nt],
+            enabled_imm: vec![0; lanes * ni],
+            imm_len: vec![0; lanes],
+            imm_pos: vec![NOT_QUEUED; lanes * nt],
+            firing_counts: vec![0; lanes * nt],
+            accs,
+            guard_scratch: Vec::with_capacity(cs.guard_stack.max(pred_stack)),
+            consumed: Vec::with_capacity(8),
+            consumed_offsets: Vec::with_capacity(8),
+            candidates: Vec::with_capacity(4),
+            weights: Vec::with_capacity(4),
+            traces: (0..lanes)
+                .map(|_| TraceBuffer::new(sim.cfg.trace_capacity))
+                .collect(),
+            zero_time_firings: vec![0; lanes],
+        };
+        for l in 0..lanes {
+            eng.init_conditions(l);
+        }
+        eng
+    }
+
+    // ---- incremental enabling (per lane; mirrors the scalar engine) ----
+
+    fn init_conditions(&mut self, l: usize) {
+        let cs = self.cs;
+        let tb = l * self.nt;
+        let cb = l * self.nc;
+        self.unsat[tb..tb + self.nt].copy_from_slice(&cs.base_unsat);
+        for (ci, cond) in cs.conds.iter().enumerate() {
+            let t = cs.eval_cond(&self.markings[l], &mut self.guard_scratch, cond);
+            self.cond_true[cb + ci] = t;
+            if !t {
+                self.unsat[tb + cond.tid as usize] += 1;
+            }
+        }
+        for ti in 0..self.nt {
+            if self.unsat[tb + ti] == 0 {
+                self.sched_state[tb + ti] |= ST_ENABLED;
+            }
+        }
+        for &tid in &cs.immediates {
+            if self.unsat[tb + tid.index()] == 0 {
+                self.imm_insert(l, tid.0);
+            }
+        }
+    }
+
+    fn refresh_place(&mut self, l: usize, p: u32) {
+        let cs = self.cs;
+        let tb = l * self.nt;
+        let cb = l * self.nc;
+        for &ci in cs.place_conds.row(p as usize) {
+            if self.cond_epoch[cb + ci as usize] == self.epoch[l] {
+                continue;
+            }
+            self.cond_epoch[cb + ci as usize] = self.epoch[l];
+            let cond = &cs.conds[ci as usize];
+            let now_true = cs.eval_cond(&self.markings[l], &mut self.guard_scratch, cond);
+            if now_true == self.cond_true[cb + ci as usize] {
+                continue;
+            }
+            self.cond_true[cb + ci as usize] = now_true;
+            let ti = cond.tid as usize;
+            let is_imm = cs.hot[ti].kind == TimingKind::Immediate;
+            if now_true {
+                self.unsat[tb + ti] -= 1;
+                if self.unsat[tb + ti] == 0 {
+                    self.sched_state[tb + ti] |= ST_ENABLED;
+                    if is_imm {
+                        self.imm_insert(l, cond.tid);
+                    }
+                }
+            } else {
+                if self.unsat[tb + ti] == 0 {
+                    self.sched_state[tb + ti] &= !ST_ENABLED;
+                    if is_imm {
+                        self.imm_remove(l, cond.tid);
+                    }
+                }
+                self.unsat[tb + ti] += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn imm_insert(&mut self, l: usize, tid: u32) {
+        debug_assert_eq!(self.imm_pos[l * self.nt + tid as usize], NOT_QUEUED);
+        let len = self.imm_len[l];
+        self.imm_pos[l * self.nt + tid as usize] = len;
+        self.enabled_imm[l * self.ni + len as usize] = tid;
+        self.imm_len[l] = len + 1;
+    }
+
+    #[inline]
+    fn imm_remove(&mut self, l: usize, tid: u32) {
+        let i = self.imm_pos[l * self.nt + tid as usize];
+        debug_assert_ne!(i, NOT_QUEUED);
+        self.imm_pos[l * self.nt + tid as usize] = NOT_QUEUED;
+        let last = self.imm_len[l] - 1;
+        self.imm_len[l] = last;
+        let moved = self.enabled_imm[l * self.ni + last as usize];
+        if i < last {
+            self.enabled_imm[l * self.ni + i as usize] = moved;
+            self.imm_pos[l * self.nt + moved as usize] = i;
+        }
+    }
+
+    /// Full-rescan enabling check: `debug_assert!` oracle, like the scalar
+    /// engine's.
+    #[cfg(debug_assertions)]
+    fn is_enabled_slow(&self, l: usize, t: &Transition) -> bool {
+        t.inputs
+            .iter()
+            .all(|a| self.markings[l].count_matching(a.place, &a.filter) >= a.multiplicity as usize)
+            && t.inhibitors
+                .iter()
+                .all(|a| self.markings[l].count_matching(a.place, &a.filter) < a.threshold as usize)
+            && t.guard
+                .as_ref()
+                .is_none_or(|g| g.eval_bool(&self.markings[l]))
+    }
+
+    #[cfg(debug_assertions)]
+    fn assert_enabled_consistent(&self, l: usize, tid: TransitionId) {
+        let slow = self.is_enabled_slow(l, self.net.transition(tid));
+        debug_assert_eq!(
+            self.unsat[l * self.nt + tid.index()] == 0,
+            slow,
+            "batched enabled bit diverged from rescan for {:?}",
+            self.net.transition(tid).name
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn assert_enabled_consistent(&self, _l: usize, _tid: TransitionId) {}
+
+    // ---- event heap (lazy invalidation, 4-ary, per lane) ----
+
+    #[inline]
+    fn heap_push(&mut self, l: usize, e: HeapEntry) {
+        let heap = &mut self.heaps[l];
+        let mut i = heap.len();
+        heap.push(e);
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if heap_less(&e, &heap[parent]) {
+                heap[i] = heap[parent];
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        heap[i] = e;
+    }
+
+    fn heap_pop(&mut self, l: usize) -> Option<HeapEntry> {
+        let heap = &mut self.heaps[l];
+        let top = *heap.first()?;
+        let last = heap.pop().expect("non-empty");
+        let n = heap.len();
+        if n == 0 {
+            return Some(top);
+        }
+        let mut i = 0;
+        loop {
+            let c0 = 4 * i + 1;
+            if c0 >= n {
+                break;
+            }
+            let mut smallest = c0;
+            let cend = (c0 + 4).min(n);
+            for c in c0 + 1..cend {
+                if heap_less(&heap[c], &heap[smallest]) {
+                    smallest = c;
+                }
+            }
+            if heap_less(&heap[smallest], &last) {
+                heap[i] = heap[smallest];
+                i = smallest;
+            } else {
+                break;
+            }
+        }
+        heap[i] = last;
+        Some(top)
+    }
+
+    // ---- scheduling ----
+
+    fn schedule(&mut self, l: usize, ti: usize, at: f64) {
+        let tb = l * self.nt;
+        self.fire_at[tb + ti] = at;
+        self.sched_state[tb + ti] |= ST_SCHEDULED;
+        if !self.scan {
+            self.gen[tb + ti] += 1;
+            let e = HeapEntry {
+                time: at,
+                tid: ti as u32,
+                gen: self.gen[tb + ti],
+            };
+            self.heap_push(l, e);
+        }
+    }
+
+    fn cancel(&mut self, l: usize, ti: usize) -> f64 {
+        let tb = l * self.nt;
+        debug_assert!(!self.fire_at[tb + ti].is_nan());
+        if !self.scan {
+            self.gen[tb + ti] += 1;
+        }
+        self.sched_state[tb + ti] &= !ST_SCHEDULED;
+        let at = self.fire_at[tb + ti];
+        self.fire_at[tb + ti] = f64::NAN;
+        at
+    }
+
+    /// Scan scheduler: the next event is the minimum `(fire_at, tid)` over
+    /// the lane's scheduled transitions. This is *exactly* the heap's
+    /// valid-pop order — [`heap_less`] orders entries by
+    /// `(time.total_cmp, tid, gen)` and every scheduled transition has
+    /// exactly one live entry, so `gen` only ever separates stale
+    /// duplicates the validity loop would discard anyway. The stripe is
+    /// contiguous SoA memory, so for small nets this replaces the
+    /// push/pop/invalidate bookkeeping with a handful of loads per event.
+    #[inline]
+    fn scan_next(&self, l: usize) -> Option<(f64, u32)> {
+        let tb = l * self.nt;
+        let mut best: Option<(f64, u32)> = None;
+        for (ti, &at) in self.fire_at[tb..tb + self.nt].iter().enumerate() {
+            if at.is_nan() {
+                continue;
+            }
+            if best.is_none_or(|(bt, _)| at.total_cmp(&bt).is_lt()) {
+                best = Some((at, ti as u32));
+            }
+        }
+        best
+    }
+
+    fn recheck_timed(&mut self, l: usize, tid: TransitionId) {
+        self.assert_enabled_consistent(l, tid);
+        let ti = tid.index();
+        let tb = l * self.nt;
+        let hot = &self.cs.hot[ti];
+        debug_assert!(hot.kind != TimingKind::Immediate);
+        let state = self.sched_state[tb + ti];
+        let enabled = state & ST_ENABLED != 0;
+        let scheduled = state & ST_SCHEDULED != 0;
+        debug_assert_eq!(enabled, self.unsat[tb + ti] == 0);
+        debug_assert_eq!(scheduled, !self.fire_at[tb + ti].is_nan());
+        match (enabled, scheduled) {
+            (true, false) => {
+                let delay =
+                    if hot.memory == MemoryPolicy::RaceAge && !self.remaining[tb + ti].is_nan() {
+                        let r = self.remaining[tb + ti];
+                        self.remaining[tb + ti] = f64::NAN;
+                        r
+                    } else {
+                        hot.sample_delay(&mut self.rng[l])
+                    };
+                self.schedule(l, ti, self.now[l] + delay);
+            }
+            (true, true) => {
+                if hot.memory == MemoryPolicy::Resample {
+                    self.cancel(l, ti);
+                    let delay = hot.sample_delay(&mut self.rng[l]);
+                    self.schedule(l, ti, self.now[l] + delay);
+                }
+                // RaceEnable / RaceAge: clock keeps running.
+            }
+            (false, true) => {
+                let fire_at = self.cancel(l, ti);
+                if hot.memory == MemoryPolicy::RaceAge {
+                    self.remaining[tb + ti] = (fire_at - self.now[l]).max(0.0);
+                }
+            }
+            (false, false) => {}
+        }
+    }
+
+    fn update_schedules_after(&mut self, l: usize, fired: TransitionId) {
+        let cs = self.cs;
+        let tb = l * self.nt;
+        for &tid in cs.recheck_timed.row(fired.index()) {
+            let s = self.sched_state[tb + tid as usize];
+            if s == ST_ENABLED | ST_SCHEDULED || s & (ST_ENABLED | ST_SCHEDULED) == 0 {
+                self.assert_enabled_consistent(l, TransitionId(tid));
+                continue;
+            }
+            self.recheck_timed(l, TransitionId(tid));
+        }
+    }
+
+    // ---- firing ----
+
+    fn fire(&mut self, l: usize, tid: TransitionId) -> Result<(), SimError> {
+        let ti = tid.index();
+        let cs = self.cs;
+        if let Some(plan) = &cs.plans[ti] {
+            let (i0, i1) = plan.ins;
+            let (o0, o1) = plan.outs;
+            for &(p, m) in &cs.plan_dat[i0 as usize..i1 as usize] {
+                self.markings[l].sub_plain(p, m);
+            }
+            for &(p, m) in &cs.plan_dat[o0 as usize..o1 as usize] {
+                let c = self.markings[l].add_plain(p, m);
+                if c as usize > self.max_tokens {
+                    return Err(SimError::TokenOverflow {
+                        place: p as usize,
+                        time: self.now[l],
+                        limit: self.cfg.max_tokens_per_place,
+                    });
+                }
+            }
+        } else {
+            let net = self.net;
+            let t: &Transition = &net.transitions()[ti];
+            self.consumed.clear();
+            self.consumed_offsets.clear();
+            for arc in &t.inputs {
+                self.consumed_offsets.push(self.consumed.len());
+                for _ in 0..arc.multiplicity {
+                    let c = self.markings[l]
+                        .withdraw(arc.place, &arc.filter)
+                        .expect("transition fired while not enabled");
+                    self.consumed.push(c);
+                }
+            }
+            for arc in &t.outputs {
+                for _ in 0..arc.multiplicity {
+                    let c =
+                        arc.color
+                            .eval(&self.consumed, &self.consumed_offsets, &mut self.rng[l]);
+                    self.markings[l].deposit(arc.place, c);
+                }
+                if self.markings[l].count(arc.place) > self.max_tokens {
+                    return Err(SimError::TokenOverflow {
+                        place: arc.place.index(),
+                        time: self.now[l],
+                        limit: self.cfg.max_tokens_per_place,
+                    });
+                }
+            }
+        }
+        self.epoch[l] += 1;
+        for &p in cs.touched.row(ti) {
+            self.refresh_place(l, p);
+        }
+        self.firing_counts[l * self.nt + ti] += 1;
+        if self.cfg.trace_capacity > 0 {
+            self.traces[l].record(self.now[l], tid);
+        }
+        if self.now[l] >= self.cfg.warmup && !self.firing_hooks[ti].is_empty() {
+            for hi in 0..self.firing_hooks[ti].len() {
+                let ai = self.firing_hooks[ti][hi] as usize;
+                match &mut self.accs[l * self.nr + ai] {
+                    RewardAcc::Throughput { count } | RewardAcc::FiringCount { count } => {
+                        *count += 1
+                    }
+                    _ => unreachable!("firing hook points at a counter reward"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn fire_immediates(&mut self, l: usize) -> Result<(), SimError> {
+        loop {
+            #[cfg(debug_assertions)]
+            self.assert_imm_index_consistent(l);
+            let len = self.imm_len[l] as usize;
+            if len == 0 {
+                break;
+            }
+            let base = l * self.ni;
+            self.candidates.clear();
+            let mut best_pri = 0u8;
+            for i in 0..len {
+                let tid = self.enabled_imm[base + i];
+                let pri = self.cs.hot[tid as usize].priority;
+                if self.candidates.is_empty() || pri > best_pri {
+                    best_pri = pri;
+                    self.candidates.clear();
+                    self.candidates.push(tid);
+                } else if pri == best_pri {
+                    self.candidates.push(tid);
+                }
+            }
+            self.candidates.sort_unstable();
+            let chosen = if self.candidates.len() == 1 {
+                self.candidates[0]
+            } else {
+                self.weights.clear();
+                for i in 0..self.candidates.len() {
+                    self.weights
+                        .push(self.cs.hot[self.candidates[i] as usize].weight);
+                }
+                self.candidates[self.rng[l].weighted_choice(&self.weights)]
+            };
+            let chosen = TransitionId(chosen);
+            self.fire(l, chosen)?;
+            self.update_schedules_after(l, chosen);
+            self.bump_zero_time_counter(l)?;
+        }
+        Ok(())
+    }
+
+    #[cfg(debug_assertions)]
+    fn assert_imm_index_consistent(&self, l: usize) {
+        for &tid in &self.cs.immediates {
+            let in_index = self.imm_pos[l * self.nt + tid.index()] != NOT_QUEUED;
+            let enabled = self.is_enabled_slow(l, self.net.transition(tid));
+            debug_assert_eq!(
+                in_index,
+                enabled,
+                "batched enabled-immediates index diverged for {:?}",
+                self.net.transition(tid).name
+            );
+        }
+    }
+
+    #[inline]
+    fn bump_zero_time_counter(&mut self, l: usize) -> Result<(), SimError> {
+        self.zero_time_firings[l] += 1;
+        if self.zero_time_firings[l] > self.cfg.max_zero_time_firings {
+            return Err(SimError::ImmediateLivelock {
+                time: self.now[l],
+                limit: self.cfg.max_zero_time_firings,
+            });
+        }
+        Ok(())
+    }
+
+    // ---- reward integration ----
+
+    fn integrate_rewards(&mut self, l: usize, until: f64) {
+        if self.nr == 0 {
+            return;
+        }
+        let from = self.now[l].max(self.cfg.warmup);
+        let dt = until - from;
+        if dt <= 0.0 {
+            return;
+        }
+        let ab = l * self.nr;
+        for ai in 0..self.nr {
+            match &mut self.accs[ab + ai] {
+                RewardAcc::PlaceTokens { place, integral } => {
+                    *integral += self.markings[l].count(*place) as f64 * dt;
+                }
+                RewardAcc::Predicate { prog, integral } => {
+                    let prog = self.pred_progs[*prog]
+                        .as_ref()
+                        .expect("predicate reward has a compiled program");
+                    if prog.eval_bool(&self.markings[l], &mut self.guard_scratch) {
+                        *integral += dt;
+                    }
+                }
+                RewardAcc::Throughput { .. } | RewardAcc::FiringCount { .. } => {}
+            }
+        }
+    }
+
+    // ---- lane lifecycle ----
+
+    /// Initial scheduling pass + time-zero immediate cascade (the scalar
+    /// engine's pre-loop work).
+    fn start(&mut self, l: usize) -> Result<(), SimError> {
+        for ti in 0..self.nt {
+            if self.cs.hot[ti].kind != TimingKind::Immediate {
+                self.recheck_timed(l, TransitionId(ti as u32));
+            }
+        }
+        self.fire_immediates(l)
+    }
+
+    /// Advance lane `l` by one timed event plus its immediate cascade —
+    /// exactly one iteration of the scalar engine's main loop. Returns
+    /// `Some(result)` when the lane finished (horizon reached or error).
+    fn step(&mut self, l: usize) -> Option<Result<SimOutput, SimError>> {
+        let tb = l * self.nt;
+        let next: Option<(f64, u32)> = if self.scan {
+            self.scan_next(l)
+        } else {
+            // Surface the next *valid* heap entry (stale ones die here).
+            loop {
+                match self.heaps[l].first() {
+                    None => break None,
+                    Some(e) => {
+                        if e.gen == self.gen[tb + e.tid as usize] {
+                            break Some((e.time, e.tid));
+                        }
+                        self.heap_pop(l);
+                    }
+                }
+            }
+        };
+
+        match next {
+            Some((time, tid)) if time < self.end_time[l] => {
+                if !self.scan {
+                    self.heap_pop(l);
+                    self.gen[tb + tid as usize] += 1;
+                }
+                let ti = tid as usize;
+                let tid = TransitionId(tid);
+                self.integrate_rewards(l, time);
+                if time > self.now[l] {
+                    self.zero_time_firings[l] = 0;
+                }
+                self.now[l] = time;
+                // Consume the schedule entry.
+                self.fire_at[tb + ti] = f64::NAN;
+                self.sched_state[tb + ti] &= !ST_SCHEDULED;
+                if let Err(err) = self.fire(l, tid) {
+                    return Some(Err(err));
+                }
+                if let Err(err) = self.bump_zero_time_counter(l) {
+                    return Some(Err(err));
+                }
+                self.update_schedules_after(l, tid);
+                if let Err(err) = self.fire_immediates(l) {
+                    return Some(Err(err));
+                }
+                None
+            }
+            _ => {
+                // No more events before this lane's horizon: integrate the
+                // tail and retire.
+                let end = self.end_time[l];
+                self.integrate_rewards(l, end);
+                self.now[l] = end;
+                Some(Ok(self.finalize(l)))
+            }
+        }
+    }
+
+    fn finalize(&mut self, l: usize) -> SimOutput {
+        let tb = l * self.nt;
+        let observed = (self.end_time[l] - self.cfg.warmup).max(0.0);
+        let ab = l * self.nr;
+        let rewards = self.accs[ab..ab + self.nr]
+            .iter()
+            .map(|acc| match acc {
+                RewardAcc::PlaceTokens { integral, .. } | RewardAcc::Predicate { integral, .. } => {
+                    if observed > 0.0 {
+                        integral / observed
+                    } else {
+                        0.0
+                    }
+                }
+                RewardAcc::Throughput { count } => {
+                    if observed > 0.0 {
+                        *count as f64 / observed
+                    } else {
+                        0.0
+                    }
+                }
+                RewardAcc::FiringCount { count } => *count as f64,
+            })
+            .collect();
+        let trace = std::mem::take(&mut self.traces[l]);
+        SimOutput {
+            end_time: self.end_time[l],
+            observed_time: observed,
+            rewards,
+            firing_counts: self.firing_counts[tb..tb + self.nt].to_vec(),
+            final_marking: self.markings[l].clone(),
+            trace_dropped: trace.dropped,
+            trace: trace.into_events(),
+        }
+    }
+
+    /// Fast-path firing: apply transition `ti`'s dense plan, refresh the
+    /// affected conditions via the precomputed `touched_conds` row (no
+    /// epoch bookkeeping), and record counters/trace/hooks — the fused
+    /// equivalent of the generic [`BatchEngine::fire`]. `now` is the
+    /// lane-local clock (already advanced to the firing time).
+    #[inline(always)]
+    fn fire_fast(&mut self, l: usize, ti: usize, now: f64) -> Result<(), SimError> {
+        let cs = self.cs;
+        let tb = l * self.nt;
+        let plan = cs.plans[ti].as_ref().expect("fast path needs dense plans");
+        {
+            let m = &mut self.markings[l];
+            let (i0, i1) = plan.ins;
+            for &(p, mlt) in &cs.plan_dat[i0 as usize..i1 as usize] {
+                m.sub_plain(p, mlt);
+            }
+            let (o0, o1) = plan.outs;
+            for &(p, mlt) in &cs.plan_dat[o0 as usize..o1 as usize] {
+                let c = m.add_plain(p, mlt);
+                if c as usize > self.max_tokens {
+                    return Err(SimError::TokenOverflow {
+                        place: p as usize,
+                        time: now,
+                        limit: self.cfg.max_tokens_per_place,
+                    });
+                }
+            }
+        }
+        // Re-evaluate the affected conditions. The precomputed row lists
+        // them in the generic path's first-touch order and already dedups,
+        // so the epoch machinery has nothing left to do.
+        let (c0, c1) = (
+            self.touched_conds_off[ti] as usize,
+            self.touched_conds_off[ti + 1] as usize,
+        );
+        for i in c0..c1 {
+            let ci = self.touched_conds[i] as usize;
+            let cond = &cs.conds[ci];
+            let now_true = cs.eval_cond(&self.markings[l], &mut self.guard_scratch, cond);
+            if now_true == self.cond_true[l * self.nc + ci] {
+                continue;
+            }
+            self.cond_true[l * self.nc + ci] = now_true;
+            let ct = tb + cond.tid as usize;
+            let is_imm = cs.hot[cond.tid as usize].kind == TimingKind::Immediate;
+            if now_true {
+                self.unsat[ct] -= 1;
+                if self.unsat[ct] == 0 {
+                    self.sched_state[ct] |= ST_ENABLED;
+                    if is_imm {
+                        self.imm_insert(l, cond.tid);
+                    }
+                }
+            } else {
+                if self.unsat[ct] == 0 {
+                    self.sched_state[ct] &= !ST_ENABLED;
+                    if is_imm {
+                        self.imm_remove(l, cond.tid);
+                    }
+                }
+                self.unsat[ct] += 1;
+            }
+        }
+        self.firing_counts[tb + ti] += 1;
+        if self.cfg.trace_capacity > 0 {
+            self.traces[l].record(now, TransitionId(ti as u32));
+        }
+        if now >= self.cfg.warmup && !self.firing_hooks[ti].is_empty() {
+            for hi in 0..self.firing_hooks[ti].len() {
+                let ai = self.firing_hooks[ti][hi] as usize;
+                match &mut self.accs[l * self.nr + ai] {
+                    RewardAcc::Throughput { count } | RewardAcc::FiringCount { count } => {
+                        *count += 1
+                    }
+                    _ => unreachable!("firing hook points at a counter reward"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fast-path re-scheduling after `ti` fired: the generic
+    /// [`BatchEngine::update_schedules_after`] plus `recheck_timed`, fused,
+    /// with the lane RNG in a local and the heap-free scan bookkeeping.
+    #[inline(always)]
+    fn recheck_fast(&mut self, l: usize, ti: usize, now: f64, rng: &mut SimRng) {
+        let cs = self.cs;
+        let tb = l * self.nt;
+        for &t2 in cs.recheck_timed.row(ti) {
+            let idx = tb + t2 as usize;
+            let s = self.sched_state[idx];
+            if s == ST_ENABLED | ST_SCHEDULED || s & (ST_ENABLED | ST_SCHEDULED) == 0 {
+                continue;
+            }
+            let hot = &cs.hot[t2 as usize];
+            let enabled = s & ST_ENABLED != 0;
+            let scheduled = s & ST_SCHEDULED != 0;
+            if enabled && scheduled {
+                // Only Resample transitions carry all three bits past the
+                // skip above: redraw the clock in place.
+                debug_assert_eq!(hot.memory, MemoryPolicy::Resample);
+                let delay = hot.sample_delay(rng);
+                self.fire_at[idx] = now + delay;
+            } else if enabled {
+                let delay = if hot.memory == MemoryPolicy::RaceAge && !self.remaining[idx].is_nan()
+                {
+                    let r = self.remaining[idx];
+                    self.remaining[idx] = f64::NAN;
+                    r
+                } else {
+                    hot.sample_delay(rng)
+                };
+                self.fire_at[idx] = now + delay;
+                self.sched_state[idx] = s | ST_SCHEDULED;
+            } else {
+                debug_assert!(!self.fire_at[idx].is_nan());
+                let at = self.fire_at[idx];
+                self.fire_at[idx] = f64::NAN;
+                self.sched_state[idx] = s & !ST_SCHEDULED;
+                if hot.memory == MemoryPolicy::RaceAge {
+                    self.remaining[idx] = (at - now).max(0.0);
+                }
+            }
+        }
+    }
+
+    /// Fused fast path: drive lane `l` from post-`start` state to
+    /// completion in one tight loop, with the lane's clock, RNG, and
+    /// zero-time counter in locals and the per-event helper calls fused
+    /// into this frame. Precondition (`self.fast`): every transition has a
+    /// dense firing plan, so firing never draws colors and an event is
+    /// count arithmetic plus delay samples. Every operation replays the
+    /// generic path's exact sequence (same RNG draws, same comparisons,
+    /// same error precedence), so the per-lane outputs stay bit-identical
+    /// to the scalar engine; the differential suite checks that.
+    fn run_lane_fast(&mut self, l: usize) -> Result<SimOutput, SimError> {
+        debug_assert!(self.fast);
+        let nt = self.nt;
+        let tb = l * nt;
+        let end = self.end_time[l];
+        let warmup = self.cfg.warmup;
+        let mut rng = self.rng[l].clone();
+        let mut now = self.now[l];
+        let mut zero = self.zero_time_firings[l];
+
+        let res: Result<(), SimError> = 'run: loop {
+            // Scan the lane's stripe for the next event: min `(time, tid)`
+            // over scheduled transitions, as in `scan_next`.
+            let mut best_t = 0.0f64;
+            let mut best_ti = u32::MAX;
+            for (ti, &at) in self.fire_at[tb..tb + nt].iter().enumerate() {
+                if !at.is_nan() && (best_ti == u32::MAX || at.total_cmp(&best_t).is_lt()) {
+                    best_t = at;
+                    best_ti = ti as u32;
+                }
+            }
+            // `best_t < end` (not `>=`) mirrors the scalar engine's
+            // `e.time < cfg.end_time` guard, including a NaN horizon.
+            let has_event = best_ti != u32::MAX && best_t < end;
+            if !has_event {
+                break 'run Ok(());
+            }
+            let t = best_t;
+            let ti = best_ti as usize;
+
+            // Reward integration up to the event (old `now` is the lower
+            // bound, exactly like `integrate_rewards`).
+            if self.nr != 0 {
+                let from = now.max(warmup);
+                let dt = t - from;
+                if dt > 0.0 {
+                    let ab = l * self.nr;
+                    for ai in 0..self.nr {
+                        match &mut self.accs[ab + ai] {
+                            RewardAcc::PlaceTokens { place, integral } => {
+                                *integral += self.markings[l].count(*place) as f64 * dt;
+                            }
+                            RewardAcc::Predicate { prog, integral } => {
+                                let prog = self.pred_progs[*prog]
+                                    .as_ref()
+                                    .expect("predicate reward has a compiled program");
+                                if prog.eval_bool(&self.markings[l], &mut self.guard_scratch) {
+                                    *integral += dt;
+                                }
+                            }
+                            RewardAcc::Throughput { .. } | RewardAcc::FiringCount { .. } => {}
+                        }
+                    }
+                }
+            }
+            if t > now {
+                zero = 0;
+            }
+            now = t;
+            // Consume the schedule entry, then fire: the generic `step`'s
+            // fire → zero-bump → recheck → immediates order.
+            self.fire_at[tb + ti] = f64::NAN;
+            self.sched_state[tb + ti] &= !ST_SCHEDULED;
+            if let Err(e) = self.fire_fast(l, ti, now) {
+                break 'run Err(e);
+            }
+            zero += 1;
+            if zero > self.cfg.max_zero_time_firings {
+                break 'run Err(SimError::ImmediateLivelock {
+                    time: now,
+                    limit: self.cfg.max_zero_time_firings,
+                });
+            }
+            self.recheck_fast(l, ti, now, &mut rng);
+
+            // Immediate cascade: the generic `fire_immediates` with the
+            // lane RNG local (fire → recheck → zero-bump order).
+            loop {
+                let len = self.imm_len[l] as usize;
+                if len == 0 {
+                    break;
+                }
+                let base = l * self.ni;
+                self.candidates.clear();
+                let mut best_pri = 0u8;
+                for i in 0..len {
+                    let tid = self.enabled_imm[base + i];
+                    let pri = self.cs.hot[tid as usize].priority;
+                    if self.candidates.is_empty() || pri > best_pri {
+                        best_pri = pri;
+                        self.candidates.clear();
+                        self.candidates.push(tid);
+                    } else if pri == best_pri {
+                        self.candidates.push(tid);
+                    }
+                }
+                self.candidates.sort_unstable();
+                let chosen = if self.candidates.len() == 1 {
+                    self.candidates[0]
+                } else {
+                    self.weights.clear();
+                    for i in 0..self.candidates.len() {
+                        self.weights
+                            .push(self.cs.hot[self.candidates[i] as usize].weight);
+                    }
+                    self.candidates[rng.weighted_choice(&self.weights)]
+                };
+                if let Err(e) = self.fire_fast(l, chosen as usize, now) {
+                    break 'run Err(e);
+                }
+                self.recheck_fast(l, chosen as usize, now, &mut rng);
+                zero += 1;
+                if zero > self.cfg.max_zero_time_firings {
+                    break 'run Err(SimError::ImmediateLivelock {
+                        time: now,
+                        limit: self.cfg.max_zero_time_firings,
+                    });
+                }
+            }
+        };
+
+        self.rng[l] = rng;
+        self.now[l] = now;
+        self.zero_time_firings[l] = zero;
+        match res {
+            Ok(()) => {
+                self.integrate_rewards(l, end);
+                self.now[l] = end;
+                Ok(self.finalize(l))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drive every lane to completion: the fused fast path when the net
+    /// qualifies, otherwise single-event round-robin over the active set.
+    fn run_all(mut self) -> Vec<Result<SimOutput, SimError>> {
+        let lanes = self.lanes;
+        let mut out: Vec<Option<Result<SimOutput, SimError>>> = (0..lanes).map(|_| None).collect();
+        let mut active: Vec<u32> = Vec::with_capacity(lanes);
+        for (l, slot) in out.iter_mut().enumerate() {
+            match self.start(l) {
+                Ok(()) => active.push(l as u32),
+                Err(e) => *slot = Some(Err(e)),
+            }
+        }
+        if self.fast {
+            for &l in &active.clone() {
+                out[l as usize] = Some(self.run_lane_fast(l as usize));
+            }
+        } else {
+            while !active.is_empty() {
+                let mut i = 0;
+                while i < active.len() {
+                    let l = active[i] as usize;
+                    if let Some(res) = self.step(l) {
+                        out[l] = Some(res);
+                        // The lane swapped into slot `i` came from the tail
+                        // and has not been stepped this sweep; don't skip it.
+                        active.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every lane terminates"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::timing::Timing;
+
+    fn mm1(rho: f64) -> crate::net::Net {
+        let mut b = NetBuilder::new("mm1");
+        let q = b.place("q").build();
+        b.transition("arrive", Timing::exponential(rho))
+            .output(q, 1)
+            .build();
+        b.transition("serve", Timing::exponential(1.0))
+            .input(q, 1)
+            .build();
+        b.build().unwrap()
+    }
+
+    fn assert_same(a: &SimOutput, b: &SimOutput) {
+        assert_eq!(a.rewards, b.rewards);
+        assert_eq!(a.firing_counts, b.firing_counts);
+        assert_eq!(a.final_marking, b.final_marking);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.trace_dropped, b.trace_dropped);
+        assert_eq!(a.observed_time, b.observed_time);
+    }
+
+    #[test]
+    fn batch_matches_scalar_per_seed() {
+        let net = mm1(0.8);
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(200.0).with_trace(32));
+        let q = crate::ids::PlaceId::from_index(0);
+        sim.reward_place(q);
+        let seeds: Vec<u64> = (0..17).map(|i| 1000 + i).collect();
+        let batched = sim.run_batch(&seeds);
+        for (i, &seed) in seeds.iter().enumerate() {
+            let scalar = sim.run(seed).unwrap();
+            let b = batched[i].as_ref().unwrap();
+            assert_same(b, &scalar);
+        }
+    }
+
+    #[test]
+    fn per_lane_horizons_retire_mid_batch() {
+        let net = mm1(0.9);
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(100.0));
+        let q = crate::ids::PlaceId::from_index(0);
+        sim.reward_place(q);
+        let seeds = [7u64, 8, 9, 10];
+        let horizons = [25.0, 400.0, 3.0, 100.0];
+        let batched = BatchSimulator::new(&sim).run_with_horizons(&seeds, &horizons);
+        for (i, (&seed, &h)) in seeds.iter().zip(&horizons).enumerate() {
+            let mut cfg = sim.config().clone();
+            cfg.end_time = h;
+            let mut oracle = Simulator::new(&net, cfg);
+            oracle.reward_place(q);
+            let scalar = oracle.run(seed).unwrap();
+            assert_same(batched[i].as_ref().unwrap(), &scalar);
+        }
+    }
+
+    #[test]
+    fn an_erroring_lane_does_not_disturb_the_others() {
+        // Lane horizons long enough that the open generator overflows the
+        // tiny token bound in every lane *except* the short one.
+        let net = mm1(5.0);
+        let mut cfg = SimConfig::for_horizon(10_000.0);
+        cfg.max_tokens_per_place = 50;
+        let sim = Simulator::new(&net, cfg);
+        let seeds = [1u64, 2, 3];
+        let horizons = [10_000.0, 1.0, 10_000.0];
+        let batched = BatchSimulator::new(&sim).run_with_horizons(&seeds, &horizons);
+        for (i, (&seed, &h)) in seeds.iter().zip(&horizons).enumerate() {
+            let mut cfg = sim.config().clone();
+            cfg.end_time = h;
+            let oracle = Simulator::new(&net, cfg);
+            match (oracle.run(seed), &batched[i]) {
+                (Ok(a), Ok(b)) => assert_same(b, &a),
+                (Err(a), Err(b)) => assert_eq!(&a, b),
+                (a, b) => panic!("lane {i}: scalar {a:?} vs batched {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let net = mm1(0.5);
+        let sim = Simulator::new(&net, SimConfig::for_horizon(10.0));
+        assert!(sim.run_batch(&[]).is_empty());
+    }
+}

@@ -138,7 +138,7 @@ impl SimOutput {
 /// Compressed sparse rows: `row(i)` is a contiguous `&[u32]` — one shared
 /// allocation instead of a `Vec<Vec<u32>>`'s per-row pointer chase.
 #[derive(Debug, Clone, Default)]
-struct Csr {
+pub(super) struct Csr {
     off: Vec<u32>,
     dat: Vec<u32>,
 }
@@ -156,7 +156,7 @@ impl Csr {
     }
 
     #[inline]
-    fn row(&self, i: usize) -> &[u32] {
+    pub(super) fn row(&self, i: usize) -> &[u32] {
         &self.dat[self.off[i] as usize..self.off[i + 1] as usize]
     }
 }
@@ -164,7 +164,7 @@ impl Csr {
 /// Timing discriminant, split out so the hot loop never matches on the full
 /// [`Timing`] enum through the [`Transition`] struct (and its cold fields).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TimingKind {
+pub(super) enum TimingKind {
     Immediate,
     Deterministic,
     Exponential,
@@ -176,11 +176,11 @@ enum TimingKind {
 /// `fire_immediates` need, packed away from the cold `Transition` fields
 /// (name strings, arc vectors).
 #[derive(Debug, Clone)]
-struct TransHot {
-    kind: TimingKind,
-    memory: MemoryPolicy,
-    priority: u8,
-    weight: f64,
+pub(super) struct TransHot {
+    pub(super) kind: TimingKind,
+    pub(super) memory: MemoryPolicy,
+    pub(super) priority: u8,
+    pub(super) weight: f64,
     /// Deterministic delay / exponential rate / uniform low / Erlang rate.
     a: f64,
     /// Uniform high.
@@ -214,7 +214,7 @@ impl TransHot {
     /// Sample a firing delay; must draw from the RNG exactly as
     /// [`Timing::sample_delay`] does (the reference engine relies on it).
     #[inline]
-    fn sample_delay(&self, rng: &mut SimRng) -> f64 {
+    pub(super) fn sample_delay(&self, rng: &mut SimRng) -> f64 {
         match self.kind {
             TimingKind::Immediate => 0.0,
             TimingKind::Deterministic => self.a,
@@ -243,8 +243,8 @@ const COND_GUARD: u8 = 4;
 /// its conditions hold; the engine tracks the number of currently-false
 /// conditions per transition.
 #[derive(Debug, Clone)]
-struct Cond {
-    tid: u32,
+pub(super) struct Cond {
+    pub(super) tid: u32,
     kind: u8,
     /// Watched place (arc conditions; unused for guards).
     place: u32,
@@ -259,39 +259,39 @@ struct Cond {
 /// tokens into one (and no Choice arc would need an RNG draw). Firing is
 /// then pure `u32` arithmetic on the count vector.
 #[derive(Debug, Clone, Copy)]
-struct DensePlan {
+pub(super) struct DensePlan {
     /// Range of (place, multiplicity) input entries in `plan_dat`.
-    ins: (u32, u32),
+    pub(super) ins: (u32, u32),
     /// Range of (place, multiplicity) output entries in `plan_dat`.
-    outs: (u32, u32),
+    pub(super) outs: (u32, u32),
 }
 
 /// Everything the engine precomputes per [`Simulator`] — shared, immutable,
 /// reused by every run.
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledSim {
-    conds: Vec<Cond>,
+    pub(super) conds: Vec<Cond>,
     filters: Vec<ColorFilter>,
     guards: Vec<CompiledExpr>,
     /// Place → indices of conditions that read it (ascending tid).
-    place_conds: Csr,
+    pub(super) place_conds: Csr,
     /// Conditions that folded to constant-false at compile time (an input
     /// arc whose filter can never match an uncolored place) keep their
     /// transition permanently disabled via this base count.
-    base_unsat: Vec<u32>,
+    pub(super) base_unsat: Vec<u32>,
     /// Transition → places whose token count changes when it fires
     /// (inputs then outputs, deduplicated, arc order preserved).
-    touched: Csr,
+    pub(super) touched: Csr,
     /// Transition → timed transitions to re-schedule after it fires, in
     /// exactly the reference engine's traversal order (dependency index
     /// over touched places, then self, then Resample transitions).
-    recheck_timed: Csr,
-    hot: Vec<TransHot>,
-    immediates: Vec<TransitionId>,
-    plans: Vec<Option<DensePlan>>,
-    plan_dat: Vec<(u32, u32)>,
+    pub(super) recheck_timed: Csr,
+    pub(super) hot: Vec<TransHot>,
+    pub(super) immediates: Vec<TransitionId>,
+    pub(super) plans: Vec<Option<DensePlan>>,
+    pub(super) plan_dat: Vec<(u32, u32)>,
     /// Scratch capacity needed by the largest guard program.
-    guard_stack: usize,
+    pub(super) guard_stack: usize,
 }
 
 impl CompiledSim {
@@ -534,7 +534,7 @@ impl CompiledSim {
 
     /// Evaluate one condition against a marking.
     #[inline(always)]
-    fn eval_cond(&self, marking: &Marking, scratch: &mut Vec<i64>, cond: &Cond) -> bool {
+    pub(super) fn eval_cond(&self, marking: &Marking, scratch: &mut Vec<i64>, cond: &Cond) -> bool {
         match cond.kind {
             COND_INPUT_ANY => marking.count_raw(cond.place) >= cond.need,
             COND_INHIB_ANY => marking.count_raw(cond.place) < cond.need,
@@ -561,14 +561,14 @@ impl CompiledSim {
 /// discards stale entries as they surface. Min-order on `(time, tid, gen)`:
 /// ties at the same instant fire in definition order.
 #[derive(Debug, Clone, Copy)]
-struct HeapEntry {
-    time: f64,
-    tid: u32,
-    gen: u64,
+pub(super) struct HeapEntry {
+    pub(super) time: f64,
+    pub(super) tid: u32,
+    pub(super) gen: u64,
 }
 
 #[inline]
-fn heap_less(a: &HeapEntry, b: &HeapEntry) -> bool {
+pub(super) fn heap_less(a: &HeapEntry, b: &HeapEntry) -> bool {
     match a.time.total_cmp(&b.time) {
         std::cmp::Ordering::Less => true,
         std::cmp::Ordering::Greater => false,
@@ -589,16 +589,16 @@ fn heap_less(a: &HeapEntry, b: &HeapEntry) -> bool {
 /// multiple threads.
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
-    net: &'a Net,
-    cfg: SimConfig,
-    rewards: Vec<RewardSpec>,
+    pub(super) net: &'a Net,
+    pub(super) cfg: SimConfig,
+    pub(super) rewards: Vec<RewardSpec>,
     /// Compiled predicate programs, parallel to `rewards` (None for
     /// non-predicate rewards).
-    pred_progs: Vec<Option<CompiledExpr>>,
+    pub(super) pred_progs: Vec<Option<CompiledExpr>>,
     /// `firing_hooks[t]` = indices of counter rewards watching transition
     /// `t`; built here so runs share it instead of rebuilding per seed.
-    firing_hooks: Vec<Vec<u32>>,
-    compiled: CompiledSim,
+    pub(super) firing_hooks: Vec<Vec<u32>>,
+    pub(super) compiled: CompiledSim,
 }
 
 impl<'a> Simulator<'a> {
@@ -677,6 +677,15 @@ impl<'a> Simulator<'a> {
     pub fn run_reference(&self, seed: u64) -> Result<SimOutput, SimError> {
         super::reference::ReferenceEngine::new(self.net, &self.cfg, &self.rewards, seed).run()
     }
+
+    /// Execute `seeds.len()` independent replications together on the
+    /// **batched engine** (see [`super::batch::BatchSimulator`]): one
+    /// structure-of-arrays pass that amortizes the compiled net across the
+    /// batch. Each returned entry is bit-identical to `self.run(seed)` for
+    /// the seed at the same index.
+    pub fn run_batch(&self, seeds: &[u64]) -> Vec<Result<SimOutput, SimError>> {
+        super::batch::BatchSimulator::new(self).run(seeds)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -686,7 +695,7 @@ impl<'a> Simulator<'a> {
 /// Per-reward accumulator. Counter rewards are bumped through the
 /// per-transition `firing_hooks` dispatch index, never by scanning.
 #[derive(Debug, Clone)]
-enum RewardAcc {
+pub(super) enum RewardAcc {
     /// Integral of token count over observed time.
     PlaceTokens { place: PlaceId, integral: f64 },
     /// Integral of the indicator over observed time; the program lives in
@@ -698,16 +707,16 @@ enum RewardAcc {
     FiringCount { count: u64 },
 }
 
-const NOT_QUEUED: u32 = u32::MAX;
+pub(super) const NOT_QUEUED: u32 = u32::MAX;
 
 // Per-transition scheduling state byte: lets the post-firing re-check loop
 // skip settled transitions on a single byte compare.
 /// Transition is enabled (unsatisfied-condition counter is zero).
-const ST_ENABLED: u8 = 0b001;
+pub(super) const ST_ENABLED: u8 = 0b001;
 /// Transition has a pending event in the heap.
-const ST_SCHEDULED: u8 = 0b010;
+pub(super) const ST_SCHEDULED: u8 = 0b010;
 /// Transition has the Resample memory policy (static).
-const ST_RESAMPLE: u8 = 0b100;
+pub(super) const ST_RESAMPLE: u8 = 0b100;
 
 struct Engine<'a> {
     net: &'a Net,

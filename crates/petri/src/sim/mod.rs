@@ -21,11 +21,13 @@
 //! * Rewards are integrated exactly between events (token counts and
 //!   predicates are piecewise-constant in time).
 
+mod batch;
 mod engine;
 mod reference;
 mod rewards;
 mod trace;
 
+pub use batch::BatchSimulator;
 pub use engine::{SimConfig, SimOutput, Simulator};
 pub use rewards::{RewardId, RewardSpec, RewardSpecError};
 pub use trace::TraceEvent;

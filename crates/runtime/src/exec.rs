@@ -40,8 +40,13 @@ use std::sync::OnceLock;
 
 /// Protocol version byte carried by every manifest request frame.
 /// Version 2 introduced tagged requests (manifest vs graceful shutdown)
-/// and multi-manifest serve loops for the remote TCP subsystem.
-pub const WIRE_VERSION: u8 = 2;
+/// and multi-manifest serve loops for the remote TCP subsystem; version 3
+/// added the batch-width field, so workers can run contiguous same-point
+/// slots on the batched SoA engine. (Bumping the version also rotates the
+/// service cache's key space — cached result bytes are identical across
+/// batch widths, but entries written by older binaries describe an older
+/// protocol.)
+pub const WIRE_VERSION: u8 = 3;
 
 // --- errors --------------------------------------------------------------
 
@@ -145,6 +150,30 @@ pub trait PortableJob: Sync {
     /// Run one slot, returning the encoded result. `seed` is the slot's
     /// entry from the manifest's seed table.
     fn run_slot(&self, point: usize, replication: u64, seed: u64) -> Result<Vec<u8>, String>;
+
+    /// Run a batch of contiguous same-point slots — replication
+    /// `base_rep + i` with `seeds[i]` — returning one result per slot in
+    /// replication order.
+    ///
+    /// The default loops over [`PortableJob::run_slot`], so every job is
+    /// batchable by construction. Jobs backed by a simulator override this
+    /// to advance all lanes through one compiled model (see
+    /// `petri_core::sim::BatchSimulator`); because each lane consumes its
+    /// own RNG stream exactly as the scalar path would, an override **must
+    /// not change result bytes** — backends rely on that to keep any batch
+    /// width byte-identical to width 1.
+    fn run_batch(
+        &self,
+        point: usize,
+        base_rep: u64,
+        seeds: &[u64],
+    ) -> Vec<Result<Vec<u8>, String>> {
+        seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| self.run_slot(point, base_rep + i as u64, seed))
+            .collect()
+    }
 }
 
 /// Decoder for one job kind: payload bytes back to a runnable job.
@@ -396,6 +425,9 @@ pub trait ExecBackend {
 pub struct InProcessBackend {
     /// Worker threads to schedule onto.
     pub threads: usize,
+    /// Contiguous same-point slots handed to [`PortableJob::run_batch`]
+    /// per claim; 1 = the classic slot-at-a-time path.
+    pub batch: usize,
 }
 
 impl InProcessBackend {
@@ -403,7 +435,16 @@ impl InProcessBackend {
     pub fn new(threads: usize) -> Self {
         InProcessBackend {
             threads: threads.max(1),
+            batch: 1,
         }
+    }
+
+    /// Set the batch width (clamped to ≥ 1). Result bytes are identical at
+    /// any width; batching only changes how many lanes each claim advances
+    /// together.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
     }
 }
 
@@ -415,13 +456,7 @@ impl ExecBackend for InProcessBackend {
         progress: Option<&ProgressFn>,
     ) -> Result<Vec<Vec<u8>>, ExecError> {
         manifest.validate()?;
-        let per_segment = run_segments_core(
-            self.threads,
-            progress,
-            &manifest.segments,
-            &|flat, point, rep| job.run_slot(point, rep, manifest.seeds[flat]),
-        )
-        .map_err(|(flat, message)| {
+        let task_err = |flat: usize, message: String| {
             let plan = GridPlan::new(&manifest.segments);
             let (seg_idx, offset) = plan.locate(flat);
             let seg = manifest.segments[seg_idx];
@@ -431,7 +466,31 @@ impl ExecBackend for InProcessBackend {
                 replication: seg.base_rep + offset as u64,
                 message,
             }
-        })?;
+        };
+        let per_segment = if self.batch > 1 {
+            crate::grid::run_segments_core_batched(
+                self.threads,
+                self.batch,
+                progress,
+                &manifest.segments,
+                &|flat_base, point, base_rep, count| {
+                    job.run_batch(
+                        point,
+                        base_rep,
+                        &manifest.seeds[flat_base..flat_base + count],
+                    )
+                },
+            )
+            .map_err(|(flat, message)| task_err(flat, message))?
+        } else {
+            run_segments_core(
+                self.threads,
+                progress,
+                &manifest.segments,
+                &|flat, point, rep| job.run_slot(point, rep, manifest.seeds[flat]),
+            )
+            .map_err(|(flat, message)| task_err(flat, message))?
+        };
         // Concatenating per-segment results in segment order IS flat order.
         Ok(per_segment
             .into_iter()
@@ -440,7 +499,11 @@ impl ExecBackend for InProcessBackend {
     }
 
     fn label(&self) -> String {
-        format!("in-process(threads={})", self.threads)
+        if self.batch > 1 {
+            format!("in-process(threads={}, batch={})", self.threads, self.batch)
+        } else {
+            format!("in-process(threads={})", self.threads)
+        }
     }
 }
 
@@ -489,6 +552,10 @@ pub struct ShardedBackend {
     /// Worker threads *per subprocess* (total parallelism is
     /// `shards × worker_threads`).
     pub worker_threads: usize,
+    /// Batch width shipped in each manifest request: workers hand
+    /// contiguous same-point slot runs of this size to
+    /// [`PortableJob::run_batch`]. 1 = slot-at-a-time.
+    pub batch: usize,
     /// Override of the worker command line; `None` spawns
     /// `current_exe --worker`.
     pub worker_cmd: Option<Vec<String>>,
@@ -512,11 +579,19 @@ impl ShardedBackend {
         ShardedBackend {
             shards: shards.max(1),
             worker_threads: worker_threads.max(1),
+            batch: 1,
             worker_cmd: None,
             fault: FaultPolicy::default(),
             pool: true,
             chaos: None,
         }
+    }
+
+    /// Set the batch width workers run contiguous same-point slots at
+    /// (clamped to ≥ 1); result bytes are identical at any width.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
     }
 
     /// Use an explicit worker command line (argv; must speak the worker
@@ -603,7 +678,7 @@ impl ShardedBackend {
             child.stdin.take().expect("stdin piped"),
             child.stdout.take().expect("stdout piped"),
         );
-        let request = encode_manifest_request(self.worker_threads, chunk);
+        let request = encode_manifest_request(self.worker_threads, self.batch, chunk);
         let shipped = transport
             .send(&request)
             .and_then(|_| transport.send(&encode_shutdown_request()))
@@ -700,7 +775,8 @@ impl ShardedBackend {
             let mut delivered = vec![false; slots.len()];
             let outcome = {
                 let mut transport = FaultInjector::new(worker.transport(), self.chaos);
-                let request = encode_manifest_request(self.worker_threads, &pending_manifest);
+                let request =
+                    encode_manifest_request(self.worker_threads, self.batch, &pending_manifest);
                 match transport.send(&request).and_then(|_| transport.flush()) {
                     Err(e) => Drained::Broken(format!("request write failed: {e}")),
                     Ok(()) => drain_chunk(
@@ -894,10 +970,17 @@ impl ExecBackend for ShardedBackend {
     }
 
     fn label(&self) -> String {
-        format!(
-            "sharded(shards={}, threads/worker={})",
-            self.shards, self.worker_threads
-        )
+        if self.batch > 1 {
+            format!(
+                "sharded(shards={}, threads/worker={}, batch={})",
+                self.shards, self.worker_threads, self.batch
+            )
+        } else {
+            format!(
+                "sharded(shards={}, threads/worker={})",
+                self.shards, self.worker_threads
+            )
+        }
     }
 }
 
@@ -968,6 +1051,11 @@ pub struct Exec {
     pub pool: bool,
     /// Deterministic chaos injection on worker links (testing only).
     pub chaos: Option<ChaosConfig>,
+    /// Batch width: contiguous same-point slots each claim advances
+    /// together on the batched SoA engine (`PortableJob::run_batch`).
+    /// 1 = the classic slot-at-a-time path; result bytes are identical
+    /// at any width, so this is purely a throughput knob.
+    pub batch: usize,
 }
 
 impl Default for Exec {
@@ -988,6 +1076,7 @@ impl Exec {
             fault: FaultPolicy::default(),
             pool: true,
             chaos: None,
+            batch: 1,
         }
     }
 
@@ -1003,6 +1092,7 @@ impl Exec {
             fault: FaultPolicy::default(),
             pool: true,
             chaos: None,
+            batch: 1,
         }
     }
 
@@ -1023,6 +1113,7 @@ impl Exec {
             fault: FaultPolicy::default(),
             pool: true,
             chaos: None,
+            batch: 1,
         }
     }
 
@@ -1042,6 +1133,7 @@ impl Exec {
             fault: FaultPolicy::default(),
             pool: true,
             chaos: None,
+            batch: 1,
         }
     }
 
@@ -1071,6 +1163,14 @@ impl Exec {
         self
     }
 
+    /// Set the batch width (clamped to ≥ 1): how many contiguous
+    /// same-point replications each claim advances together on the batched
+    /// SoA engine. Results are byte-identical at any width.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
     /// Whether portable jobs run in worker subprocesses.
     pub fn is_sharded(&self) -> bool {
         self.shards >= 1
@@ -1089,6 +1189,7 @@ impl Exec {
     /// A [`Runner`](crate::Runner) on this configuration.
     pub fn runner(&self) -> crate::Runner {
         let mut r = crate::Runner::new(self.threads);
+        r.batch = self.batch.max(1);
         if let Some(addr) = &self.service {
             r.backend = BackendSel::Service { addr: addr.clone() };
         } else if !self.hosts.is_empty() {
@@ -1112,18 +1213,26 @@ impl Exec {
 
     /// Short description for logs.
     pub fn label(&self) -> String {
+        let batch = if self.batch > 1 {
+            format!(", batch={}", self.batch)
+        } else {
+            String::new()
+        };
         if let Some(addr) = &self.service {
-            format!("service(addr={addr}, threads={})", self.threads)
+            format!("service(addr={addr}, threads={}{batch})", self.threads)
         } else if !self.hosts.is_empty() {
             format!(
-                "remote(hosts={}, threads={})",
+                "remote(hosts={}, threads={}{batch})",
                 self.hosts.len(),
                 self.threads
             )
         } else if self.shards >= 1 {
-            format!("sharded(shards={}, threads={})", self.shards, self.threads)
+            format!(
+                "sharded(shards={}, threads={}{batch})",
+                self.shards, self.threads
+            )
         } else {
-            format!("in-process(threads={})", self.threads)
+            format!("in-process(threads={}{batch})", self.threads)
         }
     }
 }
@@ -1132,7 +1241,9 @@ impl crate::Runner {
     /// The backend this runner dispatches portable jobs to.
     pub(crate) fn backend_impl(&self) -> Box<dyn ExecBackend> {
         match &self.backend {
-            BackendSel::InProcess => Box::new(InProcessBackend::new(self.threads)),
+            BackendSel::InProcess => {
+                Box::new(InProcessBackend::new(self.threads).with_batch(self.batch))
+            }
             BackendSel::Sharded {
                 shards,
                 worker_cmd,
@@ -1141,6 +1252,7 @@ impl crate::Runner {
                 chaos,
             } => {
                 let mut b = ShardedBackend::new(*shards, self.threads)
+                    .with_batch(self.batch)
                     .with_fault(*fault)
                     .with_pool(*pool)
                     .with_chaos(*chaos);
@@ -1156,6 +1268,7 @@ impl crate::Runner {
                 chaos,
             } => Box::new(
                 crate::remote::RemoteBackend::new(hosts.clone(), self.threads)
+                    .with_batch(self.batch)
                     .with_fault(*fault)
                     .with_pool(*pool)
                     .with_chaos(*chaos),

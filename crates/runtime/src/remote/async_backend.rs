@@ -107,6 +107,7 @@ impl ExecBackend for AsyncBackend {
         // thread budget differs (I/O in flight, not cores).
         InProcessBackend {
             threads: self.concurrency,
+            batch: 1,
         }
         .run_segments(job, manifest, progress)
     }

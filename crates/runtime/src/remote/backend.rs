@@ -53,6 +53,9 @@ pub struct RemoteBackend {
     pub hosts: Vec<String>,
     /// Worker threads *per peer*, carried in every request frame.
     pub worker_threads: usize,
+    /// Batch width carried in every request frame: peers hand contiguous
+    /// same-point slot runs of this size to `PortableJob::run_batch`.
+    pub batch: usize,
     /// Per-peer connection timeout.
     pub connect_timeout: Duration,
     /// Unified fault policy: chunk retry budget, the silent-peer IO
@@ -85,11 +88,19 @@ impl RemoteBackend {
         RemoteBackend {
             hosts,
             worker_threads: worker_threads.max(1),
+            batch: 1,
             connect_timeout: Duration::from_secs(10),
             fault: FaultPolicy::default(),
             pool: true,
             chaos: None,
         }
+    }
+
+    /// Set the batch width peers run contiguous same-point slots at
+    /// (clamped to >= 1); result bytes are identical at any width.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
     }
 
     /// Override the per-chunk re-dispatch budget.
@@ -256,7 +267,7 @@ impl RemoteBackend {
         let slots = chunk.manifest.slots();
         let mut delivered = vec![false; slots.len()];
         let mut link = FaultInjector::new(transport, self.chaos);
-        let request = encode_manifest_request(self.worker_threads, &chunk.manifest);
+        let request = encode_manifest_request(self.worker_threads, self.batch, &chunk.manifest);
         if let Err(e) = link.send(&request).and_then(|_| link.flush()) {
             return (
                 Drained::Broken(format!("request write failed: {e}")),
@@ -402,6 +413,7 @@ impl ExecBackend for RemoteBackend {
                 );
                 FleetStats::bump(&fleet_stats().fallbacks);
                 return InProcessBackend::new(self.worker_threads)
+                    .with_batch(self.batch)
                     .run_segments(job, manifest, progress);
             }
             Err(e) => return Err(e),
@@ -573,10 +585,19 @@ impl ExecBackend for RemoteBackend {
     }
 
     fn label(&self) -> String {
-        format!(
-            "remote(hosts={}, threads/peer={})",
-            self.hosts.len(),
-            self.worker_threads
-        )
+        if self.batch > 1 {
+            format!(
+                "remote(hosts={}, threads/peer={}, batch={})",
+                self.hosts.len(),
+                self.worker_threads,
+                self.batch
+            )
+        } else {
+            format!(
+                "remote(hosts={}, threads/peer={})",
+                self.hosts.len(),
+                self.worker_threads
+            )
+        }
     }
 }

@@ -232,6 +232,7 @@ mod tests {
             assert_eq!(r.get_u8().unwrap(), crate::exec::frame::MANIFEST);
             let _version = r.get_u8().unwrap();
             let _threads = r.get_u32().unwrap();
+            let _batch = r.get_u32().unwrap();
             let m = TaskManifest::decode(&mut r).unwrap();
             let job = MulJob { factor: 3 };
             let (p, rep, seed) = m.slots()[0];
@@ -277,6 +278,7 @@ mod tests {
             assert_eq!(r.get_u8().unwrap(), crate::exec::frame::MANIFEST);
             let _version = r.get_u8().unwrap();
             let _threads = r.get_u32().unwrap();
+            let _batch = r.get_u32().unwrap();
             let m = TaskManifest::decode(&mut r).unwrap();
             let job = MulJob { factor: 3 };
             let (p, rep, seed) = m.slots()[0];

@@ -15,12 +15,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Encode a manifest-dispatch request: tag, protocol version, worker
-/// thread count, then the manifest itself.
-pub(crate) fn encode_manifest_request(threads: usize, manifest: &TaskManifest) -> Vec<u8> {
+/// thread count, batch width, then the manifest itself.
+pub(crate) fn encode_manifest_request(
+    threads: usize,
+    batch: usize,
+    manifest: &TaskManifest,
+) -> Vec<u8> {
     let mut body = Vec::new();
     wire::put_u8(&mut body, frame::MANIFEST);
     wire::put_u8(&mut body, WIRE_VERSION);
     wire::put_u32(&mut body, threads as u32);
+    wire::put_u32(&mut body, batch.max(1) as u32);
     manifest.encode_into(&mut body);
     body
 }

@@ -19,7 +19,7 @@
 //! stderr in both.
 
 use crate::exec::{frame, JobRegistry, TaskManifest, WIRE_VERSION};
-use crate::grid::run_segments_core;
+use crate::grid::{run_segments_core, run_segments_core_batched};
 use crate::remote::transport::{FrameTransport, StdioTransport};
 use crate::wire::{self, Reader, WireError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,9 +74,10 @@ pub fn serve(
                     )));
                 }
                 let threads = (r.get_u32()? as usize).max(1);
+                let batch = (r.get_u32()? as usize).max(1);
                 let manifest = TaskManifest::decode(&mut r)?;
                 r.finish()?;
-                serve_manifest(registry, threads, &manifest, transport)?;
+                serve_manifest(registry, threads, batch, &manifest, transport)?;
             }
             tag => {
                 return Err(WireError::new(format!(
@@ -99,6 +100,7 @@ pub(crate) const HEARTBEAT_INTERVAL: std::time::Duration = std::time::Duration::
 fn serve_manifest(
     registry: &JobRegistry,
     threads: usize,
+    batch: usize,
     manifest: &TaskManifest,
     transport: &mut dyn FrameTransport,
 ) -> Result<(), WireError> {
@@ -137,14 +139,14 @@ fn serve_manifest(
                 }
             }
         });
-        let outcome = run_segments_core(threads, None, &manifest.segments, &|flat, point, rep| {
-            // Env-armable chaos points (REPRO_CHAOS_SEED +
-            // REPRO_CHAOS_WORKER_{CRASH,STALL}): deterministic
-            // per-slot decisions, re-rolled per process so a
-            // restarted worker makes progress. A stall holds the
-            // output mutex, silencing the heartbeat thread too —
-            // exactly the silent-wedge failure the parent's IO
-            // timeout exists to catch.
+        // Env-armable chaos points (REPRO_CHAOS_SEED +
+        // REPRO_CHAOS_WORKER_{CRASH,STALL}): deterministic
+        // per-slot decisions, re-rolled per process so a
+        // restarted worker makes progress. A stall holds the
+        // output mutex, silencing the heartbeat thread too —
+        // exactly the silent-wedge failure the parent's IO
+        // timeout exists to catch.
+        let chaos_check = |flat: usize| {
             if let Some(chaos) = crate::fleet::chaos::worker_chaos() {
                 let seed = manifest.seeds[flat];
                 if let Some(stall) = chaos.roll_stall(seed) {
@@ -157,21 +159,53 @@ fn serve_manifest(
                     std::process::exit(3);
                 }
             }
-            match job.run_slot(point, rep, manifest.seeds[flat]) {
-                Ok(bytes) => {
-                    let mut body = Vec::with_capacity(bytes.len() + 16);
-                    wire::put_u8(&mut body, frame::RESULT);
-                    wire::put_u64(&mut body, flat as u64);
-                    wire::put_bytes(&mut body, &bytes);
-                    let mut t = out.lock().expect("output mutex never poisoned");
-                    t.send(&body)
-                        .map_err(|e| SlotFailure::Io(format!("response write failed: {e}")))?;
-                    delivered.fetch_add(1, Ordering::Relaxed);
-                    Ok(())
+        };
+        let send_result = |flat: usize, bytes: &[u8]| -> Result<(), SlotFailure> {
+            let mut body = Vec::with_capacity(bytes.len() + 16);
+            wire::put_u8(&mut body, frame::RESULT);
+            wire::put_u64(&mut body, flat as u64);
+            wire::put_bytes(&mut body, bytes);
+            let mut t = out.lock().expect("output mutex never poisoned");
+            t.send(&body)
+                .map_err(|e| SlotFailure::Io(format!("response write failed: {e}")))?;
+            delivered.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        };
+        let outcome = if batch > 1 {
+            // Batched execution: each claim advances a run of contiguous
+            // same-point slots through `PortableJob::run_batch` (the SoA
+            // engine for simulator jobs), then streams the per-lane `R`
+            // frames in replication order. Result bytes are identical to
+            // the slot-at-a-time path — batching is a throughput knob.
+            run_segments_core_batched(
+                threads,
+                batch,
+                None,
+                &manifest.segments,
+                &|flat_base, point, base_rep, count| {
+                    for lane in 0..count {
+                        chaos_check(flat_base + lane);
+                    }
+                    let seeds = &manifest.seeds[flat_base..flat_base + count];
+                    job.run_batch(point, base_rep, seeds)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(lane, res)| match res {
+                            Ok(bytes) => send_result(flat_base + lane, &bytes),
+                            Err(message) => Err(SlotFailure::Task(message)),
+                        })
+                        .collect()
+                },
+            )
+        } else {
+            run_segments_core(threads, None, &manifest.segments, &|flat, point, rep| {
+                chaos_check(flat);
+                match job.run_slot(point, rep, manifest.seeds[flat]) {
+                    Ok(bytes) => send_result(flat, &bytes),
+                    Err(message) => Err(SlotFailure::Task(message)),
                 }
-                Err(message) => Err(SlotFailure::Task(message)),
-            }
-        });
+            })
+        };
         *finished.lock().expect("heartbeat mutex never poisoned") = true;
         finished_cv.notify_all();
         outcome
@@ -224,10 +258,14 @@ mod tests {
     }
 
     fn manifest_request(threads: usize, manifest: &TaskManifest) -> Vec<u8> {
+        batched_manifest_request(threads, 1, manifest)
+    }
+
+    fn batched_manifest_request(threads: usize, batch: usize, manifest: &TaskManifest) -> Vec<u8> {
         let mut framed = Vec::new();
         wire::write_frame(
             &mut framed,
-            &crate::remote::protocol::encode_manifest_request(threads, manifest),
+            &crate::remote::protocol::encode_manifest_request(threads, batch, manifest),
         )
         .unwrap();
         framed
@@ -291,6 +329,39 @@ mod tests {
         assert!(done);
         let seen: Vec<Vec<u8>> = seen.into_iter().map(|s| s.unwrap()).collect();
         assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn batched_serve_is_byte_identical_to_scalar_serve() {
+        // The same manifest served at every batch width must deliver the
+        // same slot bytes — only frame interleaving may differ, and with
+        // one thread not even that.
+        let m = mul_manifest(&[3, 5, 2]);
+        let collect = |batch: usize| {
+            let mut t = MemTransport::new(batched_manifest_request(1, batch, &m));
+            assert_eq!(serve(&registry(), &mut t).unwrap(), ServeOutcome::Eof);
+            let mut seen = vec![None; m.total_slots()];
+            let mut stream = &t.output[..];
+            while let Some(body) = wire::read_frame(&mut stream).unwrap() {
+                let mut r = Reader::new(&body);
+                match r.get_u8().unwrap() {
+                    frame::RESULT => {
+                        let local = r.get_u64().unwrap() as usize;
+                        seen[local] = Some(r.get_bytes().unwrap().to_vec());
+                    }
+                    frame::DONE => assert_eq!(r.get_u64().unwrap(), m.total_slots() as u64),
+                    frame::HEARTBEAT => {}
+                    tag => panic!("unexpected tag {tag}"),
+                }
+            }
+            seen.into_iter()
+                .map(|s| s.unwrap())
+                .collect::<Vec<Vec<u8>>>()
+        };
+        let scalar = collect(1);
+        for batch in [2usize, 4, 64] {
+            assert_eq!(scalar, collect(batch), "batch={batch}");
+        }
     }
 
     #[test]
@@ -389,6 +460,7 @@ mod tests {
         let mut body = Vec::new();
         wire::put_u8(&mut body, frame::MANIFEST);
         wire::put_u8(&mut body, WIRE_VERSION + 1);
+        wire::put_u32(&mut body, 1);
         wire::put_u32(&mut body, 1);
         m.encode_into(&mut body);
         let mut framed = Vec::new();
