@@ -1,9 +1,18 @@
-//! Paired A/B measurement of the cross-replication batched engine vs the
-//! scalar replication loop, on the shared [`bench::ab`] harness: adjacent
-//! interleaved blocks, alternating order, median of per-pair ratios.
-//! Every block runs the same replication set on the same seeds, so the
-//! firings checksum doubles as a bit-identity witness. Writes
-//! `BENCH_engine.json`-ready numbers (the `batch` section) to stdout.
+//! Paired A/B measurement of the batched engines on the shared
+//! [`bench::ab`] harness: adjacent interleaved blocks, alternating order,
+//! median of per-pair ratios. Two comparisons per net and width:
+//!
+//! * **batch**: the interpreter's batched engine vs the scalar
+//!   interpreter loop (the PR 7 measurement, kept as the baseline);
+//! * **lowered**: the lowered micro-op engine vs the interpreter's
+//!   batched engine — the compiled-stepping win on top of batching.
+//!
+//! Every block runs the same replication set on the same seeds and
+//! checksums the *full* per-replication output (per-transition firing
+//! counts and reward bit patterns), so the harness itself asserts the
+//! engines are byte-identical, not just that they fired the same number
+//! of events. Writes `BENCH_engine.json`-ready numbers (the `batch` and
+//! `lowered` sections) to stdout.
 //!
 //! ```text
 //! cargo run --release -p bench --bin batch_ab [pairs_per_case]
@@ -31,45 +40,85 @@ fn mm1_net() -> Net {
     b.build().unwrap()
 }
 
-/// One scalar block: `runs` independent replications, one at a time.
-fn time_scalar(sim: &Simulator<'_>, seed0: u64, runs: u64) -> (f64, u64) {
-    let t0 = Instant::now();
-    let mut firings = 0u64;
-    for i in 0..runs {
-        firings += sim.run(seed0 + i).unwrap().total_firings();
+/// FNV-style fold of one output's identity-relevant bits: per-transition
+/// firing counts and the exact bit patterns of every reward.
+fn fold_output(mut h: u64, out: &SimOutput) -> u64 {
+    for &c in &out.firing_counts {
+        h = (h ^ c).wrapping_mul(0x100_0000_01b3);
     }
-    (t0.elapsed().as_nanos() as f64, firings)
+    for &r in &out.rewards {
+        h = (h ^ r.to_bits()).wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
-/// One batched block: the same `runs` replications on the same seeds,
-/// advanced `width` lanes at a time.
-fn time_batched(sim: &Simulator<'_>, seed0: u64, runs: u64, width: usize) -> (f64, u64) {
+/// One scalar block: `runs` independent replications on the interpreter,
+/// one at a time.
+fn time_scalar(sim: &Simulator<'_>, seed0: u64, runs: u64) -> (f64, u64) {
+    let t0 = Instant::now();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for i in 0..runs {
+        h = fold_output(h, &sim.run_interp(seed0 + i).unwrap());
+    }
+    (t0.elapsed().as_nanos() as f64, h)
+}
+
+/// One batched block on the chosen engine: the same `runs` replications
+/// on the same seeds, advanced `width` lanes at a time.
+fn time_batched(
+    sim: &Simulator<'_>,
+    engine: EngineKind,
+    seed0: u64,
+    runs: u64,
+    width: usize,
+) -> (f64, u64) {
     let seeds: Vec<u64> = (0..runs).map(|i| seed0 + i).collect();
     let t0 = Instant::now();
     let batcher = BatchSimulator::new(sim);
-    let mut firings = 0u64;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
     for chunk in seeds.chunks(width) {
-        for out in batcher.run(chunk) {
-            firings += out.unwrap().total_firings();
+        let outs = match engine {
+            EngineKind::Interp => batcher.run_interp(chunk),
+            EngineKind::Lowered => batcher.run_lowered(chunk),
+        };
+        for out in outs {
+            h = fold_output(h, &out.unwrap());
         }
     }
-    (t0.elapsed().as_nanos() as f64, firings)
+    (t0.elapsed().as_nanos() as f64, h)
 }
 
 fn measure(label: &str, sim: &Simulator<'_>, pairs: usize) {
-    // Events per block (identical across variants and pairs' seeds differ,
-    // so use pair 0's count as the representative denominator).
-    let (_, events) = time_scalar(sim, 1, REPS_PER_BLOCK);
+    // Events per block (identical across variants; pair 0's count is the
+    // representative denominator).
+    let mut events = 0u64;
+    for i in 0..REPS_PER_BLOCK {
+        events += sim.run_interp(1 + i).unwrap().total_firings();
+    }
     for width in WIDTHS {
+        let s0 = |p: usize| (p as u64) * REPS_PER_BLOCK + 1;
         let stats = bench::ab::run_paired(
             pairs,
-            |p| time_batched(sim, (p as u64) * REPS_PER_BLOCK + 1, REPS_PER_BLOCK, width),
-            |p| time_scalar(sim, (p as u64) * REPS_PER_BLOCK + 1, REPS_PER_BLOCK),
+            |p| time_batched(sim, EngineKind::Interp, s0(p), REPS_PER_BLOCK, width),
+            |p| time_scalar(sim, s0(p), REPS_PER_BLOCK),
         );
-        // Both variants fire the same events (checksum-enforced), so the
-        // block-time ratio IS the aggregate events/s ratio.
         println!(
-            "{label:<16} width {width:>2}: scalar {:6.1} ns/event  batched {:6.1} ns/event  \
+            "{label:<16} batch   width {width:>2}: scalar {:6.1} ns/event  batched {:6.1} ns/event  \
+             median paired speedup {:5.2}x",
+            stats.b_ns / events as f64,
+            stats.a_ns / events as f64,
+            stats.speedup,
+        );
+    }
+    for width in WIDTHS {
+        let s0 = |p: usize| (p as u64) * REPS_PER_BLOCK + 1;
+        let stats = bench::ab::run_paired(
+            pairs,
+            |p| time_batched(sim, EngineKind::Lowered, s0(p), REPS_PER_BLOCK, width),
+            |p| time_batched(sim, EngineKind::Interp, s0(p), REPS_PER_BLOCK, width),
+        );
+        println!(
+            "{label:<16} lowered width {width:>2}: interp {:6.1} ns/event  lowered {:6.1} ns/event  \
              median paired speedup {:5.2}x",
             stats.b_ns / events as f64,
             stats.a_ns / events as f64,
@@ -85,14 +134,16 @@ fn main() {
         .unwrap_or(11);
     println!(
         "paired A/B, {pairs} pairs per case, {REPS_PER_BLOCK} replications per block \
-         (median of adjacent-block ratios; batched vs scalar, same seeds)"
+         (median of adjacent-block ratios; same seeds, full-output checksums)"
     );
 
     let net = mm1_net();
-    let sim = Simulator::new(&net, SimConfig::for_horizon(2_000.0));
+    let mut sim = Simulator::new(&net, SimConfig::for_horizon(2_000.0));
+    sim.reward_place(PlaceId::from_index(0));
     measure("mm1/2k_seconds", &sim, pairs);
 
     let model = wsn::build_cpu_model(&wsn::CpuModelParams::paper_defaults(0.1, 0.3));
-    let sim = Simulator::new(&model.net, SimConfig::for_horizon(1_000.0));
+    let mut sim = Simulator::new(&model.net, SimConfig::for_horizon(1_000.0));
+    sim.reward_place(model.places.buffer);
     measure("fig3_cpu_1000s", &sim, pairs);
 }

@@ -1,8 +1,13 @@
-//! Paired A/B measurement of the incremental engine vs the reference
-//! engine, on the shared [`bench::ab`] harness: adjacent interleaved
-//! blocks, alternating order, median of per-pair ratios — robust to the
-//! drift of noisy shared-CPU hosts. Writes `BENCH_engine.json`-ready
-//! numbers to stdout.
+//! Paired A/B measurement of the scalar stepping engines, on the shared
+//! [`bench::ab`] harness: adjacent interleaved blocks, alternating order,
+//! median of per-pair ratios — robust to the drift of noisy shared-CPU
+//! hosts. Writes `BENCH_engine.json`-ready numbers to stdout.
+//!
+//! Two sweeps per net:
+//! * `interp vs reference` — the incremental interpreter against the
+//!   from-scratch reference engine (the historical headline number).
+//! * `lowered vs interp` — the compiled micro-op programs against the
+//!   interpreter they replaced as the default.
 //!
 //! ```text
 //! cargo run --release -p bench --bin engine_ab [pairs_per_net]
@@ -10,6 +15,13 @@
 
 use petri_core::prelude::*;
 use std::time::Instant;
+
+#[derive(Clone, Copy)]
+enum Engine {
+    Lowered,
+    Interp,
+    Reference,
+}
 
 fn mm1_net() -> Net {
     let mut b = NetBuilder::new("mm1");
@@ -42,32 +54,59 @@ fn tandem_net(n: usize) -> Net {
 }
 
 /// Time `runs` simulation runs, returning ns/run and a checksum of total
-/// firings (keeps the optimizer honest and proves both engines agree).
-fn time_block(sim: &Simulator<'_>, seed0: u64, runs: u64, reference: bool) -> (f64, u64) {
+/// firings (keeps the optimizer honest and proves the engines agree).
+fn time_block(sim: &Simulator<'_>, seed0: u64, runs: u64, engine: Engine) -> (f64, u64) {
     let t0 = Instant::now();
     let mut firings = 0u64;
     for i in 0..runs {
-        let out = if reference {
-            sim.run_reference(seed0 + i).unwrap()
-        } else {
-            sim.run(seed0 + i).unwrap()
+        let out = match engine {
+            Engine::Lowered => sim.run_lowered(seed0 + i).unwrap(),
+            Engine::Interp => sim.run_interp(seed0 + i).unwrap(),
+            Engine::Reference => sim.run_reference(seed0 + i).unwrap(),
         };
         firings += out.total_firings();
     }
     (t0.elapsed().as_nanos() as f64 / runs as f64, firings)
 }
 
-fn measure(label: &str, sim: &Simulator<'_>, runs_per_block: u64, pairs: usize) {
+/// One paired sweep: engine `a` against engine `b` (speedup = b/a).
+fn measure(
+    label: &str,
+    sim: &Simulator<'_>,
+    runs_per_block: u64,
+    pairs: usize,
+    (a, b): (Engine, Engine),
+    arm: &str,
+) {
     let stats = bench::ab::run_paired(
         pairs,
-        |p| time_block(sim, (p as u64) * runs_per_block + 1, runs_per_block, false),
-        |p| time_block(sim, (p as u64) * runs_per_block + 1, runs_per_block, true),
+        |p| time_block(sim, (p as u64) * runs_per_block + 1, runs_per_block, a),
+        |p| time_block(sim, (p as u64) * runs_per_block + 1, runs_per_block, b),
     );
     println!(
-        "{label:<20} reference {:9.3} ms  incremental {:9.3} ms  median paired speedup {:5.2}x",
+        "{label:<20} {arm:<22} base {:9.3} ms  new {:9.3} ms  median paired speedup {:5.2}x",
         stats.b_ns / 1e6,
         stats.a_ns / 1e6,
         stats.speedup,
+    );
+}
+
+fn sweep(label: &str, sim: &Simulator<'_>, runs_per_block: u64, pairs: usize) {
+    measure(
+        label,
+        sim,
+        runs_per_block,
+        pairs,
+        (Engine::Interp, Engine::Reference),
+        "interp vs reference",
+    );
+    measure(
+        label,
+        sim,
+        runs_per_block,
+        pairs,
+        (Engine::Lowered, Engine::Interp),
+        "lowered vs interp",
     );
 }
 
@@ -80,12 +119,12 @@ fn main() {
 
     let net = mm1_net();
     let sim = Simulator::new(&net, SimConfig::for_horizon(10_000.0));
-    measure("mm1/10k_seconds", &sim, 3, pairs);
+    sweep("mm1/10k_seconds", &sim, 3, pairs);
 
     for n in [4usize, 16, 64] {
         let net = tandem_net(n);
         let sim = Simulator::new(&net, SimConfig::for_horizon(1000.0));
-        measure(
+        sweep(
             &format!("tandem/{n}"),
             &sim,
             if n == 64 { 1 } else { 4 },
@@ -95,5 +134,5 @@ fn main() {
 
     let model = wsn::build_cpu_model(&wsn::CpuModelParams::paper_defaults(0.1, 0.3));
     let sim = Simulator::new(&model.net, SimConfig::for_horizon(1000.0));
-    measure("fig3_cpu_1000s", &sim, 6, pairs);
+    sweep("fig3_cpu_1000s", &sim, 6, pairs);
 }

@@ -48,6 +48,11 @@
 //!   up to `N` contiguous same-point replications and advances them
 //!   together through the batched engine. Purely a throughput knob —
 //!   results are byte-identical at every width.
+//! * `--engine interp|lowered` (exported as `REPRO_ENGINE`, so worker
+//!   subprocesses inherit it; default `lowered`) — which stepping engine
+//!   `Simulator`/`BatchSimulator` use: the compiled micro-op programs or
+//!   the incremental interpreter. Another pure throughput knob: outputs
+//!   are byte-identical on either engine (CI diffs the artifacts).
 //! * `--retry N` / `--io-timeout SECS` / `--pool on|off` (falling back to
 //!   `REPRO_RETRY` / `REPRO_IO_TIMEOUT` / `REPRO_POOL`) — the unified
 //!   fault policy of the multi-process executors: per-chunk re-dispatch
@@ -258,6 +263,12 @@ fn main() {
                 Some(n) if n >= 1 => batch = Some(n),
                 _ => flag_err("--batch", "a positive replication count (1 = scalar)"),
             },
+            // Exported via the environment rather than plumbed through
+            // `Opts` so shard/worker subprocesses inherit the selection.
+            "--engine" => match it.next().map(|v| v.as_str()) {
+                Some(v @ ("interp" | "lowered")) => std::env::set_var("REPRO_ENGINE", v),
+                _ => flag_err("--engine", "interp or lowered"),
+            },
             "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => threads = Some(n),
                 _ => {
@@ -331,7 +342,7 @@ fn main() {
 
     if targets.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--threads N] [--shards N] [--hosts a:p,b:p] [--service a:p] [--batch N] [--retry N] [--io-timeout SECS] [--pool on|off] [--fixed-reps] <target>...   (try: repro all)\n       repro serve --listen a:p | repro submit|status|fetch|cancel|stats|stop --service a:p ... | repro cache gc [--cache-dir DIR] [--budget BYTES]"
+            "usage: repro [--quick] [--threads N] [--shards N] [--hosts a:p,b:p] [--service a:p] [--batch N] [--engine interp|lowered] [--retry N] [--io-timeout SECS] [--pool on|off] [--fixed-reps] <target>...   (try: repro all)\n       repro serve --listen a:p | repro submit|status|fetch|cancel|stats|stop --service a:p ... | repro cache gc [--cache-dir DIR] [--budget BYTES]"
         );
         std::process::exit(2);
     }
@@ -644,6 +655,11 @@ fn serve_mode(args: &[String]) {
                 Some(n) if n >= 1 => batch = Some(n),
                 _ => flag_err("--batch", "a positive replication count (1 = scalar)"),
             },
+            // Environment-exported so shard/worker subprocesses inherit it.
+            "--engine" => match it.next().map(|v| v.as_str()) {
+                Some(v @ ("interp" | "lowered")) => std::env::set_var("REPRO_ENGINE", v),
+                _ => flag_err("--engine", "interp or lowered"),
+            },
             "--fallback" => fallback = true,
             other => {
                 eprintln!("unknown serve flag: {other}");
@@ -659,7 +675,7 @@ fn serve_mode(args: &[String]) {
         std::process::exit(2);
     }
     let Some(addr) = listen else {
-        eprintln!("usage: repro serve --listen ADDR [--threads N] [--shards N | --hosts a:p,b:p] [--batch N] [--queue-capacity N] [--dispatchers N] [--mem-cache N] [--cache-dir DIR | --no-disk-cache] [--cache-budget BYTES] [--retry N] [--io-timeout SECS] [--pool on|off] [--fallback]");
+        eprintln!("usage: repro serve --listen ADDR [--threads N] [--shards N | --hosts a:p,b:p] [--batch N] [--engine interp|lowered] [--queue-capacity N] [--dispatchers N] [--mem-cache N] [--cache-dir DIR | --no-disk-cache] [--cache-budget BYTES] [--retry N] [--io-timeout SECS] [--pool on|off] [--fallback]");
         std::process::exit(2);
     };
     let threads = threads

@@ -24,6 +24,12 @@
 //!    dispatches). Per-job p50/p99 latencies; the binary asserts the warm
 //!    fleet beats per-job spawning at the median — the pool's reason to
 //!    exist.
+//! 5. **Latency vs offered load**: paced submissions against the warm
+//!    fleet at 0.25×/0.5×/1×/2× of the closed-loop capacity estimated
+//!    from the warm p50, with per-job sojourn anchored to the wall-clock
+//!    *schedule* (not the possibly-late actual submission), so queueing
+//!    delay accumulates in the measure once the offered rate crosses
+//!    capacity instead of being absorbed by coordinated omission.
 //!
 //! ```text
 //! cargo run --release -p bench --bin service_ab [--pairs K]
@@ -239,6 +245,85 @@ fn main() {
     let warm_p50 = percentile(&mut warm_fleet, 0.5);
     let warm_p99 = percentile(&mut warm_fleet, 0.99);
 
+    // Latency vs offered load. Closed-loop warm p50 gives the capacity
+    // estimate; the sweep offers fixed fractions/multiples of it,
+    // open-loop: each submission is sent at its scheduled instant
+    // regardless of how far behind the daemon is, so above capacity the
+    // queue grows and per-job sojourn time (submit → result bytes in
+    // hand) climbs instead of the offered rate silently throttling.
+    let capacity_jobs_per_s = 1e3 / warm_p50;
+    let n_rate = (pairs * 4).max(24) as u64;
+    struct RatePoint {
+        offered: f64,
+        achieved: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+    }
+    let mut rate_points: Vec<RatePoint> = Vec::new();
+    for (k, frac) in [0.25, 0.5, 1.0, 2.0].into_iter().enumerate() {
+        let offered = capacity_jobs_per_s * frac;
+        let interval_s = 1.0 / offered;
+        let daemon = LocalService::spawn(
+            &repro_bin(),
+            &[
+                "--threads",
+                "1",
+                "--shards",
+                "1",
+                "--pool",
+                "on",
+                "--mem-cache",
+                "0",
+                "--no-disk-cache",
+                "--queue-capacity",
+                &queue_capacity,
+            ],
+        )
+        .expect("rate-sweep daemon spawns");
+        let mut client = daemon.client();
+        let tag = 0x40_0000 + ((k as u64) << 16);
+        // Warm the worker pool before timing: the first dispatches spawn
+        // the workers, and that cold-start would land entirely on the
+        // lowest-rate point's latency numbers.
+        for i in 0..8 {
+            let (id, _) = client
+                .submit(&trivial(tag + 0x8000 + i), 1)
+                .expect("warmup");
+            std::hint::black_box(client.fetch_blob(id).expect("warmup fetch"));
+        }
+        // Paced submit+fetch, latency anchored to the *schedule*: job i is
+        // due at `i * interval`, and its sojourn is result-bytes-in-hand
+        // minus that instant. When the daemon keeps up, that is just its
+        // service time; when the offered rate crosses capacity, every job
+        // starts later than scheduled and the slip accumulates in the
+        // measure instead of being absorbed by a slower submit loop
+        // (coordinated omission). Sleeping (not spinning) to the deadline
+        // matters on the 1-CPU container: a busy-wait would steal the
+        // core from the daemon it is trying to load.
+        let t_base = Instant::now();
+        let mut lat_ms = Vec::with_capacity(n_rate as usize);
+        let mut last_done = 0.0f64;
+        for i in 0..n_rate {
+            let due = interval_s * i as f64;
+            let now = t_base.elapsed().as_secs_f64();
+            if now < due {
+                std::thread::sleep(std::time::Duration::from_secs_f64(due - now));
+            }
+            let (id, _) = client.submit(&trivial(tag + i), 1).expect("paced submit");
+            std::hint::black_box(client.fetch_blob(id).expect("paced fetch"));
+            last_done = t_base.elapsed().as_secs_f64();
+            lat_ms.push((last_done - due) * 1e3);
+        }
+        drop(client);
+        daemon.shutdown();
+        rate_points.push(RatePoint {
+            offered,
+            achieved: n_rate as f64 / last_done,
+            p50_ms: percentile(&mut lat_ms, 0.5),
+            p99_ms: percentile(&mut lat_ms, 0.99),
+        });
+    }
+
     println!("{{");
     println!(
         "  \"workload\": \"fig14 --quick: {tasks}-point closed node sweep, {HORIZON} s horizon, 1 replication/point\","
@@ -263,8 +348,21 @@ fn main() {
     println!("    \"warm_pool_p99_ms\": {warm_p99:.2},");
     println!("    \"warm_pool_p50_speedup\": {:.1}", cold_p50 / warm_p50);
     println!("  }},");
+    println!("  \"rate_sweep\": {{");
+    println!("    \"jobs_per_rate\": {n_rate},");
+    println!("    \"capacity_estimate_jobs_per_s\": {capacity_jobs_per_s:.1},");
+    println!("    \"points\": [");
+    for (i, p) in rate_points.iter().enumerate() {
+        let comma = if i + 1 < rate_points.len() { "," } else { "" };
+        println!(
+            "      {{ \"offered_jobs_per_s\": {:.1}, \"achieved_jobs_per_s\": {:.1}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2} }}{comma}",
+            p.offered, p.achieved, p.p50_ms, p.p99_ms
+        );
+    }
+    println!("    ]");
+    println!("  }},");
     println!(
-        "  \"note\": \"cold = submit+fetch of a fresh manifest (daemon simulates the sweep); warm = identical resubmission answered from the content-addressed cache; throughput jobs are trivial 1-slot manifests, so the figure is the protocol+queue floor, not simulation speed; fleet = the same flood through a --shards 1 daemon with the worker pool off (fresh subprocess per dispatch) vs on (workers stay warm); 1-CPU container — daemon and client share the core\""
+        "  \"note\": \"cold = submit+fetch of a fresh manifest (daemon simulates the sweep); warm = identical resubmission answered from the content-addressed cache; throughput jobs are trivial 1-slot manifests, so the figure is the protocol+queue floor, not simulation speed; fleet = the same flood through a --shards 1 daemon with the worker pool off (fresh subprocess per dispatch) vs on (workers stay warm); rate_sweep = paced submissions against the warm fleet at fractions of the closed-loop capacity estimate, per-job sojourn anchored to the wall-clock schedule so slip past capacity accumulates as queueing delay; 1-CPU container — daemon and client share the core\""
     );
     println!("}}");
 

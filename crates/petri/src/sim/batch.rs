@@ -53,6 +53,7 @@ use super::engine::{
     effective_token_limit, heap_less, CompiledSim, HeapEntry, RewardAcc, SimConfig, SimOutput,
     Simulator, TimingKind, NOT_QUEUED, ST_ENABLED, ST_RESAMPLE, ST_SCHEDULED,
 };
+use super::lower::SCAN_MAX_TRANSITIONS;
 use super::rewards::RewardSpec;
 use super::trace::TraceBuffer;
 use crate::error::SimError;
@@ -82,8 +83,8 @@ impl<'s, 'a> BatchSimulator<'s, 'a> {
     }
 
     /// Run one independent replication per seed, all at the simulator's
-    /// configured horizon. `result[i]` is bit-identical to
-    /// `sim.run(seeds[i])`.
+    /// configured horizon, on the simulator's selected engine.
+    /// `result[i]` is bit-identical to `sim.run(seeds[i])`.
     pub fn run(&self, seeds: &[u64]) -> Vec<Result<SimOutput, SimError>> {
         let horizons = vec![self.sim.cfg.end_time; seeds.len()];
         self.run_with_horizons(seeds, &horizons)
@@ -100,19 +101,52 @@ impl<'s, 'a> BatchSimulator<'s, 'a> {
         seeds: &[u64],
         end_times: &[f64],
     ) -> Vec<Result<SimOutput, SimError>> {
+        match self.sim.engine() {
+            super::engine::EngineKind::Interp => self.run_interp_with_horizons(seeds, end_times),
+            super::engine::EngineKind::Lowered => self.run_lowered_with_horizons(seeds, end_times),
+        }
+    }
+
+    /// Run on the interpreter's batch engine regardless of the simulator's
+    /// engine selection (differential oracle / A/B baseline).
+    pub fn run_interp(&self, seeds: &[u64]) -> Vec<Result<SimOutput, SimError>> {
+        let horizons = vec![self.sim.cfg.end_time; seeds.len()];
+        self.run_interp_with_horizons(seeds, &horizons)
+    }
+
+    /// Per-lane-horizon variant of [`BatchSimulator::run_interp`].
+    pub fn run_interp_with_horizons(
+        &self,
+        seeds: &[u64],
+        end_times: &[f64],
+    ) -> Vec<Result<SimOutput, SimError>> {
         assert_eq!(seeds.len(), end_times.len(), "one horizon per seed");
         if seeds.is_empty() {
             return Vec::new();
         }
         BatchEngine::new(self.sim, seeds, end_times).run_all()
     }
-}
 
-/// Transition-count ceiling for the scan scheduler. Below it, the next
-/// event is found by scanning the lane's contiguous `fire_at` stripe (at
-/// 32 transitions the stripe is 256 bytes — four cache lines); above it,
-/// per-lane lazy-deletion heaps take over, like the scalar engine.
-const SCAN_MAX_TRANSITIONS: usize = 32;
+    /// Run on the lowered micro-op engine regardless of the simulator's
+    /// engine selection.
+    pub fn run_lowered(&self, seeds: &[u64]) -> Vec<Result<SimOutput, SimError>> {
+        let horizons = vec![self.sim.cfg.end_time; seeds.len()];
+        self.run_lowered_with_horizons(seeds, &horizons)
+    }
+
+    /// Per-lane-horizon variant of [`BatchSimulator::run_lowered`].
+    pub fn run_lowered_with_horizons(
+        &self,
+        seeds: &[u64],
+        end_times: &[f64],
+    ) -> Vec<Result<SimOutput, SimError>> {
+        assert_eq!(seeds.len(), end_times.len(), "one horizon per seed");
+        if seeds.is_empty() {
+            return Vec::new();
+        }
+        super::lowered::LoweredEngine::new(self.sim, seeds, end_times).run_all()
+    }
+}
 
 /// All per-batch state. Stride-`nt` arenas are indexed `l * nt + ti`,
 /// stride-`nc` arenas `l * nc + ci`; scratch buffers are shared because

@@ -182,11 +182,11 @@ pub(super) struct TransHot {
     pub(super) priority: u8,
     pub(super) weight: f64,
     /// Deterministic delay / exponential rate / uniform low / Erlang rate.
-    a: f64,
+    pub(super) a: f64,
     /// Uniform high.
-    b: f64,
+    pub(super) b: f64,
     /// Erlang stage count.
-    k: u32,
+    pub(super) k: u32,
 }
 
 impl TransHot {
@@ -233,11 +233,11 @@ impl TransHot {
 
 // Condition kinds (SoA record, 16 bytes; filters/guards live in side
 // tables referenced through `aux`).
-const COND_INPUT_ANY: u8 = 0;
-const COND_INHIB_ANY: u8 = 1;
-const COND_INPUT_FILTERED: u8 = 2;
-const COND_INHIB_FILTERED: u8 = 3;
-const COND_GUARD: u8 = 4;
+pub(super) const COND_INPUT_ANY: u8 = 0;
+pub(super) const COND_INHIB_ANY: u8 = 1;
+pub(super) const COND_INPUT_FILTERED: u8 = 2;
+pub(super) const COND_INHIB_FILTERED: u8 = 3;
+pub(super) const COND_GUARD: u8 = 4;
 
 /// One elementary enabling condition. A transition is enabled iff all of
 /// its conditions hold; the engine tracks the number of currently-false
@@ -245,13 +245,13 @@ const COND_GUARD: u8 = 4;
 #[derive(Debug, Clone)]
 pub(super) struct Cond {
     pub(super) tid: u32,
-    kind: u8,
+    pub(super) kind: u8,
     /// Watched place (arc conditions; unused for guards).
-    place: u32,
+    pub(super) place: u32,
     /// Required token count (inputs) / inhibition threshold (inhibitors).
-    need: u32,
+    pub(super) need: u32,
     /// Index into the filter or guard side table.
-    aux: u32,
+    pub(super) aux: u32,
 }
 
 /// Precompiled dense firing plan: valid when every input arc consumes
@@ -271,8 +271,8 @@ pub(super) struct DensePlan {
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledSim {
     pub(super) conds: Vec<Cond>,
-    filters: Vec<ColorFilter>,
-    guards: Vec<CompiledExpr>,
+    pub(super) filters: Vec<ColorFilter>,
+    pub(super) guards: Vec<CompiledExpr>,
     /// Place → indices of conditions that read it (ascending tid).
     pub(super) place_conds: Csr,
     /// Conditions that folded to constant-false at compile time (an input
@@ -580,6 +580,33 @@ pub(super) fn heap_less(a: &HeapEntry, b: &HeapEntry) -> bool {
 // Simulator
 // ---------------------------------------------------------------------------
 
+/// Which execution engine [`Simulator::run`] (and the batched runners)
+/// dispatch to. The trajectory is bit-identical either way — the choice
+/// only affects speed — which the differential suites prove on every CI
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The incremental interpreter (`Engine` / `BatchEngine`): walks the
+    /// compiled net's CSR tables per event, matching on distribution kind
+    /// and memory policy as it goes.
+    Interp,
+    /// The lowered engine: executes a flat per-net micro-op program with
+    /// monomorphized samplers and a feature-specialized hot loop (see
+    /// [`super::lower`]). The default.
+    Lowered,
+}
+
+impl EngineKind {
+    /// Resolve the process-wide default: the `REPRO_ENGINE` environment
+    /// variable (`interp` | `lowered`) if set, else [`EngineKind::Lowered`].
+    pub fn from_env() -> Self {
+        match std::env::var("REPRO_ENGINE").as_deref() {
+            Ok("interp") => EngineKind::Interp,
+            _ => EngineKind::Lowered,
+        }
+    }
+}
+
 /// A configured, reusable simulator for one net.
 ///
 /// Static structure (flattened enabling conditions, compiled guard
@@ -599,6 +626,15 @@ pub struct Simulator<'a> {
     /// `t`; built here so runs share it instead of rebuilding per seed.
     pub(super) firing_hooks: Vec<Vec<u32>>,
     pub(super) compiled: CompiledSim,
+    pub(super) engine: EngineKind,
+    /// Lazily-built lowered program (net × rewards × config), shared by
+    /// every run and every batch lane. Invalidated when a reward is added.
+    pub(super) lowered: std::sync::OnceLock<super::lower::LoweredNet>,
+    /// Debug builds shadow the first lowered run per simulator with the
+    /// interpreter and assert identical output (cheap, once-per-net oracle
+    /// on top of the differential suites).
+    #[allow(dead_code)]
+    pub(super) shadow_once: std::sync::OnceLock<()>,
 }
 
 impl<'a> Simulator<'a> {
@@ -612,7 +648,27 @@ impl<'a> Simulator<'a> {
             pred_progs: Vec::new(),
             firing_hooks,
             compiled: CompiledSim::build(net),
+            engine: EngineKind::from_env(),
+            lowered: std::sync::OnceLock::new(),
+            shadow_once: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Select the execution engine for subsequent runs (builder style).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine [`Simulator::run`] currently dispatches to.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// The lowered program for this simulator, building it on first use.
+    pub(super) fn lowered_net(&self) -> &super::lower::LoweredNet {
+        self.lowered
+            .get_or_init(|| super::lower::LoweredNet::build(self))
     }
 
     /// Register a reward measure; the returned id indexes
@@ -630,6 +686,8 @@ impl<'a> Simulator<'a> {
         }
         self.rewards.push(spec);
         self.pred_progs.push(prog);
+        // The lowered program bakes the reward set in; rebuild on next run.
+        self.lowered.take();
         Ok(id)
     }
 
@@ -665,9 +723,32 @@ impl<'a> Simulator<'a> {
         &self.cfg
     }
 
-    /// Execute one independent run with the given seed.
+    /// Execute one independent run with the given seed, on the engine
+    /// selected by [`Simulator::with_engine`] (default: lowered).
     pub fn run(&self, seed: u64) -> Result<SimOutput, SimError> {
+        match self.engine {
+            EngineKind::Interp => self.run_interp(seed),
+            EngineKind::Lowered => self.run_lowered(seed),
+        }
+    }
+
+    /// Execute one run on the **incremental interpreter**, regardless of
+    /// the configured engine. Kept as a differential oracle and A/B
+    /// baseline; same seed ⇒ bit-identical output to [`Simulator::run`].
+    pub fn run_interp(&self, seed: u64) -> Result<SimOutput, SimError> {
         Engine::new(self, seed).run()
+    }
+
+    /// Execute one run on the **lowered engine**, regardless of the
+    /// configured engine. Same seed ⇒ bit-identical output to
+    /// [`Simulator::run_interp`] and [`Simulator::run_reference`].
+    pub fn run_lowered(&self, seed: u64) -> Result<SimOutput, SimError> {
+        let out = super::lowered::run_single(self, seed);
+        #[cfg(debug_assertions)]
+        if self.shadow_once.set(()).is_ok() {
+            super::lowered::debug_assert_outputs_eq(&out, &self.run_interp(seed));
+        }
+        out
     }
 
     /// Execute one run on the **reference engine** — the original

@@ -1,0 +1,533 @@
+//! The lowering pass: compile one (net × rewards) into a flat micro-op
+//! program that the lowered engine ([`super::lowered`]) executes directly.
+//!
+//! The incremental interpreter ([`super::engine`]) still walks the compiled
+//! net per event: it matches on the distribution kind and memory policy of
+//! every re-scheduled transition, chases `Option<DensePlan>` and CSR
+//! indirections, and re-dispatches on condition kinds that are invariant
+//! for a given net. This module runs all of those decisions **once per
+//! simulator** and serializes the result into one contiguous `u32` arena:
+//!
+//! * Each transition gets a **fire section** — SUB/ADD count ops (or one
+//!   generic-fire op for colored transitions) followed by inline condition
+//!   re-evaluation ops (place, threshold, and watching transition baked
+//!   into the op stream; the `cond_epoch` dedup machinery is replaced by a
+//!   precomputed first-touch-order row) and counter-reward hook ops.
+//! * Each transition gets a **recheck section** — one op per timed
+//!   transition whose clock may need attention after the firing, with the
+//!   *(memory policy × distribution kind)* pair monomorphized into the
+//!   opcode itself and the distribution parameters inlined as immediate
+//!   words. The per-event `match` on `TimingKind`/`MemoryPolicy`
+//!   disappears; an exponential RaceEnable re-check is a single opcode.
+//! * A **startup program** replays the interpreter's initial scheduling
+//!   pass (every timed transition re-checked in definition order).
+//! * Time-based rewards become a flat integration program over dense
+//!   accumulator stripes; counter rewards become hook ops.
+//!
+//! The program encodes *what the interpreter would do*, in the exact same
+//! order, drawing from the RNG at the exact same points — the lowered
+//! engine's outputs are bit-identical to the interpreter's and the
+//! reference engine's, which `tests/lowered_differential.rs` proves on
+//! every variant. Feature specialization (scan-vs-heap scheduling,
+//! colored-vs-count-only firing) is selected once per net and baked into
+//! const-generic instantiations of the hot loop, so the per-event path has
+//! no dynamic dispatch left.
+
+use super::engine::{
+    CompiledSim, Simulator, TimingKind, COND_GUARD, COND_INHIB_ANY, COND_INHIB_FILTERED,
+    COND_INPUT_ANY, COND_INPUT_FILTERED,
+};
+use super::rewards::RewardSpec;
+use crate::expr::{CmpOp, CompiledExpr};
+use crate::timing::MemoryPolicy;
+
+/// Reduce a bare `count(place) cmp constant` program to an equivalent
+/// count threshold: the boolean is `(count >= need) ^ lt` — i.e. `count >=
+/// need` when `lt` is false, `count < need` when true. Counts are `u32`,
+/// so every comparison against an in-range constant has such a form
+/// (including the always-true/always-false degenerate ends); only `==` /
+/// `!=` against a nonzero constant does not.
+fn count_cmp_threshold(prog: &CompiledExpr) -> Option<(u32, bool, u32)> {
+    const MAX: i64 = u32::MAX as i64;
+    let (p, op, v) = prog.as_count_cmp()?;
+    let (lt, need) = match op {
+        // `count >= v` / `count > v`: v at or below zero is always true
+        // (GE with need 0), past the count ceiling never true (LT 0).
+        CmpOp::Ge if v <= 0 => (false, 0),
+        CmpOp::Ge if v > MAX => (true, 0),
+        CmpOp::Ge => (false, v),
+        CmpOp::Gt if v < 0 => (false, 0),
+        CmpOp::Gt if v >= MAX => (true, 0),
+        CmpOp::Gt => (false, v + 1),
+        // `count < v` / `count <= v`: mirrored.
+        CmpOp::Lt if v <= 0 => (true, 0),
+        CmpOp::Lt if v > MAX => (false, 0),
+        CmpOp::Lt => (true, v),
+        CmpOp::Le if v < 0 => (true, 0),
+        CmpOp::Le if v >= MAX => (false, 0),
+        CmpOp::Le => (true, v + 1),
+        // Equality only reduces at the range ends.
+        CmpOp::Eq if v == 0 => (true, 1),
+        CmpOp::Eq if !(0..=MAX).contains(&v) => (true, 0),
+        CmpOp::Ne if v == 0 => (false, 1),
+        CmpOp::Ne if !(0..=MAX).contains(&v) => (false, 0),
+        CmpOp::Eq | CmpOp::Ne => return None,
+    };
+    Some((p, lt, need as u32))
+}
+
+/// Transition-count ceiling for the scan scheduler (scalar and batched
+/// lowered runs, and the interpreter's batch engine). Below it, the next
+/// event is found by scanning the lane's contiguous `fire_at` stripe (at
+/// 32 transitions the stripe is 256 bytes — four cache lines); above it,
+/// per-lane lazy-deletion 4-ary heaps take over.
+pub(super) const SCAN_MAX_TRANSITIONS: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Op encoding
+// ---------------------------------------------------------------------------
+//
+// A transition's **fire section** is segment-structured so the dense
+// common case executes with *zero opcode dispatch*: one header word
+// (segment counts + generic-fire flag), then `n_mov` two-word token moves,
+// then `n_cnt` four-word count-condition records, then a variable
+// dispatched tail that only carries the rare slow-path work (counter-
+// reward hooks, filtered conditions, complex guard programs). Recheck
+// sections use fixed-stride opcode records (see below); there the opcode
+// *is* the monomorphized (policy × kind) pair.
+
+/// Fire header: bits 0–15 = token-move count, bits 16–30 = count-condition
+/// record count, bit 31 = generic colored fire (one trailing tid word).
+pub(super) const HDR_GENERIC: u32 = 1 << 31;
+/// Token-move place word, bit 31: add (with overflow check) instead of
+/// subtract.
+pub(super) const MOV_ADD: u32 = 1 << 31;
+/// Count-condition place word, bit 31: the condition is `count < need`
+/// instead of `count >= need`. Record layout: `[place|inv, need, ci, tid|flags]`.
+pub(super) const CNT_INV: u32 = 1 << 31;
+
+// Tail ops: opcode in the low 8 bits, a 24-bit argument in the high bits,
+// trailing immediate words with length implied by the opcode.
+
+/// Tail: bump counter accumulator `arg` if past warm-up.
+pub(super) const OP_HOOK: u32 = 0;
+/// Tail: filtered input condition `arg`: `count_matching(word2,
+/// filters[word1]) >= word3`; `word4` = tid|flags.
+pub(super) const OP_C_FGE: u32 = 1;
+/// Tail: filtered inhibitor condition (same layout as [`OP_C_FGE`],
+/// comparison inverted).
+pub(super) const OP_C_FLT: u32 = 2;
+/// Tail: guard condition `arg` evaluated via compiled program `word1`;
+/// `word2` = tid|flags.
+pub(super) const OP_C_GUARD: u32 = 3;
+
+// Recheck ops: `arg` = the timed transition to re-check. The opcode fully
+// determines (memory policy, distribution kind); parameters are inline.
+// Layout: base + kind, policy blocks of 4 (RE, RA, RS). Unlike fire ops,
+// every recheck record is padded to a fixed [`RECHECK_STRIDE`]-word
+// stride: the executor's common path (clock already settled, nothing to
+// do) then walks the section without any opcode dispatch, and parameters
+// are only decoded when a clock actually changes.
+
+/// RaceEnable × Exponential re-check: `word1..2` = rate.
+pub(super) const OP_RE_EXP: u32 = 9;
+/// RaceEnable × Deterministic: `word1..2` = delay (no RNG draw).
+pub(super) const OP_RE_DET: u32 = 10;
+/// RaceEnable × Uniform: `word1..2` = low, `word3..4` = high.
+pub(super) const OP_RE_UNI: u32 = 11;
+/// RaceEnable × Erlang: `word1..2` = rate, `word3` = stage count.
+pub(super) const OP_RE_ERL: u32 = 12;
+/// RaceAge × Exponential (frozen-remaining handling baked in).
+pub(super) const OP_RA_EXP: u32 = 13;
+/// RaceAge × Deterministic.
+pub(super) const OP_RA_DET: u32 = 14;
+/// RaceAge × Uniform.
+pub(super) const OP_RA_UNI: u32 = 15;
+/// RaceAge × Erlang.
+pub(super) const OP_RA_ERL: u32 = 16;
+/// Resample × Exponential (redraws while enabled-and-scheduled).
+pub(super) const OP_RS_EXP: u32 = 17;
+/// Resample × Deterministic.
+pub(super) const OP_RS_DET: u32 = 18;
+/// Resample × Uniform.
+pub(super) const OP_RS_UNI: u32 = 19;
+/// Resample × Erlang.
+pub(super) const OP_RS_ERL: u32 = 20;
+
+/// Bit 31 of a condition op's tid word: the watched transition is
+/// immediate (flips maintain the enabled-immediates index).
+pub(super) const TID_IMMEDIATE: u32 = 1 << 31;
+
+/// Fixed width of one recheck record (op word + up to two f64 parameters),
+/// so the settled-skip walk needs no per-record length decoding.
+pub(super) const RECHECK_STRIDE: usize = 5;
+
+/// Split an `f64` into two immediate words (little end first).
+fn push_f64(ops: &mut Vec<u32>, x: f64) {
+    let b = x.to_bits();
+    ops.push(b as u32);
+    ops.push((b >> 32) as u32);
+}
+
+/// Reassemble an `f64` from two immediate words at `ops[i..i+2]`.
+#[inline(always)]
+pub(super) fn dec_f64(ops: &[u32], i: usize) -> f64 {
+    f64::from_bits(ops[i] as u64 | (ops[i + 1] as u64) << 32)
+}
+
+// ---------------------------------------------------------------------------
+// Reward lowering
+// ---------------------------------------------------------------------------
+
+/// One step of the reward integration program, run per time advance.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum IntegOp {
+    /// `acc_f[acc] += count(place) * dt`.
+    Place {
+        /// Watched place (raw index).
+        place: u32,
+        /// Target slot in the lane's `f64` accumulator stripe.
+        acc: u32,
+    },
+    /// `acc_f[acc] += dt` when `(count(place) >= need) ^ lt` holds (a
+    /// `count cmp const` predicate lowered to its threshold form).
+    PredCnt {
+        /// Watched place (raw index).
+        place: u32,
+        /// Threshold (see [`count_cmp_threshold`]).
+        need: u32,
+        /// Invert the comparison (`count < need`).
+        lt: bool,
+        /// Target slot in the lane's `f64` accumulator stripe.
+        acc: u32,
+    },
+    /// `acc_f[acc] += dt` when predicate `prog` holds.
+    Pred {
+        /// Index into the simulator's compiled predicate programs.
+        prog: u32,
+        /// Target slot in the lane's `f64` accumulator stripe.
+        acc: u32,
+    },
+}
+
+/// How one registered reward is reported at finalize, mapping the
+/// [`super::rewards::RewardId`] order onto the dense accumulator stripes.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum LoweredReward {
+    /// Time integral in `acc_f[i]`, reported as average over observed time.
+    Integral(u32),
+    /// Counter in `acc_c[i]`, reported as rate over observed time.
+    Rate(u32),
+    /// Counter in `acc_c[i]`, reported raw.
+    Count(u32),
+}
+
+// ---------------------------------------------------------------------------
+// The lowered program
+// ---------------------------------------------------------------------------
+
+/// A complete lowered stepping program for one (net × rewards): one
+/// contiguous op arena plus the section table, the startup program, the
+/// reward integration program, and the feature-specialization flags that
+/// select the hot-loop instantiation.
+#[derive(Debug, Clone)]
+pub(crate) struct LoweredNet {
+    /// The op arena. Transition `ti`'s fire section is
+    /// `ops[sec[2*ti]..sec[2*ti+1]]`, its recheck section
+    /// `ops[sec[2*ti+1]..sec[2*ti+2]]`.
+    pub(super) ops: Vec<u32>,
+    /// Section offsets, length `2 * nt + 1`.
+    pub(super) sec: Vec<u32>,
+    /// Startup program: the initial scheduling pass (each timed transition
+    /// re-checked once, in definition order), as recheck ops.
+    pub(super) init_ops: Vec<u32>,
+    /// Scan scheduling selected (`nt <= SCAN_MAX_TRANSITIONS`).
+    pub(super) scan: bool,
+    /// Colored/generic features present (generic fire, filtered
+    /// conditions, or guards) — selects the hot-loop variant that carries
+    /// the slow paths.
+    pub(super) colored: bool,
+    /// Reward integration program (time-based rewards only).
+    pub(super) integ: Vec<IntegOp>,
+    /// Stride of the per-lane `f64` accumulator stripe.
+    pub(super) n_integ: usize,
+    /// Stride of the per-lane counter accumulator stripe.
+    pub(super) n_count: usize,
+    /// Per-reward finalize mapping, in registration order.
+    pub(super) reward_map: Vec<LoweredReward>,
+}
+
+impl LoweredNet {
+    /// Lower `sim`'s compiled net and reward set into a flat program.
+    pub(crate) fn build(sim: &Simulator<'_>) -> Self {
+        let net = sim.net;
+        let cs = &sim.compiled;
+        let nt = net.num_transitions();
+        let nc = cs.conds.len();
+        let np = net.num_places();
+        assert!(nc < (1 << 24), "condition index must fit a 24-bit op arg");
+        assert!(np < (1 << 24), "place index must fit a 24-bit op arg");
+        assert!(nt < (1 << 24), "transition index must fit a 24-bit op arg");
+
+        // --- rewards: dense accumulator slots + finalize mapping ---
+        let mut integ = Vec::new();
+        let mut reward_map = Vec::with_capacity(sim.rewards.len());
+        let mut counter_idx = vec![u32::MAX; sim.rewards.len()];
+        let (mut n_integ, mut n_count) = (0u32, 0u32);
+        for (i, spec) in sim.rewards.iter().enumerate() {
+            match spec {
+                RewardSpec::PlaceTokens(p) => {
+                    integ.push(IntegOp::Place {
+                        place: p.index() as u32,
+                        acc: n_integ,
+                    });
+                    reward_map.push(LoweredReward::Integral(n_integ));
+                    n_integ += 1;
+                }
+                RewardSpec::Predicate(_) => {
+                    let prog = sim.pred_progs[i]
+                        .as_ref()
+                        .expect("predicate reward has a compiled program");
+                    integ.push(match count_cmp_threshold(prog) {
+                        Some((place, lt, need)) => IntegOp::PredCnt {
+                            place,
+                            need,
+                            lt,
+                            acc: n_integ,
+                        },
+                        None => IntegOp::Pred {
+                            prog: i as u32,
+                            acc: n_integ,
+                        },
+                    });
+                    reward_map.push(LoweredReward::Integral(n_integ));
+                    n_integ += 1;
+                }
+                RewardSpec::Throughput(_) => {
+                    counter_idx[i] = n_count;
+                    reward_map.push(LoweredReward::Rate(n_count));
+                    n_count += 1;
+                }
+                RewardSpec::FiringCount(_) => {
+                    counter_idx[i] = n_count;
+                    reward_map.push(LoweredReward::Count(n_count));
+                    n_count += 1;
+                }
+            }
+        }
+        assert!(n_integ < (1 << 24) && n_count < (1 << 24));
+
+        // --- per-transition fire + recheck sections ---
+        let mut ops: Vec<u32> = Vec::new();
+        let mut sec: Vec<u32> = Vec::with_capacity(2 * nt + 1);
+        sec.push(0);
+        let mut colored = false;
+        let mut seen = vec![false; nc];
+        let mut trow: Vec<u32> = Vec::new();
+        let mut tail: Vec<u32> = Vec::new();
+        for ti in 0..nt {
+            // Header slot (counts patched once the section is laid out).
+            let hdr_at = ops.len();
+            ops.push(0);
+            let mut hdr = 0u32;
+            // Token movement: the dense plan inlined as flagged
+            // (place, multiplicity) pairs, or one generic-fire tid word.
+            let mut n_mov = 0u32;
+            match &cs.plans[ti] {
+                Some(plan) => {
+                    let (i0, i1) = plan.ins;
+                    for &(p, m) in &cs.plan_dat[i0 as usize..i1 as usize] {
+                        ops.extend([p, m]);
+                        n_mov += 1;
+                    }
+                    let (o0, o1) = plan.outs;
+                    for &(p, m) in &cs.plan_dat[o0 as usize..o1 as usize] {
+                        ops.extend([p | MOV_ADD, m]);
+                        n_mov += 1;
+                    }
+                }
+                None => {
+                    colored = true;
+                    hdr |= HDR_GENERIC;
+                    ops.push(ti as u32);
+                }
+            }
+            assert!(n_mov < (1 << 16), "token moves must fit the header");
+            // Conditions whose truth can change when `ti` fires, from the
+            // precomputed first-touch row (all token moves complete before
+            // any condition re-evaluation, so the flat row is equivalent
+            // to the per-place walk + epoch dedup; conditions never draw
+            // RNG and their flips commute, so splitting them into the
+            // count segment + dispatched tail preserves bit-identity).
+            trow.clear();
+            for &p in cs.touched.row(ti) {
+                for &ci in cs.place_conds.row(p as usize) {
+                    if !seen[ci as usize] {
+                        seen[ci as usize] = true;
+                        trow.push(ci);
+                    }
+                }
+            }
+            for &ci in &trow {
+                seen[ci as usize] = false;
+            }
+            let mut n_cnt = 0u32;
+            tail.clear();
+            for &ci in &trow {
+                let cond = &cs.conds[ci as usize];
+                let mut tf = cond.tid;
+                if cs.hot[cond.tid as usize].kind == TimingKind::Immediate {
+                    tf |= TID_IMMEDIATE;
+                }
+                let mut cnt_rec = |ops: &mut Vec<u32>, place: u32, inv: bool, need: u32| {
+                    ops.extend([place | if inv { CNT_INV } else { 0 }, need, ci, tf]);
+                    n_cnt += 1;
+                };
+                match cond.kind {
+                    COND_INPUT_ANY => cnt_rec(&mut ops, cond.place, false, cond.need),
+                    COND_INHIB_ANY => cnt_rec(&mut ops, cond.place, true, cond.need),
+                    COND_INPUT_FILTERED => {
+                        colored = true;
+                        tail.extend([OP_C_FGE | ci << 8, cond.aux, cond.place, cond.need, tf]);
+                    }
+                    COND_INHIB_FILTERED => {
+                        colored = true;
+                        tail.extend([OP_C_FLT | ci << 8, cond.aux, cond.place, cond.need, tf]);
+                    }
+                    COND_GUARD => {
+                        // A `count(p) cmp const` guard lowers to the same
+                        // threshold record as a plain arc condition; only
+                        // structurally complex guards keep the compiled
+                        // postfix program (and force the slow-path
+                        // hot-loop variant).
+                        match count_cmp_threshold(&cs.guards[cond.aux as usize]) {
+                            Some((p, inv, need)) => cnt_rec(&mut ops, p, inv, need),
+                            None => {
+                                colored = true;
+                                tail.extend([OP_C_GUARD | ci << 8, cond.aux, tf]);
+                            }
+                        }
+                    }
+                    _ => unreachable!("invalid condition kind"),
+                }
+            }
+            assert!(n_cnt < (1 << 15), "count conditions must fit the header");
+            ops.extend_from_slice(&tail);
+            // Counter-reward hooks (post-warmup increments).
+            for &ri in &sim.firing_hooks[ti] {
+                ops.push(OP_HOOK | counter_idx[ri as usize] << 8);
+            }
+            ops[hdr_at] = hdr | n_mov | n_cnt << 16;
+            sec.push(ops.len() as u32);
+
+            // Recheck section: monomorphized (policy × kind) ops over the
+            // compiled recheck row (reference traversal order).
+            for &t2 in cs.recheck_timed.row(ti) {
+                emit_recheck(&mut ops, cs, t2);
+            }
+            sec.push(ops.len() as u32);
+        }
+
+        // Startup program: the interpreter's initial pass re-checks every
+        // timed transition in definition order.
+        let mut init_ops = Vec::new();
+        for t2 in 0..nt {
+            if cs.hot[t2].kind != TimingKind::Immediate {
+                emit_recheck(&mut init_ops, cs, t2 as u32);
+            }
+        }
+
+        LoweredNet {
+            ops,
+            sec,
+            init_ops,
+            scan: nt <= SCAN_MAX_TRANSITIONS,
+            colored,
+            integ,
+            n_integ: n_integ as usize,
+            n_count: n_count as usize,
+            reward_map,
+        }
+    }
+}
+
+/// Emit the monomorphized re-check record for timed transition `t2`,
+/// padded to [`RECHECK_STRIDE`] words.
+fn emit_recheck(ops: &mut Vec<u32>, cs: &CompiledSim, t2: u32) {
+    let hot = &cs.hot[t2 as usize];
+    let kind = match hot.kind {
+        TimingKind::Exponential => 0,
+        TimingKind::Deterministic => 1,
+        TimingKind::Uniform => 2,
+        TimingKind::Erlang => 3,
+        TimingKind::Immediate => unreachable!("immediates are never re-checked"),
+    };
+    let policy = match hot.memory {
+        MemoryPolicy::RaceEnable => 0,
+        MemoryPolicy::RaceAge => 1,
+        MemoryPolicy::Resample => 2,
+    };
+    let start = ops.len();
+    ops.push((OP_RE_EXP + 4 * policy + kind) | t2 << 8);
+    match hot.kind {
+        TimingKind::Exponential | TimingKind::Deterministic => push_f64(ops, hot.a),
+        TimingKind::Uniform => {
+            push_f64(ops, hot.a);
+            push_f64(ops, hot.b);
+        }
+        TimingKind::Erlang => {
+            push_f64(ops, hot.a);
+            ops.push(hot.k);
+        }
+        TimingKind::Immediate => unreachable!(),
+    }
+    ops.resize(start + RECHECK_STRIDE, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::sim::SimConfig;
+    use crate::timing::Timing;
+
+    #[test]
+    fn f64_immediates_round_trip() {
+        for x in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, 1e-300, -42.25] {
+            let mut ops = Vec::new();
+            push_f64(&mut ops, x);
+            assert_eq!(dec_f64(&ops, 0).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn sections_are_contiguous_and_cover_the_arena() {
+        let mut b = NetBuilder::new("mm1");
+        let q = b.place("q").build();
+        b.transition("arrive", Timing::exponential(0.8))
+            .output(q, 1)
+            .build();
+        b.transition("serve", Timing::exponential(1.0))
+            .input(q, 1)
+            .build();
+        let net = b.build().unwrap();
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(10.0));
+        sim.reward_place(crate::ids::PlaceId::from_index(0));
+        let lw = LoweredNet::build(&sim);
+        assert_eq!(lw.sec.len(), 2 * net.num_transitions() + 1);
+        assert_eq!(lw.sec[0], 0);
+        assert!(lw.sec.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*lw.sec.last().unwrap() as usize, lw.ops.len());
+        assert!(lw.scan);
+        assert!(!lw.colored);
+        assert_eq!(lw.n_integ, 1);
+        assert_eq!(lw.n_count, 0);
+        // Two exponential RaceEnable transitions: the startup program is
+        // two stride-padded OP_RE_EXP records with inline rates.
+        assert_eq!(lw.init_ops.len(), 2 * RECHECK_STRIDE);
+        assert_eq!(lw.init_ops[0] & 0xff, OP_RE_EXP);
+        assert_eq!(dec_f64(&lw.init_ops, 1), 0.8);
+        assert_eq!(lw.init_ops[RECHECK_STRIDE] & 0xff, OP_RE_EXP);
+        assert_eq!(dec_f64(&lw.init_ops, RECHECK_STRIDE + 1), 1.0);
+    }
+}

@@ -1,0 +1,1201 @@
+//! Direct-threaded execution of lowered stepping programs.
+//!
+//! [`LoweredEngine`] is the default executor behind both `Simulator::run`
+//! (one lane) and `BatchSimulator::run` (many lanes): every lane advances
+//! to completion in [`Lane::run`], a single fused loop that executes the
+//! net's [`LoweredNet`] micro-op program. The scalar and batched hot paths
+//! are therefore *the same code* — there is no separate scalar firing
+//! logic to keep in sync (the interpreter survives as the differential
+//! oracle and A/B baseline, not as a second production path).
+//!
+//! Two levers distinguish this from the interpreter's batch engine:
+//!
+//! * **Per-lane local slices.** Lane state is carved out of the SoA arenas
+//!   once per lane into a [`Lane`] of `&mut [..]` slices of length
+//!   `nt`/`nc`, so the hot loop indexes `fire_at[ti]` instead of
+//!   `self.fire_at[l * nt + ti]` — no per-access base+offset arithmetic,
+//!   and the slice lengths give the optimizer bounds it can hoist.
+//! * **Monomorphized ops.** The per-event work is a walk over flat op
+//!   words with parameters inline; distribution sampling, memory-policy
+//!   handling, scan-vs-heap scheduling and colored-vs-dense firing are all
+//!   resolved per net, not per event ([`Lane::run`] is instantiated per
+//!   `(SCAN, GEN)` const-generic pair, selected once in
+//!   [`LoweredEngine::run_all`]).
+//!
+//! # Determinism
+//!
+//! The op program replays the interpreter's exact operation sequence: same
+//! RNG draw order, same comparison order, same error precedence, same
+//! event order (the scan scheduler's min-`(fire_at, tid)` is provably the
+//! heap's valid-pop order). Outputs are **bit-identical** to
+//! `Simulator::run_interp` and `run_reference` at every batch width —
+//! `tests/lowered_differential.rs` and the CI repro byte-comparison prove
+//! it, and debug builds additionally shadow the first lowered run per
+//! simulator with the interpreter plus cross-check the incremental
+//! enabling state against full rescans on every visited transition.
+
+use super::engine::{
+    effective_token_limit, heap_less, CompiledSim, HeapEntry, SimConfig, SimOutput, Simulator,
+    TimingKind, NOT_QUEUED, ST_ENABLED, ST_RESAMPLE, ST_SCHEDULED,
+};
+use super::lower::{
+    dec_f64, IntegOp, LoweredNet, LoweredReward, CNT_INV, HDR_GENERIC, MOV_ADD, OP_C_FGE, OP_C_FLT,
+    OP_C_GUARD, OP_HOOK, OP_RA_DET, OP_RA_ERL, OP_RA_EXP, OP_RA_UNI, OP_RE_DET, OP_RE_ERL,
+    OP_RE_EXP, OP_RE_UNI, OP_RS_DET, OP_RS_ERL, OP_RS_EXP, OP_RS_UNI, RECHECK_STRIDE,
+    TID_IMMEDIATE,
+};
+use super::trace::TraceBuffer;
+use crate::error::SimError;
+use crate::expr::CompiledExpr;
+use crate::ids::{PlaceId, TransitionId};
+use crate::marking::Marking;
+use crate::net::Net;
+use crate::rng::SimRng;
+use crate::timing::MemoryPolicy;
+use crate::token::Color;
+
+/// Run one replication on the lowered engine (the scalar entry point).
+pub(super) fn run_single(sim: &Simulator<'_>, seed: u64) -> Result<SimOutput, SimError> {
+    LoweredEngine::new(sim, &[seed], &[sim.cfg.end_time])
+        .run_all()
+        .pop()
+        .expect("one lane in, one result out")
+}
+
+/// Assert two engine results are bit-identical (debug oracle).
+#[cfg(debug_assertions)]
+pub(super) fn debug_assert_outputs_eq(
+    lowered: &Result<SimOutput, SimError>,
+    interp: &Result<SimOutput, SimError>,
+) {
+    match (lowered, interp) {
+        (Ok(a), Ok(b)) => {
+            debug_assert_eq!(a.rewards, b.rewards, "lowered rewards diverged");
+            debug_assert_eq!(a.firing_counts, b.firing_counts, "firing counts diverged");
+            debug_assert_eq!(a.final_marking, b.final_marking, "final marking diverged");
+            debug_assert_eq!(a.trace, b.trace, "trace diverged");
+            debug_assert_eq!(a.trace_dropped, b.trace_dropped);
+            debug_assert_eq!(a.observed_time, b.observed_time);
+        }
+        (Err(a), Err(b)) => debug_assert_eq!(a, b, "lowered error diverged"),
+        (a, b) => panic!("lowered engine diverged from the interpreter: {a:?} vs {b:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4-ary lazy-deletion heap (free functions over one lane's heap)
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn heap_push(heap: &mut Vec<HeapEntry>, e: HeapEntry) {
+    let mut i = heap.len();
+    heap.push(e);
+    while i > 0 {
+        let parent = (i - 1) / 4;
+        if heap_less(&e, &heap[parent]) {
+            heap[i] = heap[parent];
+            i = parent;
+        } else {
+            break;
+        }
+    }
+    heap[i] = e;
+}
+
+fn heap_pop(heap: &mut Vec<HeapEntry>) -> Option<HeapEntry> {
+    let top = *heap.first()?;
+    let last = heap.pop().expect("non-empty");
+    let n = heap.len();
+    if n == 0 {
+        return Some(top);
+    }
+    let mut i = 0;
+    loop {
+        let c0 = 4 * i + 1;
+        if c0 >= n {
+            break;
+        }
+        let mut smallest = c0;
+        let cend = (c0 + 4).min(n);
+        for c in c0 + 1..cend {
+            if heap_less(&heap[c], &heap[smallest]) {
+                smallest = c;
+            }
+        }
+        if heap_less(&heap[smallest], &last) {
+            heap[i] = heap[smallest];
+            i = smallest;
+        } else {
+            break;
+        }
+    }
+    heap[i] = last;
+    Some(top)
+}
+
+// ---------------------------------------------------------------------------
+// Shared (immutable) context + one lane's mutable state
+// ---------------------------------------------------------------------------
+
+/// Immutable per-run context shared by all lanes, flattened so the hot
+/// loop reads program slices and config scalars without chasing
+/// `LoweredNet`/`SimConfig` pointers per event.
+struct Shared<'x> {
+    /// The op arena (fire sections + recheck sections).
+    ops: &'x [u32],
+    /// Section offset table (`2 * nt + 1` entries).
+    sec: &'x [u32],
+    /// Startup recheck program.
+    init_ops: &'x [u32],
+    /// Reward integration program.
+    integ: &'x [IntegOp],
+    /// The dominant "one time-averaged place count" reward shape,
+    /// pre-matched so per-event integration is a single multiply-add.
+    integ1: Option<(u32, u32)>,
+    cs: &'x CompiledSim,
+    net: &'x Net,
+    cfg: &'x SimConfig,
+    pred_progs: &'x [Option<CompiledExpr>],
+    max_tokens: usize,
+    warmup: f64,
+    max_zero: u64,
+    trace_on: bool,
+}
+
+impl<'x> Shared<'x> {
+    /// Bounds of transition `ti`'s fire and recheck sections in
+    /// [`Shared::ops`] — `(fire_start, fire_end, recheck_end)`, fetched
+    /// with one bounds-checked access per fired event.
+    #[inline(always)]
+    fn sections(&self, ti: usize) -> (usize, usize, usize) {
+        let s = &self.sec[2 * ti..2 * ti + 3];
+        (s[0] as usize, s[1] as usize, s[2] as usize)
+    }
+}
+
+/// One lane's state, carved out of the engine's SoA arenas as local
+/// slices: the whole hot loop runs against these (plus the clock, RNG and
+/// zero-time counter held by value) and scalars are written back when the
+/// lane retires.
+struct Lane<'x> {
+    rng: SimRng,
+    now: f64,
+    zero: u64,
+    imm_len: u32,
+    marking: &'x mut Marking,
+    heap: &'x mut Vec<HeapEntry>,
+    fire_at: &'x mut [f64],
+    gen: &'x mut [u64],
+    remaining: &'x mut [f64],
+    sched_state: &'x mut [u8],
+    cond_true: &'x mut [bool],
+    unsat: &'x mut [u32],
+    enabled_imm: &'x mut [u32],
+    imm_pos: &'x mut [u32],
+    firing_counts: &'x mut [u64],
+    acc_f: &'x mut [f64],
+    acc_c: &'x mut [u64],
+    trace: &'x mut TraceBuffer,
+    guard_scratch: &'x mut Vec<i64>,
+    consumed: &'x mut Vec<Color>,
+    consumed_offsets: &'x mut Vec<usize>,
+    candidates: &'x mut Vec<u32>,
+    weights: &'x mut Vec<f64>,
+}
+
+impl<'x> Lane<'x> {
+    // ---- debug oracles: the interpreter's rescan cross-checks ----
+
+    #[cfg(debug_assertions)]
+    fn oracle_sched(&self, sh: &Shared<'_>, t2: usize) {
+        let t = sh.net.transition(TransitionId(t2 as u32));
+        debug_assert_eq!(
+            self.unsat[t2] == 0,
+            is_enabled_slow(self.marking, t),
+            "lowered enabled bit diverged from rescan for {:?}",
+            t.name
+        );
+        let s = self.sched_state[t2];
+        debug_assert_eq!(s & ST_ENABLED != 0, self.unsat[t2] == 0);
+        debug_assert!(s & ST_SCHEDULED != 0 || self.fire_at[t2] == f64::INFINITY);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn oracle_sched(&self, _sh: &Shared<'_>, _t2: usize) {}
+
+    #[cfg(debug_assertions)]
+    fn oracle_imm_index(&self, sh: &Shared<'_>) {
+        for &tid in &sh.cs.immediates {
+            let in_index = self.imm_pos[tid.index()] != NOT_QUEUED;
+            let enabled = is_enabled_slow(self.marking, sh.net.transition(tid));
+            debug_assert_eq!(
+                in_index,
+                enabled,
+                "lowered enabled-immediates index diverged for {:?}",
+                sh.net.transition(tid).name
+            );
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn oracle_imm_index(&self, _sh: &Shared<'_>) {}
+
+    // ---- enabled-immediates index ----
+
+    #[inline(always)]
+    fn imm_insert(&mut self, tid: u32) {
+        debug_assert_eq!(self.imm_pos[tid as usize], NOT_QUEUED);
+        let len = self.imm_len;
+        self.imm_pos[tid as usize] = len;
+        self.enabled_imm[len as usize] = tid;
+        self.imm_len = len + 1;
+    }
+
+    #[inline(always)]
+    fn imm_remove(&mut self, tid: u32) {
+        let i = self.imm_pos[tid as usize];
+        debug_assert_ne!(i, NOT_QUEUED);
+        self.imm_pos[tid as usize] = NOT_QUEUED;
+        let last = self.imm_len - 1;
+        self.imm_len = last;
+        let moved = self.enabled_imm[last as usize];
+        if i < last {
+            self.enabled_imm[i as usize] = moved;
+            self.imm_pos[moved as usize] = i;
+        }
+    }
+
+    /// Apply a condition truth flip to the watched transition's unsat
+    /// counter, enabled bit, and (for immediates) the enabled index.
+    #[inline(always)]
+    fn apply_flip(&mut self, tidflags: u32, now_true: bool) {
+        let ti = (tidflags & !TID_IMMEDIATE) as usize;
+        let is_imm = tidflags & TID_IMMEDIATE != 0;
+        if now_true {
+            self.unsat[ti] -= 1;
+            if self.unsat[ti] == 0 {
+                self.sched_state[ti] |= ST_ENABLED;
+                if is_imm {
+                    self.imm_insert(ti as u32);
+                }
+            }
+        } else {
+            if self.unsat[ti] == 0 {
+                self.sched_state[ti] &= !ST_ENABLED;
+                if is_imm {
+                    self.imm_remove(ti as u32);
+                }
+            }
+            self.unsat[ti] += 1;
+        }
+    }
+
+    // ---- scheduling ----
+
+    #[inline(always)]
+    fn schedule<const SCAN: bool>(&mut self, ti: usize, at: f64) {
+        self.fire_at[ti] = at;
+        self.sched_state[ti] |= ST_SCHEDULED;
+        if !SCAN {
+            self.gen[ti] += 1;
+            let e = HeapEntry {
+                time: at,
+                tid: ti as u32,
+                gen: self.gen[ti],
+            };
+            heap_push(self.heap, e);
+        }
+    }
+
+    #[inline(always)]
+    fn cancel<const SCAN: bool>(&mut self, ti: usize) -> f64 {
+        debug_assert_ne!(self.sched_state[ti] & ST_SCHEDULED, 0);
+        if !SCAN {
+            self.gen[ti] += 1;
+        }
+        self.sched_state[ti] &= !ST_SCHEDULED;
+        let at = self.fire_at[ti];
+        self.fire_at[ti] = f64::INFINITY;
+        at
+    }
+
+    /// Next event: scan the stripe (small nets) or surface the next valid
+    /// heap entry (stale entries die here). Neither consumes the event.
+    #[inline(always)]
+    fn next_event<const SCAN: bool>(&mut self) -> Option<(f64, u32)> {
+        if SCAN {
+            // Unscheduled clocks hold +inf, so the scan needs no sentinel
+            // test — one plain `<` per slot. Strict `<` keeps the lowest
+            // tid on ties, matching the heap's `(time, tid)` order (no
+            // reachable schedule time is NaN or -0.0, so `<` agrees with
+            // `total_cmp` here). An all-idle lane surfaces `(inf, 0)`,
+            // which the caller's `time < end` guard retires.
+            let mut best_t = f64::INFINITY;
+            let mut best_ti = 0u32;
+            for (ti, &at) in self.fire_at.iter().enumerate() {
+                if at < best_t {
+                    best_t = at;
+                    best_ti = ti as u32;
+                }
+            }
+            Some((best_t, best_ti))
+        } else {
+            loop {
+                match self.heap.first() {
+                    None => break None,
+                    Some(e) => {
+                        if e.gen == self.gen[e.tid as usize] {
+                            break Some((e.time, e.tid));
+                        }
+                        heap_pop(self.heap);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- fire section execution ----
+
+    /// One token move: plain subtract, or plain add with the overflow
+    /// check (the only error a dense fire can raise).
+    #[inline(always)]
+    fn exec_mov(&mut self, sh: &Shared<'_>, pw: u32, m: u32) -> Result<(), SimError> {
+        if pw & MOV_ADD == 0 {
+            self.marking.sub_plain(pw, m);
+        } else {
+            let p = pw & !MOV_ADD;
+            let c = self.marking.add_plain(p, m);
+            if c as usize > sh.max_tokens {
+                return Err(SimError::TokenOverflow {
+                    place: p as usize,
+                    time: self.now,
+                    limit: sh.cfg.max_tokens_per_place,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// One count-condition record: re-evaluate the threshold and apply
+    /// the flip if the truth value changed.
+    #[inline(always)]
+    fn exec_cnt(&mut self, pw: u32, need: u32, ci: usize, tf: u32) {
+        let now_true = (self.marking.count_raw(pw & !CNT_INV) >= need) == (pw & CNT_INV == 0);
+        if now_true != self.cond_true[ci] {
+            self.cond_true[ci] = now_true;
+            self.apply_flip(tf, now_true);
+        }
+    }
+
+    /// Execute transition `ti`'s fire section: the counted token-move and
+    /// count-condition segments run with no opcode dispatch; the
+    /// dispatched tail carries counter hooks and (in `GEN = true`
+    /// instantiations only) the colored/filtered/guard-program slow paths.
+    #[inline(always)]
+    fn exec_fire<const GEN: bool>(
+        &mut self,
+        sh: &Shared<'_>,
+        ti: usize,
+        ops: &[u32],
+    ) -> Result<(), SimError> {
+        let hdr = ops[0];
+        // The dominant tiny shape — one move, one count condition, no
+        // tail — runs fully unrolled, skipping the segment iterators.
+        if !GEN && hdr == 0x0001_0001 && ops.len() == 7 {
+            self.exec_mov(sh, ops[1], ops[2])?;
+            self.exec_cnt(ops[3], ops[4], ops[5] as usize, ops[6]);
+            self.firing_counts[ti] += 1;
+            if sh.trace_on {
+                self.trace.record(self.now, TransitionId(ti as u32));
+            }
+            return Ok(());
+        }
+        let n_mov = (hdr & 0xffff) as usize;
+        let n_cnt = ((hdr >> 16) & 0x7fff) as usize;
+        let mut pos = 1;
+        if GEN && hdr & HDR_GENERIC != 0 {
+            self.fire_generic(sh, ops[pos] as usize)?;
+            pos += 1;
+        }
+        debug_assert!(GEN || hdr & HDR_GENERIC == 0);
+        for mov in ops[pos..pos + 2 * n_mov].chunks_exact(2) {
+            self.exec_mov(sh, mov[0], mov[1])?;
+        }
+        pos += 2 * n_mov;
+        for rec in ops[pos..pos + 4 * n_cnt].chunks_exact(4) {
+            self.exec_cnt(rec[0], rec[1], rec[2] as usize, rec[3]);
+        }
+        pos += 4 * n_cnt;
+        let mut pc = pos;
+        while pc < ops.len() {
+            let w = ops[pc];
+            match w & 0xff {
+                OP_HOOK => {
+                    if self.now >= sh.warmup {
+                        self.acc_c[(w >> 8) as usize] += 1;
+                    }
+                    pc += 1;
+                }
+                OP_C_FGE if GEN => {
+                    let filter = &sh.cs.filters[ops[pc + 1] as usize];
+                    let n = self.marking.count_matching(PlaceId(ops[pc + 2]), filter);
+                    let now_true = n >= ops[pc + 3] as usize;
+                    let (ci, tf) = ((w >> 8) as usize, ops[pc + 4]);
+                    pc += 5;
+                    if now_true != self.cond_true[ci] {
+                        self.cond_true[ci] = now_true;
+                        self.apply_flip(tf, now_true);
+                    }
+                }
+                OP_C_FLT if GEN => {
+                    let filter = &sh.cs.filters[ops[pc + 1] as usize];
+                    let n = self.marking.count_matching(PlaceId(ops[pc + 2]), filter);
+                    let now_true = n < ops[pc + 3] as usize;
+                    let (ci, tf) = ((w >> 8) as usize, ops[pc + 4]);
+                    pc += 5;
+                    if now_true != self.cond_true[ci] {
+                        self.cond_true[ci] = now_true;
+                        self.apply_flip(tf, now_true);
+                    }
+                }
+                OP_C_GUARD if GEN => {
+                    let prog = &sh.cs.guards[ops[pc + 1] as usize];
+                    let now_true = prog.eval_bool(self.marking, self.guard_scratch);
+                    let (ci, tf) = ((w >> 8) as usize, ops[pc + 2]);
+                    pc += 3;
+                    if now_true != self.cond_true[ci] {
+                        self.cond_true[ci] = now_true;
+                        self.apply_flip(tf, now_true);
+                    }
+                }
+                _ => unreachable!("invalid op in fire tail"),
+            }
+        }
+        self.firing_counts[ti] += 1;
+        if sh.trace_on {
+            self.trace.record(self.now, TransitionId(ti as u32));
+        }
+        Ok(())
+    }
+
+    /// The generic colored firing path (withdraw per input arc, evaluate
+    /// color expressions, deposit per output arc) — byte-for-byte the
+    /// interpreter's, including error precedence.
+    fn fire_generic(&mut self, sh: &Shared<'_>, ti: usize) -> Result<(), SimError> {
+        let t = &sh.net.transitions()[ti];
+        self.consumed.clear();
+        self.consumed_offsets.clear();
+        for arc in &t.inputs {
+            self.consumed_offsets.push(self.consumed.len());
+            for _ in 0..arc.multiplicity {
+                let c = self
+                    .marking
+                    .withdraw(arc.place, &arc.filter)
+                    .expect("transition fired while not enabled");
+                self.consumed.push(c);
+            }
+        }
+        for arc in &t.outputs {
+            for _ in 0..arc.multiplicity {
+                let c = arc.color.eval(
+                    &self.consumed[..],
+                    &self.consumed_offsets[..],
+                    &mut self.rng,
+                );
+                self.marking.deposit(arc.place, c);
+            }
+            if self.marking.count(arc.place) > sh.max_tokens {
+                return Err(SimError::TokenOverflow {
+                    place: arc.place.index(),
+                    time: self.now,
+                    limit: sh.cfg.max_tokens_per_place,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ---- recheck section execution ----
+
+    /// Handle one RaceEnable re-check (caller already skipped settled
+    /// states): sample on enable, cancel on disable.
+    #[inline(always)]
+    fn re_op<const SCAN: bool>(
+        &mut self,
+        t2: usize,
+        s: u8,
+        sample: impl FnOnce(&mut SimRng) -> f64,
+    ) {
+        if s & ST_ENABLED != 0 {
+            let d = sample(&mut self.rng);
+            self.schedule::<SCAN>(t2, self.now + d);
+        } else {
+            self.cancel::<SCAN>(t2);
+        }
+    }
+
+    /// Handle one RaceAge re-check: like RaceEnable, but a disabled clock
+    /// freezes its remaining delay and a re-enable restores it.
+    #[inline(always)]
+    fn ra_op<const SCAN: bool>(
+        &mut self,
+        t2: usize,
+        s: u8,
+        sample: impl FnOnce(&mut SimRng) -> f64,
+    ) {
+        if s & ST_ENABLED != 0 {
+            let d = if !self.remaining[t2].is_nan() {
+                let r = self.remaining[t2];
+                self.remaining[t2] = f64::NAN;
+                r
+            } else {
+                sample(&mut self.rng)
+            };
+            self.schedule::<SCAN>(t2, self.now + d);
+        } else {
+            let at = self.cancel::<SCAN>(t2);
+            self.remaining[t2] = (at - self.now).max(0.0);
+        }
+    }
+
+    /// Handle one Resample re-check (caller only skipped fully-idle
+    /// states): redraw while enabled-and-scheduled, else schedule/cancel.
+    #[inline(always)]
+    fn rs_op<const SCAN: bool>(
+        &mut self,
+        t2: usize,
+        s: u8,
+        sample: impl FnOnce(&mut SimRng) -> f64,
+    ) {
+        let enabled = s & ST_ENABLED != 0;
+        let scheduled = s & ST_SCHEDULED != 0;
+        if enabled && scheduled {
+            if SCAN {
+                // Redraw the clock in place (heap-free bookkeeping).
+                let d = sample(&mut self.rng);
+                self.fire_at[t2] = self.now + d;
+            } else {
+                self.cancel::<false>(t2);
+                let d = sample(&mut self.rng);
+                self.schedule::<false>(t2, self.now + d);
+            }
+        } else if enabled {
+            let d = sample(&mut self.rng);
+            self.schedule::<SCAN>(t2, self.now + d);
+        } else {
+            self.cancel::<SCAN>(t2);
+        }
+    }
+
+    /// Execute a recheck program (a transition's recheck section, or the
+    /// startup program): one fixed-stride monomorphized record per timed
+    /// transition whose clock may need attention. The common path — the
+    /// clock is already settled and nothing changes — walks the section
+    /// with **no opcode dispatch at all**; parameters are only decoded
+    /// when a clock actually has to be sampled or cancelled.
+    #[inline(always)]
+    fn exec_recheck<const SCAN: bool>(&mut self, sh: &Shared<'_>, ops: &[u32]) {
+        const SETTLED: u8 = ST_ENABLED | ST_SCHEDULED;
+        for rec in ops.chunks_exact(RECHECK_STRIDE) {
+            let w = rec[0];
+            let t2 = (w >> 8) as usize;
+            let s = self.sched_state[t2];
+            self.oracle_sched(sh, t2);
+            let op = w & 0xff;
+            // A fully idle clock is always left alone; an
+            // enabled-and-scheduled one only matters to Resample (whose
+            // ST_RESAMPLE bit also keeps `s` from equalling SETTLED).
+            let active = s & SETTLED != 0 && (s != SETTLED || op >= OP_RS_EXP);
+            if !active {
+                continue;
+            }
+            match op {
+                OP_RE_EXP => {
+                    let rate = dec_f64(rec, 1);
+                    self.re_op::<SCAN>(t2, s, move |r| r.exp(rate));
+                }
+                OP_RE_DET => {
+                    let delay = dec_f64(rec, 1);
+                    self.re_op::<SCAN>(t2, s, move |_| delay);
+                }
+                OP_RE_UNI => {
+                    let (low, high) = (dec_f64(rec, 1), dec_f64(rec, 3));
+                    self.re_op::<SCAN>(t2, s, move |r| r.uniform(low, high));
+                }
+                OP_RE_ERL => {
+                    let (rate, k) = (dec_f64(rec, 1), rec[3]);
+                    self.re_op::<SCAN>(t2, s, move |r| erlang(r, rate, k));
+                }
+                OP_RA_EXP => {
+                    let rate = dec_f64(rec, 1);
+                    self.ra_op::<SCAN>(t2, s, move |r| r.exp(rate));
+                }
+                OP_RA_DET => {
+                    let delay = dec_f64(rec, 1);
+                    self.ra_op::<SCAN>(t2, s, move |_| delay);
+                }
+                OP_RA_UNI => {
+                    let (low, high) = (dec_f64(rec, 1), dec_f64(rec, 3));
+                    self.ra_op::<SCAN>(t2, s, move |r| r.uniform(low, high));
+                }
+                OP_RA_ERL => {
+                    let (rate, k) = (dec_f64(rec, 1), rec[3]);
+                    self.ra_op::<SCAN>(t2, s, move |r| erlang(r, rate, k));
+                }
+                OP_RS_EXP => {
+                    let rate = dec_f64(rec, 1);
+                    self.rs_op::<SCAN>(t2, s, move |r| r.exp(rate));
+                }
+                OP_RS_DET => {
+                    let delay = dec_f64(rec, 1);
+                    self.rs_op::<SCAN>(t2, s, move |_| delay);
+                }
+                OP_RS_UNI => {
+                    let (low, high) = (dec_f64(rec, 1), dec_f64(rec, 3));
+                    self.rs_op::<SCAN>(t2, s, move |r| r.uniform(low, high));
+                }
+                OP_RS_ERL => {
+                    let (rate, k) = (dec_f64(rec, 1), rec[3]);
+                    self.rs_op::<SCAN>(t2, s, move |r| erlang(r, rate, k));
+                }
+                _ => unreachable!("invalid op in recheck section"),
+            }
+        }
+    }
+
+    // ---- rewards / livelock ----
+
+    /// Integrate time-based rewards over `[now, until)`, clipped to the
+    /// warm-up boundary (the interpreter's `integrate_rewards`).
+    #[inline(always)]
+    fn integrate(&mut self, sh: &Shared<'_>, until: f64) {
+        if sh.integ.is_empty() {
+            return;
+        }
+        let from = self.now.max(sh.warmup);
+        let dt = until - from;
+        if dt <= 0.0 {
+            return;
+        }
+        if let Some((place, acc)) = sh.integ1 {
+            self.acc_f[acc as usize] += self.marking.count_raw(place) as f64 * dt;
+            return;
+        }
+        for op in sh.integ {
+            match *op {
+                IntegOp::Place { place, acc } => {
+                    self.acc_f[acc as usize] += self.marking.count_raw(place) as f64 * dt;
+                }
+                IntegOp::PredCnt {
+                    place,
+                    need,
+                    lt,
+                    acc,
+                } => {
+                    if (self.marking.count_raw(place) >= need) != lt {
+                        self.acc_f[acc as usize] += dt;
+                    }
+                }
+                IntegOp::Pred { prog, acc } => {
+                    let prog = sh.pred_progs[prog as usize]
+                        .as_ref()
+                        .expect("predicate reward has a compiled program");
+                    if prog.eval_bool(self.marking, self.guard_scratch) {
+                        self.acc_f[acc as usize] += dt;
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn bump_zero(&mut self, sh: &Shared<'_>) -> Result<(), SimError> {
+        self.zero += 1;
+        if self.zero > sh.max_zero {
+            return Err(SimError::ImmediateLivelock {
+                time: self.now,
+                limit: sh.max_zero,
+            });
+        }
+        Ok(())
+    }
+
+    // ---- immediate cascade ----
+
+    /// Fire enabled immediates until none remain (highest priority first,
+    /// weighted conflicts, definition order on ties — the interpreter's
+    /// `fire_immediates`, with fire → recheck → zero-bump order).
+    #[inline(always)]
+    fn immediates<const SCAN: bool, const GEN: bool>(
+        &mut self,
+        sh: &Shared<'_>,
+    ) -> Result<(), SimError> {
+        loop {
+            self.oracle_imm_index(sh);
+            let len = self.imm_len as usize;
+            if len == 0 {
+                return Ok(());
+            }
+            self.candidates.clear();
+            let mut best_pri = 0u8;
+            for i in 0..len {
+                let tid = self.enabled_imm[i];
+                let pri = sh.cs.hot[tid as usize].priority;
+                if self.candidates.is_empty() || pri > best_pri {
+                    best_pri = pri;
+                    self.candidates.clear();
+                    self.candidates.push(tid);
+                } else if pri == best_pri {
+                    self.candidates.push(tid);
+                }
+            }
+            self.candidates.sort_unstable();
+            let chosen = if self.candidates.len() == 1 {
+                self.candidates[0]
+            } else {
+                self.weights.clear();
+                for i in 0..self.candidates.len() {
+                    self.weights
+                        .push(sh.cs.hot[self.candidates[i] as usize].weight);
+                }
+                self.candidates[self.rng.weighted_choice(&self.weights[..])]
+            };
+            let ti = chosen as usize;
+            let (f0, f1, r1) = sh.sections(ti);
+            self.exec_fire::<GEN>(sh, ti, &sh.ops[f0..f1])?;
+            self.exec_recheck::<SCAN>(sh, &sh.ops[f1..r1]);
+            self.bump_zero(sh)?;
+        }
+    }
+
+    // ---- lane lifecycle ----
+
+    /// The interpreter's pre-loop work: run the startup recheck program
+    /// (initial scheduling pass), then the time-zero immediate cascade.
+    fn start<const SCAN: bool, const GEN: bool>(
+        &mut self,
+        sh: &Shared<'_>,
+    ) -> Result<(), SimError> {
+        self.exec_recheck::<SCAN>(sh, sh.init_ops);
+        self.immediates::<SCAN, GEN>(sh)
+    }
+
+    /// Drive this lane from post-`start` state to its horizon: the whole
+    /// main loop, fused, one instantiation per (scan, colored) pair.
+    fn run<const SCAN: bool, const GEN: bool>(
+        &mut self,
+        sh: &Shared<'_>,
+        end: f64,
+    ) -> Result<(), SimError> {
+        loop {
+            let next = self.next_event::<SCAN>();
+            match next {
+                // `time < end` (not `>=`) mirrors the interpreter's
+                // `e.time < cfg.end_time` guard, including a NaN horizon.
+                Some((time, tid)) if time < end => {
+                    let ti = tid as usize;
+                    if !SCAN {
+                        heap_pop(self.heap);
+                        self.gen[ti] += 1;
+                    }
+                    self.integrate(sh, time);
+                    if time > self.now {
+                        self.zero = 0;
+                    }
+                    self.now = time;
+                    // Consume the schedule entry, then the interpreter's
+                    // fire → zero-bump → recheck → immediates order.
+                    self.fire_at[ti] = f64::INFINITY;
+                    self.sched_state[ti] &= !ST_SCHEDULED;
+                    let (f0, f1, r1) = sh.sections(ti);
+                    self.exec_fire::<GEN>(sh, ti, &sh.ops[f0..f1])?;
+                    self.bump_zero(sh)?;
+                    self.exec_recheck::<SCAN>(sh, &sh.ops[f1..r1]);
+                    self.immediates::<SCAN, GEN>(sh)?;
+                }
+                _ => {
+                    // No more events before the horizon: integrate the
+                    // tail and retire.
+                    self.integrate(sh, end);
+                    self.now = end;
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Full-rescan enabling check (debug oracle).
+#[cfg(debug_assertions)]
+fn is_enabled_slow(marking: &Marking, t: &crate::transition::Transition) -> bool {
+    t.inputs
+        .iter()
+        .all(|a| marking.count_matching(a.place, &a.filter) >= a.multiplicity as usize)
+        && t.inhibitors
+            .iter()
+            .all(|a| marking.count_matching(a.place, &a.filter) < a.threshold as usize)
+        && t.guard.as_ref().is_none_or(|g| g.eval_bool(marking))
+}
+
+/// Erlang-k delay: sum of k exponential draws (the interpreter's order).
+#[inline(always)]
+fn erlang(rng: &mut SimRng, rate: f64, k: u32) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..k {
+        total += rng.exp(rate);
+    }
+    total
+}
+
+// ---------------------------------------------------------------------------
+// The batched lowered engine
+// ---------------------------------------------------------------------------
+
+/// All per-batch state for the lowered engine. Stride-`nt` arenas are
+/// indexed `l * nt + ti`, stride-`nc` arenas `l * nc + ci`; each lane's
+/// stripes are sliced into a [`Lane`] while it runs.
+pub(super) struct LoweredEngine<'e> {
+    lw: &'e LoweredNet,
+    cs: &'e CompiledSim,
+    net: &'e Net,
+    cfg: &'e SimConfig,
+    pred_progs: &'e [Option<CompiledExpr>],
+    max_tokens: usize,
+    lanes: usize,
+    nt: usize,
+    nc: usize,
+    ni: usize,
+    end_time: Vec<f64>,
+    rng: Vec<SimRng>,
+    now: Vec<f64>,
+    zero: Vec<u64>,
+    markings: Vec<Marking>,
+    heaps: Vec<Vec<HeapEntry>>,
+    fire_at: Vec<f64>,
+    gen: Vec<u64>,
+    remaining: Vec<f64>,
+    sched_state: Vec<u8>,
+    cond_true: Vec<bool>,
+    unsat: Vec<u32>,
+    enabled_imm: Vec<u32>,
+    imm_len: Vec<u32>,
+    imm_pos: Vec<u32>,
+    firing_counts: Vec<u64>,
+    acc_f: Vec<f64>,
+    acc_c: Vec<u64>,
+    traces: Vec<TraceBuffer>,
+    guard_scratch: Vec<i64>,
+    consumed: Vec<Color>,
+    consumed_offsets: Vec<usize>,
+    candidates: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl<'e> LoweredEngine<'e> {
+    pub(super) fn new(sim: &'e Simulator<'_>, seeds: &[u64], end_times: &[f64]) -> Self {
+        assert_eq!(seeds.len(), end_times.len(), "one horizon per seed");
+        let net = sim.net;
+        let cs = &sim.compiled;
+        let lw = sim.lowered_net();
+        let lanes = seeds.len();
+        let nt = net.num_transitions();
+        let nc = cs.conds.len();
+        let ni = cs.immediates.len();
+        let pred_stack = sim
+            .pred_progs
+            .iter()
+            .flatten()
+            .map(|p| p.stack_needed())
+            .max()
+            .unwrap_or(0);
+        let mut st_template = vec![0u8; nt];
+        for (ti, h) in cs.hot.iter().enumerate() {
+            if h.kind != TimingKind::Immediate && h.memory == MemoryPolicy::Resample {
+                st_template[ti] = ST_RESAMPLE;
+            }
+        }
+        let mut eng = LoweredEngine {
+            lw,
+            cs,
+            net,
+            cfg: &sim.cfg,
+            pred_progs: &sim.pred_progs,
+            max_tokens: effective_token_limit(&sim.cfg),
+            lanes,
+            nt,
+            nc,
+            ni,
+            end_time: end_times.to_vec(),
+            rng: seeds.iter().map(|&s| SimRng::seed_from_u64(s)).collect(),
+            now: vec![0.0; lanes],
+            zero: vec![0; lanes],
+            markings: (0..lanes).map(|_| net.initial_marking()).collect(),
+            heaps: (0..lanes)
+                .map(|_| Vec::with_capacity(if lw.scan { 0 } else { nt * 2 }))
+                .collect(),
+            fire_at: vec![f64::INFINITY; lanes * nt],
+            gen: vec![0; lanes * nt],
+            remaining: vec![f64::NAN; lanes * nt],
+            sched_state: st_template.repeat(lanes),
+            cond_true: vec![false; lanes * nc],
+            unsat: vec![0; lanes * nt],
+            enabled_imm: vec![0; lanes * ni],
+            imm_len: vec![0; lanes],
+            imm_pos: vec![NOT_QUEUED; lanes * nt],
+            firing_counts: vec![0; lanes * nt],
+            acc_f: vec![0.0; lanes * lw.n_integ],
+            acc_c: vec![0; lanes * lw.n_count],
+            traces: (0..lanes)
+                .map(|_| TraceBuffer::new(sim.cfg.trace_capacity))
+                .collect(),
+            guard_scratch: Vec::with_capacity(cs.guard_stack.max(pred_stack)),
+            consumed: Vec::with_capacity(8),
+            consumed_offsets: Vec::with_capacity(8),
+            candidates: Vec::with_capacity(4),
+            weights: Vec::with_capacity(4),
+        };
+        for l in 0..lanes {
+            eng.init_conditions(l);
+        }
+        eng
+    }
+
+    /// Evaluate every condition from scratch and build the enabled sets
+    /// (start of run only; identical to the interpreter's).
+    fn init_conditions(&mut self, l: usize) {
+        let cs = self.cs;
+        let tb = l * self.nt;
+        let cb = l * self.nc;
+        let ib = l * self.ni;
+        self.unsat[tb..tb + self.nt].copy_from_slice(&cs.base_unsat);
+        for (ci, cond) in cs.conds.iter().enumerate() {
+            let t = cs.eval_cond(&self.markings[l], &mut self.guard_scratch, cond);
+            self.cond_true[cb + ci] = t;
+            if !t {
+                self.unsat[tb + cond.tid as usize] += 1;
+            }
+        }
+        for ti in 0..self.nt {
+            if self.unsat[tb + ti] == 0 {
+                self.sched_state[tb + ti] |= ST_ENABLED;
+            }
+        }
+        for &tid in &cs.immediates {
+            if self.unsat[tb + tid.index()] == 0 {
+                let len = self.imm_len[l];
+                self.imm_pos[tb + tid.index()] = len;
+                self.enabled_imm[ib + len as usize] = tid.0;
+                self.imm_len[l] = len + 1;
+            }
+        }
+    }
+
+    /// Run every lane to completion on the variant selected by the
+    /// program's feature flags, and collect per-lane results.
+    pub(super) fn run_all(mut self) -> Vec<Result<SimOutput, SimError>> {
+        let mut out: Vec<Option<Result<SimOutput, SimError>>> =
+            (0..self.lanes).map(|_| None).collect();
+        match (self.lw.scan, self.lw.colored) {
+            (true, false) => self.drive::<true, false>(&mut out),
+            (true, true) => self.drive::<true, true>(&mut out),
+            (false, false) => self.drive::<false, false>(&mut out),
+            (false, true) => self.drive::<false, true>(&mut out),
+        }
+        out.into_iter()
+            .map(|o| o.expect("every lane terminates"))
+            .collect()
+    }
+
+    fn drive<const SCAN: bool, const GEN: bool>(
+        &mut self,
+        out: &mut [Option<Result<SimOutput, SimError>>],
+    ) {
+        // Copy the shared references out of `self` so the context does not
+        // conflict with the per-lane `&mut self` below.
+        let sh = Shared {
+            ops: &self.lw.ops,
+            sec: &self.lw.sec,
+            init_ops: &self.lw.init_ops,
+            integ: &self.lw.integ,
+            integ1: match self.lw.integ.as_slice() {
+                [IntegOp::Place { place, acc }] => Some((*place, *acc)),
+                _ => None,
+            },
+            cs: self.cs,
+            net: self.net,
+            cfg: self.cfg,
+            pred_progs: self.pred_progs,
+            max_tokens: self.max_tokens,
+            warmup: self.cfg.warmup,
+            max_zero: self.cfg.max_zero_time_firings,
+            trace_on: self.cfg.trace_capacity > 0,
+        };
+        // `run_lane` borrows all of `self` mutably, so iterating `out`
+        // with `iter_mut` can't work here.
+        #[allow(clippy::needless_range_loop)]
+        for l in 0..self.lanes {
+            let res = self.run_lane::<SCAN, GEN>(&sh, l);
+            out[l] = Some(match res {
+                Ok(()) => Ok(self.finalize(l)),
+                Err(e) => Err(e),
+            });
+        }
+    }
+
+    /// Slice lane `l`'s stripes out of the arenas and drive it to
+    /// completion (start + main loop), writing the scalars back.
+    fn run_lane<const SCAN: bool, const GEN: bool>(
+        &mut self,
+        sh: &Shared<'_>,
+        l: usize,
+    ) -> Result<(), SimError> {
+        let (nt, nc, ni) = (self.nt, self.nc, self.ni);
+        let (tb, cb, ib) = (l * nt, l * nc, l * ni);
+        let (nf, nk) = (self.lw.n_integ, self.lw.n_count);
+        let end = self.end_time[l];
+        let mut lane = Lane {
+            rng: self.rng[l].clone(),
+            now: self.now[l],
+            zero: self.zero[l],
+            imm_len: self.imm_len[l],
+            marking: &mut self.markings[l],
+            heap: &mut self.heaps[l],
+            fire_at: &mut self.fire_at[tb..tb + nt],
+            gen: &mut self.gen[tb..tb + nt],
+            remaining: &mut self.remaining[tb..tb + nt],
+            sched_state: &mut self.sched_state[tb..tb + nt],
+            cond_true: &mut self.cond_true[cb..cb + nc],
+            unsat: &mut self.unsat[tb..tb + nt],
+            enabled_imm: &mut self.enabled_imm[ib..ib + ni],
+            imm_pos: &mut self.imm_pos[tb..tb + nt],
+            firing_counts: &mut self.firing_counts[tb..tb + nt],
+            acc_f: &mut self.acc_f[l * nf..(l + 1) * nf],
+            acc_c: &mut self.acc_c[l * nk..(l + 1) * nk],
+            trace: &mut self.traces[l],
+            guard_scratch: &mut self.guard_scratch,
+            consumed: &mut self.consumed,
+            consumed_offsets: &mut self.consumed_offsets,
+            candidates: &mut self.candidates,
+            weights: &mut self.weights,
+        };
+        let res = match lane.start::<SCAN, GEN>(sh) {
+            Ok(()) => lane.run::<SCAN, GEN>(sh, end),
+            Err(e) => Err(e),
+        };
+        self.rng[l] = lane.rng;
+        self.now[l] = lane.now;
+        self.zero[l] = lane.zero;
+        self.imm_len[l] = lane.imm_len;
+        res
+    }
+
+    fn finalize(&mut self, l: usize) -> SimOutput {
+        let tb = l * self.nt;
+        let end = self.end_time[l];
+        let observed = (end - self.cfg.warmup).max(0.0);
+        let fb = l * self.lw.n_integ;
+        let kb = l * self.lw.n_count;
+        let rewards = self
+            .lw
+            .reward_map
+            .iter()
+            .map(|rm| match *rm {
+                LoweredReward::Integral(i) => {
+                    if observed > 0.0 {
+                        self.acc_f[fb + i as usize] / observed
+                    } else {
+                        0.0
+                    }
+                }
+                LoweredReward::Rate(i) => {
+                    if observed > 0.0 {
+                        self.acc_c[kb + i as usize] as f64 / observed
+                    } else {
+                        0.0
+                    }
+                }
+                LoweredReward::Count(i) => self.acc_c[kb + i as usize] as f64,
+            })
+            .collect();
+        let trace = std::mem::take(&mut self.traces[l]);
+        SimOutput {
+            end_time: end,
+            observed_time: observed,
+            rewards,
+            firing_counts: self.firing_counts[tb..tb + self.nt].to_vec(),
+            final_marking: self.markings[l].clone(),
+            trace_dropped: trace.dropped,
+            trace: trace.into_events(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::sim::SimConfig;
+    use crate::timing::Timing;
+
+    fn mm1(rho: f64) -> Net {
+        let mut b = NetBuilder::new("mm1");
+        let q = b.place("q").build();
+        b.transition("arrive", Timing::exponential(rho))
+            .output(q, 1)
+            .build();
+        b.transition("serve", Timing::exponential(1.0))
+            .input(q, 1)
+            .build();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lowered_matches_interpreter_on_mm1() {
+        let net = mm1(0.8);
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(300.0).with_trace(16));
+        sim.reward_place(crate::ids::PlaceId::from_index(0));
+        for seed in 0..20u64 {
+            let a = sim.run_lowered(seed).unwrap();
+            let b = sim.run_interp(seed).unwrap();
+            assert_eq!(a.rewards, b.rewards);
+            assert_eq!(a.firing_counts, b.firing_counts);
+            assert_eq!(a.final_marking, b.final_marking);
+            assert_eq!(a.trace, b.trace);
+        }
+    }
+
+    #[test]
+    fn lowered_batch_matches_lowered_scalar() {
+        let net = mm1(0.9);
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(150.0));
+        sim.reward_place(crate::ids::PlaceId::from_index(0));
+        let seeds: Vec<u64> = (0..9).collect();
+        let ends = vec![sim.config().end_time; seeds.len()];
+        let batched = LoweredEngine::new(&sim, &seeds, &ends).run_all();
+        for (i, &seed) in seeds.iter().enumerate() {
+            let scalar = sim.run_lowered(seed).unwrap();
+            let b = batched[i].as_ref().unwrap();
+            assert_eq!(b.rewards, scalar.rewards);
+            assert_eq!(b.firing_counts, scalar.firing_counts);
+            assert_eq!(b.final_marking, scalar.final_marking);
+        }
+    }
+
+    #[test]
+    fn lowered_errors_match_the_interpreter() {
+        // An open generator against a tiny token bound: both engines must
+        // report the same overflow at the same time.
+        let net = mm1(5.0);
+        let mut cfg = SimConfig::for_horizon(10_000.0);
+        cfg.max_tokens_per_place = 40;
+        let sim = Simulator::new(&net, cfg);
+        for seed in 0..10u64 {
+            match (sim.run_lowered(seed), sim.run_interp(seed)) {
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("expected overflow from both engines: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -23,11 +23,13 @@
 
 mod batch;
 mod engine;
+mod lower;
+mod lowered;
 mod reference;
 mod rewards;
 mod trace;
 
 pub use batch::BatchSimulator;
-pub use engine::{SimConfig, SimOutput, Simulator};
+pub use engine::{EngineKind, SimConfig, SimOutput, Simulator};
 pub use rewards::{RewardId, RewardSpec, RewardSpecError};
 pub use trace::TraceEvent;

@@ -37,25 +37,27 @@ fn assert_same_output(a: &SimOutput, b: &SimOutput, label: &str, seed: u64, widt
 }
 
 /// Run the scalar engine once per seed, then every batch width over the
-/// same seeds, and require bit-identical per-replication results.
+/// same seeds — on both the interpreter's batch engine and the default
+/// (lowered) path — and require bit-identical per-replication results.
 fn assert_batch_identical(sim: &Simulator<'_>, label: &str) {
     let seeds: Vec<u64> = SEEDS.collect();
     let scalar: Vec<_> = seeds.iter().map(|&s| sim.run(s)).collect();
     let batcher = BatchSimulator::new(sim);
     for &w in &WIDTHS {
         for (ci, chunk) in seeds.chunks(w).enumerate() {
-            let batched = batcher.run(chunk);
-            for (j, res) in batched.iter().enumerate() {
-                let i = ci * w + j;
-                match (&scalar[i], res) {
-                    (Ok(a), Ok(b)) => assert_same_output(a, b, label, seeds[i], w),
-                    (Err(a), Err(b)) => {
-                        assert_eq!(a, b, "{label} seed {} width {w}: errors diverged", seeds[i])
+            for batched in [batcher.run(chunk), batcher.run_interp(chunk)] {
+                for (j, res) in batched.iter().enumerate() {
+                    let i = ci * w + j;
+                    match (&scalar[i], res) {
+                        (Ok(a), Ok(b)) => assert_same_output(a, b, label, seeds[i], w),
+                        (Err(a), Err(b)) => {
+                            assert_eq!(a, b, "{label} seed {} width {w}: errors diverged", seeds[i])
+                        }
+                        (a, b) => panic!(
+                            "{label} seed {} width {w}: scalar {a:?} vs batched {b:?}",
+                            seeds[i]
+                        ),
                     }
-                    (a, b) => panic!(
-                        "{label} seed {} width {w}: scalar {a:?} vs batched {b:?}",
-                        seeds[i]
-                    ),
                 }
             }
         }

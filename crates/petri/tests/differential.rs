@@ -16,12 +16,33 @@ use petri_core::sim::RewardSpec;
 
 const SEEDS: std::ops::Range<u64> = 0..25;
 
-/// Run both engines on every seed and require identical outputs.
+/// Run every engine on every seed and require identical outputs:
+/// `run` (the lowered default), the incremental interpreter, and the
+/// reference engine.
 fn assert_identical(sim: &Simulator<'_>, label: &str) {
     for seed in SEEDS {
         let fast = sim
             .run(seed)
             .unwrap_or_else(|e| panic!("{label}/run seed {seed}: {e}"));
+        let interp = sim
+            .run_interp(seed)
+            .unwrap_or_else(|e| panic!("{label}/interp seed {seed}: {e}"));
+        assert_eq!(
+            fast.firing_counts, interp.firing_counts,
+            "{label} seed {seed}: lowered vs interp firing counts diverged"
+        );
+        assert_eq!(
+            fast.rewards, interp.rewards,
+            "{label} seed {seed}: lowered vs interp rewards diverged"
+        );
+        assert_eq!(
+            fast.final_marking, interp.final_marking,
+            "{label} seed {seed}: lowered vs interp final markings diverged"
+        );
+        assert_eq!(
+            fast.trace, interp.trace,
+            "{label} seed {seed}: lowered vs interp traces diverged"
+        );
         let reference = sim
             .run_reference(seed)
             .unwrap_or_else(|e| panic!("{label}/reference seed {seed}: {e}"));

@@ -1,0 +1,496 @@
+//! Differential tests for the lowered micro-op engine: the default
+//! executor behind `Simulator::run` and `BatchSimulator::run` must
+//! reproduce the interpreter (`run_interp`) and the reference engine
+//! (`run_reference`) **bit for bit** — identical firing counts, reward
+//! values, final markings, traces, and errors — for every seed, at every
+//! batch width, across every feature the compiler lowers: uncolored and
+//! colored nets, reducible and program-fallback guards, inhibitors,
+//! immediate priorities and weights, all three memory policies, the
+//! >32-transition heap-scheduler fallback, traces, and warm-up windows.
+//!
+//! All engines share one RNG and are written to consume draws in the same
+//! order, so any divergence is a real bug in the lowering pass or the
+//! direct-threaded executor, not floating-point noise — hence `assert_eq`
+//! on `f64` values, not tolerances.
+
+use petri_core::arc::ColorExpr;
+use petri_core::prelude::*;
+use petri_core::sim::RewardSpec;
+use proptest::prelude::*;
+
+/// Batch widths every net is checked at (1 = degenerate batch, 2/8 split
+/// the seed set unevenly, 33 runs everything in one ragged chunk).
+const WIDTHS: [usize; 4] = [1, 2, 8, 33];
+const SEEDS: std::ops::Range<u64> = 0..25;
+
+fn assert_same_output(a: &SimOutput, b: &SimOutput, ctx: &str) {
+    assert_eq!(
+        a.firing_counts, b.firing_counts,
+        "{ctx}: firing counts diverged"
+    );
+    assert_eq!(a.rewards, b.rewards, "{ctx}: rewards diverged");
+    assert_eq!(
+        a.final_marking, b.final_marking,
+        "{ctx}: final markings diverged"
+    );
+    assert_eq!(a.trace, b.trace, "{ctx}: traces diverged");
+    assert_eq!(a.trace_dropped, b.trace_dropped, "{ctx}: trace_dropped");
+    assert_eq!(a.observed_time, b.observed_time, "{ctx}: observed_time");
+}
+
+fn assert_same_result(a: &Result<SimOutput, SimError>, b: &Result<SimOutput, SimError>, ctx: &str) {
+    match (a, b) {
+        (Ok(a), Ok(b)) => assert_same_output(a, b, ctx),
+        (Err(a), Err(b)) => assert_eq!(a, b, "{ctx}: errors diverged"),
+        (a, b) => panic!("{ctx}: {a:?} vs {b:?}"),
+    }
+}
+
+/// The full cross-engine check: scalar lowered vs scalar interpreter vs
+/// the reference engine on every seed, then both batched engines at every
+/// width against the scalar results.
+fn assert_lowered_identical(sim: &Simulator<'_>, label: &str) {
+    let seeds: Vec<u64> = SEEDS.collect();
+    let interp: Vec<_> = seeds.iter().map(|&s| sim.run_interp(s)).collect();
+    for (&seed, interp) in seeds.iter().zip(&interp) {
+        let lowered = sim.run_lowered(seed);
+        assert_same_result(&lowered, interp, &format!("{label} seed {seed} scalar"));
+        let reference = sim.run_reference(seed);
+        assert_same_result(
+            &lowered,
+            &reference,
+            &format!("{label} seed {seed} vs reference"),
+        );
+    }
+    let batcher = BatchSimulator::new(sim);
+    for &w in &WIDTHS {
+        for (ci, chunk) in seeds.chunks(w).enumerate() {
+            let lowered = batcher.run_lowered(chunk);
+            let interp_batch = batcher.run_interp(chunk);
+            for (j, res) in lowered.iter().enumerate() {
+                let i = ci * w + j;
+                let ctx = format!("{label} seed {} width {w}", seeds[i]);
+                assert_same_result(res, &interp[i], &ctx);
+                assert_same_result(res, &interp_batch[j], &format!("{ctx} (interp batch)"));
+            }
+        }
+    }
+}
+
+// --- net shapes (mirroring tests/differential.rs, plus the heap net) ---
+
+#[test]
+fn lowered_differential_mm1_with_traces() {
+    let mut b = NetBuilder::new("mm1");
+    let q = b.place("q").build();
+    let arrive = b
+        .transition("arrive", Timing::exponential(1.0))
+        .output(q, 1)
+        .build();
+    b.transition("serve", Timing::exponential(2.0))
+        .input(q, 1)
+        .build();
+    let net = b.build().unwrap();
+    let mut sim = Simulator::new(&net, SimConfig::for_horizon(500.0).with_trace(64));
+    sim.reward_place(q);
+    sim.reward(RewardSpec::Throughput(arrive)).unwrap();
+    assert_lowered_identical(&sim, "mm1");
+}
+
+#[test]
+fn lowered_differential_colored_dvs_with_warmup() {
+    let dvs1 = Color(1);
+    let dvs2 = Color(2);
+    let dvs3 = Color(3);
+    let mut b = NetBuilder::new("dvs");
+    let buffer = b.place("Buffer").build();
+    let stage = b.place("Stage").build();
+    let idle = b.place("Idle").tokens(1).build();
+    let slept = b.place("Slept").build();
+    let done = b.place("Done").build();
+    b.transition("gen", Timing::exponential(0.8))
+        .output_colored(
+            buffer,
+            1,
+            ColorExpr::Choice(vec![(dvs1, 0.5), (dvs2, 0.3), (dvs3, 0.2)]),
+        )
+        .build();
+    b.transition("dispatch", Timing::immediate())
+        .input(buffer, 1)
+        .output_colored(stage, 1, ColorExpr::Transfer { arc_index: 0 })
+        .build();
+    b.transition("exec1", Timing::exponential(10.0))
+        .input_filtered(stage, 1, ColorFilter::Eq(dvs1))
+        .output(done, 1)
+        .build();
+    b.transition("exec2", Timing::exponential(5.0))
+        .input_filtered(stage, 1, ColorFilter::Eq(dvs2))
+        .output(done, 1)
+        .build();
+    b.transition("exec3", Timing::exponential(2.5))
+        .input_filtered(stage, 1, ColorFilter::Eq(dvs3))
+        .output(done, 1)
+        .build();
+    b.transition("sleep", Timing::deterministic(0.7))
+        .input(idle, 1)
+        .output(slept, 1)
+        .inhibitor(stage, 1)
+        .guard(Expr::count(buffer).eq_c(0))
+        .build();
+    b.transition("wake", Timing::exponential(1.0))
+        .input(slept, 1)
+        .output(idle, 1)
+        .build();
+    b.transition("collect", Timing::deterministic(2.0))
+        .input(done, 1)
+        .guard(Expr::count(done).gt_c(0))
+        .build();
+    let net = b.build().unwrap();
+    let mut sim = Simulator::new(&net, SimConfig::for_horizon(200.0).with_warmup(20.0));
+    sim.reward_place(buffer);
+    sim.reward_predicate(Expr::count_color(stage, dvs1).gt_c(0))
+        .unwrap();
+    assert_lowered_identical(&sim, "colored-dvs");
+}
+
+/// A guard the lowering pass cannot reduce to a count threshold
+/// (`#a + #b <= 3` is not a single-place compare), forcing the
+/// program-fallback tail op while the rest of the net stays dense.
+#[test]
+fn lowered_differential_unreducible_guard() {
+    let mut b = NetBuilder::new("guard-fallback");
+    let a = b.place("a").build();
+    let z = b.place("z").build();
+    b.transition("gen_a", Timing::exponential(2.0))
+        .output(a, 1)
+        .build();
+    b.transition("gen_z", Timing::exponential(1.5))
+        .output(z, 1)
+        .build();
+    b.transition("drain", Timing::exponential(3.0))
+        .input(a, 1)
+        .guard(Expr::count(a).add(Expr::count(z)).le_c(3))
+        .build();
+    b.transition("drain_z", Timing::exponential(2.0))
+        .input(z, 1)
+        .build();
+    let net = b.build().unwrap();
+    let mut sim = Simulator::new(&net, SimConfig::for_horizon(300.0));
+    sim.reward_place(a);
+    assert_lowered_identical(&sim, "guard-fallback");
+}
+
+fn memory_policy_net(policy: MemoryPolicy) -> Net {
+    let mut b = NetBuilder::new("memory");
+    let idle = b.place("idle").tokens(1).build();
+    let buf = b.place("buf").build();
+    let slept = b.place("slept").build();
+    b.transition("arrive", Timing::exponential(1.4))
+        .output(buf, 1)
+        .build();
+    b.transition("serve", Timing::exponential(6.0))
+        .input(buf, 1)
+        .build();
+    b.transition("sleep", Timing::uniform(0.3, 1.1))
+        .input(idle, 1)
+        .output(slept, 1)
+        .guard(Expr::count(buf).eq_c(0))
+        .memory(policy)
+        .build();
+    b.transition("wake", Timing::erlang(3, 9.0))
+        .input(slept, 1)
+        .output(idle, 1)
+        .build();
+    b.build().unwrap()
+}
+
+#[test]
+fn lowered_differential_memory_policies() {
+    for policy in [
+        MemoryPolicy::RaceEnable,
+        MemoryPolicy::RaceAge,
+        MemoryPolicy::Resample,
+    ] {
+        let net = memory_policy_net(policy);
+        let mut sim = Simulator::new(&net, SimConfig::for_horizon(300.0));
+        sim.reward_place(net.place_by_name("slept").unwrap());
+        assert_lowered_identical(&sim, &format!("memory-{policy:?}"));
+    }
+}
+
+#[test]
+fn lowered_differential_immediate_conflicts() {
+    let mut b = NetBuilder::new("conflicts");
+    let src = b.place("src").build();
+    let a = b.place("a").build();
+    let z = b.place("z").build();
+    let gate = b.place("gate").tokens(1).build();
+    b.transition("gen", Timing::exponential(3.0))
+        .output(src, 1)
+        .build();
+    b.transition(
+        "hi",
+        Timing::Immediate {
+            priority: 2,
+            weight: 1.0,
+        },
+    )
+    .input(src, 1)
+    .output(a, 1)
+    .inhibitor(a, 4)
+    .build();
+    b.transition(
+        "lo1",
+        Timing::Immediate {
+            priority: 1,
+            weight: 1.0,
+        },
+    )
+    .input(src, 1)
+    .output(z, 1)
+    .build();
+    b.transition(
+        "lo2",
+        Timing::Immediate {
+            priority: 1,
+            weight: 2.5,
+        },
+    )
+    .input(src, 1)
+    .output(z, 2)
+    .build();
+    b.transition("drain_a", Timing::deterministic(0.9))
+        .input(a, 1)
+        .guard(Expr::count(gate).gt_c(0))
+        .build();
+    b.transition("drain_z", Timing::exponential(4.0))
+        .input(z, 1)
+        .build();
+    b.transition("flap", Timing::uniform(0.2, 0.6))
+        .input(gate, 1)
+        .output(gate, 1)
+        .build();
+    let net = b.build().unwrap();
+    let mut sim = Simulator::new(&net, SimConfig::for_horizon(200.0));
+    sim.reward_place(a);
+    sim.reward_place(z);
+    assert_lowered_identical(&sim, "immediate-conflicts");
+}
+
+/// A 40-stage tandem line: more than 32 transitions, so the lowered
+/// engine falls back from the stripe scan to the lazy-deletion heap —
+/// this keeps the heap instantiation under differential coverage.
+#[test]
+fn lowered_differential_wide_net_heap_scheduler() {
+    const STAGES: usize = 40;
+    let mut b = NetBuilder::new("wide-tandem");
+    let places: Vec<_> = (0..STAGES)
+        .map(|i| b.place(format!("p{i}")).build())
+        .collect();
+    b.transition("source", Timing::exponential(1.5))
+        .output(places[0], 1)
+        .build();
+    for i in 0..STAGES - 1 {
+        b.transition(format!("t{i}"), Timing::exponential(2.0 + (i % 3) as f64))
+            .input(places[i], 1)
+            .output(places[i + 1], 1)
+            .build();
+    }
+    b.transition("sink", Timing::exponential(2.0))
+        .input(places[STAGES - 1], 1)
+        .build();
+    let net = b.build().unwrap();
+    let mut sim = Simulator::new(&net, SimConfig::for_horizon(60.0).with_trace(32));
+    sim.reward_place(net.place_by_name("p0").unwrap());
+    sim.reward_place(net.place_by_name("p20").unwrap());
+    assert_lowered_identical(&sim, "wide-tandem-heap");
+}
+
+/// Error outcomes must match exactly too: an overflowing lane trips the
+/// same `TokenOverflow` (place, time, limit) on every engine.
+#[test]
+fn lowered_differential_token_overflow_errors() {
+    let mut b = NetBuilder::new("boom");
+    let q = b.place("q").build();
+    b.transition("gen", Timing::exponential(5.0))
+        .output(q, 1)
+        .build();
+    b.transition("serve", Timing::exponential(1.0))
+        .input(q, 1)
+        .build();
+    let net = b.build().unwrap();
+    let mut cfg = SimConfig::for_horizon(10_000.0);
+    cfg.max_tokens_per_place = 40;
+    let sim = Simulator::new(&net, cfg);
+    let mut overflowed = 0;
+    for seed in SEEDS {
+        let lowered = sim.run_lowered(seed);
+        assert_same_result(
+            &lowered,
+            &sim.run_interp(seed),
+            &format!("boom seed {seed}"),
+        );
+        if matches!(lowered, Err(SimError::TokenOverflow { .. })) {
+            overflowed += 1;
+        }
+    }
+    assert!(
+        overflowed > 0,
+        "overflow net never overflowed (vacuous test)"
+    );
+}
+
+// --- randomized cross-engine agreement -------------------------------------
+
+/// One random uncolored transition description.
+#[derive(Debug, Clone)]
+struct RandTransition {
+    timing: u8,
+    rate: f64,
+    lo: f64,
+    span: f64,
+    k: u32,
+    priority: u8,
+    weight: f64,
+    policy: u8,
+    input: (usize, u32),
+    output: Option<(usize, u32)>,
+    inhibitor: Option<(usize, u32)>,
+    guard: Option<(usize, i64)>,
+}
+
+fn arb_transition(places: usize) -> impl Strategy<Value = RandTransition> {
+    (
+        0u8..5,
+        0.5f64..5.0,
+        0.05f64..0.5,
+        0.01f64..1.0,
+        1u32..4,
+        1u8..4,
+        0.5f64..3.0,
+        0u8..3,
+        (0..places, 1u32..3),
+        proptest::option::of((0..places, 1u32..3)),
+        proptest::option::of((0..places, 1u32..4)),
+        proptest::option::of((0..places, 0i64..4)),
+    )
+        .prop_map(
+            |(
+                timing,
+                rate,
+                lo,
+                span,
+                k,
+                priority,
+                weight,
+                policy,
+                input,
+                output,
+                inhibitor,
+                guard,
+            )| {
+                RandTransition {
+                    timing,
+                    rate,
+                    lo,
+                    span,
+                    k,
+                    priority,
+                    weight,
+                    policy,
+                    input,
+                    output,
+                    inhibitor,
+                    guard,
+                }
+            },
+        )
+}
+
+fn build_random_net(tokens: &[u32], transitions: &[RandTransition]) -> Net {
+    let mut b = NetBuilder::new("random");
+    let places: Vec<_> = tokens
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| b.place(format!("p{i}")).tokens(n as usize).build())
+        .collect();
+    for (i, t) in transitions.iter().enumerate() {
+        let timing = match t.timing {
+            0 => Timing::exponential(t.rate),
+            1 => Timing::deterministic(t.lo),
+            2 => Timing::uniform(t.lo, t.lo + t.span),
+            3 => Timing::erlang(t.k, t.rate),
+            _ => Timing::Immediate {
+                priority: t.priority,
+                weight: t.weight,
+            },
+        };
+        let policy = match t.policy {
+            0 => MemoryPolicy::RaceEnable,
+            1 => MemoryPolicy::RaceAge,
+            _ => MemoryPolicy::Resample,
+        };
+        let mut tb = b
+            .transition(format!("t{i}"), timing)
+            .input(places[t.input.0], t.input.1)
+            .memory(policy);
+        if let Some((p, m)) = t.output {
+            tb = tb.output(places[p], m);
+        }
+        if let Some((p, th)) = t.inhibitor {
+            tb = tb.inhibitor(places[p], th);
+        }
+        if let Some((p, c)) = t.guard {
+            tb = tb.guard(Expr::count(places[p]).le_c(c));
+        }
+        tb.build();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random small nets: every engine — reference, interpreter, lowered,
+    /// and both batched paths — must agree bit-for-bit on the outcome,
+    /// whether that outcome is a clean run, an immediate livelock, or a
+    /// token overflow.
+    #[test]
+    fn random_nets_agree_across_all_engines(
+        tokens in proptest::collection::vec(0u32..4, 2..5),
+        transitions in proptest::collection::vec(arb_transition(2), 2..6),
+        seed in 0u64..10_000,
+    ) {
+        // Arc place indices were drawn against the minimum place count;
+        // clamp them into range for the actual vector length.
+        let np = tokens.len();
+        let transitions: Vec<RandTransition> = transitions
+            .into_iter()
+            .map(|mut t| {
+                t.input.0 %= np;
+                if let Some(o) = &mut t.output { o.0 %= np; }
+                if let Some(i) = &mut t.inhibitor { i.0 %= np; }
+                if let Some(g) = &mut t.guard { g.0 %= np; }
+                t
+            })
+            .collect();
+        let net = build_random_net(&tokens, &transitions);
+        let mut cfg = SimConfig::for_horizon(25.0);
+        cfg.max_tokens_per_place = 200;
+        let mut sim = Simulator::new(&net, cfg);
+        sim.reward_place(net.place_by_name("p0").unwrap());
+        let reference = sim.run_reference(seed);
+        let interp = sim.run_interp(seed);
+        let lowered = sim.run_lowered(seed);
+        assert_same_result(&lowered, &interp, "random net scalar");
+        assert_same_result(&lowered, &reference, "random net vs reference");
+        let batcher = BatchSimulator::new(&sim);
+        let seeds = [seed, seed + 1, seed + 2];
+        let lowered_batch = batcher.run_lowered(&seeds);
+        let interp_batch = batcher.run_interp(&seeds);
+        for i in 0..seeds.len() {
+            assert_same_result(&lowered_batch[i], &interp_batch[i], "random net batched");
+        }
+        assert_same_result(&lowered_batch[0], &lowered, "random net batch lane 0");
+    }
+}

@@ -1,6 +1,7 @@
 //! Offline stand-in for `proptest`, implementing exactly the surface this
 //! workspace uses: the `proptest!` macro with `arg in strategy` bindings,
-//! range strategies over integers and floats, `collection::vec`,
+//! range strategies over integers and floats, tuple strategies,
+//! `Strategy::prop_map`, `collection::vec`, `option::of`,
 //! `ProptestConfig::with_cases`, and the `prop_assert*` macros.
 //!
 //! Unlike the real proptest there is no shrinking: cases are generated from
@@ -75,12 +76,35 @@ impl TestRng {
     }
 }
 
-/// A value generator. Ranges and `collection::vec` implement this.
+/// A value generator. Ranges, tuples, and `collection::vec` implement
+/// this.
 pub trait Strategy {
     /// The generated value type.
     type Value;
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a pure function
+    /// (`Strategy::prop_map` in real proptest).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 macro_rules! int_strategy {
@@ -97,6 +121,45 @@ macro_rules! int_strategy {
 }
 
 int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // Widen to i128 so spans crossing zero can't overflow.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_int_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($s:ident $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 0, S1 1);
+tuple_strategy!(S0 0, S1 1, S2 2);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7, S8 8);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7, S8 8, S9 9);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7, S8 8, S9 9, S10 10);
+tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7, S8 8, S9 9, S10 10, S11 11);
 
 impl Strategy for Range<f64> {
     type Value = f64;
@@ -153,6 +216,33 @@ pub mod collection {
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = Strategy::sample(&self.size.0, rng);
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Optional-value strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(element)`: `Some` three times out of four (biased toward
+    /// `Some`, as in real proptest), `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
         }
     }
 }
