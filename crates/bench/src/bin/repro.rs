@@ -76,22 +76,35 @@
 //! Service modes (first argument selects them):
 //!
 //! ```text
-//! repro serve --listen ADDR [--threads N|--shards N|--hosts ...]
+//! repro serve --listen ADDR [--http ADDR] [--threads N|--shards N|--hosts ...]
 //!             [--queue-capacity N] [--dispatchers N] [--mem-cache N]
 //!             [--cache-dir DIR|--no-disk-cache]
-//!                                 # daemon; announces "serving <addr>"
+//!                                 # daemon; announces "serving <addr>".
+//!                                 # --http also runs the HTTP/JSON gateway
+//!                                 #   (healthz/stats/metrics/submit/jobs),
+//!                                 #   announcing "http <addr>" FIRST
 //! repro submit --service a:p mm1 [--horizon S] [--warmup S] [--reps N]
 //!              [--seed N]        # submit one job, print id + disposition
 //! repro status --service a:p ID  # one job's state
 //! repro fetch  --service a:p ID [--out FILE]  # block, then result bytes
+//! repro watch  --service a:p ID  # like fetch, but stream per-slot
+//!                                #   progress lines while waiting
 //! repro cancel --service a:p ID  # cancel a queued job
-//! repro stats  --service a:p     # daemon counters (cache hits, fleet
-//!                                #   restarts/quarantines/fallbacks, ...)
+//! repro stats  --service a:p [--json]
+//!                                # daemon counters (cache hits, fleet
+//!                                #   restarts/quarantines/fallbacks, ...);
+//!                                #   --json emits the same document the
+//!                                #   gateway serves on GET /stats
 //! repro stop   --service a:p     # graceful daemon shutdown
 //! repro cache gc [--cache-dir DIR] [--budget BYTES]
 //!                                # sweep the disk result cache: delete
 //!                                #   corrupt entries, evict LRU over budget
 //! ```
+//!
+//! Telemetry: every tier records counters/gauges/histograms into the
+//! process-wide registry (`sim_runtime::telemetry`), exposed as Prometheus
+//! text on the gateway's `GET /metrics`. Set `REPRO_TELEMETRY=off` to
+//! disable recording entirely; artifacts are byte-identical either way.
 //!
 //! `repro --worker [--listen ADDR]` is not a user-facing mode: it serves
 //! task-manifest frames against the job registry
@@ -225,6 +238,7 @@ fn main() {
         Some("submit") => return submit_mode(&args[1..]),
         Some("status") => return job_verb_mode(&args[1..], JobVerb::Status),
         Some("fetch") => return job_verb_mode(&args[1..], JobVerb::Fetch),
+        Some("watch") => return job_verb_mode(&args[1..], JobVerb::Watch),
         Some("cancel") => return job_verb_mode(&args[1..], JobVerb::Cancel),
         Some("stats") => return daemon_verb_mode(&args[1..], DaemonVerb::Stats),
         Some("stop") => return daemon_verb_mode(&args[1..], DaemonVerb::Stop),
@@ -342,7 +356,7 @@ fn main() {
 
     if targets.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--threads N] [--shards N] [--hosts a:p,b:p] [--service a:p] [--batch N] [--engine interp|lowered] [--retry N] [--io-timeout SECS] [--pool on|off] [--fixed-reps] <target>...   (try: repro all)\n       repro serve --listen a:p | repro submit|status|fetch|cancel|stats|stop --service a:p ... | repro cache gc [--cache-dir DIR] [--budget BYTES]"
+            "usage: repro [--quick] [--threads N] [--shards N] [--hosts a:p,b:p] [--service a:p] [--batch N] [--engine interp|lowered] [--retry N] [--io-timeout SECS] [--pool on|off] [--fixed-reps] <target>...   (try: repro all)\n       repro serve --listen a:p [--http a:p] | repro submit|status|fetch|watch|cancel|stats|stop --service a:p ... | repro cache gc [--cache-dir DIR] [--budget BYTES]"
         );
         std::process::exit(2);
     }
@@ -586,6 +600,7 @@ fn parse_bytes(v: &str) -> Option<u64> {
 /// `repro serve --listen ADDR [...]`: run the experiment service daemon.
 fn serve_mode(args: &[String]) {
     let mut listen: Option<String> = None;
+    let mut http: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut shards: Option<usize> = None;
     let mut hosts: Option<Vec<String>> = None;
@@ -605,6 +620,10 @@ fn serve_mode(args: &[String]) {
             "--listen" => match it.next() {
                 Some(addr) if !addr.is_empty() => listen = Some(addr.clone()),
                 _ => flag_err("--listen", "an address (host:port; port 0 = ephemeral)"),
+            },
+            "--http" => match it.next() {
+                Some(addr) if !addr.is_empty() => http = Some(addr.clone()),
+                _ => flag_err("--http", "an address (host:port; port 0 = ephemeral)"),
             },
             "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => threads = Some(n),
@@ -675,7 +694,7 @@ fn serve_mode(args: &[String]) {
         std::process::exit(2);
     }
     let Some(addr) = listen else {
-        eprintln!("usage: repro serve --listen ADDR [--threads N] [--shards N | --hosts a:p,b:p] [--batch N] [--engine interp|lowered] [--queue-capacity N] [--dispatchers N] [--mem-cache N] [--cache-dir DIR | --no-disk-cache] [--cache-budget BYTES] [--retry N] [--io-timeout SECS] [--pool on|off] [--fallback]");
+        eprintln!("usage: repro serve --listen ADDR [--http ADDR] [--threads N] [--shards N | --hosts a:p,b:p] [--batch N] [--engine interp|lowered] [--queue-capacity N] [--dispatchers N] [--mem-cache N] [--cache-dir DIR | --no-disk-cache] [--cache-budget BYTES] [--retry N] [--io-timeout SECS] [--pool on|off] [--fallback]");
         std::process::exit(2);
     };
     let threads = threads
@@ -721,10 +740,88 @@ fn serve_mode(args: &[String]) {
         ..Default::default()
     };
     let handle = ServiceHandle::start(cfg, std::sync::Arc::new(bench::shard::worker_registry()));
+    // The HTTP gateway (if any) binds and announces `http <addr>` BEFORE
+    // `serve` announces `serving <addr>`, so harnesses reading stdout see
+    // both addresses in a fixed order.
+    let gateway = http.map(|http_addr| {
+        let listener = match std::net::TcpListener::bind(&http_addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("[serve] cannot bind http gateway {http_addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let local = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        println!("http {local}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        // `POST /submit?spec=mm1&...` builds the same canonical manifest
+        // as `repro submit mm1` (same defaults, same seeding), so both
+        // entry points land on the same cache key.
+        let spec: std::sync::Arc<sim_runtime::service::SpecParser> =
+            std::sync::Arc::new(|params: &std::collections::BTreeMap<String, String>| {
+                let parse = |key: &str, default: f64| -> Result<f64, String> {
+                    match params.get(key) {
+                        Some(v) => v
+                            .parse::<f64>()
+                            .map_err(|_| format!("{key} must be a number, got {v:?}")),
+                        None => Ok(default),
+                    }
+                };
+                let parse_u64 = |key: &str, default: u64| -> Result<u64, String> {
+                    match params.get(key) {
+                        Some(v) => v
+                            .parse::<u64>()
+                            .map_err(|_| format!("{key} must be an integer, got {v:?}")),
+                        None => Ok(default),
+                    }
+                };
+                match params.get("spec").map(String::as_str) {
+                    Some("mm1") => {
+                        let horizon = parse("horizon", 200.0)?;
+                        let warmup = parse("warmup", 20.0)?;
+                        let reps = parse_u64("reps", 2)?;
+                        let seed = parse_u64("seed", 0xCAFE)?;
+                        // NaN params must be rejected too, hence the
+                        // explicit is_finite checks.
+                        if !horizon.is_finite()
+                            || horizon <= 0.0
+                            || !warmup.is_finite()
+                            || warmup < 0.0
+                            || reps < 1
+                        {
+                            return Err(
+                                "mm1 needs horizon > 0, warmup >= 0 and reps >= 1".to_string()
+                            );
+                        }
+                        Ok(bench::shard::Mm1ReplicationJob::manifest(
+                            horizon, warmup, reps, seed,
+                        ))
+                    }
+                    Some(other) => Err(format!("unknown job spec {other:?} (available: mm1)")),
+                    None => Err("missing spec parameter (available: mm1)".to_string()),
+                }
+            });
+        let service = handle.service();
+        let thread = std::thread::spawn(move || {
+            if let Err(e) = sim_runtime::service::serve_http(service, listener, Some(spec)) {
+                eprintln!("[serve] http gateway: {e}");
+            }
+        });
+        (local, thread)
+    });
     match sim_runtime::service::serve(handle.service(), &addr) {
         Ok(()) => {
             eprintln!("[serve] shutdown requested; stopping dispatchers");
             handle.stop();
+            if let Some((local, thread)) = gateway {
+                // The gateway notices `stop` on its next accept; poke the
+                // port with a bare connect to unblock a parked accept.
+                let _ = std::net::TcpStream::connect(local);
+                let _ = thread.join();
+            }
         }
         Err(e) => {
             eprintln!("[serve] {e}");
@@ -810,23 +907,7 @@ fn submit_mode(args: &[String]) {
     }
     let addr = require_service(service);
     let manifest = match spec.as_deref() {
-        Some("mm1") => {
-            let job = bench::shard::Mm1ReplicationJob {
-                horizon,
-                warmup,
-                mu_grid: vec![2.0, 5.0, 10.0],
-            };
-            let segments = (0..job.mu_grid.len())
-                .map(|point| sim_runtime::Segment {
-                    point,
-                    base_rep: 0,
-                    count: reps as usize,
-                })
-                .collect();
-            sim_runtime::TaskManifest::for_job(&job, segments, &|p, r| {
-                petri_core::rng::SimRng::child_seed(seed, ((p as u64) << 32) | r)
-            })
-        }
+        Some("mm1") => bench::shard::Mm1ReplicationJob::manifest(horizon, warmup, reps, seed),
         Some(other) => {
             eprintln!("unknown job spec {other:?} (available: mm1)");
             std::process::exit(2);
@@ -848,10 +929,11 @@ fn submit_mode(args: &[String]) {
 enum JobVerb {
     Status,
     Fetch,
+    Watch,
     Cancel,
 }
 
-/// `repro status|fetch|cancel --service a:p ID [--out FILE]`.
+/// `repro status|fetch|watch|cancel --service a:p ID [--out FILE]`.
 fn job_verb_mode(args: &[String], verb: JobVerb) {
     let mut service: Option<String> = None;
     let mut id: Option<u64> = None;
@@ -894,6 +976,14 @@ fn job_verb_mode(args: &[String], verb: JobVerb) {
     let outcome = match verb {
         JobVerb::Status => client.status(job).map(|state| println!("{job}: {state}")),
         JobVerb::Cancel => client.cancel(job).map(|()| println!("{job}: cancelled")),
+        JobVerb::Watch => client
+            .fetch_blob_with_progress(job, &mut |p| {
+                println!(
+                    "progress {}/{} (point {} rep {})",
+                    p.done, p.total, p.point, p.replication
+                );
+            })
+            .map(|blob| println!("done: {} bytes", blob.len())),
         JobVerb::Fetch => client.fetch_blob(job).map(|blob| {
             // An undecodable blob is corruption or version skew — report
             // it, never pass it off as a legitimately empty result.
@@ -927,23 +1017,34 @@ enum DaemonVerb {
     Stop,
 }
 
-/// `repro stats|stop --service a:p`.
+/// `repro stats [--json]|stop --service a:p`.
 fn daemon_verb_mode(args: &[String], verb: DaemonVerb) {
     let mut service: Option<String> = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--service" => service = Some(take_service_value(&mut it)),
+            "--json" => json = true,
             other => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
             }
         }
     }
+    if json && !matches!(verb, DaemonVerb::Stats) {
+        eprintln!("--json only applies to `repro stats`");
+        std::process::exit(2);
+    }
     let addr = require_service(service);
     let mut client = connect_service(&addr);
     let outcome = match verb {
         DaemonVerb::Stats => client.stats().map(|s| {
+            if json {
+                // The same encoder the HTTP gateway serves on GET /stats.
+                println!("{}", s.render_json());
+                return;
+            }
             println!("submitted {}", s.submitted);
             println!(
                 "hits {} (mem {}, disk {})",

@@ -38,7 +38,10 @@ pub fn sibling_repro_bin() -> String {
 /// types layer their protocol-level shutdown on top.
 pub struct AnnouncedProc {
     child: Child,
-    addr: String,
+    /// Announced addresses, one per expected prefix, in announcement
+    /// order. [`AnnouncedProc::addr`] is the last one — the primary
+    /// protocol address for every existing single-announcement consumer.
+    addrs: Vec<String>,
 }
 
 impl AnnouncedProc {
@@ -52,6 +55,20 @@ impl AnnouncedProc {
         env: &[(String, String)],
         announce_prefix: &str,
     ) -> std::io::Result<Self> {
+        Self::spawn_seq(bin, args, env, &[announce_prefix])
+    }
+
+    /// [`AnnouncedProc::spawn`] for processes that announce several
+    /// addresses on consecutive stdout lines in a fixed order — e.g.
+    /// `repro serve --http` prints `http <addr>` before `serving <addr>`.
+    /// Each line must carry the matching prefix from `prefixes`.
+    pub fn spawn_seq(
+        bin: &str,
+        args: &[&str],
+        env: &[(String, String)],
+        prefixes: &[&str],
+    ) -> std::io::Result<Self> {
+        assert!(!prefixes.is_empty(), "need at least one announce prefix");
         let mut cmd = Command::new(bin);
         cmd.args(args)
             .stdin(Stdio::null())
@@ -62,28 +79,39 @@ impl AnnouncedProc {
         }
         let mut child = cmd.spawn()?;
         let stdout = child.stdout.take().expect("stdout piped");
-        let mut line = String::new();
-        BufReader::new(stdout).read_line(&mut line)?;
-        // Require the full "<prefix> " word boundary: a line that merely
-        // starts with the prefix (e.g. "listening-error: ...") is a
-        // malformed announcement, not an address.
-        let expected = format!("{announce_prefix} ");
-        let addr = match line.trim().strip_prefix(&expected) {
-            Some(a) if !a.trim().is_empty() => a.trim().to_string(),
-            _ => {
-                let _ = child.kill();
-                let _ = child.wait();
-                return Err(std::io::Error::other(format!(
-                    "process announced {line:?} instead of {announce_prefix:?} + address"
-                )));
+        let mut reader = BufReader::new(stdout);
+        let mut addrs = Vec::with_capacity(prefixes.len());
+        for announce_prefix in prefixes {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            // Require the full "<prefix> " word boundary: a line that
+            // merely starts with the prefix (e.g. "listening-error: ...")
+            // is a malformed announcement, not an address.
+            let expected = format!("{announce_prefix} ");
+            match line.trim().strip_prefix(&expected) {
+                Some(a) if !a.trim().is_empty() => addrs.push(a.trim().to_string()),
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(std::io::Error::other(format!(
+                        "process announced {line:?} instead of {announce_prefix:?} + address"
+                    )));
+                }
             }
-        };
-        Ok(AnnouncedProc { child, addr })
+        }
+        Ok(AnnouncedProc { child, addrs })
     }
 
-    /// The announced `host:port`.
+    /// The announced `host:port` (the last announcement when the process
+    /// made several — the primary protocol address).
     pub fn addr(&self) -> &str {
-        &self.addr
+        self.addrs.last().expect("at least one announcement")
+    }
+
+    /// The `i`-th announced address, in [`AnnouncedProc::spawn_seq`]
+    /// prefix order.
+    pub fn announced(&self, i: usize) -> &str {
+        &self.addrs[i]
     }
 
     /// Hard-kill the child (idempotent).
@@ -193,6 +221,9 @@ impl LocalCluster {
 /// protocol stop verb, then wait) when it is healthy.
 pub struct LocalService {
     proc: AnnouncedProc,
+    /// The HTTP gateway address, when spawned with
+    /// [`LocalService::spawn_with_http`].
+    http: Option<String>,
 }
 
 impl LocalService {
@@ -220,12 +251,35 @@ impl LocalService {
         args.extend_from_slice(extra_args);
         Ok(LocalService {
             proc: AnnouncedProc::spawn(repro_bin, &args, env, "serving")?,
+            http: None,
         })
+    }
+
+    /// [`LocalService::spawn_with_env`] with the HTTP gateway enabled on
+    /// its own ephemeral port (`--http 127.0.0.1:0`); the gateway address
+    /// is available from [`LocalService::http_addr`]. The daemon announces
+    /// `http <addr>` before `serving <addr>`, in that order.
+    pub fn spawn_with_http(
+        repro_bin: &str,
+        extra_args: &[&str],
+        env: &[(String, String)],
+    ) -> std::io::Result<Self> {
+        let mut args = vec!["serve", "--listen", "127.0.0.1:0", "--http", "127.0.0.1:0"];
+        args.extend_from_slice(extra_args);
+        let proc = AnnouncedProc::spawn_seq(repro_bin, &args, env, &["http", "serving"])?;
+        let http = Some(proc.announced(0).to_string());
+        Ok(LocalService { proc, http })
     }
 
     /// The daemon's `host:port`.
     pub fn addr(&self) -> &str {
         self.proc.addr()
+    }
+
+    /// The HTTP gateway's `host:port`, when spawned with
+    /// [`LocalService::spawn_with_http`].
+    pub fn http_addr(&self) -> Option<&str> {
+        self.http.as_deref()
     }
 
     /// An [`Exec`] routing every dispatch through this daemon.

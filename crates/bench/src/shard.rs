@@ -40,6 +40,29 @@ impl Mm1ReplicationJob {
     /// Registry key.
     pub const KIND: &'static str = "selftest/mm1";
 
+    /// The canonical submit-spec manifest: `reps` replications of the
+    /// standard 3-point service-rate grid, seeded the same way however
+    /// the submission arrives (`repro submit mm1`, `POST
+    /// /submit?spec=mm1`), so identical parameters always land on the
+    /// same cache key.
+    pub fn manifest(horizon: f64, warmup: f64, reps: u64, seed: u64) -> sim_runtime::TaskManifest {
+        let job = Mm1ReplicationJob {
+            horizon,
+            warmup,
+            mu_grid: vec![2.0, 5.0, 10.0],
+        };
+        let segments = (0..job.mu_grid.len())
+            .map(|point| sim_runtime::Segment {
+                point,
+                base_rep: 0,
+                count: reps as usize,
+            })
+            .collect();
+        sim_runtime::TaskManifest::for_job(&job, segments, &|p, r| {
+            petri_core::rng::SimRng::child_seed(seed, ((p as u64) << 32) | r)
+        })
+    }
+
     fn decode_boxed(payload: &[u8]) -> Result<Box<dyn PortableJob>, WireError> {
         let mut r = Reader::new(payload);
         let job = Mm1ReplicationJob {

@@ -101,10 +101,25 @@ impl<'s, 'a> BatchSimulator<'s, 'a> {
         seeds: &[u64],
         end_times: &[f64],
     ) -> Vec<Result<SimOutput, SimError>> {
-        match self.sim.engine() {
+        let out = match self.sim.engine() {
             super::engine::EngineKind::Interp => self.run_interp_with_horizons(seeds, end_times),
             super::engine::EngineKind::Lowered => self.run_lowered_with_horizons(seeds, end_times),
+        };
+        // Telemetry only, recorded after the whole batch: lane counts and
+        // per-lane event totals, same series the scalar path feeds.
+        let tele = sim_runtime::telemetry();
+        let per_run = tele.histogram("engine_run_events");
+        let mut runs = 0u64;
+        let mut events = 0u64;
+        for o in out.iter().flatten() {
+            let e = o.total_firings();
+            per_run.record(e);
+            runs += 1;
+            events += e;
         }
+        tele.counter("engine_runs_total").add(runs);
+        tele.counter("engine_events_total").add(events);
+        out
     }
 
     /// Run on the interpreter's batch engine regardless of the simulator's

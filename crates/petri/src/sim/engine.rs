@@ -726,10 +726,20 @@ impl<'a> Simulator<'a> {
     /// Execute one independent run with the given seed, on the engine
     /// selected by [`Simulator::with_engine`] (default: lowered).
     pub fn run(&self, seed: u64) -> Result<SimOutput, SimError> {
-        match self.engine {
+        let out = match self.engine {
             EngineKind::Interp => self.run_interp(seed),
             EngineKind::Lowered => self.run_lowered(seed),
+        };
+        // Telemetry only (run counts and event throughput); recording
+        // happens after the run and never touches seeding or results.
+        if let Ok(o) = &out {
+            let events = o.total_firings();
+            let tele = sim_runtime::telemetry();
+            tele.counter("engine_runs_total").inc();
+            tele.counter("engine_events_total").add(events);
+            tele.histogram("engine_run_events").record(events);
         }
+        out
     }
 
     /// Execute one run on the **incremental interpreter**, regardless of

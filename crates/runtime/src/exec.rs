@@ -42,11 +42,13 @@ use std::sync::OnceLock;
 /// Version 2 introduced tagged requests (manifest vs graceful shutdown)
 /// and multi-manifest serve loops for the remote TCP subsystem; version 3
 /// added the batch-width field, so workers can run contiguous same-point
-/// slots on the batched SoA engine. (Bumping the version also rotates the
-/// service cache's key space — cached result bytes are identical across
-/// batch widths, but entries written by older binaries describe an older
-/// protocol.)
-pub const WIRE_VERSION: u8 = 3;
+/// slots on the batched SoA engine; version 4 upgraded the liveness
+/// heartbeat to a progress frame (`P`: delivered/total slot counts), so
+/// parents can render live per-chunk progress without extra round trips.
+/// (Bumping the version also rotates the service cache's key space —
+/// cached result bytes are identical across versions, but entries written
+/// by older binaries describe an older protocol.)
+pub const WIRE_VERSION: u8 = 4;
 
 // --- errors --------------------------------------------------------------
 
@@ -531,6 +533,13 @@ pub(crate) mod frame {
     /// peer that never sent FIN/RST is otherwise indistinguishable from a
     /// long computation).
     pub const HEARTBEAT: u8 = b'H';
+    /// In-flight progress (wire version 4): `u64` slots delivered so far +
+    /// `u64` total slots in the chunk. Rides the heartbeat cadence — it is
+    /// a liveness tick that also carries completion counts, so parents can
+    /// surface per-slot progress. Purely cosmetic: result accounting still
+    /// derives from `R` frames alone, and a dropped `P` frame never
+    /// affects gathered bytes.
+    pub const PROGRESS: u8 = b'P';
 }
 
 /// The multi-process backend: contiguous manifest shards fanned out to

@@ -131,7 +131,13 @@ impl FaultPolicy {
             self.backoff_seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ attempt as u64,
         );
         let jitter = rng.next_below(exp / 2 + 1);
-        Duration::from_millis(exp / 2 + jitter)
+        let delay = Duration::from_millis(exp / 2 + jitter);
+        // Every retry tier (sharded, remote, supervisor) sleeps exactly
+        // what this returns, so one recording site covers them all.
+        crate::telemetry::telemetry()
+            .histogram("fleet_backoff_wait_ns")
+            .record_duration(delay);
+        delay
     }
 }
 
@@ -240,6 +246,39 @@ pub struct FleetSnapshot {
     pub fallbacks: u64,
     /// See [`FleetStats::recycled`].
     pub recycled: u64,
+}
+
+impl FleetSnapshot {
+    /// Every counter as `(name, value)`, in declaration order — the one
+    /// source the gateway's `/metrics` extras and the bench's per-phase
+    /// delta reports both render from.
+    pub fn fields(&self) -> [(&'static str, u64); 7] {
+        [
+            ("spawned", self.spawned),
+            ("pool_hits", self.pool_hits),
+            ("restarts", self.restarts),
+            ("reconnects", self.reconnects),
+            ("quarantined", self.quarantined),
+            ("fallbacks", self.fallbacks),
+            ("recycled", self.recycled),
+        ]
+    }
+
+    /// Counter movement since `baseline` (saturating): the fleet counters
+    /// are process-global and never reset, so phase-scoped reporting —
+    /// e.g. each `service_ab` phase — subtracts a snapshot taken at the
+    /// phase boundary instead of reading absolutes.
+    pub fn delta_since(&self, baseline: &FleetSnapshot) -> FleetSnapshot {
+        FleetSnapshot {
+            spawned: self.spawned.saturating_sub(baseline.spawned),
+            pool_hits: self.pool_hits.saturating_sub(baseline.pool_hits),
+            restarts: self.restarts.saturating_sub(baseline.restarts),
+            reconnects: self.reconnects.saturating_sub(baseline.reconnects),
+            quarantined: self.quarantined.saturating_sub(baseline.quarantined),
+            fallbacks: self.fallbacks.saturating_sub(baseline.fallbacks),
+            recycled: self.recycled.saturating_sub(baseline.recycled),
+        }
+    }
 }
 
 impl FleetStats {

@@ -27,6 +27,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Number of worker threads to use by default (one per available core, at
 /// least 1).
@@ -149,6 +150,13 @@ where
         return Ok(segments.iter().map(|&s| (s, Vec::new())).collect());
     }
 
+    // Telemetry handles are resolved once per grid, outside the claim
+    // loop; per-slot recording is then two relaxed atomic adds —
+    // observation only, never scheduling.
+    let tele = crate::telemetry::telemetry();
+    let claims = tele.counter("grid_tasks_claimed_total");
+    let slot_wall = tele.histogram("grid_slot_wall_ns");
+
     let threads = threads.max(1).min(total);
     if threads == 1 {
         // Sequential fast path: same claim order, no thread overhead.
@@ -160,7 +168,10 @@ where
         for (seg, results) in out.iter_mut() {
             for local in 0..seg.count {
                 let rep = seg.base_rep + local as u64;
+                claims.inc();
+                let started = Instant::now();
                 results.push(task(flat, seg.point, rep).map_err(|e| (flat, e))?);
+                slot_wall.record_duration(started.elapsed());
                 flat += 1;
                 if let Some(cb) = progress {
                     cb(Progress {
@@ -196,7 +207,11 @@ where
                 let (seg_idx, offset) = plan.locate(i);
                 let seg = &segments[seg_idx];
                 let rep = seg.base_rep + offset as u64;
-                match task(i, seg.point, rep) {
+                claims.inc();
+                let started = Instant::now();
+                let outcome = task(i, seg.point, rep);
+                slot_wall.record_duration(started.elapsed());
+                match outcome {
                     Ok(r) => {
                         // Each flat index is claimed exactly once, so the
                         // slot is guaranteed empty.
@@ -312,8 +327,17 @@ where
     let first_error: Mutex<Option<(usize, E)>> = Mutex::new(None);
     let slots: Vec<OnceLock<R>> = (0..total).map(|_| OnceLock::new()).collect();
 
+    // One claim per batch run (covering `count` slots); the run's wall
+    // time goes in its own histogram since a run spans many slots.
+    let tele = crate::telemetry::telemetry();
+    let claims = tele.counter("grid_tasks_claimed_total");
+    let batch_wall = tele.histogram("grid_batch_wall_ns");
+
     let consume_run = |run: &Run| -> Result<(), (usize, E)> {
+        claims.add(run.count as u64);
+        let started = Instant::now();
         let out = task(run.flat_base, run.point, run.base_rep, run.count);
+        batch_wall.record_duration(started.elapsed());
         debug_assert_eq!(out.len(), run.count, "batch task must fill every lane");
         let mut first: Option<(usize, E)> = None;
         for (lane, res) in out.into_iter().enumerate() {

@@ -51,6 +51,13 @@
 //!   under injected failure.
 //! * [`stats`] — Welford moments, Student-t confidence intervals and batch
 //!   means (re-exported by `petri_core::stats` for compatibility).
+//! * [`telemetry`] — the **metrics spine** every tier records into: a
+//!   dependency-free registry of atomic counters, gauges and log-bucketed
+//!   histograms behind one process-global [`telemetry::Telemetry`] handle
+//!   (no-op under `REPRO_TELEMETRY=off`), rendered as Prometheus text by
+//!   the HTTP gateway ([`service::http`]). Observably inert: recording
+//!   never touches scheduling, seeding or gather order, so artifacts are
+//!   byte-identical with telemetry on or off.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -62,6 +69,7 @@ pub mod remote;
 pub mod service;
 pub mod stats;
 pub mod stopping;
+pub mod telemetry;
 pub mod wire;
 pub mod worker;
 
@@ -73,10 +81,11 @@ pub use fleet::{chaos::ChaosConfig, fleet_stats, FaultPolicy, FleetSnapshot, Fle
 pub use grid::{default_threads, env_threads, Progress, Runner, Segment};
 pub use remote::{AsyncBackend, FrameTransport, RemoteBackend};
 pub use service::{
-    Disposition, JobId, JobState, Service, ServiceBackend, ServiceClient, ServiceConfig,
-    ServiceError, ServiceHandle, ServiceStats,
+    Disposition, JobId, JobProgress, JobState, Service, ServiceBackend, ServiceClient,
+    ServiceConfig, ServiceError, ServiceHandle, ServiceStats,
 };
 pub use stats::{
     describe, student_t_critical, BatchMeans, ConfidenceInterval, ConfidenceLevel, Welford,
 };
 pub use stopping::{AdaptivePoint, StoppingRule};
+pub use telemetry::{telemetry, Telemetry};

@@ -148,6 +148,19 @@ pub(crate) fn drain_chunk(transport: &mut dyn FrameTransport, sink: ChunkSink<'_
                     r.finish()?;
                     Ok(None)
                 }
+                frame::PROGRESS => {
+                    // Progress tick (wire version 4): liveness plus the
+                    // worker's delivered/total counts. The counts are
+                    // advisory — completion accounting derives solely from
+                    // `R` frames (which this drain already turns into
+                    // progress callbacks), so a reordered or dropped `P`
+                    // frame can never skew the gather or double-tick the
+                    // completed counter.
+                    let _delivered = r.get_u64()?;
+                    let _total = r.get_u64()?;
+                    r.finish()?;
+                    Ok(None)
+                }
                 frame::DONE => {
                     let claimed = r.get_u64()? as usize;
                     r.finish()?;

@@ -16,7 +16,7 @@
 
 use super::cache::decode_blob;
 use super::protocol::{
-    Disposition, JobId, JobState, ServiceRequest, ServiceResponse, ServiceStats,
+    Disposition, JobId, JobProgress, JobState, ServiceRequest, ServiceResponse, ServiceStats,
 };
 use crate::exec::{ExecBackend, ExecError, PortableJob, TaskManifest};
 use crate::grid::ProgressFn;
@@ -90,18 +90,26 @@ impl ServiceClient {
             .map_err(|e| ServiceError::Io(format!("request write failed: {e}")))
     }
 
-    /// Read the next response frame. Keep-alive heartbeats (emitted by
-    /// the daemon while a fetch waits) are consumed transparently.
+    /// Read one response frame, keep-alives included.
+    fn recv_response(&mut self) -> Result<ServiceResponse, ServiceError> {
+        let body = self
+            .transport
+            .recv()
+            .map_err(|e| ServiceError::Io(format!("response read failed: {e}")))?
+            .ok_or_else(|| ServiceError::Io("daemon closed the connection".into()))?;
+        ServiceResponse::decode(&body).map_err(|e| ServiceError::Protocol(e.to_string()))
+    }
+
+    /// Read the next response frame. Keep-alives (plain heartbeats and
+    /// progress frames, emitted by the daemon while a fetch waits) are
+    /// consumed transparently.
     pub fn recv(&mut self) -> Result<ServiceResponse, ServiceError> {
         loop {
-            let body = self
-                .transport
-                .recv()
-                .map_err(|e| ServiceError::Io(format!("response read failed: {e}")))?
-                .ok_or_else(|| ServiceError::Io("daemon closed the connection".into()))?;
-            let resp = ServiceResponse::decode(&body)
-                .map_err(|e| ServiceError::Protocol(e.to_string()))?;
-            if resp != ServiceResponse::Heartbeat {
+            let resp = self.recv_response()?;
+            if !matches!(
+                resp,
+                ServiceResponse::Heartbeat | ServiceResponse::Progress { .. }
+            ) {
                 return Ok(resp);
             }
         }
@@ -161,6 +169,45 @@ impl ServiceClient {
         decode_blob(&blob).map_err(|e| ServiceError::Protocol(format!("result blob: {e}")))
     }
 
+    /// [`Self::fetch_blob`] with a live progress callback: every progress
+    /// frame the daemon streams while the job runs — ending with a final
+    /// `done == total` frame just before the result — is handed to
+    /// `on_progress` in arrival order. Progress is cosmetic: the returned
+    /// bytes are identical to a plain fetch, and a daemon that streams no
+    /// progress (cache hits answer instantly) simply never calls back.
+    pub fn fetch_blob_with_progress(
+        &mut self,
+        job: JobId,
+        on_progress: &mut dyn FnMut(JobProgress),
+    ) -> Result<Vec<u8>, ServiceError> {
+        self.send(&ServiceRequest::Fetch(job))?;
+        loop {
+            match self.recv_response()? {
+                ServiceResponse::Heartbeat => {}
+                ServiceResponse::Progress { progress, .. } => on_progress(progress),
+                ServiceResponse::Result { blob, .. } => return Ok(blob),
+                ServiceResponse::Failed { error, .. } => return Err(ServiceError::Exec(error)),
+                ServiceResponse::Err(msg) => return Err(ServiceError::Protocol(msg)),
+                other => {
+                    return Err(ServiceError::Protocol(format!(
+                        "unexpected fetch response {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// [`Self::fetch`] with a live progress callback (see
+    /// [`Self::fetch_blob_with_progress`]).
+    pub fn fetch_with_progress(
+        &mut self,
+        job: JobId,
+        on_progress: &mut dyn FnMut(JobProgress),
+    ) -> Result<Vec<Vec<u8>>, ServiceError> {
+        let blob = self.fetch_blob_with_progress(job, on_progress)?;
+        decode_blob(&blob).map_err(|e| ServiceError::Protocol(format!("result blob: {e}")))
+    }
+
     /// Cancel a queued job.
     pub fn cancel(&mut self, job: JobId) -> Result<(), ServiceError> {
         match self.round_trip(&ServiceRequest::Cancel(job))? {
@@ -197,9 +244,11 @@ impl ServiceClient {
 ///
 /// The daemon executes (or cache-answers) the manifest on *its* configured
 /// backend; slot bytes come back in flat-index order, so every fold
-/// downstream is byte-identical to local execution. Progress callbacks are
-/// not streamed through the service (the daemon owns execution); adaptive
-/// drivers still work — each round is its own dispatch.
+/// downstream is byte-identical to local execution. A caller's progress
+/// callback is fed from the daemon's streamed progress frames (sampled at
+/// the keep-alive cadence, so ticks are coarser than local execution —
+/// cosmetic only); adaptive drivers still work — each round is its own
+/// dispatch.
 #[derive(Debug, Clone)]
 pub struct ServiceBackend {
     /// Daemon address (`host:port`).
@@ -226,7 +275,7 @@ impl ExecBackend for ServiceBackend {
         &self,
         _job: &dyn PortableJob,
         manifest: &TaskManifest,
-        _progress: Option<&ProgressFn>,
+        progress: Option<&ProgressFn>,
     ) -> Result<Vec<Vec<u8>>, ExecError> {
         manifest.validate()?;
         let mut client =
@@ -234,7 +283,22 @@ impl ExecBackend for ServiceBackend {
         let (job, _disposition) = client
             .submit(manifest, self.worker_threads)
             .map_err(ExecError::from)?;
-        let slots = client.fetch(job).map_err(ExecError::from)?;
+        let slots = match progress {
+            Some(cb) => {
+                let mut forward = |p: JobProgress| {
+                    cb(crate::grid::Progress {
+                        point: p.point as usize,
+                        replication: p.replication,
+                        completed: p.done as usize,
+                        total: p.total as usize,
+                    });
+                };
+                client
+                    .fetch_with_progress(job, &mut forward)
+                    .map_err(ExecError::from)?
+            }
+            None => client.fetch(job).map_err(ExecError::from)?,
+        };
         if slots.len() != manifest.total_slots() {
             return Err(ExecError::Protocol(format!(
                 "service returned {} slot(s) for a {}-slot manifest",
@@ -347,6 +411,41 @@ mod tests {
             c.status(JobId(999_999)),
             Err(ServiceError::Protocol(_))
         ));
+        stop(handle, addr, server);
+    }
+
+    #[test]
+    fn fetch_with_progress_streams_a_final_done_frame() {
+        let (handle, addr, server) = start_daemon();
+        let mut c = ServiceClient::connect(&addr.to_string(), Duration::from_secs(5)).unwrap();
+        let m = mul_manifest(21, &[3, 2]);
+        let (job, d) = c.submit(&m, 1).unwrap();
+        assert_eq!(d, Disposition::Queued);
+        let mut seen: Vec<JobProgress> = Vec::new();
+        let slots = c.fetch_with_progress(job, &mut |p| seen.push(p)).unwrap();
+        assert_eq!(slots.len(), 5);
+        // A fast job may skip the sampled keep-alive ticks entirely, but
+        // the final done == total frame is unconditional for executed
+        // work, and the sequence can never regress.
+        assert!(!seen.is_empty(), "executed jobs stream a final frame");
+        assert!(seen.windows(2).all(|w| w[0].done <= w[1].done), "{seen:?}");
+        let last = seen.last().unwrap();
+        assert_eq!((last.done, last.total), (5, 5), "{seen:?}");
+
+        // The backend adapter forwards the frames into the standard
+        // progress-callback shape.
+        let job_impl = MulJob { factor: 3 };
+        let m2 = mul_manifest(22, &[2]);
+        let backend = ServiceBackend::new(addr.to_string(), 1);
+        let ticks = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = ticks.clone();
+        let cb = move |p: crate::grid::Progress| {
+            sink.lock().unwrap().push((p.completed, p.total));
+        };
+        let out = backend.run_segments(&job_impl, &m2, Some(&cb)).unwrap();
+        assert_eq!(out.len(), 2);
+        let ticks = ticks.lock().unwrap().clone();
+        assert_eq!(ticks.last().copied(), Some((2, 2)), "{ticks:?}");
         stop(handle, addr, server);
     }
 

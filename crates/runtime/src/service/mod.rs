@@ -25,25 +25,30 @@
 //!   via the service unchanged (`repro --service <addr>`);
 //! * [`serve`] / [`serve_on`] — the TCP front (`repro serve --listen
 //!   <addr>`): one connection handler thread per client, shut down by an
-//!   explicit protocol verb.
+//!   explicit protocol verb;
+//! * [`http`] — a thin HTTP/1.1 gateway (`repro serve --http <addr>`)
+//!   translating `GET /healthz`, `/stats`, `/jobs/<id>`, `/metrics`
+//!   (Prometheus text) and `POST /submit` onto the same service core,
+//!   for `curl` and monitoring scrapes.
 
 pub mod cache;
 pub mod client;
+pub mod http;
 pub mod protocol;
 pub mod queue;
 
 mod scheduler;
 
 pub use client::{ServiceBackend, ServiceClient, ServiceError};
-pub use protocol::{Disposition, JobId, JobState, ServiceStats};
+pub use http::{serve_http, SpecParser};
+pub use protocol::{Disposition, JobId, JobProgress, JobState, ServiceStats};
 
 use crate::exec::{Exec, ExecBackend, ExecError, JobRegistry, TaskManifest};
 use crate::remote::transport::{FrameTransport, TcpTransport};
 use crate::wire::WireError;
 use cache::{CacheKey, DiskStore, MemCache};
 use protocol::{ServiceRequest, ServiceResponse};
-use queue::JobTable;
-use scheduler::Claimed;
+use queue::{ClaimedJob, JobTable};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -132,6 +137,11 @@ pub struct Service {
     mem: Mutex<MemCache>,
     disk: Option<DiskStore>,
     stats: StatCounters,
+    /// The process-global fleet counters at construction. [`Service::stats`]
+    /// reports the delta past this baseline, so a service created after
+    /// earlier fleet activity in the same process (benches spinning up
+    /// several daemons, unit tests) reports only its own degradation.
+    fleet_baseline: crate::fleet::FleetSnapshot,
     stopping: AtomicBool,
 }
 
@@ -169,6 +179,7 @@ impl Service {
             mem: Mutex::new(MemCache::new(cfg.mem_cache_entries)),
             disk,
             stats: StatCounters::default(),
+            fleet_baseline: crate::fleet::fleet_stats().snapshot(),
             stopping: AtomicBool::new(false),
             registry,
             cfg,
@@ -207,14 +218,17 @@ impl Service {
         // Optimistic cache probes, each under only its own lock (the
         // guards are dropped before the table is touched — the global
         // lock order is table → mem, never the reverse).
+        let tele = crate::telemetry::telemetry();
         let probed = { self.mem.lock().expect("mem cache lock").get(&key) };
         if let Some(blob) = probed {
             self.stats.hits_mem.fetch_add(1, Ordering::Relaxed);
+            tele.counter("service_cache_hit_mem").inc();
             let id = self.table.lock().expect("table lock").admit_hit(key, blob);
             return Ok((id, Disposition::HitMem));
         }
         if let Some(blob) = self.disk.as_ref().and_then(|d| d.get(&key)) {
             self.stats.hits_disk.fetch_add(1, Ordering::Relaxed);
+            tele.counter("service_cache_hit_disk").inc();
             let blob = Arc::new(blob);
             self.mem
                 .lock()
@@ -223,6 +237,7 @@ impl Service {
             let id = self.table.lock().expect("table lock").admit_hit(key, blob);
             return Ok((id, Disposition::HitDisk));
         }
+        tele.counter("service_cache_miss").inc();
 
         // Slow path under the table lock. An identical job may have
         // *published* between the probes above and here (its cache fills
@@ -242,6 +257,8 @@ impl Service {
         }
         match table.admit(key, manifest) {
             Ok((id, Disposition::Queued)) => {
+                tele.gauge("service_queue_depth")
+                    .set(table.queued_len() as i64);
                 drop(table);
                 self.work.notify_one();
                 Ok((id, Disposition::Queued))
@@ -265,6 +282,17 @@ impl Service {
             .expect("table lock")
             .get(job)
             .map(|r| r.state)
+    }
+
+    /// A job's live progress counters, if its record is still retained.
+    /// `total == 0` means no execution ever started (cache hits, or a
+    /// queued job no dispatcher has claimed yet).
+    pub fn progress(&self, job: JobId) -> Option<JobProgress> {
+        self.table
+            .lock()
+            .expect("table lock")
+            .get(job)
+            .map(|r| r.progress.snapshot())
     }
 
     /// Block until `job` is terminal; `Err` means the id is unknown (never
@@ -371,10 +399,14 @@ impl Service {
 
     /// Snapshot the daemon counters. The fleet-degradation counters come
     /// from the process-global fleet (restarts, quarantines, in-process
-    /// fallbacks across every backend this daemon dispatched onto); the
-    /// cache-hygiene counters from the disk tier.
+    /// fallbacks across every backend this daemon dispatched onto),
+    /// reported relative to the service's construction-time baseline so
+    /// earlier fleet activity in the same process is not attributed to
+    /// this daemon; the cache-hygiene counters from the disk tier.
     pub fn stats(&self) -> ServiceStats {
-        let fleet = crate::fleet::fleet_stats().snapshot();
+        let fleet = crate::fleet::fleet_stats()
+            .snapshot()
+            .delta_since(&self.fleet_baseline);
         ServiceStats {
             submitted: self.stats.submitted.load(Ordering::Relaxed),
             hits_mem: self.stats.hits_mem.load(Ordering::Relaxed),
@@ -408,14 +440,17 @@ impl Service {
 
     /// Claim the next queued job, blocking until work arrives or the
     /// service stops (`None`).
-    pub(super) fn next_claim(&self) -> Option<Claimed> {
+    pub(super) fn next_claim(&self) -> Option<ClaimedJob> {
         let mut table = self.table.lock().expect("table lock");
         loop {
             if self.is_stopping() {
                 return None;
             }
-            if let Some((job, manifest, key)) = table.claim() {
-                return Some(Claimed { job, manifest, key });
+            if let Some(claimed) = table.claim() {
+                crate::telemetry::telemetry()
+                    .gauge("service_queue_depth")
+                    .set(table.queued_len() as i64);
+                return Some(claimed);
             }
             table = self.work.wait(table).expect("table lock");
         }
@@ -425,12 +460,7 @@ impl Service {
     /// variant of a dispatcher thread, for tests and embedding). Returns
     /// whether a job was run.
     pub fn step(&self) -> bool {
-        let claimed = {
-            let mut table = self.table.lock().expect("table lock");
-            table
-                .claim()
-                .map(|(job, manifest, key)| Claimed { job, manifest, key })
-        };
+        let claimed = { self.table.lock().expect("table lock").claim() };
         match claimed {
             Some(c) => {
                 scheduler::execute(self, c);
@@ -695,7 +725,18 @@ fn handle_connection(
         // A frame that decodes to garbage gets an in-band error and the
         // connection stays usable (framing is intact — only the body was
         // wrong, e.g. a version mismatch).
-        let response = match ServiceRequest::decode(&body) {
+        let decoded = ServiceRequest::decode(&body);
+        let verb_hist = match &decoded {
+            Ok(ServiceRequest::Submit { .. }) => "service_verb_submit_ns",
+            Ok(ServiceRequest::Status(_)) => "service_verb_status_ns",
+            Ok(ServiceRequest::Fetch(_)) => "service_verb_fetch_ns",
+            Ok(ServiceRequest::Cancel(_)) => "service_verb_cancel_ns",
+            Ok(ServiceRequest::Stats) => "service_verb_stats_ns",
+            Ok(ServiceRequest::Shutdown) => "service_verb_shutdown_ns",
+            Err(_) => "service_verb_invalid_ns",
+        };
+        let verb_started = std::time::Instant::now();
+        let response = match decoded {
             Err(e) => ServiceResponse::Err(e.to_string()),
             Ok(ServiceRequest::Submit {
                 threads: _advisory,
@@ -712,20 +753,43 @@ fn handle_connection(
                 // Bounded waits with keep-alive frames in between: a
                 // client can cap its read timeout well under any job
                 // runtime and still tell "long job" from "dead daemon".
+                // Once the job has a live progress record the keep-alive
+                // carries it; a job with no record yet (or a cache hit,
+                // whose total stays 0) keeps the plain heartbeat.
                 match service.wait_for(job, FETCH_KEEPALIVE) {
                     Ok(Some(Fetched::Result(blob))) => {
+                        // One final progress frame pins the sequence at
+                        // done == total before the result lands, so a
+                        // watcher never ends on a stale partial count
+                        // (ticks are sampled, not exhaustive).
+                        if let Some(p) = service.progress(job).filter(|p| p.total > 0) {
+                            let done = ServiceResponse::Progress {
+                                job,
+                                progress: JobProgress { done: p.total, ..p },
+                            };
+                            transport
+                                .send(&done.encode())
+                                .and_then(|_| transport.flush())
+                                .map_err(|e| {
+                                    WireError::new(format!("progress write failed: {e}"))
+                                })?;
+                        }
                         break ServiceResponse::Result {
                             job,
                             blob: blob.to_vec(),
-                        }
+                        };
                     }
                     Ok(Some(Fetched::Failed(error))) => {
                         break ServiceResponse::Failed { job, error }
                     }
                     Err(msg) => break ServiceResponse::Err(msg),
                     Ok(None) => {
+                        let keep_alive = match service.progress(job).filter(|p| p.total > 0) {
+                            Some(progress) => ServiceResponse::Progress { job, progress },
+                            None => ServiceResponse::Heartbeat,
+                        };
                         transport
-                            .send(&ServiceResponse::Heartbeat.encode())
+                            .send(&keep_alive.encode())
                             .and_then(|_| transport.flush())
                             .map_err(|e| WireError::new(format!("keep-alive write failed: {e}")))?;
                     }
@@ -753,6 +817,9 @@ fn handle_connection(
                 return Ok(true);
             }
         };
+        crate::telemetry::telemetry()
+            .histogram(verb_hist)
+            .record_duration(verb_started.elapsed());
         transport
             .send(&response.encode())
             .and_then(|_| transport.flush())
@@ -1080,16 +1147,30 @@ mod tests {
         };
         t.send(&ServiceRequest::Fetch(job).encode()).unwrap();
         t.flush().unwrap();
-        let mut heartbeats = 0;
+        let mut keep_alives = 0;
+        let mut last_progress: Option<protocol::JobProgress> = None;
         let result = loop {
             match ServiceResponse::decode(&t.recv().unwrap().unwrap()).unwrap() {
-                ServiceResponse::Heartbeat => heartbeats += 1,
+                ServiceResponse::Heartbeat => keep_alives += 1,
+                ServiceResponse::Progress { progress, .. } => {
+                    keep_alives += 1;
+                    if let Some(prev) = last_progress {
+                        assert!(progress.done >= prev.done, "progress must be monotone");
+                    }
+                    last_progress = Some(progress);
+                }
                 other => break other,
             }
         };
         assert!(
-            heartbeats >= 1,
-            "a 1.3 s job must heartbeat at least once before answering"
+            keep_alives >= 1,
+            "a 1.3 s job must keep-alive at least once before answering"
+        );
+        let final_p = last_progress.expect("an executed job streams progress frames");
+        assert_eq!(
+            (final_p.done, final_p.total),
+            (1, 1),
+            "the final progress frame pins done == total"
         );
         match result {
             ServiceResponse::Result { blob, .. } => {
@@ -1272,9 +1353,15 @@ mod tests {
         }
         t.flush().unwrap();
         let mut responses = Vec::new();
-        for _ in 0..4 {
+        while responses.len() < 4 {
             let body = t.recv().unwrap().expect("response frame");
-            responses.push(ServiceResponse::decode(&body).unwrap());
+            match ServiceResponse::decode(&body).unwrap() {
+                // Keep-alive frames (including the fetch's final progress
+                // frame) are not responses; pipelined accounting skips
+                // them exactly like the client does.
+                ServiceResponse::Heartbeat | ServiceResponse::Progress { .. } => {}
+                resp => responses.push(resp),
+            }
         }
         assert_eq!(
             responses[0],

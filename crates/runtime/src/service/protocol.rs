@@ -17,8 +17,11 @@ use crate::wire::{self, Reader, WireError};
 /// Protocol version carried by every request frame. Version 1 was the
 /// initial submit/status/fetch/cancel/stats/shutdown verb set; version 2
 /// extends the stats snapshot with fleet-degradation and cache-hygiene
-/// counters and adds the `BackendUnavailable` failure kind.
-pub const SERVICE_WIRE_VERSION: u8 = 2;
+/// counters and adds the `BackendUnavailable` failure kind; version 3
+/// upgrades the blocking-fetch keep-alive to a `Progress` frame carrying
+/// live done/total slot counts (plain heartbeats remain for jobs with no
+/// progress record, e.g. cache hits).
+pub const SERVICE_WIRE_VERSION: u8 = 3;
 
 /// Request frame tags (client → daemon).
 pub mod request_tag {
@@ -56,6 +59,11 @@ pub mod response_tag {
     /// clients skip it). Lets clients bound their read timeouts without
     /// mistaking a long-running job for a dead daemon.
     pub const HEARTBEAT: u8 = b'H';
+    /// Live progress while a blocking fetch waits (wire version 3): a
+    /// keep-alive that also carries the job's done/total slot counts and
+    /// the most recently completed `(point, replication)`. Cosmetic —
+    /// clients that skip it lose nothing but rendering.
+    pub const PROGRESS: u8 = b'P';
 }
 
 /// A service job identifier, unique within one daemon process.
@@ -222,6 +230,56 @@ impl ServiceStats {
     pub fn hits(&self) -> u64 {
         self.hits_mem + self.hits_disk
     }
+
+    /// The snapshot's fields as `(name, value)` pairs, in wire order —
+    /// the one list the JSON encoder, the human rendering and the
+    /// gateway's Prometheus exposition all draw from, so they can never
+    /// disagree on names or coverage.
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
+        [
+            ("submitted", self.submitted),
+            ("hits_mem", self.hits_mem),
+            ("hits_disk", self.hits_disk),
+            ("coalesced", self.coalesced),
+            ("executed", self.executed),
+            ("failed", self.failed),
+            ("rejected", self.rejected),
+            ("cancelled", self.cancelled),
+            ("restarts", self.restarts),
+            ("quarantined", self.quarantined),
+            ("fallbacks", self.fallbacks),
+            ("cache_evicted", self.cache_evicted),
+            ("cache_corrupt", self.cache_corrupt),
+        ]
+    }
+
+    /// Render as a flat JSON object (keys match the field names). Shared
+    /// by `repro stats --json` and the HTTP gateway's `GET /stats`.
+    pub fn render_json(&self) -> String {
+        let body: Vec<String> = self
+            .fields()
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+/// One live progress observation for a running job: how many of its slots
+/// have completed, and which `(point, replication)` finished most
+/// recently. Streamed in [`ServiceResponse::Progress`] frames while a
+/// blocking fetch waits; `total == 0` means no execution ever started
+/// (cache hits are born done).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Slots completed so far (monotone per job).
+    pub done: u64,
+    /// Total slots in the job's manifest.
+    pub total: u64,
+    /// Sweep-point index of the most recently completed slot.
+    pub point: u64,
+    /// Replication index of the most recently completed slot.
+    pub replication: u64,
 }
 
 /// A decoded client request.
@@ -288,6 +346,15 @@ pub enum ServiceResponse {
     /// Keep-alive while a fetch waits; carries nothing and is skipped by
     /// clients (see [`request_tag`]'s fetch semantics).
     Heartbeat,
+    /// Live progress while a fetch waits (also a keep-alive). Purely
+    /// cosmetic: a client that consumes it like a heartbeat gets the same
+    /// bytes in the end.
+    Progress {
+        /// The running job.
+        job: JobId,
+        /// Its current progress counters.
+        progress: JobProgress,
+    },
 }
 
 impl ServiceRequest {
@@ -411,6 +478,14 @@ impl ServiceResponse {
                 wire::put_str(&mut buf, msg);
             }
             ServiceResponse::Heartbeat => wire::put_u8(&mut buf, response_tag::HEARTBEAT),
+            ServiceResponse::Progress { job, progress } => {
+                wire::put_u8(&mut buf, response_tag::PROGRESS);
+                wire::put_u64(&mut buf, job.0);
+                wire::put_u64(&mut buf, progress.done);
+                wire::put_u64(&mut buf, progress.total);
+                wire::put_u64(&mut buf, progress.point);
+                wire::put_u64(&mut buf, progress.replication);
+            }
         }
         buf
     }
@@ -453,6 +528,15 @@ impl ServiceResponse {
             response_tag::OK => ServiceResponse::Ok,
             response_tag::ERR => ServiceResponse::Err(r.get_str()?.to_string()),
             response_tag::HEARTBEAT => ServiceResponse::Heartbeat,
+            response_tag::PROGRESS => ServiceResponse::Progress {
+                job: JobId(r.get_u64()?),
+                progress: JobProgress {
+                    done: r.get_u64()?,
+                    total: r.get_u64()?,
+                    point: r.get_u64()?,
+                    replication: r.get_u64()?,
+                },
+            },
             other => {
                 return Err(WireError::new(format!(
                     "unknown service response tag {other:#x}"
@@ -601,6 +685,15 @@ mod tests {
             ServiceResponse::Ok,
             ServiceResponse::Err("queue full".into()),
             ServiceResponse::Heartbeat,
+            ServiceResponse::Progress {
+                job: JobId(6),
+                progress: JobProgress {
+                    done: 12,
+                    total: 30,
+                    point: 2,
+                    replication: 3,
+                },
+            },
         ];
         for e in errors {
             responses.push(ServiceResponse::Failed {
@@ -648,5 +741,31 @@ mod tests {
             5
         );
         assert_eq!(format!("{}", JobId(4)), "job 4");
+    }
+
+    #[test]
+    fn stats_json_covers_every_field() {
+        let s = ServiceStats {
+            submitted: 10,
+            hits_mem: 1,
+            hits_disk: 2,
+            coalesced: 3,
+            executed: 4,
+            failed: 5,
+            rejected: 6,
+            cancelled: 7,
+            restarts: 8,
+            quarantined: 9,
+            fallbacks: 11,
+            cache_evicted: 12,
+            cache_corrupt: 13,
+        };
+        let json = s.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for (name, value) in s.fields() {
+            assert!(json.contains(&format!("\"{name}\":{value}")), "{json}");
+        }
+        // Exactly the 13 wire fields, no more.
+        assert_eq!(json.matches(':').count(), s.fields().len(), "{json}");
     }
 }

@@ -8,10 +8,53 @@
 //! and cancel are each a single deterministic step.
 
 use super::cache::CacheKey;
-use super::protocol::{Disposition, JobId, JobState};
+use super::protocol::{Disposition, JobId, JobProgress, JobState};
 use crate::exec::{ExecError, TaskManifest};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Live progress counters for one running job, shared between the
+/// dispatcher executing it (writer) and fetch keep-alives / the HTTP
+/// gateway (readers). Purely observational: readers only render these
+/// values — nothing in scheduling or gathering branches on them, which is
+/// what keeps progress cosmetic and results byte-identical whether anyone
+/// watches or not.
+#[derive(Debug, Default)]
+pub struct ProgressCell {
+    done: AtomicU64,
+    total: AtomicU64,
+    point: AtomicU64,
+    replication: AtomicU64,
+}
+
+impl ProgressCell {
+    /// Publish the job's total slot count (at claim time, before the
+    /// first completion can tick).
+    pub fn set_total(&self, total: u64) {
+        self.total.store(total, Ordering::Relaxed);
+    }
+
+    /// Record one completed slot. `done` is folded in with `fetch_max`,
+    /// so out-of-order callbacks from concurrent workers can never move
+    /// the published count backwards.
+    pub fn record(&self, done: u64, point: u64, replication: u64) {
+        self.done.fetch_max(done, Ordering::Relaxed);
+        self.point.store(point, Ordering::Relaxed);
+        self.replication.store(replication, Ordering::Relaxed);
+    }
+
+    /// Snapshot for rendering.
+    pub fn snapshot(&self) -> JobProgress {
+        JobProgress {
+            done: self.done.load(Ordering::Relaxed),
+            total: self.total.load(Ordering::Relaxed),
+            point: self.point.load(Ordering::Relaxed),
+            replication: self.replication.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// One job's record, from submission to (retained) terminal state.
 #[derive(Debug)]
@@ -32,6 +75,27 @@ pub struct JobRecord {
     /// was live. A shared job refuses cancellation — one caller must not
     /// silently fail everyone else's fetch.
     pub coalesced: u64,
+    /// Live progress counters (a cache hit's stay zeroed: `total == 0`
+    /// marks "never executed").
+    pub progress: Arc<ProgressCell>,
+    /// When the submission was admitted — the queue-wait measurement
+    /// base.
+    pub admitted: Instant,
+}
+
+/// One claimed unit of work, handed from the job table to a dispatcher.
+#[derive(Debug)]
+pub struct ClaimedJob {
+    /// The job being executed.
+    pub job: JobId,
+    /// Its manifest (a clone; the record keeps its copy until terminal).
+    pub manifest: TaskManifest,
+    /// Its content-addressed cache key (so completion never re-hashes).
+    pub key: CacheKey,
+    /// The shared progress counters the execution writes into.
+    pub progress: Arc<ProgressCell>,
+    /// How long the job sat queued before this claim.
+    pub queue_wait: Duration,
 }
 
 /// What a cancellation request resolved to.
@@ -144,6 +208,8 @@ impl JobTable {
                 result: Some(blob),
                 error: None,
                 coalesced: 0,
+                progress: Arc::new(ProgressCell::default()),
+                admitted: Instant::now(),
             },
         );
         self.retire(id);
@@ -178,6 +244,8 @@ impl JobTable {
                 result: None,
                 error: None,
                 coalesced: 0,
+                progress: Arc::new(ProgressCell::default()),
+                admitted: Instant::now(),
             },
         );
         self.queue.push_back(id);
@@ -186,9 +254,10 @@ impl JobTable {
     }
 
     /// Claim the oldest queued job for execution: `Queued → Running`.
-    /// Returns the job, a clone of its manifest, and its cache key (so
-    /// completion never has to re-hash the manifest).
-    pub fn claim(&mut self) -> Option<(JobId, TaskManifest, CacheKey)> {
+    /// Returns the job, a clone of its manifest, its cache key (so
+    /// completion never has to re-hash the manifest), its shared progress
+    /// cell, and the measured queue wait.
+    pub fn claim(&mut self) -> Option<ClaimedJob> {
         while let Some(id) = self.queue.pop_front() {
             // A cancelled entry may linger in the FIFO briefly, and its
             // record may even have been evicted from terminal retention
@@ -202,7 +271,13 @@ impl JobTable {
             }
             rec.state = JobState::Running;
             let manifest = rec.manifest.clone().expect("queued job keeps its manifest");
-            return Some((JobId(id), manifest, rec.key));
+            return Some(ClaimedJob {
+                job: JobId(id),
+                manifest,
+                key: rec.key,
+                progress: rec.progress.clone(),
+                queue_wait: rec.admitted.elapsed(),
+            });
         }
         None
     }
@@ -305,16 +380,16 @@ mod tests {
         assert_eq!((da, db), (Disposition::Queued, Disposition::Queued));
         assert_eq!(t.queued_len(), 2);
 
-        let (first, m, _key) = t.claim().unwrap();
-        assert_eq!(first, a);
-        assert_eq!(m, manifest(1));
+        let claimed = t.claim().unwrap();
+        assert_eq!(claimed.job, a);
+        assert_eq!(claimed.manifest, manifest(1));
         assert_eq!(t.get(a).unwrap().state, JobState::Running);
 
         t.complete(a, Arc::new(vec![1]));
         assert_eq!(t.get(a).unwrap().state, JobState::Done);
         assert!(t.get(a).unwrap().manifest.is_none(), "manifest released");
 
-        let (second, _, _) = t.claim().unwrap();
+        let second = t.claim().unwrap().job;
         assert_eq!(second, b);
         t.fail(b, ExecError::Protocol("x".into()));
         assert_eq!(t.get(b).unwrap().state, JobState::Failed);
@@ -367,7 +442,7 @@ mod tests {
         assert_eq!(t.cancel(b), Some(CancelOutcome::Cancelled));
         assert_eq!(t.get(b).unwrap().state, JobState::Cancelled);
         // The cancelled entry is skipped by claim.
-        let (claimed, ..) = t.claim().unwrap();
+        let claimed = t.claim().unwrap().job;
         assert_eq!(claimed, a);
         assert!(t.claim().is_none());
         // Running and terminal jobs report their state, unchanged.
@@ -398,7 +473,7 @@ mod tests {
         assert_eq!(t.cancel(a), Some(CancelOutcome::Shared { waiters: 1 }));
         assert_eq!(t.get(a).unwrap().state, JobState::Queued, "job survives");
         // The job still claims and completes for everyone.
-        assert_eq!(t.claim().map(|(id, ..)| id), Some(a));
+        assert_eq!(t.claim().map(|c| c.job), Some(a));
         t.complete(a, Arc::new(vec![1]));
         assert_eq!(t.get(a).unwrap().state, JobState::Done);
     }
@@ -419,7 +494,7 @@ mod tests {
         let (b, d) = t.admit(key(2), manifest(2)).unwrap();
         assert_eq!(d, Disposition::Queued);
         // And the dispatcher claims the live job directly.
-        assert_eq!(t.claim().map(|(id, ..)| id), Some(b));
+        assert_eq!(t.claim().map(|c| c.job), Some(b));
         assert!(t.claim().is_none());
     }
 
@@ -454,6 +529,23 @@ mod tests {
         assert!(t.get(ids[1]).is_none());
         assert!(t.get(ids[2]).is_some());
         assert!(t.get(ids[3]).is_some());
+    }
+
+    #[test]
+    fn progress_cell_is_monotone_and_shared_with_the_claim() {
+        let mut t = JobTable::new(8, 64, 64);
+        let (a, _) = t.admit(key(1), manifest(1)).unwrap();
+        let claimed = t.claim().unwrap();
+        claimed.progress.set_total(2);
+        claimed.progress.record(1, 0, 0);
+        claimed.progress.record(2, 0, 1);
+        // A straggling out-of-order callback can never move `done` back.
+        claimed.progress.record(1, 0, 0);
+        let snap = t.get(a).unwrap().progress.snapshot();
+        assert_eq!((snap.done, snap.total), (2, 2));
+        // Cache hits never execute: total stays 0.
+        let hit = t.admit_hit(key(9), Arc::new(vec![1]));
+        assert_eq!(t.get(hit).unwrap().progress.snapshot().total, 0);
     }
 
     #[test]

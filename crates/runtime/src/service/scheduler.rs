@@ -9,19 +9,16 @@
 //! terminal state. Parallelism *within* a job comes from the backend
 //! (threads, worker subprocesses, TCP peers); parallelism *across* jobs
 //! comes from running several dispatchers.
+//!
+//! Each execution writes its backend progress callbacks into the job's
+//! shared [`ProgressCell`](super::queue::ProgressCell), which is what the
+//! fetch keep-alive path and the HTTP gateway render — observation only,
+//! never control flow.
 
-use super::cache::{encode_blob, CacheKey};
-use super::protocol::JobId;
+use super::cache::encode_blob;
+use super::queue::ClaimedJob;
 use super::Service;
-use crate::exec::TaskManifest;
 use std::sync::Arc;
-
-/// One claimed unit of work.
-pub(crate) struct Claimed {
-    pub(crate) job: JobId,
-    pub(crate) manifest: TaskManifest,
-    pub(crate) key: CacheKey,
-}
 
 /// The dispatcher thread body: claim → execute → publish, until the
 /// service stops.
@@ -33,8 +30,22 @@ pub(super) fn dispatcher_loop(service: &Service) {
 
 /// Execute one claimed job on the service's backend and publish the
 /// outcome (result blob into both cache tiers, or the executor error).
-pub(super) fn execute(service: &Service, claimed: Claimed) {
-    let Claimed { job, manifest, key } = claimed;
+pub(super) fn execute(service: &Service, claimed: ClaimedJob) {
+    let ClaimedJob {
+        job,
+        manifest,
+        key,
+        progress,
+        queue_wait,
+    } = claimed;
+    let tele = crate::telemetry::telemetry();
+    tele.histogram("service_queue_wait_ns")
+        .record_duration(queue_wait);
+    progress.set_total(manifest.total_slots() as u64);
+    let cell = progress.clone();
+    let on_progress = move |p: crate::grid::Progress| {
+        cell.record(p.completed as u64, p.point as u64, p.replication);
+    };
     let outcome = service
         .registry()
         .decode(&manifest.kind, &manifest.payload)
@@ -42,7 +53,7 @@ pub(super) fn execute(service: &Service, claimed: Claimed) {
         .and_then(|decoded| {
             service
                 .backend()
-                .run_segments(decoded.as_ref(), &manifest, None)
+                .run_segments(decoded.as_ref(), &manifest, Some(&on_progress))
         });
     match outcome {
         Ok(slots) => {

@@ -1,0 +1,474 @@
+//! The telemetry spine: a dependency-free metrics registry shared by
+//! every execution tier.
+//!
+//! Instrumentation sites across the stack — the simulation engine, the
+//! work-stealing grid, the fleet supervisor, the service daemon and its
+//! caches — record into three metric kinds:
+//!
+//! * [`Counter`] — a monotone `u64` (events executed, tasks claimed,
+//!   cache hits);
+//! * [`Gauge`] — a signed instantaneous level (queue depth);
+//! * [`Histogram`] — log-bucketed magnitudes (per-slot wall times,
+//!   queue waits, verb latencies) with cheap p50/p90/p99 snapshots.
+//!
+//! All of it hangs off one process-global [`Telemetry`] handle
+//! ([`telemetry()`]). The handle is **observably inert**: metrics are
+//! plain relaxed atomics recorded off the result path, recording when
+//! disabled (`REPRO_TELEMETRY=off`) is a no-op, and nothing here can
+//! influence scheduling, seeding, or gather order — so artifacts are
+//! byte-identical with telemetry on or off (enforced by the
+//! `observability` integration suite and the `service_ab` overhead
+//! gate).
+//!
+//! Exposition is pull-based: [`Telemetry::render_prometheus`] emits the
+//! Prometheus text format served by the HTTP gateway's `/metrics`
+//! (`crate::service::http`), and the snapshot accessors back `repro
+//! stats --json`.
+//!
+//! Registration is name-keyed and idempotent: the first
+//! `counter("x")`/`histogram("x")` call creates the metric, later calls
+//! return the same instance. Hot call sites cache the returned `Arc` in
+//! a `OnceLock` so steady-state recording is one atomic add with no
+//! registry lock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of log₂ buckets a [`Histogram`] spreads its samples over —
+/// bucket `i` holds values in `[2^(i-1), 2^i)` (bucket 0 holds zero),
+/// which covers the full `u64` range.
+const BUCKETS: usize = 65;
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (e.g. queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Add `delta` (may be negative) to the level.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Set the level outright.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed magnitude histogram with quantile snapshots.
+///
+/// Recording is one relaxed `fetch_add` into the value's bucket plus
+/// sum/count updates — no locks, no allocation, safe from any thread.
+/// Buckets are powers of two, so quantile estimates are exact to within
+/// a factor of two (plenty for latency triage) and the whole structure
+/// is a fixed 67-word array.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0u64; BUCKETS].map(AtomicU64::new),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `64 - leading_zeros` (so
+/// bucket `i ≥ 1` spans `[2^(i-1), 2^i)`).
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in nanoseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A consistent-enough point-in-time summary (individual loads are
+    /// relaxed; concurrent recording can skew the quantiles by the
+    /// in-flight samples, which is fine for monitoring).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let sum = self.sum.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the q-quantile sample, 1-based, clamped into range.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_bound(i);
+                }
+            }
+            bucket_bound(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+
+    /// Per-bucket cumulative counts as `(inclusive upper bound, count)`
+    /// pairs over the non-empty prefix — the shape Prometheus
+    /// `_bucket{le=...}` series want.
+    fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        let mut last_nonzero = 0usize;
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                last_nonzero = i;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate().take(last_nonzero + 1) {
+            cum += c;
+            out.push((bucket_bound(i), cum));
+        }
+        out
+    }
+}
+
+/// Point-in-time histogram summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+    /// Median estimate (upper bound of the median's log₂ bucket).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+/// The name-keyed metric tables behind one [`Telemetry`] handle.
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+/// The process-global metrics handle.
+///
+/// When disabled, the lookup methods still return working metric
+/// instances (so call sites never branch), but every instance is the
+/// shared no-op sink that metrics render skips — recording costs one
+/// predictable atomic add into a never-exposed cell and the exposition
+/// side reports nothing.
+#[derive(Debug)]
+pub struct Telemetry {
+    enabled: bool,
+    registry: Registry,
+}
+
+impl Telemetry {
+    /// Construct a handle with the given enable state (tests; production
+    /// uses the [`telemetry()`] global, gated by `REPRO_TELEMETRY`).
+    pub fn new(enabled: bool) -> Self {
+        Telemetry {
+            enabled,
+            registry: Registry::default(),
+        }
+    }
+
+    /// Whether this handle records and exposes metrics.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The counter named `name`, creating it on first use. Disabled
+    /// handles return a shared sink that is never exposed.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        if !self.enabled {
+            static SINK: OnceLock<Arc<Counter>> = OnceLock::new();
+            return Arc::clone(SINK.get_or_init(Arc::default));
+        }
+        let mut map = self.registry.counters.lock().expect("telemetry lock");
+        Arc::clone(map.entry(name).or_default())
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        if !self.enabled {
+            static SINK: OnceLock<Arc<Gauge>> = OnceLock::new();
+            return Arc::clone(SINK.get_or_init(Arc::default));
+        }
+        let mut map = self.registry.gauges.lock().expect("telemetry lock");
+        Arc::clone(map.entry(name).or_default())
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        if !self.enabled {
+            static SINK: OnceLock<Arc<Histogram>> = OnceLock::new();
+            return Arc::clone(SINK.get_or_init(Arc::default));
+        }
+        let mut map = self.registry.histograms.lock().expect("telemetry lock");
+        Arc::clone(map.entry(name).or_default())
+    }
+
+    /// Every counter as `(name, value)`, name-sorted.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let map = self.registry.counters.lock().expect("telemetry lock");
+        map.iter().map(|(&n, c)| (n, c.get())).collect()
+    }
+
+    /// Every gauge as `(name, value)`, name-sorted.
+    pub fn gauges(&self) -> Vec<(&'static str, i64)> {
+        let map = self.registry.gauges.lock().expect("telemetry lock");
+        map.iter().map(|(&n, g)| (n, g.get())).collect()
+    }
+
+    /// Every histogram as `(name, snapshot)`, name-sorted.
+    pub fn histogram_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        let map = self.registry.histograms.lock().expect("telemetry lock");
+        map.iter().map(|(&n, h)| (n, h.snapshot())).collect()
+    }
+
+    /// Render every registered metric in the Prometheus text exposition
+    /// format (version 0.0.4): counters as `_total`-suffixed counters
+    /// (names already carry the suffix by convention), gauges plain, and
+    /// histograms as cumulative `_bucket{le="..."}` series plus `_sum`
+    /// and `_count`. `extra` appends caller-supplied `(name, value)`
+    /// series — how the gateway folds the service/fleet counters (which
+    /// predate this registry) into one scrape.
+    pub fn render_prometheus(&self, extra: &[(String, u64)]) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters() {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in self.gauges() {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        {
+            let map = self.registry.histograms.lock().expect("telemetry lock");
+            for (name, h) in map.iter() {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                for (le, cum) in h.cumulative_buckets() {
+                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                }
+                let s = h.snapshot();
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", s.count));
+                out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", s.sum, s.count));
+            }
+        }
+        for (name, value) in extra {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        out
+    }
+}
+
+/// The process-global [`Telemetry`] handle.
+///
+/// Enabled unless `REPRO_TELEMETRY` is set to `off`/`false`/`0` (read
+/// once, at first use). Disabling is a kill switch for overhead
+/// paranoia, not a correctness knob — results are byte-identical either
+/// way.
+pub fn telemetry() -> &'static Telemetry {
+    static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let off = std::env::var("REPRO_TELEMETRY")
+            .map(|v| matches!(v.trim(), "off" | "false" | "0"))
+            .unwrap_or(false);
+        Telemetry::new(!off)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_accumulate() {
+        let t = Telemetry::new(true);
+        let c = t.counter("jobs_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name, same instance.
+        assert_eq!(t.counter("jobs_total").get(), 5);
+        let g = t.gauge("depth");
+        g.add(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+        g.set(10);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn bucket_of_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Bucket bound is the inclusive top of each range.
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(11), 2047);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_accurate() {
+        let h = Histogram::default();
+        // 100 samples: 90 fast (≈100 ns), 10 slow (≈1 ms).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 90 * 100 + 10 * 1_000_000);
+        // p50 and p90 land in the 100-ns bucket [64,127]; p99 in the
+        // 1-ms bucket.
+        assert_eq!(s.p50, 127);
+        assert_eq!(s.p90, 127);
+        assert!(s.p99 >= 1_000_000 && s.p99 < 2_097_152, "p99={}", s.p99);
+    }
+
+    #[test]
+    fn histogram_empty_and_single() {
+        let h = Histogram::default();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.p50, s.p99), (0, 0, 0, 0));
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.p50, s.p99), (1, 0, 0));
+    }
+
+    #[test]
+    fn disabled_handle_records_nowhere_and_renders_nothing() {
+        let t = Telemetry::new(false);
+        assert!(!t.is_enabled());
+        t.counter("hidden").add(7);
+        t.gauge("hidden_g").set(3);
+        t.histogram("hidden_h").record(9);
+        assert!(t.counters().is_empty());
+        assert!(t.gauges().is_empty());
+        assert!(t.histogram_snapshots().is_empty());
+        assert_eq!(t.render_prometheus(&[]), "");
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let t = Telemetry::new(true);
+        t.counter("repro_jobs_total").add(3);
+        t.gauge("repro_queue_depth").set(2);
+        let h = t.histogram("repro_wait_ns");
+        h.record(5);
+        h.record(1000);
+        let text = t.render_prometheus(&[("repro_extra_total".into(), 9)]);
+        assert!(text.contains("# TYPE repro_jobs_total counter\nrepro_jobs_total 3\n"));
+        assert!(text.contains("# TYPE repro_queue_depth gauge\nrepro_queue_depth 2\n"));
+        assert!(text.contains("# TYPE repro_wait_ns histogram\n"));
+        assert!(text.contains("repro_wait_ns_bucket{le=\"7\"} 1\n"));
+        assert!(text.contains("repro_wait_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("repro_wait_ns_sum 1005\nrepro_wait_ns_count 2\n"));
+        assert!(text.contains("repro_extra_total 9\n"));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 2, 700, 700, 700, 1 << 40] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        let mut prev = 0;
+        for (_, c) in &buckets {
+            assert!(*c >= prev);
+            prev = *c;
+        }
+        assert_eq!(prev, 7);
+    }
+}

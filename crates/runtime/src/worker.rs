@@ -88,7 +88,7 @@ pub fn serve(
     }
 }
 
-/// How often an executing worker streams a liveness heartbeat (`H`
+/// How often an executing worker streams a liveness/progress tick (`P`
 /// frame). Remote parents set their read timeout to a comfortable
 /// multiple of this (see
 /// [`RemoteBackend::io_timeout`](crate::remote::RemoteBackend)), so a
@@ -110,10 +110,12 @@ fn serve_manifest(
     // slot's `R` frame the moment it completes: results are never buffered
     // worker-side, and the parent can tick progress while the chunk runs.
     // Frames may interleave in any completion order — they carry the slot
-    // index, and the parent stores by index. A heartbeat thread ticks `H`
-    // frames throughout, so remote parents can bound their read timeouts
-    // without false-killing long slots (send failures are ignored here —
-    // the result path surfaces a broken transport on its own).
+    // index, and the parent stores by index. A heartbeat thread ticks `P`
+    // progress frames (delivered/total counts) throughout, so remote
+    // parents can bound their read timeouts without false-killing long
+    // slots and can surface live per-chunk progress (send failures are
+    // ignored here — the result path surfaces a broken transport on its
+    // own).
     let out = Mutex::new(transport);
     let delivered = AtomicU64::new(0);
     let finished = Mutex::new(false);
@@ -134,8 +136,12 @@ fn serve_manifest(
                     .expect("heartbeat mutex never poisoned");
                 done = guard;
                 if timeout.timed_out() && !*done {
+                    let mut body = Vec::with_capacity(17);
+                    wire::put_u8(&mut body, frame::PROGRESS);
+                    wire::put_u64(&mut body, delivered.load(Ordering::Relaxed));
+                    wire::put_u64(&mut body, manifest.total_slots() as u64);
                     let mut t = out.lock().expect("output mutex never poisoned");
-                    let _ = t.send(&[frame::HEARTBEAT]).and_then(|_| t.flush());
+                    let _ = t.send(&body).and_then(|_| t.flush());
                 }
             }
         });
@@ -322,7 +328,7 @@ mod tests {
                     assert_eq!(r.get_u64().unwrap(), 5);
                     done = true;
                 }
-                frame::HEARTBEAT => {}
+                frame::HEARTBEAT | frame::PROGRESS => {}
                 tag => panic!("unexpected tag {tag}"),
             }
         }
@@ -350,7 +356,7 @@ mod tests {
                         seen[local] = Some(r.get_bytes().unwrap().to_vec());
                     }
                     frame::DONE => assert_eq!(r.get_u64().unwrap(), m.total_slots() as u64),
-                    frame::HEARTBEAT => {}
+                    frame::HEARTBEAT | frame::PROGRESS => {}
                     tag => panic!("unexpected tag {tag}"),
                 }
             }
@@ -384,7 +390,7 @@ mod tests {
             match body[0] {
                 frame::RESULT => results += 1,
                 frame::DONE => dones += 1,
-                frame::HEARTBEAT => {}
+                frame::HEARTBEAT | frame::PROGRESS => {}
                 tag => panic!("unexpected tag {tag}"),
             }
         }
@@ -441,7 +447,7 @@ mod tests {
                     assert_eq!(r.get_str().unwrap(), "kaboom");
                     error_seen = true;
                 }
-                frame::HEARTBEAT => {}
+                frame::HEARTBEAT | frame::PROGRESS => {}
                 tag => panic!("unexpected tag {tag}"),
             }
         }
