@@ -53,6 +53,12 @@
 //!   `Simulator`/`BatchSimulator` use: the compiled micro-op programs or
 //!   the incremental interpreter. Another pure throughput knob: outputs
 //!   are byte-identical on either engine (CI diffs the artifacts).
+//! * `--profile` (exported as `REPRO_PROFILE=1`, so worker subprocesses
+//!   inherit it) — arm the per-transition engine profiler: firing counts
+//!   and attributed nanoseconds per transition, printed as a table on
+//!   stderr after the run and folded into job traces as counter events.
+//!   Observation only — artifacts are byte-identical with or without it
+//!   (CI diffs them).
 //! * `--retry N` / `--io-timeout SECS` / `--pool on|off` (falling back to
 //!   `REPRO_RETRY` / `REPRO_IO_TIMEOUT` / `REPRO_POOL`) — the unified
 //!   fault policy of the multi-process executors: per-chunk re-dispatch
@@ -90,6 +96,11 @@
 //! repro watch  --service a:p ID  # like fetch, but stream per-slot
 //!                                #   progress lines while waiting
 //! repro cancel --service a:p ID  # cancel a queued job
+//! repro trace  --service a:p ID [--out FILE]
+//!                                # the job's span trace as Chrome
+//!                                #   trace-event JSON (load in Perfetto
+//!                                #   or chrome://tracing); stdout unless
+//!                                #   --out
 //! repro stats  --service a:p [--json]
 //!                                # daemon counters (cache hits, fleet
 //!                                #   restarts/quarantines/fallbacks, ...);
@@ -105,6 +116,14 @@
 //! process-wide registry (`sim_runtime::telemetry`), exposed as Prometheus
 //! text on the gateway's `GET /metrics`. Set `REPRO_TELEMETRY=off` to
 //! disable recording entirely; artifacts are byte-identical either way.
+//!
+//! Tracing: every tier also records causal spans (submit, queue-wait,
+//! dispatch, pool-checkout, slot, engine-run) into the process-wide ring
+//! (`sim_runtime::trace`), with worker subprocesses shipping their spans
+//! back in an advisory frame. Fetch a job's trace with `repro trace` or
+//! `GET /jobs/<id>/trace`; failing jobs dump their last spans to a flight
+//! record file. Set `REPRO_TRACE=off` to disable; artifacts are
+//! byte-identical either way.
 //!
 //! `repro --worker [--listen ADDR]` is not a user-facing mode: it serves
 //! task-manifest frames against the job registry
@@ -240,6 +259,7 @@ fn main() {
         Some("fetch") => return job_verb_mode(&args[1..], JobVerb::Fetch),
         Some("watch") => return job_verb_mode(&args[1..], JobVerb::Watch),
         Some("cancel") => return job_verb_mode(&args[1..], JobVerb::Cancel),
+        Some("trace") => return job_verb_mode(&args[1..], JobVerb::Trace),
         Some("stats") => return daemon_verb_mode(&args[1..], DaemonVerb::Stats),
         Some("stop") => return daemon_verb_mode(&args[1..], DaemonVerb::Stop),
         Some("cache") => return cache_mode(&args[1..]),
@@ -283,6 +303,9 @@ fn main() {
                 Some(v @ ("interp" | "lowered")) => std::env::set_var("REPRO_ENGINE", v),
                 _ => flag_err("--engine", "interp or lowered"),
             },
+            // Environment-exported like --engine, so shard/worker
+            // subprocesses profile too.
+            "--profile" => std::env::set_var("REPRO_PROFILE", "1"),
             "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => threads = Some(n),
                 _ => {
@@ -356,7 +379,7 @@ fn main() {
 
     if targets.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--threads N] [--shards N] [--hosts a:p,b:p] [--service a:p] [--batch N] [--engine interp|lowered] [--retry N] [--io-timeout SECS] [--pool on|off] [--fixed-reps] <target>...   (try: repro all)\n       repro serve --listen a:p [--http a:p] | repro submit|status|fetch|watch|cancel|stats|stop --service a:p ... | repro cache gc [--cache-dir DIR] [--budget BYTES]"
+            "usage: repro [--quick] [--threads N] [--shards N] [--hosts a:p,b:p] [--service a:p] [--batch N] [--engine interp|lowered] [--profile] [--retry N] [--io-timeout SECS] [--pool on|off] [--fixed-reps] <target>...   (try: repro all)\n       repro serve --listen a:p [--http a:p] | repro submit|status|fetch|watch|cancel|trace|stats|stop --service a:p ... | repro cache gc [--cache-dir DIR] [--budget BYTES]"
         );
         std::process::exit(2);
     }
@@ -391,6 +414,13 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if petri_core::sim::profile::armed() {
+        // Stderr, like all diagnostics: stdout carries result tables.
+        eprint!(
+            "{}",
+            petri_core::sim::profile::render_table(&petri_core::sim::profile::snapshot())
+        );
     }
 }
 
@@ -679,6 +709,7 @@ fn serve_mode(args: &[String]) {
                 Some(v @ ("interp" | "lowered")) => std::env::set_var("REPRO_ENGINE", v),
                 _ => flag_err("--engine", "interp or lowered"),
             },
+            "--profile" => std::env::set_var("REPRO_PROFILE", "1"),
             "--fallback" => fallback = true,
             other => {
                 eprintln!("unknown serve flag: {other}");
@@ -694,7 +725,7 @@ fn serve_mode(args: &[String]) {
         std::process::exit(2);
     }
     let Some(addr) = listen else {
-        eprintln!("usage: repro serve --listen ADDR [--http ADDR] [--threads N] [--shards N | --hosts a:p,b:p] [--batch N] [--engine interp|lowered] [--queue-capacity N] [--dispatchers N] [--mem-cache N] [--cache-dir DIR | --no-disk-cache] [--cache-budget BYTES] [--retry N] [--io-timeout SECS] [--pool on|off] [--fallback]");
+        eprintln!("usage: repro serve --listen ADDR [--http ADDR] [--threads N] [--shards N | --hosts a:p,b:p] [--batch N] [--engine interp|lowered] [--profile] [--queue-capacity N] [--dispatchers N] [--mem-cache N] [--cache-dir DIR | --no-disk-cache] [--cache-budget BYTES] [--retry N] [--io-timeout SECS] [--pool on|off] [--fallback]");
         std::process::exit(2);
     };
     let threads = threads
@@ -931,9 +962,10 @@ enum JobVerb {
     Fetch,
     Watch,
     Cancel,
+    Trace,
 }
 
-/// `repro status|fetch|watch|cancel --service a:p ID [--out FILE]`.
+/// `repro status|fetch|watch|cancel|trace --service a:p ID [--out FILE]`.
 fn job_verb_mode(args: &[String], verb: JobVerb) {
     let mut service: Option<String> = None;
     let mut id: Option<u64> = None;
@@ -967,8 +999,8 @@ fn job_verb_mode(args: &[String], verb: JobVerb) {
         eprintln!("this mode needs a job id (as printed by `repro submit`)");
         std::process::exit(2);
     };
-    if out.is_some() && !matches!(verb, JobVerb::Fetch) {
-        eprintln!("--out only applies to `repro fetch`");
+    if out.is_some() && !matches!(verb, JobVerb::Fetch | JobVerb::Trace) {
+        eprintln!("--out only applies to `repro fetch` and `repro trace`");
         std::process::exit(2);
     }
     let job = sim_runtime::JobId(id);
@@ -984,6 +1016,16 @@ fn job_verb_mode(args: &[String], verb: JobVerb) {
                 );
             })
             .map(|blob| println!("done: {} bytes", blob.len())),
+        JobVerb::Trace => client.trace(job).map(|json| match &out {
+            Some(path) => match std::fs::write(path, &json) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("[trace] cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => println!("{json}"),
+        }),
         JobVerb::Fetch => client.fetch_blob(job).map(|blob| {
             // An undecodable blob is corruption or version skew — report
             // it, never pass it off as a legitimately empty result.

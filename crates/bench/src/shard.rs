@@ -86,31 +86,48 @@ impl PortableJob for Mm1ReplicationJob {
         wire::put_f64s(buf, &self.mu_grid);
     }
 
-    fn run_slot(&self, point: usize, _rep: u64, seed: u64) -> Result<Vec<u8>, String> {
+    fn run_slot(&self, point: usize, rep: u64, seed: u64) -> Result<Vec<u8>, String> {
         let mu = *self
             .mu_grid
             .get(point)
             .ok_or_else(|| format!("point {point} outside the {}-rate grid", self.mu_grid.len()))?;
-        let mut b = NetBuilder::new("selftest-mm1");
-        let q = b.place("q").build();
-        b.transition("arrive", Timing::exponential(1.0))
-            .output(q, 1)
-            .build();
-        let serve = b
-            .transition("serve", Timing::exponential(mu))
-            .input(q, 1)
-            .build();
-        let net = b.build().map_err(|e| e.to_string())?;
-        let mut sim = Simulator::new(
-            &net,
-            SimConfig::for_horizon(self.horizon).with_warmup(self.warmup),
-        );
-        let r_q = sim.reward_place(net.place_by_name("q").expect("q exists"));
-        let r_served = sim.reward_firings(serve);
-        let out = sim.run(seed).map_err(|e| e.to_string())?;
-        let mut bytes = Vec::with_capacity(2 * 8 + 4);
-        wire::put_f64s(&mut bytes, &[out.reward(r_q), out.reward(r_served)]);
-        Ok(bytes)
+        sim_runtime::trace::engine_run((point as u64) << 32 | rep, || {
+            let mut b = NetBuilder::new("selftest-mm1");
+            let q = b.place("q").build();
+            b.transition("arrive", Timing::exponential(1.0))
+                .output(q, 1)
+                .build();
+            let serve = b
+                .transition("serve", Timing::exponential(mu))
+                .input(q, 1)
+                .build();
+            let net = b.build().map_err(|e| e.to_string())?;
+            let mut sim = Simulator::new(
+                &net,
+                SimConfig::for_horizon(self.horizon).with_warmup(self.warmup),
+            );
+            let r_q = sim.reward_place(net.place_by_name("q").expect("q exists"));
+            let r_served = sim.reward_firings(serve);
+            let out = sim.run(seed).map_err(|e| e.to_string())?;
+            // Fold the (cumulative) engine profile into the trace as counter
+            // events: value = attributed ns, aux = firings. Advisory only.
+            let tr = sim_runtime::trace::tracer();
+            if tr.is_enabled() && petri_core::sim::profile::armed() {
+                let trace = sim_runtime::trace::current();
+                for row in petri_core::sim::profile::snapshot() {
+                    tr.counter(
+                        trace,
+                        format!("profile/{}", row.transition),
+                        sim_runtime::trace::cat::ENGINE,
+                        row.ns,
+                        row.firings,
+                    );
+                }
+            }
+            let mut bytes = Vec::with_capacity(2 * 8 + 4);
+            wire::put_f64s(&mut bytes, &[out.reward(r_q), out.reward(r_served)]);
+            Ok(bytes)
+        })
     }
 }
 

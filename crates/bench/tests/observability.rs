@@ -1,10 +1,11 @@
-//! Observability acceptance suite: the telemetry spine must be
-//! **observably inert** (artifacts byte-identical with recording on or
-//! off), progress streaming must survive chaos without ever lying
-//! (monotone counts ending at `done == total`, bytes unchanged), and the
-//! HTTP gateway must round-trip the whole job lifecycle — submit through
-//! result bytes — against a real `repro serve --http` process, serving
-//! the same bytes the binary protocol serves.
+//! Observability acceptance suite: the telemetry spine and the span
+//! tracer must be **observably inert** (artifacts byte-identical with
+//! recording on or off), progress streaming must survive chaos without
+//! ever lying (monotone counts ending at `done == total`, bytes
+//! unchanged), the HTTP gateway must round-trip the whole job lifecycle —
+//! submit through result bytes and the Chrome-trace export — against a
+//! real `repro serve --http` process, and a failing job must leave a
+//! flight-recorder post-mortem behind without altering its error.
 //!
 //! Everything runs against real daemon processes on ephemeral loopback
 //! ports (`bench::remote::LocalService`), because the telemetry switch is
@@ -281,6 +282,131 @@ fn gateway_round_trips_submit_status_result_and_metrics() {
     assert_eq!(status, 400);
 
     svc.shutdown();
+}
+
+/// The span tracer never touches results: the same manifest produces
+/// byte-identical blobs from a daemon with tracing enabled and one with
+/// `REPRO_TRACE=off`, and both match direct in-process execution.
+#[test]
+fn artifacts_byte_identical_with_trace_on_and_off() {
+    let spawn = |value: &str| {
+        LocalService::spawn_with_env(
+            repro_bin(),
+            &["--threads", "1", "--no-disk-cache"],
+            &[("REPRO_TRACE".to_string(), value.to_string())],
+        )
+        .expect("daemon spawns")
+    };
+    let on = spawn("on");
+    let off = spawn("off");
+    let manifest = Mm1ReplicationJob::manifest(150.0, 15.0, 2, 0x7ACE);
+    let fetch = |svc: &LocalService| {
+        let mut client = svc.client();
+        let (job, _) = client.submit(&manifest, 1).expect("submit");
+        client.fetch_blob(job).expect("fetch")
+    };
+    let blob_on = fetch(&on);
+    let blob_off = fetch(&off);
+    assert_eq!(blob_on, blob_off, "trace on/off blobs diverged");
+    assert_eq!(
+        decode_blob(&blob_on).expect("blob decodes"),
+        mm1_baseline(150.0, 15.0, 2, 0x7ACE),
+        "served blob diverged from direct in-process execution"
+    );
+    on.shutdown();
+    off.shutdown();
+}
+
+/// `GET /jobs/<id>/trace` returns Chrome trace-event JSON for a job the
+/// daemon actually served, carrying the service-tier spans (queue-wait,
+/// dispatch), the grid's slot spans, and the engine-run spans the job
+/// implementation records.
+#[test]
+fn gateway_serves_chrome_trace_with_expected_spans() {
+    let svc =
+        LocalService::spawn_with_http(repro_bin(), &["--threads", "1", "--no-disk-cache"], &[])
+            .expect("gateway daemon spawns");
+    let gw = svc.http_addr().expect("gateway address announced");
+
+    let (status, body) = http(gw, "POST", "/submit?spec=mm1&reps=2&seed=1234");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let body = String::from_utf8(body).expect("submit response is JSON text");
+    let id: u64 = body
+        .split("\"job\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("job id in submit response");
+
+    // Block until the job is done, then pull its trace.
+    let (status, _) = http(gw, "GET", &format!("/jobs/{id}/result"));
+    assert_eq!(status, 200);
+    let (status, body) = http(gw, "GET", &format!("/jobs/{id}/trace"));
+    assert_eq!(status, 200);
+    let trace = String::from_utf8(body).expect("trace JSON is text");
+    assert!(trace.contains("\"traceEvents\":["), "trace: {trace}");
+    for span in ["queue-wait", "dispatch", "slot", "engine-run"] {
+        assert!(
+            trace.contains(&format!("\"name\":\"{span}\"")),
+            "missing {span} span in:\n{trace}"
+        );
+    }
+
+    // Unknown jobs 404 rather than serving an empty trace.
+    let (status, _) = http(gw, "GET", "/jobs/424242/trace");
+    assert_eq!(status, 404);
+    svc.shutdown();
+}
+
+/// A failing job leaves a flight-recorder post-mortem (error + recent
+/// spans as Chrome-trace JSON) in `REPRO_FLIGHT_DIR` — and the error the
+/// waiter sees is byte-for-byte the executor's, untouched by the dump.
+#[test]
+fn failing_job_leaves_a_flight_record() {
+    let dir = std::env::temp_dir().join(format!("repro-flight-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let svc = LocalService::spawn_with_env(
+        repro_bin(),
+        &["--threads", "1", "--no-disk-cache"],
+        &[(
+            "REPRO_FLIGHT_DIR".to_string(),
+            dir.to_str().expect("utf-8 temp path").to_string(),
+        )],
+    )
+    .expect("daemon spawns");
+
+    let job = bench::shard::FailJob {
+        fail_point: 0,
+        fail_rep: 1,
+    };
+    let segments = vec![sim_runtime::Segment {
+        point: 0,
+        base_rep: 0,
+        count: 3,
+    }];
+    let manifest =
+        sim_runtime::TaskManifest::for_job(&job, segments, &|p, r| ((p as u64) << 32) | r);
+    let mut client = svc.client();
+    let (id, _) = client.submit(&manifest, 1).expect("submit");
+    let err = client.fetch_blob(id).expect_err("job must fail");
+    assert!(
+        err.to_string().contains("selftest failure at (0, 1)"),
+        "executor error must reach the waiter unchanged: {err}"
+    );
+
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("flight dir exists after a failure")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    assert_eq!(dumps.len(), 1, "exactly one post-mortem: {dumps:?}");
+    let body = std::fs::read_to_string(&dumps[0]).expect("dump reads");
+    assert!(
+        body.contains("selftest failure at (0, 1)") && body.contains("\"traceEvents\":["),
+        "dump must carry the error and the span trace: {body}"
+    );
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// `repro watch` against a live daemon: progress lines stream to stdout

@@ -160,6 +160,8 @@ struct Shared<'x> {
     warmup: f64,
     max_zero: u64,
     trace_on: bool,
+    /// `REPRO_PROFILE` armed: wrap every fire section in a clock read.
+    profile_on: bool,
 }
 
 impl<'x> Shared<'x> {
@@ -195,6 +197,7 @@ struct Lane<'x> {
     firing_counts: &'x mut [u64],
     acc_f: &'x mut [f64],
     acc_c: &'x mut [u64],
+    profile_ns: &'x mut [u64],
     trace: &'x mut TraceBuffer,
     guard_scratch: &'x mut Vec<i64>,
     consumed: &'x mut Vec<Color>,
@@ -389,12 +392,34 @@ impl<'x> Lane<'x> {
         }
     }
 
+    /// Execute transition `ti`'s fire section, attributing its wall time
+    /// when the profiler is armed. The disarmed path is a single
+    /// well-predicted branch in front of [`Lane::exec_fire_inner`]; the
+    /// armed path reads the monotonic clock twice and folds the delta
+    /// into the lane's per-transition nanosecond stripe (flushed to
+    /// [`super::profile`] when the lane retires).
+    #[inline(always)]
+    fn exec_fire<const GEN: bool>(
+        &mut self,
+        sh: &Shared<'_>,
+        ti: usize,
+        ops: &[u32],
+    ) -> Result<(), SimError> {
+        if !sh.profile_on {
+            return self.exec_fire_inner::<GEN>(sh, ti, ops);
+        }
+        let t0 = std::time::Instant::now();
+        let res = self.exec_fire_inner::<GEN>(sh, ti, ops);
+        self.profile_ns[ti] += t0.elapsed().as_nanos() as u64;
+        res
+    }
+
     /// Execute transition `ti`'s fire section: the counted token-move and
     /// count-condition segments run with no opcode dispatch; the
     /// dispatched tail carries counter hooks and (in `GEN = true`
     /// instantiations only) the colored/filtered/guard-program slow paths.
     #[inline(always)]
-    fn exec_fire<const GEN: bool>(
+    fn exec_fire_inner<const GEN: bool>(
         &mut self,
         sh: &Shared<'_>,
         ti: usize,
@@ -885,6 +910,7 @@ pub(super) struct LoweredEngine<'e> {
     firing_counts: Vec<u64>,
     acc_f: Vec<f64>,
     acc_c: Vec<u64>,
+    profile_ns: Vec<u64>,
     traces: Vec<TraceBuffer>,
     guard_scratch: Vec<i64>,
     consumed: Vec<Color>,
@@ -947,6 +973,7 @@ impl<'e> LoweredEngine<'e> {
             firing_counts: vec![0; lanes * nt],
             acc_f: vec![0.0; lanes * lw.n_integ],
             acc_c: vec![0; lanes * lw.n_count],
+            profile_ns: vec![0; lanes * nt],
             traces: (0..lanes)
                 .map(|_| TraceBuffer::new(sim.cfg.trace_capacity))
                 .collect(),
@@ -1031,6 +1058,7 @@ impl<'e> LoweredEngine<'e> {
             warmup: self.cfg.warmup,
             max_zero: self.cfg.max_zero_time_firings,
             trace_on: self.cfg.trace_capacity > 0,
+            profile_on: super::profile::armed(),
         };
         // `run_lane` borrows all of `self` mutably, so iterating `out`
         // with `iter_mut` can't work here.
@@ -1073,6 +1101,7 @@ impl<'e> LoweredEngine<'e> {
             firing_counts: &mut self.firing_counts[tb..tb + nt],
             acc_f: &mut self.acc_f[l * nf..(l + 1) * nf],
             acc_c: &mut self.acc_c[l * nk..(l + 1) * nk],
+            profile_ns: &mut self.profile_ns[tb..tb + nt],
             trace: &mut self.traces[l],
             guard_scratch: &mut self.guard_scratch,
             consumed: &mut self.consumed,
@@ -1093,6 +1122,17 @@ impl<'e> LoweredEngine<'e> {
 
     fn finalize(&mut self, l: usize) -> SimOutput {
         let tb = l * self.nt;
+        if super::profile::armed() {
+            // Flush this lane's profile stripe into the process-global
+            // table before the counts are moved into the output.
+            for (ti, t) in self.net.transitions().iter().enumerate() {
+                super::profile::record(
+                    &t.name,
+                    self.firing_counts[tb + ti],
+                    self.profile_ns[tb + ti],
+                );
+            }
+        }
         let end = self.end_time[l];
         let observed = (end - self.cfg.warmup).max(0.0);
         let fb = l * self.lw.n_integ;

@@ -25,6 +25,7 @@ mod batch;
 mod engine;
 mod lower;
 mod lowered;
+pub mod profile;
 mod reference;
 mod rewards;
 mod trace;

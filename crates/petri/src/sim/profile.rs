@@ -1,0 +1,146 @@
+//! Per-transition engine profiler for the lowered engine.
+//!
+//! Armed by `REPRO_PROFILE=1` (or `on`/`true`), the lowered engine wraps
+//! every fire-section execution in a monotonic-clock measurement and, when
+//! a lane retires, folds its per-transition firing counts and attributed
+//! nanoseconds into this process-global table keyed by transition name.
+//! Disarmed (the default) the hot loop takes the branch-predicted
+//! `profile_on == false` path and never touches a clock.
+//!
+//! The profiler is **observably inert**: it reads wall time and counters
+//! the engine already maintains, never the RNG or any simulation state, so
+//! armed and disarmed runs produce byte-identical artifacts (asserted by
+//! the CI `--profile` smoke). Attributed time is the fire-section body
+//! only — scheduling, rechecks and reward integration are deliberately
+//! outside the measurement so the table answers "which transition's firing
+//! logic is hot", not "where does all wall time go".
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Whether `REPRO_PROFILE` arms the profiler for this process (computed
+/// once; workers inherit the variable through the environment).
+pub fn armed() -> bool {
+    static ARMED: OnceLock<bool> = OnceLock::new();
+    *ARMED.get_or_init(|| {
+        matches!(
+            std::env::var("REPRO_PROFILE").as_deref(),
+            Ok("1") | Ok("on") | Ok("true")
+        )
+    })
+}
+
+/// One transition's aggregated profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Transition name (the net's, not an index — stable across nets
+    /// built the same way, which is what makes re-run tables comparable).
+    pub transition: String,
+    /// Total firings attributed to this transition.
+    pub firings: u64,
+    /// Total nanoseconds spent in this transition's fire section.
+    pub ns: u64,
+}
+
+fn table() -> &'static Mutex<BTreeMap<String, (u64, u64)>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<String, (u64, u64)>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Fold one retired lane's counts into the global table. Zero-work rows
+/// are skipped so nets with many never-enabled transitions stay readable.
+pub fn record(transition: &str, firings: u64, ns: u64) {
+    if firings == 0 && ns == 0 {
+        return;
+    }
+    let mut t = table().lock().expect("profile table poisoned");
+    let e = t.entry(transition.to_string()).or_insert((0, 0));
+    e.0 += firings;
+    e.1 += ns;
+}
+
+/// Snapshot the table, sorted by attributed time descending (name
+/// ascending on ties, for deterministic rendering).
+pub fn snapshot() -> Vec<ProfileRow> {
+    let t = table().lock().expect("profile table poisoned");
+    let mut rows: Vec<ProfileRow> = t
+        .iter()
+        .map(|(name, &(firings, ns))| ProfileRow {
+            transition: name.clone(),
+            firings,
+            ns,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.ns.cmp(&a.ns)
+            .then_with(|| a.transition.cmp(&b.transition))
+    });
+    rows
+}
+
+/// Clear the table (tests; also lets one process profile two phases).
+pub fn reset() {
+    table().lock().expect("profile table poisoned").clear();
+}
+
+/// Render a snapshot as an aligned text table.
+pub fn render_table(rows: &[ProfileRow]) -> String {
+    if rows.is_empty() {
+        return "engine profile: no transitions fired\n".to_string();
+    }
+    let name_w = rows
+        .iter()
+        .map(|r| r.transition.len())
+        .max()
+        .unwrap_or(0)
+        .max("transition".len());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:name_w$}  {:>12}  {:>14}  {:>10}\n",
+        "transition", "firings", "total_ns", "ns/firing"
+    ));
+    for r in rows {
+        let per = r.ns.checked_div(r.firings).unwrap_or(0);
+        out.push_str(&format!(
+            "{:name_w$}  {:>12}  {:>14}  {:>10}\n",
+            r.transition, r.firings, r.ns, per
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_aggregates_and_snapshot_sorts_by_time() {
+        reset();
+        record("serve", 10, 500);
+        record("arrive", 10, 900);
+        record("serve", 5, 100);
+        record("idle", 0, 0); // skipped
+        let rows = snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].transition, "arrive");
+        assert_eq!(rows[0].ns, 900);
+        assert_eq!(rows[1].transition, "serve");
+        assert_eq!((rows[1].firings, rows[1].ns), (15, 600));
+        reset();
+    }
+
+    #[test]
+    fn table_renders_header_and_per_firing_column() {
+        let rows = vec![ProfileRow {
+            transition: "arrive".into(),
+            firings: 4,
+            ns: 100,
+        }];
+        let txt = render_table(&rows);
+        assert!(txt.contains("transition"));
+        assert!(txt.contains("ns/firing"));
+        assert!(txt.contains("arrive"));
+        assert!(txt.lines().nth(1).unwrap().trim_end().ends_with("25"));
+        assert_eq!(render_table(&[]), "engine profile: no transitions fired\n");
+    }
+}

@@ -44,11 +44,14 @@ use std::sync::OnceLock;
 /// added the batch-width field, so workers can run contiguous same-point
 /// slots on the batched SoA engine; version 4 upgraded the liveness
 /// heartbeat to a progress frame (`P`: delivered/total slot counts), so
-/// parents can render live per-chunk progress without extra round trips.
+/// parents can render live per-chunk progress without extra round trips;
+/// version 5 added the trace context (`u64` trace ID) to the manifest
+/// request and the advisory span-batch response frame (`T`), so worker
+/// spans fold back into the parent's job trace.
 /// (Bumping the version also rotates the service cache's key space —
 /// cached result bytes are identical across versions, but entries written
 /// by older binaries describe an older protocol.)
-pub const WIRE_VERSION: u8 = 4;
+pub const WIRE_VERSION: u8 = 5;
 
 // --- errors --------------------------------------------------------------
 
@@ -540,6 +543,12 @@ pub(crate) mod frame {
     /// derives from `R` frames alone, and a dropped `P` frame never
     /// affects gathered bytes.
     pub const PROGRESS: u8 = b'P';
+    /// Span batch (wire version 5): the worker's recorded trace spans
+    /// for the chunk, sent once before the terminal `D`/`E` frame.
+    /// Advisory like `P` — the parent folds the spans into its own
+    /// collector, and a dropped or garbled batch costs observability
+    /// only, never results.
+    pub const SPANS: u8 = b'T';
 }
 
 /// The multi-process backend: contiguous manifest shards fanned out to
@@ -687,7 +696,12 @@ impl ShardedBackend {
             child.stdin.take().expect("stdin piped"),
             child.stdout.take().expect("stdout piped"),
         );
-        let request = encode_manifest_request(self.worker_threads, self.batch, chunk);
+        let request = encode_manifest_request(
+            self.worker_threads,
+            self.batch,
+            chunk,
+            crate::trace::current(),
+        );
         let shipped = transport
             .send(&request)
             .and_then(|_| transport.send(&encode_shutdown_request()))
@@ -773,6 +787,8 @@ impl ShardedBackend {
             if attempt > 0 {
                 std::thread::sleep(self.fault.backoff_delay(attempt - 1, start as u64));
             }
+            let tr = crate::trace::tracer();
+            let checkout_started = tr.start();
             let mut worker = match pool().checkout_worker(cmd) {
                 Ok(w) => w,
                 Err(e) => {
@@ -780,12 +796,23 @@ impl ShardedBackend {
                     continue;
                 }
             };
+            tr.record(
+                crate::trace::current(),
+                crate::trace::name::POOL_CHECKOUT,
+                crate::trace::cat::FLEET,
+                start as u64,
+                checkout_started,
+            );
             let slots = pending_manifest.slots();
             let mut delivered = vec![false; slots.len()];
             let outcome = {
                 let mut transport = FaultInjector::new(worker.transport(), self.chaos);
-                let request =
-                    encode_manifest_request(self.worker_threads, self.batch, &pending_manifest);
+                let request = encode_manifest_request(
+                    self.worker_threads,
+                    self.batch,
+                    &pending_manifest,
+                    crate::trace::current(),
+                );
                 match transport.send(&request).and_then(|_| transport.flush()) {
                     Err(e) => Drained::Broken(format!("request write failed: {e}")),
                     Ok(()) => drain_chunk(
@@ -1296,8 +1323,33 @@ impl crate::Runner {
         job: &dyn PortableJob,
         manifest: &TaskManifest,
     ) -> Result<Vec<Vec<u8>>, ExecError> {
-        self.backend_impl()
-            .run_segments(job, manifest, self.progress.as_deref())
+        // Establish the job's ambient trace context so slot/engine spans
+        // recorded deep in the grid (and shipped into worker requests)
+        // attribute to this manifest's deterministic trace ID.
+        let tr = crate::trace::tracer();
+        let trace = if tr.is_enabled() {
+            crate::trace::trace_id_of(manifest)
+        } else {
+            0
+        };
+        let _ctx = crate::trace::enter(trace);
+        let dispatch_started = tr.start();
+        let out = self
+            .backend_impl()
+            .run_segments(job, manifest, self.progress.as_deref());
+        tr.record(
+            trace,
+            crate::trace::name::DISPATCH,
+            crate::trace::cat::SERVICE,
+            0,
+            dispatch_started,
+        );
+        if let Err(e) = &out {
+            if let Some(path) = crate::trace::flight_record(trace, "dispatch", &e.to_string()) {
+                eprintln!("[trace] job failed; flight recording at {}", path.display());
+            }
+        }
+        out
     }
 
     /// Run a portable `(point × replication)` grid on the configured

@@ -306,6 +306,24 @@ pub fn fleet_stats() -> &'static FleetStats {
     STATS.get_or_init(FleetStats::default)
 }
 
+/// The fleet's [`MetricsSource`](crate::telemetry::MetricsSource):
+/// samples [`fleet_stats`] as `fleet_*`-prefixed counter pairs. The
+/// global [`telemetry()`](crate::telemetry::telemetry) handle registers
+/// this at init so every `/metrics` scrape carries the fleet counters
+/// from one source of truth.
+pub fn fleet_metrics_source() -> Vec<(&'static str, u64)> {
+    let s = fleet_stats().snapshot();
+    vec![
+        ("fleet_spawned", s.spawned),
+        ("fleet_pool_hits", s.pool_hits),
+        ("fleet_restarts", s.restarts),
+        ("fleet_reconnects", s.reconnects),
+        ("fleet_quarantined", s.quarantined),
+        ("fleet_fallbacks", s.fallbacks),
+        ("fleet_recycled", s.recycled),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

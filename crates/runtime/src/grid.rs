@@ -156,6 +156,11 @@ where
     let tele = crate::telemetry::telemetry();
     let claims = tele.counter("grid_tasks_claimed_total");
     let slot_wall = tele.histogram("grid_slot_wall_ns");
+    // Like the metric handles, the trace context is resolved once per
+    // grid: slot spans attribute to the ambient job trace (0 = untraced,
+    // recording skipped).
+    let tr = crate::trace::tracer();
+    let trace = crate::trace::current();
 
     let threads = threads.max(1).min(total);
     if threads == 1 {
@@ -169,9 +174,17 @@ where
             for local in 0..seg.count {
                 let rep = seg.base_rep + local as u64;
                 claims.inc();
+                let span = tr.start();
                 let started = Instant::now();
                 results.push(task(flat, seg.point, rep).map_err(|e| (flat, e))?);
                 slot_wall.record_duration(started.elapsed());
+                tr.record(
+                    trace,
+                    crate::trace::name::SLOT,
+                    crate::trace::cat::GRID,
+                    flat as u64,
+                    span,
+                );
                 flat += 1;
                 if let Some(cb) = progress {
                     cb(Progress {
@@ -208,9 +221,17 @@ where
                 let seg = &segments[seg_idx];
                 let rep = seg.base_rep + offset as u64;
                 claims.inc();
+                let span = tr.start();
                 let started = Instant::now();
                 let outcome = task(i, seg.point, rep);
                 slot_wall.record_duration(started.elapsed());
+                tr.record(
+                    trace,
+                    crate::trace::name::SLOT,
+                    crate::trace::cat::GRID,
+                    i as u64,
+                    span,
+                );
                 match outcome {
                     Ok(r) => {
                         // Each flat index is claimed exactly once, so the
@@ -332,12 +353,24 @@ where
     let tele = crate::telemetry::telemetry();
     let claims = tele.counter("grid_tasks_claimed_total");
     let batch_wall = tele.histogram("grid_batch_wall_ns");
+    // One `slot` span per batch run (flat = the run's first slot), same
+    // ambient-trace resolution as the scalar path.
+    let tr = crate::trace::tracer();
+    let trace = crate::trace::current();
 
     let consume_run = |run: &Run| -> Result<(), (usize, E)> {
         claims.add(run.count as u64);
+        let span = tr.start();
         let started = Instant::now();
         let out = task(run.flat_base, run.point, run.base_rep, run.count);
         batch_wall.record_duration(started.elapsed());
+        tr.record(
+            trace,
+            crate::trace::name::SLOT,
+            crate::trace::cat::GRID,
+            run.flat_base as u64,
+            span,
+        );
         debug_assert_eq!(out.len(), run.count, "batch task must fill every lane");
         let mut first: Option<(usize, E)> = None;
         for (lane, res) in out.into_iter().enumerate() {

@@ -58,6 +58,13 @@
 //!   the HTTP gateway ([`service::http`]). Observably inert: recording
 //!   never touches scheduling, seeding or gather order, so artifacts are
 //!   byte-identical with telemetry on or off.
+//! * [`trace`] — **causal job tracing** on top of the metrics spine: a
+//!   bounded process-wide span collector with deterministic trace/span
+//!   IDs (derived from the manifest SHA-256 + flat slot index),
+//!   cross-process propagation over the worker wire protocol, Chrome
+//!   trace-event export (`repro trace`, `GET /jobs/<id>/trace`), and a
+//!   failure flight recorder. Inert under `REPRO_TRACE=off` with the
+//!   same byte-identity guarantee.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -70,6 +77,7 @@ pub mod service;
 pub mod stats;
 pub mod stopping;
 pub mod telemetry;
+pub mod trace;
 pub mod wire;
 pub mod worker;
 
@@ -89,3 +97,4 @@ pub use stats::{
 };
 pub use stopping::{AdaptivePoint, StoppingRule};
 pub use telemetry::{telemetry, Telemetry};
+pub use trace::{tracer, Tracer};

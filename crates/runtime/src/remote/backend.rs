@@ -267,7 +267,12 @@ impl RemoteBackend {
         let slots = chunk.manifest.slots();
         let mut delivered = vec![false; slots.len()];
         let mut link = FaultInjector::new(transport, self.chaos);
-        let request = encode_manifest_request(self.worker_threads, self.batch, &chunk.manifest);
+        let request = encode_manifest_request(
+            self.worker_threads,
+            self.batch,
+            &chunk.manifest,
+            crate::trace::current(),
+        );
         if let Err(e) = link.send(&request).and_then(|_| link.flush()) {
             return (
                 Drained::Broken(format!("request write failed: {e}")),

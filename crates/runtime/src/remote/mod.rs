@@ -233,6 +233,7 @@ mod tests {
             let _version = r.get_u8().unwrap();
             let _threads = r.get_u32().unwrap();
             let _batch = r.get_u32().unwrap();
+            let _trace = r.get_u64().unwrap();
             let m = TaskManifest::decode(&mut r).unwrap();
             let job = MulJob { factor: 3 };
             let (p, rep, seed) = m.slots()[0];
@@ -279,6 +280,7 @@ mod tests {
             let _version = r.get_u8().unwrap();
             let _threads = r.get_u32().unwrap();
             let _batch = r.get_u32().unwrap();
+            let _trace = r.get_u64().unwrap();
             let m = TaskManifest::decode(&mut r).unwrap();
             let job = MulJob { factor: 3 };
             let (p, rep, seed) = m.slots()[0];

@@ -15,17 +15,20 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Encode a manifest-dispatch request: tag, protocol version, worker
-/// thread count, batch width, then the manifest itself.
+/// thread count, batch width, trace ID (wire version 5; `0` = no job
+/// trace context), then the manifest itself.
 pub(crate) fn encode_manifest_request(
     threads: usize,
     batch: usize,
     manifest: &TaskManifest,
+    trace: u64,
 ) -> Vec<u8> {
     let mut body = Vec::new();
     wire::put_u8(&mut body, frame::MANIFEST);
     wire::put_u8(&mut body, WIRE_VERSION);
     wire::put_u32(&mut body, threads as u32);
     wire::put_u32(&mut body, batch.max(1) as u32);
+    wire::put_u64(&mut body, trace);
     manifest.encode_into(&mut body);
     body
 }
@@ -159,6 +162,29 @@ pub(crate) fn drain_chunk(transport: &mut dyn FrameTransport, sink: ChunkSink<'_
                     let _delivered = r.get_u64()?;
                     let _total = r.get_u64()?;
                     r.finish()?;
+                    Ok(None)
+                }
+                frame::SPANS => {
+                    // Span batch (wire version 5): the worker's trace
+                    // spans for this chunk. Advisory like `P` — spans
+                    // fold into the parent's collector for rendering,
+                    // but results derive solely from `R` frames, so a
+                    // lost batch costs observability only. Slot spans
+                    // arrive with *chunk-local* flat indices; remap them
+                    // through the sink's flat table so remainder
+                    // re-dispatches stay correctly attributed.
+                    let spans = crate::trace::decode_spans(&mut r)?;
+                    r.finish()?;
+                    let tr = crate::trace::tracer();
+                    for mut span in spans {
+                        if span.name == crate::trace::name::SLOT {
+                            let local = span.flat as usize;
+                            if let Some(&global) = sink.global_flat.get(local) {
+                                span.flat = global as u64;
+                            }
+                        }
+                        tr.record_span(span);
+                    }
                     Ok(None)
                 }
                 frame::DONE => {

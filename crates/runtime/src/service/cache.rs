@@ -58,6 +58,14 @@ impl CacheKey {
         CacheKey(sha256(&buf))
     }
 
+    /// Deterministic trace ID for [`crate::trace`]: the key's first
+    /// eight bytes as a little-endian `u64`, mapped away from the
+    /// reserved "no trace" value `0`. Stable across re-runs of the same
+    /// manifest on the same build, so traces are directly comparable.
+    pub fn trace_id(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("8 bytes")).max(1)
+    }
+
     /// Lower-case hex rendering (the disk file name).
     pub fn hex(&self) -> String {
         let mut s = String::with_capacity(64);

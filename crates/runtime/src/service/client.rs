@@ -228,6 +228,16 @@ impl ServiceClient {
         }
     }
 
+    /// Fetch a job's collected spans as Chrome trace-event JSON.
+    pub fn trace(&mut self, job: JobId) -> Result<String, ServiceError> {
+        match self.round_trip(&ServiceRequest::Trace(job))? {
+            ServiceResponse::Trace { json, .. } => Ok(json),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected trace response {other:?}"
+            ))),
+        }
+    }
+
     /// Ask the daemon to shut down (acknowledged before it exits).
     pub fn shutdown(&mut self) -> Result<(), ServiceError> {
         match self.round_trip(&ServiceRequest::Shutdown)? {

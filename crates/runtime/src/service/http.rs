@@ -11,6 +11,7 @@
 //! | `GET /stats` | `Stats` | [`ServiceStats`] as JSON |
 //! | `GET /jobs/<id>` | `Status` | `{"id","state","progress"}` JSON |
 //! | `GET /jobs/<id>/result` | `Fetch` | the raw result blob bytes |
+//! | `GET /jobs/<id>/trace` | `Trace` | Chrome trace-event JSON |
 //! | `POST /submit` | `Submit` | `{"job","disposition"}` JSON |
 //! | `GET /metrics` | — | Prometheus text exposition |
 //!
@@ -21,12 +22,12 @@
 //! empty body, query parameters handed to the embedding binary's
 //! [`SpecParser`] (e.g. `POST /submit?spec=mm1&seed=7` in `repro`).
 //!
-//! `/metrics` renders the process-global telemetry registry plus the
-//! service and fleet counters as `extra` series. Metrics are
-//! **per-process**: engine counters recorded inside sharded worker
-//! subprocesses live in those processes, so a daemon on the in-process
-//! backend shows engine series and a sharded daemon shows the
-//! dispatch-side series only.
+//! `/metrics` renders the process-global telemetry registry (which
+//! carries the fleet counters as a registered source) plus this daemon's
+//! service counters as `extra` series. Metrics are **per-process**:
+//! engine counters recorded inside sharded worker subprocesses live in
+//! those processes, so a daemon on the in-process backend shows engine
+//! series and a sharded daemon shows the dispatch-side series only.
 //!
 //! One thread per connection, `Connection: close` on every response —
 //! the gateway serves monitoring probes and CI smoke, not bulk traffic.
@@ -136,39 +137,68 @@ fn handle_http(
     stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
     let (method, target, body) = match read_request(&mut stream) {
         Ok(req) => req,
-        Err(msg) => {
-            return HttpResponse::error(400, "Bad Request", msg).write_to(&mut stream);
-        }
+        Err(resp) => return resp.write_to(&mut stream),
     };
     let response = route(service, spec, &method, &target, &body);
     response.write_to(&mut stream)
 }
 
+/// Request-line byte cap: beyond it the request is answered 431 without
+/// reading further (a client streaming an endless first line must not tie
+/// the handler to a 64 KB crawl).
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Whole-head (request line + headers) byte cap → 431.
+const MAX_HEAD: usize = 64 * 1024;
+/// Declared body byte cap → 413.
+const MAX_BODY: usize = 64 * 1024 * 1024;
+
 /// Parse one HTTP/1.1 request off the stream. Returns
-/// `(method, target, body)`; the error string becomes a 400 body.
-fn read_request(stream: &mut TcpStream) -> Result<(String, String, Vec<u8>), String> {
+/// `(method, target, body)`; the error is a fully typed response —
+/// 431 for an oversized request line or header section, 413 for an
+/// oversized declared body, 400 for everything malformed — so misbehaving
+/// clients get told what they did instead of a silent close or a
+/// catch-all 400.
+fn read_request(stream: &mut TcpStream) -> Result<(String, String, Vec<u8>), HttpResponse> {
+    let bad = |msg: String| HttpResponse::error(400, "Bad Request", msg);
+    let too_large = |what: &str, cap: usize| {
+        HttpResponse::error(
+            431,
+            "Request Header Fields Too Large",
+            format!("{what} exceeds {cap} bytes"),
+        )
+    };
     // Accumulate until the blank line; headers are small, so byte-at-a-
     // time buffered reads are fine for a monitoring surface.
     let mut head = Vec::new();
     let mut byte = [0u8; 1];
+    let mut in_request_line = true;
     while !head.ends_with(b"\r\n\r\n") {
-        if head.len() > 64 * 1024 {
-            return Err("request head too large".into());
+        if head.len() > MAX_HEAD {
+            return Err(too_large("request head", MAX_HEAD));
+        }
+        if in_request_line {
+            if head.ends_with(b"\r\n") {
+                in_request_line = false;
+            } else if head.len() > MAX_REQUEST_LINE {
+                return Err(too_large("request line", MAX_REQUEST_LINE));
+            }
         }
         match stream.read(&mut byte) {
-            Ok(0) => return Err("connection closed mid-request".into()),
+            Ok(0) => return Err(bad("connection closed mid-request".into())),
             Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(format!("request read failed: {e}")),
+            Err(e) => return Err(bad(format!("request read failed: {e}"))),
         }
     }
     let head = String::from_utf8_lossy(&head);
     let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
+    // Tolerate stray whitespace around the request line (some probes pad
+    // it); split_whitespace already absorbs repeated interior spaces.
+    let request_line = lines.next().unwrap_or("").trim();
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().unwrap_or("").to_string();
     if method.is_empty() || target.is_empty() {
-        return Err(format!("malformed request line {request_line:?}"));
+        return Err(bad(format!("malformed request line {request_line:?}")));
     }
     let mut content_length = 0usize;
     for line in lines {
@@ -177,17 +207,21 @@ fn read_request(stream: &mut TcpStream) -> Result<(String, String, Vec<u8>), Str
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| format!("bad content-length {value:?}"))?;
+                    .map_err(|_| bad(format!("bad content-length {value:?}")))?;
             }
         }
     }
-    if content_length > 64 * 1024 * 1024 {
-        return Err("request body too large".into());
+    if content_length > MAX_BODY {
+        return Err(HttpResponse::error(
+            413,
+            "Payload Too Large",
+            format!("declared body of {content_length} bytes exceeds {MAX_BODY}"),
+        ));
     }
     let mut body = vec![0u8; content_length];
     stream
         .read_exact(&mut body)
-        .map_err(|e| format!("body read failed: {e}"))?;
+        .map_err(|e| bad(format!("body read failed: {e}")))?;
     Ok((method, target, body))
 }
 
@@ -224,21 +258,16 @@ fn route(
             service.stats().render_json().into_bytes(),
         ),
         ("GET", "/metrics") => {
-            // The service and fleet counters predate the registry; fold
-            // them into the same scrape as extra series.
-            let mut extra: Vec<(String, u64)> = service
+            // The per-daemon service counters are this gateway's own and
+            // ride along as extra series; the process-global fleet
+            // counters render from the registry's source hook, so every
+            // scrape surface shares one definition of them.
+            let extra: Vec<(String, u64)> = service
                 .stats()
                 .fields()
                 .iter()
                 .map(|(name, value)| (format!("service_{name}"), *value))
                 .collect();
-            extra.extend(
-                crate::fleet::fleet_stats()
-                    .snapshot()
-                    .fields()
-                    .iter()
-                    .map(|(name, value)| (format!("fleet_{name}"), *value)),
-            );
             HttpResponse::ok(
                 "text/plain; version=0.0.4; charset=utf-8",
                 crate::telemetry::telemetry()
@@ -286,18 +315,24 @@ fn route(
         }
         ("GET", _) if path.starts_with("/jobs/") => {
             let rest = &path["/jobs/".len()..];
-            let (id, want_result) = match rest.strip_suffix("/result") {
-                Some(id) => (id, true),
-                None => (rest, false),
+            let (id, suffix) = if let Some(id) = rest.strip_suffix("/result") {
+                (id, "result")
+            } else if let Some(id) = rest.strip_suffix("/trace") {
+                (id, "trace")
+            } else {
+                (rest, "")
             };
             let Ok(id) = id.parse::<u64>() else {
                 return HttpResponse::error(400, "Bad Request", format!("bad job id {id:?}"));
             };
             let job = super::JobId(id);
-            if want_result {
-                fetch_result(service, job)
-            } else {
-                match (service.status(job), service.progress(job)) {
+            match suffix {
+                "result" => fetch_result(service, job),
+                "trace" => match service.trace_json(job) {
+                    Some(json) => HttpResponse::ok("application/json", json.into_bytes()),
+                    None => HttpResponse::error(404, "Not Found", format!("unknown job {id}")),
+                },
+                _ => match (service.status(job), service.progress(job)) {
                     (Some(state), Some(p)) => HttpResponse::ok(
                         "application/json",
                         format!(
@@ -308,7 +343,7 @@ fn route(
                         .into_bytes(),
                     ),
                     _ => HttpResponse::error(404, "Not Found", format!("unknown job {id}")),
-                }
+                },
             }
         }
         _ => HttpResponse::error(404, "Not Found", format!("no route {method} {path}")),
@@ -414,6 +449,16 @@ mod tests {
         };
         assert_eq!(blob, direct, "gateway bytes == binary-protocol bytes");
 
+        // The trace route answers valid Chrome trace JSON for any known
+        // job (tracing may be off in this environment — then the event
+        // list is simply empty) and 404s unknown ids.
+        let (status, body) = request(addr, &format!("GET /jobs/{id}/trace HTTP/1.1\r\n"), &[]);
+        assert!(status.contains("200"), "{status}");
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"traceEvents\""), "{text}");
+        let (status, _) = request(addr, "GET /jobs/999/trace HTTP/1.1\r\n", &[]);
+        assert!(status.contains("404"), "{status}");
+
         // Status JSON for a finished job pins done == total.
         let (status, body) = request(addr, &format!("GET /jobs/{id} HTTP/1.1\r\n"), &[]);
         assert!(status.contains("200"), "{status}");
@@ -476,6 +521,78 @@ mod tests {
         let (status, body) = request(addr, "POST /submit?spec=wat HTTP/1.1\r\n", &[]);
         assert!(status.contains("400"), "{status}");
         assert!(String::from_utf8(body).unwrap().contains("unknown spec"));
+
+        service.stop();
+        let _ = TcpStream::connect(addr);
+        gateway.join().unwrap();
+        handle.stop();
+    }
+
+    /// Fire raw bytes at the gateway and return the response status line
+    /// (for requests the well-formed `request` helper cannot express).
+    fn raw_status(addr: std::net::SocketAddr, bytes: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        // Ignore write errors: the gateway may answer (and close) before
+        // an oversized request finishes sending.
+        let _ = s.write_all(bytes);
+        let _ = s.flush();
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        String::from_utf8_lossy(&out)
+            .lines()
+            .next()
+            .unwrap_or("")
+            .to_string()
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_get_typed_statuses() {
+        let handle = handle();
+        let service = handle.service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc = service.clone();
+        let gateway = std::thread::spawn(move || serve_http(svc, listener, None).unwrap());
+
+        // Stray whitespace around the request line is tolerated.
+        let status = raw_status(addr, b"  GET /healthz HTTP/1.1  \r\n\r\n");
+        assert!(status.contains("200"), "{status}");
+
+        // An empty request line is a plain 400.
+        let status = raw_status(addr, b"\r\n\r\n");
+        assert!(status.contains("400"), "{status}");
+
+        // A request line past the cap draws 431 without waiting for the
+        // head terminator.
+        let mut long_line = b"GET /".to_vec();
+        long_line.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 16));
+        let status = raw_status(addr, &long_line);
+        assert!(status.contains("431"), "{status}");
+
+        // So does a header section past the whole-head cap.
+        let mut fat_head = b"GET /healthz HTTP/1.1\r\nX-Pad: ".to_vec();
+        fat_head.extend(std::iter::repeat_n(b'b', MAX_HEAD + 16));
+        let status = raw_status(addr, &fat_head);
+        assert!(status.contains("431"), "{status}");
+
+        // A declared body over the cap draws 413 before any body read.
+        let status = raw_status(
+            addr,
+            format!(
+                "POST /submit HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY + 1
+            )
+            .as_bytes(),
+        );
+        assert!(status.contains("413"), "{status}");
+
+        // And a garbled content-length stays a 400.
+        let status = raw_status(
+            addr,
+            b"POST /submit HTTP/1.1\r\nContent-Length: wat\r\n\r\n",
+        );
+        assert!(status.contains("400"), "{status}");
 
         service.stop();
         let _ = TcpStream::connect(addr);

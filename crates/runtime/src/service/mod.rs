@@ -201,6 +201,24 @@ impl Service {
     /// answer will come from; `Err` is a request-level rejection (invalid
     /// manifest, unknown job kind, queue full).
     pub fn submit(&self, manifest: TaskManifest) -> Result<(JobId, Disposition), String> {
+        let tr = crate::trace::tracer();
+        if !tr.is_enabled() {
+            return self.submit_inner(manifest);
+        }
+        let trace = crate::trace::trace_id_of(&manifest);
+        let started = tr.start();
+        let out = self.submit_inner(manifest);
+        tr.record(
+            trace,
+            crate::trace::name::SUBMIT,
+            crate::trace::cat::SERVICE,
+            0,
+            started,
+        );
+        out
+    }
+
+    fn submit_inner(&self, manifest: TaskManifest) -> Result<(JobId, Disposition), String> {
         if self.is_stopping() {
             return Err("service is stopping; submission refused".into());
         }
@@ -293,6 +311,23 @@ impl Service {
             .expect("table lock")
             .get(job)
             .map(|r| r.progress.snapshot())
+    }
+
+    /// Render a job's collected spans as Chrome trace-event JSON (the
+    /// trace verb and the gateway's `GET /jobs/<id>/trace`). `None` means
+    /// the job id is unknown; a job served with tracing disabled (or
+    /// whose spans were evicted from the bounded ring) yields valid JSON
+    /// with fewer — possibly zero — events, never an error.
+    pub fn trace_json(&self, job: JobId) -> Option<String> {
+        let key = self
+            .table
+            .lock()
+            .expect("table lock")
+            .get(job)
+            .map(|r| r.key)?;
+        let trace = key.trace_id();
+        let spans = crate::trace::tracer().spans_for(trace);
+        Some(crate::trace::render_chrome_trace(trace, &spans))
     }
 
     /// Block until `job` is terminal; `Err` means the id is unknown (never
@@ -733,6 +768,7 @@ fn handle_connection(
             Ok(ServiceRequest::Cancel(_)) => "service_verb_cancel_ns",
             Ok(ServiceRequest::Stats) => "service_verb_stats_ns",
             Ok(ServiceRequest::Shutdown) => "service_verb_shutdown_ns",
+            Ok(ServiceRequest::Trace(_)) => "service_verb_trace_ns",
             Err(_) => "service_verb_invalid_ns",
         };
         let verb_started = std::time::Instant::now();
@@ -807,6 +843,10 @@ fn handle_connection(
                 None => ServiceResponse::Err(format!("unknown {job}")),
             },
             Ok(ServiceRequest::Stats) => ServiceResponse::Stats(service.stats()),
+            Ok(ServiceRequest::Trace(job)) => match service.trace_json(job) {
+                Some(json) => ServiceResponse::Trace { job, json },
+                None => ServiceResponse::Err(format!("unknown {job}")),
+            },
             Ok(ServiceRequest::Shutdown) => {
                 let send = transport
                     .send(&ServiceResponse::Ok.encode())

@@ -20,8 +20,9 @@ use crate::wire::{self, Reader, WireError};
 /// counters and adds the `BackendUnavailable` failure kind; version 3
 /// upgrades the blocking-fetch keep-alive to a `Progress` frame carrying
 /// live done/total slot counts (plain heartbeats remain for jobs with no
-/// progress record, e.g. cache hits).
-pub const SERVICE_WIRE_VERSION: u8 = 3;
+/// progress record, e.g. cache hits); version 4 adds the trace verb
+/// (fetch a job's collected spans as Chrome trace-event JSON).
+pub const SERVICE_WIRE_VERSION: u8 = 4;
 
 /// Request frame tags (client → daemon).
 pub mod request_tag {
@@ -37,6 +38,10 @@ pub mod request_tag {
     pub const STATS: u8 = b'I';
     /// Stop the daemon (acknowledged before it exits).
     pub const SHUTDOWN: u8 = b'Q';
+    /// Fetch a job's collected spans as Chrome trace-event JSON (wire
+    /// version 4). Answered immediately from the daemon's span ring —
+    /// tracing disabled or spans evicted simply yields fewer events.
+    pub const TRACE: u8 = b'G';
 }
 
 /// Response frame tags (daemon → client).
@@ -64,6 +69,9 @@ pub mod response_tag {
     /// the most recently completed `(point, replication)`. Cosmetic —
     /// clients that skip it lose nothing but rendering.
     pub const PROGRESS: u8 = b'P';
+    /// A job's Chrome trace-event JSON (wire version 4). `T` was already
+    /// taken by [`STATUS`], so the trace verb echoes its request tag.
+    pub const TRACE: u8 = b'G';
 }
 
 /// A service job identifier, unique within one daemon process.
@@ -303,6 +311,8 @@ pub enum ServiceRequest {
     Stats,
     /// Stop the daemon.
     Shutdown,
+    /// Fetch a job's collected spans as Chrome trace-event JSON.
+    Trace(JobId),
 }
 
 /// A decoded daemon response.
@@ -355,6 +365,14 @@ pub enum ServiceResponse {
         /// Its current progress counters.
         progress: JobProgress,
     },
+    /// A job's Chrome trace-event JSON. Always well-formed JSON; a job
+    /// served with tracing disabled yields an empty event list.
+    Trace {
+        /// The queried job.
+        job: JobId,
+        /// Chrome trace-event JSON (loadable in Perfetto).
+        json: String,
+    },
 }
 
 impl ServiceRequest {
@@ -391,6 +409,11 @@ impl ServiceRequest {
                 wire::put_u8(&mut buf, request_tag::SHUTDOWN);
                 wire::put_u8(&mut buf, SERVICE_WIRE_VERSION);
             }
+            ServiceRequest::Trace(job) => {
+                wire::put_u8(&mut buf, request_tag::TRACE);
+                wire::put_u8(&mut buf, SERVICE_WIRE_VERSION);
+                wire::put_u64(&mut buf, job.0);
+            }
         }
         buf
     }
@@ -416,6 +439,7 @@ impl ServiceRequest {
             request_tag::CANCEL => ServiceRequest::Cancel(JobId(r.get_u64()?)),
             request_tag::STATS => ServiceRequest::Stats,
             request_tag::SHUTDOWN => ServiceRequest::Shutdown,
+            request_tag::TRACE => ServiceRequest::Trace(JobId(r.get_u64()?)),
             other => {
                 return Err(WireError::new(format!(
                     "unknown service request tag {other:#x}"
@@ -486,6 +510,11 @@ impl ServiceResponse {
                 wire::put_u64(&mut buf, progress.point);
                 wire::put_u64(&mut buf, progress.replication);
             }
+            ServiceResponse::Trace { job, json } => {
+                wire::put_u8(&mut buf, response_tag::TRACE);
+                wire::put_u64(&mut buf, job.0);
+                wire::put_str(&mut buf, json);
+            }
         }
         buf
     }
@@ -536,6 +565,10 @@ impl ServiceResponse {
                     point: r.get_u64()?,
                     replication: r.get_u64()?,
                 },
+            },
+            response_tag::TRACE => ServiceResponse::Trace {
+                job: JobId(r.get_u64()?),
+                json: r.get_str()?.to_string(),
             },
             other => {
                 return Err(WireError::new(format!(
@@ -632,6 +665,7 @@ mod tests {
             ServiceRequest::Cancel(JobId(0)),
             ServiceRequest::Stats,
             ServiceRequest::Shutdown,
+            ServiceRequest::Trace(JobId(42)),
         ] {
             let body = req.encode();
             assert_eq!(ServiceRequest::decode(&body).unwrap(), req, "{req:?}");
@@ -693,6 +727,10 @@ mod tests {
                     point: 2,
                     replication: 3,
                 },
+            },
+            ServiceResponse::Trace {
+                job: JobId(8),
+                json: "{\"traceEvents\":[]}".into(),
             },
         ];
         for e in errors {

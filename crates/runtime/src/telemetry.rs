@@ -222,12 +222,19 @@ pub struct HistogramSnapshot {
     pub p99: u64,
 }
 
+/// A pull-time metrics source: a plain function returning `(name,
+/// value)` counter pairs, sampled at every exposition. How subsystems
+/// with their own atomic counters (the fleet supervisor) fold into the
+/// `/metrics` scrape without double-bookkeeping.
+pub type MetricsSource = fn() -> Vec<(&'static str, u64)>;
+
 /// The name-keyed metric tables behind one [`Telemetry`] handle.
 #[derive(Debug, Default)]
 struct Registry {
     counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    sources: Mutex<Vec<MetricsSource>>,
 }
 
 /// The process-global metrics handle.
@@ -279,6 +286,21 @@ impl Telemetry {
         Arc::clone(map.entry(name).or_default())
     }
 
+    /// Register a pull-time [`MetricsSource`] sampled at every
+    /// [`render_prometheus`](Self::render_prometheus) call.
+    ///
+    /// Sources render **regardless of the enabled flag**: they expose
+    /// counters a subsystem maintains for its own correctness (fleet
+    /// restart accounting, say), so the telemetry kill switch must not
+    /// hide them — it only silences the registry's own metrics.
+    pub fn register_source(&self, source: MetricsSource) {
+        self.registry
+            .sources
+            .lock()
+            .expect("telemetry lock")
+            .push(source);
+    }
+
     /// The histogram named `name`, creating it on first use.
     pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
         if !self.enabled {
@@ -311,9 +333,12 @@ impl Telemetry {
     /// format (version 0.0.4): counters as `_total`-suffixed counters
     /// (names already carry the suffix by convention), gauges plain, and
     /// histograms as cumulative `_bucket{le="..."}` series plus `_sum`
-    /// and `_count`. `extra` appends caller-supplied `(name, value)`
-    /// series — how the gateway folds the service/fleet counters (which
-    /// predate this registry) into one scrape.
+    /// and `_count`. Registered [`MetricsSource`]s are sampled next (they
+    /// render even when the handle is disabled — see
+    /// [`register_source`](Self::register_source)), then `extra` appends
+    /// caller-supplied `(name, value)` series — how the gateway folds the
+    /// per-service counters (which predate this registry) into one
+    /// scrape.
     pub fn render_prometheus(&self, extra: &[(String, u64)]) -> String {
         let mut out = String::new();
         for (name, value) in self.counters() {
@@ -334,6 +359,13 @@ impl Telemetry {
                 out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", s.sum, s.count));
             }
         }
+        let sources = self.registry.sources.lock().expect("telemetry lock");
+        for source in sources.iter() {
+            for (name, value) in source() {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+            }
+        }
+        drop(sources);
         for (name, value) in extra {
             out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
         }
@@ -353,7 +385,12 @@ pub fn telemetry() -> &'static Telemetry {
         let off = std::env::var("REPRO_TELEMETRY")
             .map(|v| matches!(v.trim(), "off" | "false" | "0"))
             .unwrap_or(false);
-        Telemetry::new(!off)
+        let t = Telemetry::new(!off);
+        // Fold subsystems that keep their own counters into every scrape.
+        // Only the global handle carries sources; unit-constructed
+        // handles stay empty.
+        t.register_source(crate::fleet::fleet_metrics_source);
+        t
     })
 }
 
@@ -424,6 +461,57 @@ mod tests {
         h.record(0);
         let s = h.snapshot();
         assert_eq!((s.count, s.p50, s.p99), (1, 0, 0));
+    }
+
+    #[test]
+    fn histogram_single_nonzero_sample_pins_every_quantile() {
+        let h = Histogram::default();
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 1000);
+        // One sample: every quantile is that sample's bucket bound.
+        assert_eq!(s.p50, 1023);
+        assert_eq!(s.p90, 1023);
+        assert_eq!(s.p99, 1023);
+    }
+
+    #[test]
+    fn histogram_top_bucket_saturates_at_u64_max() {
+        let h = Histogram::default();
+        for _ in 0..3 {
+            h.record(u64::MAX);
+        }
+        h.record(u64::MAX / 2 + 1); // also lands in the top bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        // Sum wraps relaxed-atomically; quantiles must still report the
+        // top bucket's inclusive bound, not overflow or truncate.
+        assert_eq!(s.p50, u64::MAX);
+        assert_eq!(s.p99, u64::MAX);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last(), Some(&(u64::MAX, 4)));
+    }
+
+    #[test]
+    fn sources_render_even_when_disabled() {
+        fn probe() -> Vec<(&'static str, u64)> {
+            vec![("probe_total", 11)]
+        }
+        let t = Telemetry::new(false);
+        t.register_source(probe);
+        // The registry itself stays silent when disabled, but sources
+        // expose subsystem-owned counters regardless.
+        assert_eq!(
+            t.render_prometheus(&[]),
+            "# TYPE probe_total counter\nprobe_total 11\n"
+        );
+        let t = Telemetry::new(true);
+        t.register_source(probe);
+        t.counter("reg_total").inc();
+        let text = t.render_prometheus(&[]);
+        assert!(text.contains("reg_total 1\n"));
+        assert!(text.contains("probe_total 11\n"));
     }
 
     #[test]

@@ -75,9 +75,10 @@ pub fn serve(
                 }
                 let threads = (r.get_u32()? as usize).max(1);
                 let batch = (r.get_u32()? as usize).max(1);
+                let trace = r.get_u64()?;
                 let manifest = TaskManifest::decode(&mut r)?;
                 r.finish()?;
-                serve_manifest(registry, threads, batch, &manifest, transport)?;
+                serve_manifest(registry, threads, batch, trace, &manifest, transport)?;
             }
             tag => {
                 return Err(WireError::new(format!(
@@ -96,15 +97,20 @@ pub fn serve(
 /// for a dead one.
 pub(crate) const HEARTBEAT_INTERVAL: std::time::Duration = std::time::Duration::from_millis(500);
 
-/// Execute one manifest and stream its response frames.
+/// Execute one manifest and stream its response frames. `trace` is the
+/// parent's trace ID (wire version 5; `0` = untraced): it becomes the
+/// ambient trace context for the run, and the spans recorded under it
+/// ship back in one advisory `T` frame ahead of the terminal `D`/`E`.
 fn serve_manifest(
     registry: &JobRegistry,
     threads: usize,
     batch: usize,
+    trace: u64,
     manifest: &TaskManifest,
     transport: &mut dyn FrameTransport,
 ) -> Result<(), WireError> {
     let job = registry.decode(&manifest.kind, &manifest.payload)?;
+    let _trace_ctx = crate::trace::enter(trace);
 
     // Run the manifest on the shared scheduling core, streaming each
     // slot's `R` frame the moment it completes: results are never buffered
@@ -219,6 +225,20 @@ fn serve_manifest(
 
     let io_err = |e: std::io::Error| WireError::new(format!("response write failed: {e}"));
     let t = out.into_inner().expect("output mutex never poisoned");
+    // Ship this manifest's span batch ahead of the terminal frame (the
+    // parent's drain stops at `D`/`E`). Advisory like `P`: a send failure
+    // is ignored — the result path will surface a broken transport on its
+    // own, and a lost batch only costs observability.
+    let tracer = crate::trace::tracer();
+    if trace != 0 && tracer.is_enabled() {
+        let spans = tracer.take_for(trace);
+        if !spans.is_empty() {
+            let mut body = Vec::new();
+            wire::put_u8(&mut body, frame::SPANS);
+            body.extend(crate::trace::encode_spans(&spans));
+            let _ = t.send(&body);
+        }
+    }
     match outcome {
         Ok(_) => {
             let mut done = Vec::new();
@@ -271,7 +291,7 @@ mod tests {
         let mut framed = Vec::new();
         wire::write_frame(
             &mut framed,
-            &crate::remote::protocol::encode_manifest_request(threads, batch, manifest),
+            &crate::remote::protocol::encode_manifest_request(threads, batch, manifest, 0),
         )
         .unwrap();
         framed
@@ -328,7 +348,7 @@ mod tests {
                     assert_eq!(r.get_u64().unwrap(), 5);
                     done = true;
                 }
-                frame::HEARTBEAT | frame::PROGRESS => {}
+                frame::HEARTBEAT | frame::PROGRESS | frame::SPANS => {}
                 tag => panic!("unexpected tag {tag}"),
             }
         }
@@ -356,7 +376,7 @@ mod tests {
                         seen[local] = Some(r.get_bytes().unwrap().to_vec());
                     }
                     frame::DONE => assert_eq!(r.get_u64().unwrap(), m.total_slots() as u64),
-                    frame::HEARTBEAT | frame::PROGRESS => {}
+                    frame::HEARTBEAT | frame::PROGRESS | frame::SPANS => {}
                     tag => panic!("unexpected tag {tag}"),
                 }
             }
@@ -390,7 +410,7 @@ mod tests {
             match body[0] {
                 frame::RESULT => results += 1,
                 frame::DONE => dones += 1,
-                frame::HEARTBEAT | frame::PROGRESS => {}
+                frame::HEARTBEAT | frame::PROGRESS | frame::SPANS => {}
                 tag => panic!("unexpected tag {tag}"),
             }
         }
@@ -447,7 +467,7 @@ mod tests {
                     assert_eq!(r.get_str().unwrap(), "kaboom");
                     error_seen = true;
                 }
-                frame::HEARTBEAT | frame::PROGRESS => {}
+                frame::HEARTBEAT | frame::PROGRESS | frame::SPANS => {}
                 tag => panic!("unexpected tag {tag}"),
             }
         }
